@@ -1,0 +1,47 @@
+//! Ablation: the expanded closed form of the OneR estimator.
+//!
+//! Section 3.2 of the paper notes that the `O(n₁)` sum over all candidate
+//! vertices can be replaced by a closed form in the noisy intersection and
+//! union sizes. This benchmark measures the curator-side cost of both
+//! evaluations (the vertex-side randomized response is identical).
+
+use bench::bench_context;
+use bigraph::Layer;
+use cne::{CommonNeighborEstimator, OneR, Query};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_oner_forms(c: &mut Criterion) {
+    let context = bench_context();
+    let mut group = c.benchmark_group("ablation/oner_form");
+    group.sample_size(20);
+    for code in [DatasetCode::RM, DatasetCode::WC] {
+        let dataset = context
+            .catalog
+            .generate(code, 1)
+            .expect("profile exists");
+        let graph = dataset.graph;
+        let query = Query::new(Layer::Upper, 0, 1);
+        for (label, algo) in [
+            ("closed_form", OneR { use_dense_sum: false }),
+            ("dense_sum", OneR { use_dense_sum: true }),
+        ] {
+            group.bench_function(format!("{code}/{label}"), |b| {
+                let mut rng = ChaCha12Rng::seed_from_u64(21);
+                b.iter(|| {
+                    criterion::black_box(
+                        algo.estimate(&graph, &query, 2.0, &mut rng)
+                            .expect("estimation succeeds")
+                            .estimate,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oner_forms);
+criterion_main!(benches);

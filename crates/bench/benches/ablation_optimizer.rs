@@ -1,0 +1,66 @@
+//! Ablation: the (ε₁, α) optimiser.
+//!
+//! Compares three strategies for allocating the MultiR-DS budget —
+//! the Newton/golden-section optimiser used by the implementation, a dense
+//! grid search (the brute-force reference), and the fixed even split — both
+//! in solution quality (printed table) and in running time (Criterion).
+
+use cne::loss::double_source_l2;
+use cne::optimizer::{optimal_alpha, optimize_double_source};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::table::{fmt_f64, Table};
+
+/// Brute-force reference: dense grid over ε₁ and α.
+fn grid_search(du: f64, dw: f64, eps: f64, steps: usize) -> (f64, f64, f64) {
+    let mut best = (f64::INFINITY, 0.0, 0.0);
+    for i in 1..steps {
+        let e1 = eps * i as f64 / steps as f64;
+        let e2 = eps - e1;
+        for j in 0..=steps {
+            let alpha = j as f64 / steps as f64;
+            let loss = double_source_l2(du, dw, alpha, e1, e2);
+            if loss < best.0 {
+                best = (loss, e1, alpha);
+            }
+        }
+    }
+    best
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // ---- Solution quality table -------------------------------------------
+    let mut table = Table::new(
+        "Ablation: budget-allocation strategies (loss of f*, eps = 2)",
+        &["d_u", "d_w", "optimiser", "grid(400x100)", "even split (alpha=0.5)"],
+    );
+    for (du, dw) in [(5.0, 10.0), (5.0, 100.0), (200.0, 3.0), (500.0, 500.0)] {
+        let opt = optimize_double_source(du, dw, 2.0);
+        let (grid_loss, _, _) = grid_search(du, dw, 2.0, 200);
+        let even = double_source_l2(du, dw, 0.5, 1.0, 1.0);
+        table.push_row(vec![
+            fmt_f64(du, 0),
+            fmt_f64(dw, 0),
+            fmt_f64(opt.loss, 4),
+            fmt_f64(grid_loss, 4),
+            fmt_f64(even, 4),
+        ]);
+    }
+    println!("\n################ Ablation: optimiser quality ################");
+    println!("{table}");
+
+    // ---- Running time ------------------------------------------------------
+    let mut group = c.benchmark_group("ablation/optimizer");
+    group.bench_function("newton_golden", |b| {
+        b.iter(|| criterion::black_box(optimize_double_source(5.0, 100.0, 2.0)));
+    });
+    group.bench_function("grid_200", |b| {
+        b.iter(|| criterion::black_box(grid_search(5.0, 100.0, 2.0, 200)));
+    });
+    group.bench_function("closed_form_alpha_only", |b| {
+        b.iter(|| criterion::black_box(optimal_alpha(5.0, 100.0, 1.0, 1.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

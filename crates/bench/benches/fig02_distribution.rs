@@ -1,0 +1,55 @@
+//! Regenerates Figure 2 (estimate distributions on rmwiki at ε = 1) and
+//! benchmarks a single estimation round of each algorithm on that workload.
+
+use bench::{bench_context, print_tables};
+use bigraph::Layer;
+use cne::{CommonNeighborEstimator, MultiRDS, MultiRSS, Naive, OneR, Query};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use eval::experiments::fig02_distribution;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig02(c: &mut Criterion) {
+    let config = fig02_distribution::Config {
+        context: bench_context(),
+        epsilon: 1.0,
+        runs: 1_000,
+        kappa: 20.0,
+    };
+    let tables = fig02_distribution::run(&config);
+    print_tables("Figure 2: estimate distributions (rmwiki-like, eps = 1)", &tables);
+
+    // Kernel: one estimate per algorithm on the same dataset/pair.
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::RM, config.context.seed)
+        .expect("RM profile exists");
+    let graph = dataset.graph;
+    let query = Query::new(Layer::Upper, 0, 1);
+
+    let mut group = c.benchmark_group("fig02/single_estimate");
+    group.sample_size(20);
+    let algorithms: Vec<(&str, Box<dyn CommonNeighborEstimator>)> = vec![
+        ("naive", Box::new(Naive)),
+        ("oner", Box::new(OneR::default())),
+        ("multir_ss", Box::new(MultiRSS::default())),
+        ("multir_ds", Box::new(MultiRDS::default())),
+    ];
+    for (name, algo) in &algorithms {
+        group.bench_function(*name, |b| {
+            let mut rng = ChaCha12Rng::seed_from_u64(11);
+            b.iter(|| {
+                let report = algo
+                    .estimate(&graph, &query, 1.0, &mut rng)
+                    .expect("estimation succeeds");
+                criterion::black_box(report.estimate)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig02);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Figure 5 (analytic L2 loss of f* vs ε₁) and benchmarks the
+//! loss-model evaluation and the (ε₁, α) optimiser it feeds.
+
+use bench::print_tables;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cne::loss::double_source_l2;
+use cne::optimizer::{optimal_alpha, optimize_double_source};
+use eval::experiments::fig05_loss_curves;
+
+fn bench_fig05(c: &mut Criterion) {
+    let tables = fig05_loss_curves::run(&fig05_loss_curves::Config::default());
+    print_tables("Figure 5: L2 loss of the double-source estimator", &tables);
+
+    let mut group = c.benchmark_group("fig05/loss_model");
+    group.bench_function("double_source_l2", |b| {
+        b.iter(|| criterion::black_box(double_source_l2(5.0, 100.0, 0.7, 1.2, 0.8)));
+    });
+    group.bench_function("optimal_alpha", |b| {
+        b.iter(|| criterion::black_box(optimal_alpha(5.0, 100.0, 1.2, 0.8)));
+    });
+    group.bench_function("optimize_small_degrees", |b| {
+        b.iter(|| criterion::black_box(optimize_double_source(5.0, 10.0, 2.0)));
+    });
+    group.bench_function("optimize_imbalanced_degrees", |b| {
+        b.iter(|| criterion::black_box(optimize_double_source(5.0, 1000.0, 2.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig05);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates Figure 6 (mean absolute error and time per dataset at ε = 2)
+//! and benchmarks the full per-pair evaluation pipeline on one dataset.
+
+use bench::{bench_context, print_tables};
+use bigraph::{sampling, Layer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use eval::experiments::fig06_datasets;
+use eval::runner::{evaluate_on_pairs, AlgorithmSelection};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig06(c: &mut Criterion) {
+    let config = fig06_datasets::Config {
+        context: bench_context(),
+        ..Default::default()
+    };
+    let tables = fig06_datasets::run(&config);
+    print_tables("Figure 6: error and time per dataset (eps = 2)", &tables);
+
+    // Kernel: evaluating a batch of pairs with each algorithm on RM.
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::RM, 1)
+        .expect("RM profile exists");
+    let graph = dataset.graph;
+    let mut rng = ChaCha12Rng::seed_from_u64(2);
+    let pairs = sampling::uniform_pairs(&graph, Layer::Upper, 10, &mut rng).expect("sampleable");
+
+    let mut group = c.benchmark_group("fig06/evaluate_10_pairs_rm");
+    group.sample_size(10);
+    for selection in AlgorithmSelection::figure6_set() {
+        group.bench_function(selection.kind().paper_name(), |b| {
+            b.iter(|| {
+                criterion::black_box(
+                    evaluate_on_pairs(&graph, &pairs, &selection, 2.0, 3)
+                        .expect("evaluation succeeds")
+                        .metrics,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig06);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates Figure 7 (effect of ε on the mean absolute error) and
+//! benchmarks single estimates across the ε range.
+
+use bench::{bench_context, print_tables};
+use bigraph::Layer;
+use cne::{CommonNeighborEstimator, MultiRDS, OneR, Query};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use eval::experiments::fig07_epsilon;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig07(c: &mut Criterion) {
+    let mut context = bench_context();
+    // The epsilon sweep multiplies datasets x budgets x algorithms, so use a
+    // slightly smaller pair count to keep the regeneration quick.
+    context.pairs_per_dataset = 12;
+    let config = fig07_epsilon::Config {
+        context,
+        ..Default::default()
+    };
+    let tables = fig07_epsilon::run(&config);
+    print_tables("Figure 7: effect of the privacy budget", &tables);
+
+    // Kernel: one estimate at the two ends of the epsilon range.
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::SO, 1)
+        .expect("SO profile exists");
+    let graph = dataset.graph;
+    let query = Query::new(Layer::Upper, 0, 1);
+    let mut group = c.benchmark_group("fig07/single_estimate_so");
+    group.sample_size(10);
+    for eps in [1.0, 3.0] {
+        group.bench_function(format!("oner_eps{eps}"), |b| {
+            let mut rng = ChaCha12Rng::seed_from_u64(5);
+            b.iter(|| {
+                criterion::black_box(
+                    OneR::default()
+                        .estimate(&graph, &query, eps, &mut rng)
+                        .expect("estimation succeeds")
+                        .estimate,
+                )
+            });
+        });
+        group.bench_function(format!("multir_ds_eps{eps}"), |b| {
+            let mut rng = ChaCha12Rng::seed_from_u64(5);
+            b.iter(|| {
+                criterion::black_box(
+                    MultiRDS::default()
+                        .estimate(&graph, &query, eps, &mut rng)
+                        .expect("estimation succeeds")
+                        .estimate,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig07);
+criterion_main!(benches);

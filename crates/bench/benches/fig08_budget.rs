@@ -1,0 +1,58 @@
+//! Regenerates Figure 8 (privacy-budget allocation optimisation) and
+//! benchmarks MultiR-DS-Basic across ε₁ splits against the optimised MultiR-DS.
+
+use bench::{bench_context, print_tables};
+use bigraph::Layer;
+use cne::{CommonNeighborEstimator, MultiRDS, MultiRDSBasic, Query};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use eval::experiments::fig08_budget;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig08(c: &mut Criterion) {
+    let config = fig08_budget::Config {
+        context: bench_context(),
+        ..Default::default()
+    };
+    let tables = fig08_budget::run(&config);
+    print_tables("Figure 8: budget allocation optimisation", &tables);
+
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::BX, 1)
+        .expect("BX profile exists");
+    let graph = dataset.graph;
+    let query = Query::new(Layer::Upper, 0, 1);
+    let mut group = c.benchmark_group("fig08/single_estimate_bx");
+    group.sample_size(20);
+    for fraction in [0.1, 0.5, 0.7] {
+        group.bench_function(format!("ds_basic_eps1_{fraction}"), |b| {
+            let algo = MultiRDSBasic::with_fraction(fraction).expect("valid fraction");
+            let mut rng = ChaCha12Rng::seed_from_u64(8);
+            b.iter(|| {
+                criterion::black_box(
+                    algo.estimate(&graph, &query, 2.0, &mut rng)
+                        .expect("estimation succeeds")
+                        .estimate,
+                )
+            });
+        });
+    }
+    group.bench_function("ds_optimised", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        b.iter(|| {
+            criterion::black_box(
+                MultiRDS::default()
+                    .estimate(&graph, &query, 2.0, &mut rng)
+                    .expect("estimation succeeds")
+                    .estimate,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig08);
+criterion_main!(benches);

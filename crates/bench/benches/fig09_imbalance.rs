@@ -1,0 +1,68 @@
+//! Regenerates Figure 9 (robustness to degree imbalance) and benchmarks the
+//! imbalanced-pair sampler together with the three multi-round estimators.
+
+use bench::{bench_context, print_tables};
+use bigraph::{sampling, Layer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use eval::experiments::fig09_imbalance;
+use eval::runner::{evaluate_on_pairs, AlgorithmSelection};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig09(c: &mut Criterion) {
+    let config = fig09_imbalance::Config {
+        context: bench_context(),
+        ..Default::default()
+    };
+    let tables = fig09_imbalance::run(&config);
+    print_tables("Figure 9: robustness to degree imbalance", &tables);
+
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::BX, 1)
+        .expect("BX profile exists");
+    let graph = dataset.graph;
+    let mut rng = ChaCha12Rng::seed_from_u64(9);
+    let pairs = sampling::imbalanced_pairs(&graph, Layer::Upper, 100.0, 10, &mut rng)
+        .expect("sampleable");
+
+    let mut group = c.benchmark_group("fig09/imbalanced_pairs_bx");
+    group.sample_size(10);
+    group.bench_function("sample_kappa100_pairs", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha12Rng::seed_from_u64(10);
+            criterion::black_box(
+                sampling::imbalanced_pairs(&graph, Layer::Upper, 100.0, 10, &mut rng)
+                    .expect("sampleable")
+                    .len(),
+            )
+        });
+    });
+    if !pairs.is_empty() {
+        for selection in [
+            AlgorithmSelection::MultiRSS {
+                epsilon1_fraction: 0.5,
+            },
+            AlgorithmSelection::MultiRDSBasic {
+                epsilon1_fraction: 0.5,
+            },
+            AlgorithmSelection::MultiRDS,
+        ] {
+            group.bench_function(selection.kind().paper_name(), |b| {
+                b.iter(|| {
+                    criterion::black_box(
+                        evaluate_on_pairs(&graph, &pairs, &selection, 2.0, 1)
+                            .expect("evaluation succeeds")
+                            .metrics,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig09);
+criterion_main!(benches);

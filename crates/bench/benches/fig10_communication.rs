@@ -1,0 +1,46 @@
+//! Regenerates Figure 10 (communication costs) and benchmarks the
+//! noisy-neighbor-list generation that dominates the message volume.
+
+use bench::{bench_context, print_tables};
+use bigraph::Layer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use eval::experiments::fig10_communication;
+use ldp::budget::PrivacyBudget;
+use ldp::noisy_graph::NoisyNeighbors;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = fig10_communication::Config {
+        context: bench_context(),
+        ..Default::default()
+    };
+    let tables = fig10_communication::run(&config);
+    print_tables("Figure 10: communication costs", &tables);
+
+    // Kernel: generating (and sizing) one noisy neighbor list at different
+    // budgets — this upload dominates every algorithm's message volume.
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::TM, 1)
+        .expect("TM profile exists");
+    let graph = dataset.graph;
+    let mut group = c.benchmark_group("fig10/noisy_list_generation_tm");
+    group.sample_size(20);
+    for eps in [1.0, 2.0, 3.0] {
+        group.bench_function(format!("perturb_list_eps{eps}"), |b| {
+            let budget = PrivacyBudget::new(eps).expect("valid budget");
+            let mut rng = ChaCha12Rng::seed_from_u64(10);
+            b.iter(|| {
+                let list = NoisyNeighbors::generate(&graph, Layer::Upper, 0, budget, &mut rng);
+                criterion::black_box(list.message_bytes())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

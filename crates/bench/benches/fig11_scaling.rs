@@ -1,0 +1,62 @@
+//! Regenerates Figure 11 (effect of the number of vertices) and benchmarks
+//! induced-subgraph sampling plus estimation at two graph scales.
+
+use bench::{bench_context, print_tables};
+use bigraph::{sampling, Layer};
+use cne::{CommonNeighborEstimator, OneR, Query};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetCode;
+use eval::experiments::fig11_scaling;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_fig11(c: &mut Criterion) {
+    let config = fig11_scaling::Config {
+        context: bench_context(),
+        ..Default::default()
+    };
+    let tables = fig11_scaling::run(&config);
+    print_tables("Figure 11: effect of the number of vertices", &tables);
+
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::TM, 1)
+        .expect("TM profile exists");
+    let graph = dataset.graph;
+
+    let mut group = c.benchmark_group("fig11/scaling_tm");
+    group.sample_size(10);
+    group.bench_function("induced_subgraph_20pct", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha12Rng::seed_from_u64(11);
+            criterion::black_box(
+                sampling::induced_subgraph(&graph, 0.2, &mut rng)
+                    .expect("valid fraction")
+                    .graph
+                    .n_edges(),
+            )
+        });
+    });
+    for fraction in [0.2, 1.0] {
+        let mut rng = ChaCha12Rng::seed_from_u64(12);
+        let sub = sampling::induced_subgraph(&graph, fraction, &mut rng).expect("valid fraction");
+        let subgraph = sub.graph;
+        let query = Query::new(Layer::Upper, 0, 1);
+        group.bench_function(format!("oner_estimate_at_{fraction}"), |b| {
+            let mut rng = ChaCha12Rng::seed_from_u64(13);
+            b.iter(|| {
+                criterion::black_box(
+                    OneR::default()
+                        .estimate(&subgraph, &query, 2.0, &mut rng)
+                        .expect("estimation succeeds")
+                        .estimate,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the substrate primitives: randomized response,
+//! Laplace sampling, exact common-neighbor counting, and graph construction.
+
+use bigraph::{common_neighbors, BipartiteGraph, Layer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::generator;
+use ldp::budget::PrivacyBudget;
+use ldp::laplace::sample_laplace;
+use ldp::randomized_response::RandomizedResponse;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_randomized_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/randomized_response");
+    let rr = RandomizedResponse::new(PrivacyBudget::new(2.0).expect("valid"));
+    for n in [1_000usize, 10_000, 100_000] {
+        let truth: Vec<u32> = (0..(n as u32 / 100)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("perturb_list", n), &n, |b, &n| {
+            let mut rng = ChaCha12Rng::seed_from_u64(1);
+            b.iter(|| criterion::black_box(rr.perturb_neighbor_list(&truth, n, &mut rng).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/laplace");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("sample", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        b.iter(|| criterion::black_box(sample_laplace(1.5, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_exact_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/exact_c2");
+    let mut rng = ChaCha12Rng::seed_from_u64(3);
+    let g = generator::chung_lu_power_law(5_000, 20_000, 100_000, 2.1, &mut rng);
+    group.bench_function("count_highest_degree_pair", |b| {
+        // Exercise the merge/galloping intersection on the heaviest vertices.
+        let mut by_degree: Vec<u32> = (0..g.n_upper() as u32).collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(Layer::Upper, v)));
+        let (u, w) = (by_degree[0], by_degree[1]);
+        b.iter(|| criterion::black_box(common_neighbors::count(&g, Layer::Upper, u, w).unwrap()));
+    });
+    group.bench_function("jaccard_random_pair", |b| {
+        b.iter(|| criterion::black_box(common_neighbors::jaccard(&g, Layer::Upper, 10, 20).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/graph_build");
+    group.sample_size(10);
+    let mut rng = ChaCha12Rng::seed_from_u64(4);
+    let g = generator::uniform_gnm(10_000, 10_000, 200_000, &mut rng);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("csr_build_200k_edges", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                BipartiteGraph::from_edges(10_000, 10_000, edges.iter().copied())
+                    .expect("valid edges")
+                    .n_edges(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_randomized_response,
+    bench_laplace,
+    bench_exact_counting,
+    bench_graph_build
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Table 2 (dataset statistics) and benchmarks dataset generation.
+
+use bench::{bench_context, print_tables};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{Catalog, DatasetCode};
+use eval::experiments::table2_datasets;
+
+fn bench_table2(c: &mut Criterion) {
+    let config = table2_datasets::Config {
+        context: bench_context(),
+        datasets: vec![],
+    };
+    let tables = table2_datasets::run(&config);
+    print_tables("Table 2: dataset statistics", &tables);
+
+    let mut group = c.benchmark_group("table2/generation");
+    group.sample_size(10);
+    let catalog = Catalog::scaled(bench::BENCH_MAX_EDGES);
+    for code in [DatasetCode::RM, DatasetCode::BX, DatasetCode::OG] {
+        group.bench_function(format!("generate_{code}"), |b| {
+            b.iter(|| {
+                let ds = catalog.generate(code, 7).expect("profile exists");
+                criterion::black_box(ds.graph.n_edges())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

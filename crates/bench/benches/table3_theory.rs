@@ -1,0 +1,38 @@
+//! Regenerates Table 3 (expected L2 loss summary) with an empirical
+//! validation column, and benchmarks the closed-form loss evaluations.
+
+use bench::print_tables;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cne::loss;
+use eval::experiments::table3_theory;
+
+fn bench_table3(c: &mut Criterion) {
+    let config = table3_theory::Config::default();
+    let tables = table3_theory::run(&config);
+    print_tables("Table 3: expected L2 losses (theory vs empirical)", &tables);
+
+    let mut group = c.benchmark_group("table3/closed_forms");
+    group.bench_function("loss_summary_row", |b| {
+        b.iter(|| {
+            criterion::black_box(loss::LossSummaryRow::evaluate(
+                criterion::black_box(10_000),
+                20.0,
+                200.0,
+                2.0,
+            ))
+        });
+    });
+    group.bench_function("optimize_double_source", |b| {
+        b.iter(|| {
+            criterion::black_box(cne::optimizer::optimize_double_source(
+                criterion::black_box(20.0),
+                200.0,
+                2.0,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

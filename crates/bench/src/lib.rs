@@ -1,0 +1,63 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every benchmark target does two things:
+//!
+//! 1. **Regenerate the paper artifact**: run the corresponding experiment from
+//!    the [`eval`] crate once at "bench scale" (larger than the unit-test
+//!    smoke configs, still laptop-friendly) and print the resulting tables to
+//!    stdout — this is the reproduction of the figure/table itself.
+//! 2. **Measure**: benchmark the per-query kernel underlying the experiment
+//!    with Criterion so regressions in the hot paths are visible.
+
+use eval::experiments::Context;
+use eval::Table;
+
+/// The dataset scale used by the benchmark harness.
+///
+/// Large enough that the smallest Table 2 datasets keep their original sizes
+/// and the one-round/multi-round gap is pronounced; small enough that a full
+/// `cargo bench` finishes in minutes on a laptop.
+pub const BENCH_MAX_EDGES: usize = 100_000;
+
+/// Number of query pairs per dataset used when regenerating figures.
+///
+/// The paper uses 100; 24 keeps the full benchmark suite fast while leaving
+/// the orderings the figures exhibit clearly visible.
+pub const BENCH_PAIRS: usize = 24;
+
+/// The experiment context shared by all benchmark targets.
+#[must_use]
+pub fn bench_context() -> Context {
+    Context {
+        catalog: datasets::Catalog::scaled(BENCH_MAX_EDGES),
+        seed: 0xBE7C_4_2,
+        pairs_per_dataset: BENCH_PAIRS,
+    }
+}
+
+/// Prints the regenerated tables of one experiment with a banner.
+pub fn print_tables(banner: &str, tables: &[Table]) {
+    println!("\n################ {banner} ################");
+    for table in tables {
+        println!("{table}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_context_is_well_formed() {
+        let ctx = bench_context();
+        assert_eq!(ctx.pairs_per_dataset, BENCH_PAIRS);
+        assert_eq!(ctx.catalog.max_edges(), Some(BENCH_MAX_EDGES));
+    }
+
+    #[test]
+    fn print_tables_does_not_panic() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into()]);
+        print_tables("banner", &[t]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Exact (p,q)-biclique counting for small `p` and `q`.
+//!
+//! A `(p,q)`-biclique is a complete bipartite subgraph with `p` vertices on
+//! one layer and `q` on the other. The paper motivates common-neighbor
+//! counting as the pruning primitive of `(p,q)`-biclique counting; this module
+//! provides the exact counts (for the small `p`, `q` that are practical to
+//! enumerate) so examples and tests can relate the private estimates to that
+//! downstream task. `(2,2)`-bicliques are butterflies — see [`crate::motifs`].
+
+use crate::common_neighbors;
+use crate::error::{GraphError, Result};
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+
+/// Maximum `p` supported by the exact enumerator; larger values would need the
+/// specialised algorithms of the biclique-counting literature.
+pub const MAX_P: usize = 3;
+
+/// Counts `(p, q)`-bicliques: `p` vertices on `layer`, `q` on the opposite
+/// layer, all `p·q` edges present.
+///
+/// The enumeration picks each `p`-subset of `layer` vertices (for `p ≤ 3`),
+/// computes the size `c` of their common neighborhood by iterated sorted-list
+/// intersection, and adds `C(c, q)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Malformed`] when `p` is 0, larger than [`MAX_P`], or
+/// `q` is 0.
+pub fn count_bicliques(g: &BipartiteGraph, layer: Layer, p: usize, q: usize) -> Result<u64> {
+    if p == 0 || q == 0 {
+        return Err(GraphError::Malformed {
+            reason: "p and q must be at least 1".into(),
+        });
+    }
+    if p > MAX_P {
+        return Err(GraphError::Malformed {
+            reason: format!("p = {p} exceeds the supported maximum of {MAX_P}"),
+        });
+    }
+    let n = g.layer_size(layer) as VertexId;
+    let mut total = 0u64;
+    match p {
+        1 => {
+            for a in 0..n {
+                total += choose(g.degree(layer, a) as u64, q as u64);
+            }
+        }
+        2 => {
+            for a in 0..n {
+                // Only enumerate partners sharing at least one neighbor, via
+                // the two-hop neighborhood, to avoid the dense O(n²) loop.
+                for b in two_hop_partners(g, layer, a) {
+                    if b <= a {
+                        continue;
+                    }
+                    let c = common_neighbors::intersection_size(
+                        g.neighbors(layer, a),
+                        g.neighbors(layer, b),
+                    );
+                    total += choose(c, q as u64);
+                }
+            }
+        }
+        3 => {
+            for a in 0..n {
+                let partners: Vec<VertexId> = two_hop_partners(g, layer, a)
+                    .into_iter()
+                    .filter(|&b| b > a)
+                    .collect();
+                for (i, &b) in partners.iter().enumerate() {
+                    let ab: Vec<VertexId> = intersect(g.neighbors(layer, a), g.neighbors(layer, b));
+                    if ab.is_empty() {
+                        continue;
+                    }
+                    for &c_v in &partners[i + 1..] {
+                        let abc = common_neighbors::intersection_size(&ab, g.neighbors(layer, c_v));
+                        total += choose(abc, q as u64);
+                    }
+                }
+            }
+        }
+        _ => unreachable!("guarded above"),
+    }
+    Ok(total)
+}
+
+/// Vertices on the same layer as `a` that share at least one neighbor with it.
+fn two_hop_partners(g: &BipartiteGraph, layer: Layer, a: VertexId) -> Vec<VertexId> {
+    let mut partners: Vec<VertexId> = g
+        .neighbors(layer, a)
+        .iter()
+        .flat_map(|&mid| g.neighbors(layer.opposite(), mid).iter().copied())
+        .filter(|&b| b != a)
+        .collect();
+    partners.sort_unstable();
+    partners.dedup();
+    partners
+}
+
+fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Binomial coefficient `C(n, k)` with saturation, sufficient for motif counts.
+#[must_use]
+pub fn choose(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motifs;
+
+    fn complete(a: usize, b: usize) -> BipartiteGraph {
+        let edges = (0..a as u32).flat_map(|u| (0..b as u32).map(move |v| (u, v)));
+        BipartiteGraph::from_edges(a, b, edges).unwrap()
+    }
+
+    #[test]
+    fn choose_basics() {
+        assert_eq!(choose(5, 0), 1);
+        assert_eq!(choose(5, 2), 10);
+        assert_eq!(choose(5, 5), 1);
+        assert_eq!(choose(3, 4), 0);
+        assert_eq!(choose(0, 0), 1);
+    }
+
+    #[test]
+    fn complete_graph_counts_match_binomials() {
+        let g = complete(4, 5);
+        // #(p,q)-bicliques in K_{4,5} anchored on the upper layer = C(4,p)·C(5,q)
+        for p in 1..=3usize {
+            for q in 1..=3usize {
+                let expected = choose(4, p as u64) * choose(5, q as u64);
+                assert_eq!(
+                    count_bicliques(&g, Layer::Upper, p, q).unwrap(),
+                    expected,
+                    "p={p}, q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_two_bicliques_equal_butterflies() {
+        let edges = [(0u32, 0u32), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2), (2, 0), (1, 3)];
+        let g = BipartiteGraph::from_edges(3, 4, edges).unwrap();
+        let butterflies = motifs::butterfly_count(&g).unwrap();
+        assert_eq!(count_bicliques(&g, Layer::Upper, 2, 2).unwrap(), butterflies);
+        assert_eq!(count_bicliques(&g, Layer::Lower, 2, 2).unwrap(), butterflies);
+    }
+
+    #[test]
+    fn one_q_counts_are_degree_binomials() {
+        let g = BipartiteGraph::from_edges(2, 5, [(0, 0), (0, 1), (0, 2), (1, 3)]).unwrap();
+        // p=1, q=2: C(3,2) + C(1,2) = 3
+        assert_eq!(count_bicliques(&g, Layer::Upper, 1, 2).unwrap(), 3);
+        // Anchoring on the lower layer: every lower vertex has degree <= 1.
+        assert_eq!(count_bicliques(&g, Layer::Lower, 1, 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_and_sparse_graphs() {
+        let g = BipartiteGraph::from_edges(3, 3, std::iter::empty()).unwrap();
+        assert_eq!(count_bicliques(&g, Layer::Upper, 2, 2).unwrap(), 0);
+        let path = BipartiteGraph::from_edges(2, 2, [(0, 0), (1, 0), (1, 1)]).unwrap();
+        assert_eq!(count_bicliques(&path, Layer::Upper, 2, 2).unwrap(), 0);
+        assert_eq!(count_bicliques(&path, Layer::Upper, 2, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let g = complete(2, 2);
+        assert!(count_bicliques(&g, Layer::Upper, 0, 1).is_err());
+        assert!(count_bicliques(&g, Layer::Upper, 1, 0).is_err());
+        assert!(count_bicliques(&g, Layer::Upper, 4, 1).is_err());
+    }
+
+    #[test]
+    fn three_q_on_asymmetric_graph() {
+        // u0, u1, u2 all share v0 and v1; u2 additionally has v2.
+        let g = BipartiteGraph::from_edges(
+            3,
+            3,
+            [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)],
+        )
+        .unwrap();
+        // (3,1): common neighborhood of {u0,u1,u2} = {v0,v1} -> C(2,1) = 2.
+        assert_eq!(count_bicliques(&g, Layer::Upper, 3, 1).unwrap(), 2);
+        // (3,2): C(2,2) = 1.
+        assert_eq!(count_bicliques(&g, Layer::Upper, 3, 2).unwrap(), 1);
+        // (3,3): C(2,3) = 0.
+        assert_eq!(count_bicliques(&g, Layer::Upper, 3, 3).unwrap(), 0);
+    }
+}

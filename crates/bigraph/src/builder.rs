@@ -1,0 +1,231 @@
+//! Incremental construction of [`BipartiteGraph`]s.
+
+use crate::error::{GraphError, Result};
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+
+/// Accumulates edges and produces an immutable [`BipartiteGraph`].
+///
+/// The builder validates endpoints against the declared layer sizes, tolerates
+/// duplicate edges (they are collapsed at build time), and can grow the layer
+/// sizes on demand via [`GraphBuilder::add_edge_growing`].
+///
+/// ```
+/// use bigraph::{GraphBuilder, Layer};
+/// let mut b = GraphBuilder::new(2, 2);
+/// b.add_edge(0, 0).unwrap();
+/// b.add_edge(1, 1).unwrap();
+/// b.add_edge(1, 1).unwrap(); // duplicate, collapsed
+/// let g = b.build();
+/// assert_eq!(g.n_edges(), 2);
+/// assert_eq!(g.degree(Layer::Upper, 1), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n_upper: usize,
+    n_lower: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with fixed layer sizes.
+    #[must_use]
+    pub fn new(n_upper: usize, n_lower: usize) -> Self {
+        Self {
+            n_upper,
+            n_lower,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with fixed layer sizes and pre-allocated edge capacity.
+    #[must_use]
+    pub fn with_capacity(n_upper: usize, n_lower: usize, m: usize) -> Self {
+        Self {
+            n_upper,
+            n_lower,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of upper vertices the built graph will have.
+    #[must_use]
+    pub fn n_upper(&self) -> usize {
+        self.n_upper
+    }
+
+    /// Number of lower vertices the built graph will have.
+    #[must_use]
+    pub fn n_lower(&self) -> usize {
+        self.n_lower
+    }
+
+    /// Number of edges added so far (duplicates counted).
+    #[must_use]
+    pub fn n_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the edge `(upper, lower)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if either endpoint exceeds the
+    /// declared layer size.
+    pub fn add_edge(&mut self, upper: VertexId, lower: VertexId) -> Result<()> {
+        if upper as usize >= self.n_upper {
+            return Err(GraphError::VertexOutOfRange {
+                layer: Layer::Upper,
+                id: upper,
+                layer_size: self.n_upper,
+            });
+        }
+        if lower as usize >= self.n_lower {
+            return Err(GraphError::VertexOutOfRange {
+                layer: Layer::Lower,
+                id: lower,
+                layer_size: self.n_lower,
+            });
+        }
+        self.edges.push((upper, lower));
+        Ok(())
+    }
+
+    /// Adds the edge `(upper, lower)`, growing layer sizes as needed.
+    ///
+    /// Useful when reading edge lists whose vertex universe is not known in
+    /// advance (e.g. KONECT-style files).
+    pub fn add_edge_growing(&mut self, upper: VertexId, lower: VertexId) {
+        self.n_upper = self.n_upper.max(upper as usize + 1);
+        self.n_lower = self.n_lower.max(lower as usize + 1);
+        self.edges.push((upper, lower));
+    }
+
+    /// Consumes the builder and produces the CSR graph.
+    ///
+    /// Duplicate edges are collapsed; adjacency lists come out sorted.
+    #[must_use]
+    pub fn build(mut self) -> BipartiteGraph {
+        // Sort and deduplicate the edge list once; both CSR directions are
+        // derived from the deduplicated list by counting sort.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let m = self.edges.len();
+
+        let mut upper_offsets = vec![0usize; self.n_upper + 1];
+        let mut lower_offsets = vec![0usize; self.n_lower + 1];
+        for &(u, v) in &self.edges {
+            upper_offsets[u as usize + 1] += 1;
+            lower_offsets[v as usize + 1] += 1;
+        }
+        for i in 1..upper_offsets.len() {
+            upper_offsets[i] += upper_offsets[i - 1];
+        }
+        for i in 1..lower_offsets.len() {
+            lower_offsets[i] += lower_offsets[i - 1];
+        }
+
+        // Upper adjacency: the edge list is sorted by (u, v), so lower ids come
+        // out sorted per upper vertex automatically.
+        let mut upper_adj = Vec::with_capacity(m);
+        for &(_, v) in &self.edges {
+            upper_adj.push(v);
+        }
+
+        // Lower adjacency: scatter with a cursor per lower vertex; since we
+        // scan edges in increasing (u, v) order, each lower vertex receives its
+        // upper neighbors in increasing order.
+        let mut lower_adj = vec![0 as VertexId; m];
+        let mut cursor = lower_offsets.clone();
+        for &(u, v) in &self.edges {
+            let slot = cursor[v as usize];
+            lower_adj[slot] = u;
+            cursor[v as usize] += 1;
+        }
+
+        BipartiteGraph::from_csr(upper_offsets, upper_adj, lower_offsets, lower_adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_empty() {
+        let g = GraphBuilder::new(0, 0).build();
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.n_edges(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn build_collapses_duplicates_and_sorts() {
+        let mut b = GraphBuilder::new(3, 3);
+        for &(u, v) in &[(2, 2), (0, 1), (0, 0), (2, 2), (1, 2), (0, 1)] {
+            b.add_edge(u, v).unwrap();
+        }
+        assert_eq!(b.n_pending_edges(), 6);
+        let g = b.build();
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.neighbors(Layer::Upper, 0), &[0, 1]);
+        assert_eq!(g.neighbors(Layer::Lower, 2), &[1, 2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn add_edge_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(1, 1);
+        assert!(b.add_edge(0, 0).is_ok());
+        assert!(matches!(
+            b.add_edge(1, 0),
+            Err(GraphError::VertexOutOfRange {
+                layer: Layer::Upper,
+                ..
+            })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 7),
+            Err(GraphError::VertexOutOfRange {
+                layer: Layer::Lower,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn growing_builder_expands_layers() {
+        let mut b = GraphBuilder::default();
+        b.add_edge_growing(5, 2);
+        b.add_edge_growing(0, 9);
+        assert_eq!(b.n_upper(), 6);
+        assert_eq!(b.n_lower(), 10);
+        let g = b.build();
+        assert_eq!(g.n_upper(), 6);
+        assert_eq!(g.n_lower(), 10);
+        assert!(g.has_edge(5, 2));
+        assert!(g.has_edge(0, 9));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let mut a = GraphBuilder::new(4, 4);
+        let mut b = GraphBuilder::with_capacity(4, 4, 16);
+        for (u, v) in [(0, 1), (1, 2), (3, 0)] {
+            a.add_edge(u, v).unwrap();
+            b.add_edge(u, v).unwrap();
+        }
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let mut b = GraphBuilder::new(5, 5);
+        b.add_edge(0, 0).unwrap();
+        let g = b.build();
+        assert_eq!(g.n_upper(), 5);
+        assert_eq!(g.degree(Layer::Upper, 4), 0);
+        assert_eq!(g.neighbors(Layer::Lower, 3), &[] as &[VertexId]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Exact (non-private) common-neighborhood operators.
+//!
+//! These are the ground-truth computations against which the privacy-preserving
+//! estimators in the `cne` crate are evaluated, plus the vertex-similarity
+//! measures the paper lists as downstream applications (Jaccard, cosine).
+
+use crate::error::{GraphError, Result};
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+
+/// Validates that `u` and `w` form a legal same-layer query pair.
+///
+/// # Errors
+///
+/// * [`GraphError::VertexOutOfRange`] if either vertex does not exist.
+/// * [`GraphError::InvalidQueryPair`] if `u == w`.
+pub fn check_query_pair(g: &BipartiteGraph, layer: Layer, u: VertexId, w: VertexId) -> Result<()> {
+    g.check_vertex(layer, u)?;
+    g.check_vertex(layer, w)?;
+    if u == w {
+        return Err(GraphError::InvalidQueryPair {
+            reason: format!("query vertices must be distinct, both are {u}"),
+        });
+    }
+    Ok(())
+}
+
+/// Exact number of common neighbors `C2(u, w)` of two vertices on `layer`.
+///
+/// Runs a linear merge over the two sorted adjacency lists, falling back to
+/// galloping (binary) search when the degree imbalance is large.
+///
+/// # Errors
+///
+/// See [`check_query_pair`].
+pub fn count(g: &BipartiteGraph, layer: Layer, u: VertexId, w: VertexId) -> Result<u64> {
+    check_query_pair(g, layer, u, w)?;
+    let a = g.neighbors(layer, u);
+    let b = g.neighbors(layer, w);
+    Ok(intersection_size(a, b))
+}
+
+/// Exact common-neighbor *set* of two vertices on `layer`.
+///
+/// # Errors
+///
+/// See [`check_query_pair`].
+pub fn list(g: &BipartiteGraph, layer: Layer, u: VertexId, w: VertexId) -> Result<Vec<VertexId>> {
+    check_query_pair(g, layer, u, w)?;
+    let a = g.neighbors(layer, u);
+    let b = g.neighbors(layer, w);
+    let mut out = Vec::new();
+    merge_visit(a, b, |x| out.push(x));
+    Ok(out)
+}
+
+/// The size of the union `|N(u) ∪ N(w)|`.
+///
+/// # Errors
+///
+/// See [`check_query_pair`].
+pub fn union_size(g: &BipartiteGraph, layer: Layer, u: VertexId, w: VertexId) -> Result<u64> {
+    check_query_pair(g, layer, u, w)?;
+    let a = g.neighbors(layer, u);
+    let b = g.neighbors(layer, w);
+    let inter = intersection_size(a, b);
+    Ok(a.len() as u64 + b.len() as u64 - inter)
+}
+
+/// Jaccard similarity `|N(u) ∩ N(w)| / |N(u) ∪ N(w)|`.
+///
+/// Returns `0.0` when both neighborhoods are empty.
+///
+/// # Errors
+///
+/// See [`check_query_pair`].
+pub fn jaccard(g: &BipartiteGraph, layer: Layer, u: VertexId, w: VertexId) -> Result<f64> {
+    check_query_pair(g, layer, u, w)?;
+    let inter = count(g, layer, u, w)? as f64;
+    let uni = union_size(g, layer, u, w)? as f64;
+    Ok(if uni == 0.0 { 0.0 } else { inter / uni })
+}
+
+/// Cosine similarity `|N(u) ∩ N(w)| / sqrt(deg(u) · deg(w))`.
+///
+/// Returns `0.0` when either vertex is isolated.
+///
+/// # Errors
+///
+/// See [`check_query_pair`].
+pub fn cosine(g: &BipartiteGraph, layer: Layer, u: VertexId, w: VertexId) -> Result<f64> {
+    check_query_pair(g, layer, u, w)?;
+    let du = g.degree(layer, u) as f64;
+    let dw = g.degree(layer, w) as f64;
+    if du == 0.0 || dw == 0.0 {
+        return Ok(0.0);
+    }
+    let inter = count(g, layer, u, w)? as f64;
+    Ok(inter / (du * dw).sqrt())
+}
+
+/// Size of the intersection of two sorted, deduplicated slices.
+///
+/// Uses a linear merge when degrees are comparable and a galloping search of
+/// the smaller list into the larger when the ratio exceeds a small threshold —
+/// the same adaptive strategy production set-intersection kernels use.
+#[must_use]
+pub fn intersection_size(a: &[VertexId], b: &[VertexId], ) -> u64 {
+    let mut n = 0u64;
+    merge_visit(a, b, |_| n += 1);
+    n
+}
+
+/// Visits every element of the intersection of two sorted slices in order.
+fn merge_visit(a: &[VertexId], b: &[VertexId], mut visit: impl FnMut(VertexId)) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    // Galloping pays off roughly when |large| / |small| exceeds log2 |large|.
+    let ratio_threshold = 8 * (usize::BITS - large.len().leading_zeros()).max(1) as usize;
+    if large.len() >= small.len().saturating_mul(ratio_threshold) {
+        // Galloping: binary search each element of the small list.
+        let mut lo = 0usize;
+        for &x in small {
+            match large[lo..].binary_search(&x) {
+                Ok(pos) => {
+                    visit(x);
+                    lo += pos + 1;
+                }
+                Err(pos) => {
+                    lo += pos;
+                }
+            }
+            if lo >= large.len() {
+                break;
+            }
+        }
+    } else {
+        // Linear merge.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    visit(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn paper_figure_one() -> BipartiteGraph {
+        // Figure 1 of the paper (abstracted): u1, u2 share v1, v2, v4 among
+        // 100 lower vertices; u2 additionally connects to v100.
+        // We use 0-based ids: upper {0,1,2}, lower {0..100}.
+        let mut b = GraphBuilder::new(3, 100);
+        for v in [0, 1, 3] {
+            b.add_edge(0, v).unwrap();
+            b.add_edge(1, v).unwrap();
+        }
+        b.add_edge(1, 99).unwrap();
+        b.add_edge(2, 2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_match_figure_one() {
+        let g = paper_figure_one();
+        assert_eq!(count(&g, Layer::Upper, 0, 1).unwrap(), 3);
+        assert_eq!(count(&g, Layer::Upper, 0, 2).unwrap(), 0);
+        assert_eq!(list(&g, Layer::Upper, 0, 1).unwrap(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn count_is_symmetric() {
+        let g = paper_figure_one();
+        assert_eq!(
+            count(&g, Layer::Upper, 0, 1).unwrap(),
+            count(&g, Layer::Upper, 1, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn union_and_jaccard() {
+        let g = paper_figure_one();
+        assert_eq!(union_size(&g, Layer::Upper, 0, 1).unwrap(), 4);
+        let j = jaccard(&g, Layer::Upper, 0, 1).unwrap();
+        assert!((j - 3.0 / 4.0).abs() < 1e-12);
+        let c = cosine(&g, Layer::Upper, 0, 1).unwrap();
+        assert!((c - 3.0 / (3.0f64 * 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_similarity() {
+        let g = BipartiteGraph::from_edges(3, 3, [(0, 0)]).unwrap();
+        assert_eq!(count(&g, Layer::Upper, 1, 2).unwrap(), 0);
+        assert_eq!(jaccard(&g, Layer::Upper, 1, 2).unwrap(), 0.0);
+        assert_eq!(cosine(&g, Layer::Upper, 0, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn identical_vertices_rejected() {
+        let g = paper_figure_one();
+        assert!(matches!(
+            count(&g, Layer::Upper, 1, 1),
+            Err(GraphError::InvalidQueryPair { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let g = paper_figure_one();
+        assert!(matches!(
+            count(&g, Layer::Upper, 0, 50),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn lower_layer_queries_work() {
+        let g = paper_figure_one();
+        // v0 and v1 are both adjacent to u0 and u1.
+        assert_eq!(count(&g, Layer::Lower, 0, 1).unwrap(), 2);
+        assert_eq!(list(&g, Layer::Lower, 0, 1).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn intersection_galloping_matches_merge() {
+        // Small list vs much larger list to exercise the galloping branch.
+        let small: Vec<VertexId> = vec![5, 100, 2_000, 50_000];
+        let large: Vec<VertexId> = (0..100_000).step_by(5).collect();
+        let expected = small
+            .iter()
+            .filter(|x| large.binary_search(x).is_ok())
+            .count() as u64;
+        assert_eq!(intersection_size(&small, &large), expected);
+        assert_eq!(intersection_size(&large, &small), expected);
+    }
+
+    #[test]
+    fn intersection_empty_slices() {
+        assert_eq!(intersection_size(&[], &[]), 0);
+        assert_eq!(intersection_size(&[1, 2, 3], &[]), 0);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+    }
+}

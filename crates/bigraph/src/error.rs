@@ -1,0 +1,98 @@
+//! Error types for bipartite graph construction and queries.
+
+use crate::vertex::{Layer, VertexId};
+use std::fmt;
+
+/// Convenient result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building or querying a [`crate::BipartiteGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id exceeded the declared size of its layer.
+    VertexOutOfRange {
+        /// The layer that was indexed.
+        layer: Layer,
+        /// The offending vertex id.
+        id: VertexId,
+        /// Number of vertices the layer actually has.
+        layer_size: usize,
+    },
+    /// Two query vertices were required to be on the same layer but were not,
+    /// or an operation needed distinct vertices and got identical ones.
+    InvalidQueryPair {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+    /// A requested layer is empty, so the operation cannot be performed
+    /// (e.g. sampling a vertex pair from an empty layer).
+    EmptyLayer {
+        /// The empty layer.
+        layer: Layer,
+    },
+    /// The input edge-list or builder state was malformed.
+    Malformed {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                layer,
+                id,
+                layer_size,
+            } => write!(
+                f,
+                "vertex {id} out of range for {layer} layer of size {layer_size}"
+            ),
+            GraphError::InvalidQueryPair { reason } => {
+                write!(f, "invalid query pair: {reason}")
+            }
+            GraphError::EmptyLayer { layer } => write!(f, "the {layer} layer is empty"),
+            GraphError::Malformed { reason } => write!(f, "malformed graph input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            layer: Layer::Upper,
+            id: 10,
+            layer_size: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10"));
+        assert!(msg.contains("upper"));
+        assert!(msg.contains('5'));
+
+        let e = GraphError::EmptyLayer { layer: Layer::Lower };
+        assert!(e.to_string().contains("lower"));
+
+        let e = GraphError::InvalidQueryPair {
+            reason: "vertices must differ".into(),
+        };
+        assert!(e.to_string().contains("must differ"));
+
+        let e = GraphError::Malformed {
+            reason: "negative edge count".into(),
+        };
+        assert!(e.to_string().contains("negative edge count"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GraphError::EmptyLayer { layer: Layer::Upper });
+    }
+}

@@ -1,0 +1,381 @@
+//! The immutable CSR bipartite graph.
+//!
+//! [`BipartiteGraph`] stores both layers' adjacency in compressed sparse row
+//! form with sorted neighbor slices. Neighbor iteration is `O(deg)`, edge
+//! membership is `O(log deg)`, and memory is `O(n + m)` with two `u32` entries
+//! per edge (one per direction).
+
+use crate::error::{GraphError, Result};
+use crate::vertex::{Layer, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable, unweighted bipartite graph in CSR form.
+///
+/// Construct one with [`crate::GraphBuilder`] or [`BipartiteGraph::from_edges`].
+/// The graph keeps adjacency for both directions (upper→lower and lower→upper)
+/// so that degree and neighborhood queries are symmetric and `O(deg)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    /// CSR offsets for the upper layer; length `n_upper + 1`.
+    upper_offsets: Vec<usize>,
+    /// Concatenated, per-vertex-sorted lower-neighbor lists of upper vertices.
+    upper_adj: Vec<VertexId>,
+    /// CSR offsets for the lower layer; length `n_lower + 1`.
+    lower_offsets: Vec<usize>,
+    /// Concatenated, per-vertex-sorted upper-neighbor lists of lower vertices.
+    lower_adj: Vec<VertexId>,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph directly from an iterator of `(upper, lower)` edges.
+    ///
+    /// Duplicate edges are collapsed. Edges referring to vertices outside the
+    /// declared layer sizes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint exceeds the
+    /// declared layer size.
+    pub fn from_edges<I>(n_upper: usize, n_lower: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut builder = crate::GraphBuilder::new(n_upper, n_lower);
+        for (u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Internal constructor used by [`crate::GraphBuilder`]; assumes the CSR
+    /// arrays are already consistent (sorted, deduplicated, mirrored).
+    pub(crate) fn from_csr(
+        upper_offsets: Vec<usize>,
+        upper_adj: Vec<VertexId>,
+        lower_offsets: Vec<usize>,
+        lower_adj: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(*upper_offsets.last().unwrap_or(&0), upper_adj.len());
+        debug_assert_eq!(*lower_offsets.last().unwrap_or(&0), lower_adj.len());
+        debug_assert_eq!(upper_adj.len(), lower_adj.len());
+        Self {
+            upper_offsets,
+            upper_adj,
+            lower_offsets,
+            lower_adj,
+        }
+    }
+
+    /// Number of vertices in the upper layer (`n₁ = |U(G)|`).
+    #[must_use]
+    pub fn n_upper(&self) -> usize {
+        self.upper_offsets.len() - 1
+    }
+
+    /// Number of vertices in the lower layer (`n₂ = |L(G)|`).
+    #[must_use]
+    pub fn n_lower(&self) -> usize {
+        self.lower_offsets.len() - 1
+    }
+
+    /// Number of vertices in the given layer.
+    #[must_use]
+    pub fn layer_size(&self, layer: Layer) -> usize {
+        match layer {
+            Layer::Upper => self.n_upper(),
+            Layer::Lower => self.n_lower(),
+        }
+    }
+
+    /// Total number of vertices, `n = n₁ + n₂`.
+    #[must_use]
+    pub fn n_vertices(&self) -> usize {
+        self.n_upper() + self.n_lower()
+    }
+
+    /// Number of edges, `m = |E|`.
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.upper_adj.len()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_edges() == 0
+    }
+
+    /// Checks whether `id` is a valid vertex of `layer`.
+    #[must_use]
+    pub fn contains_vertex(&self, layer: Layer, id: VertexId) -> bool {
+        (id as usize) < self.layer_size(layer)
+    }
+
+    /// Validates that `id` names a vertex of `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] otherwise.
+    pub fn check_vertex(&self, layer: Layer, id: VertexId) -> Result<()> {
+        if self.contains_vertex(layer, id) {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange {
+                layer,
+                id,
+                layer_size: self.layer_size(layer),
+            })
+        }
+    }
+
+    /// The sorted neighbor slice of vertex `id` on `layer`.
+    ///
+    /// Neighbors are ids on the *opposite* layer. Panics in debug builds if
+    /// the vertex is out of range; use [`BipartiteGraph::check_vertex`] first
+    /// for untrusted input.
+    #[must_use]
+    pub fn neighbors(&self, layer: Layer, id: VertexId) -> &[VertexId] {
+        let (offsets, adj) = match layer {
+            Layer::Upper => (&self.upper_offsets, &self.upper_adj),
+            Layer::Lower => (&self.lower_offsets, &self.lower_adj),
+        };
+        let i = id as usize;
+        &adj[offsets[i]..offsets[i + 1]]
+    }
+
+    /// The degree of vertex `id` on `layer`.
+    #[must_use]
+    pub fn degree(&self, layer: Layer, id: VertexId) -> usize {
+        let offsets = match layer {
+            Layer::Upper => &self.upper_offsets,
+            Layer::Lower => &self.lower_offsets,
+        };
+        let i = id as usize;
+        offsets[i + 1] - offsets[i]
+    }
+
+    /// Whether the edge `(upper, lower)` exists. `O(log deg)`.
+    #[must_use]
+    pub fn has_edge(&self, upper: VertexId, lower: VertexId) -> bool {
+        if !self.contains_vertex(Layer::Upper, upper) || !self.contains_vertex(Layer::Lower, lower)
+        {
+            return false;
+        }
+        // Search the smaller endpoint's list for better constants.
+        let du = self.degree(Layer::Upper, upper);
+        let dl = self.degree(Layer::Lower, lower);
+        if du <= dl {
+            self.neighbors(Layer::Upper, upper).binary_search(&lower).is_ok()
+        } else {
+            self.neighbors(Layer::Lower, lower).binary_search(&upper).is_ok()
+        }
+    }
+
+    /// Whether vertex `a` of `layer` is adjacent to vertex `b` of the opposite
+    /// layer. Symmetric convenience wrapper over [`BipartiteGraph::has_edge`].
+    #[must_use]
+    pub fn are_adjacent(&self, layer: Layer, a: VertexId, b: VertexId) -> bool {
+        match layer {
+            Layer::Upper => self.has_edge(a, b),
+            Layer::Lower => self.has_edge(b, a),
+        }
+    }
+
+    /// Iterates over all edges as `(upper, lower)` pairs in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n_upper() as VertexId).flat_map(move |u| {
+            self.neighbors(Layer::Upper, u)
+                .iter()
+                .map(move |&v| (u, v))
+        })
+    }
+
+    /// Maximum degree among vertices of `layer`.
+    #[must_use]
+    pub fn max_degree(&self, layer: Layer) -> usize {
+        (0..self.layer_size(layer) as VertexId)
+            .map(|v| self.degree(layer, v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree among vertices of `layer` (0.0 for an empty layer).
+    #[must_use]
+    pub fn avg_degree(&self, layer: Layer) -> f64 {
+        let n = self.layer_size(layer);
+        if n == 0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / n as f64
+        }
+    }
+
+    /// Verifies internal CSR invariants. Intended for tests and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Malformed`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        let check_side = |offsets: &[usize], adj: &[VertexId], opposite: usize, side: &str| {
+            if offsets.is_empty() {
+                return Err(GraphError::Malformed {
+                    reason: format!("{side} offsets empty"),
+                });
+            }
+            if offsets[0] != 0 || *offsets.last().unwrap() != adj.len() {
+                return Err(GraphError::Malformed {
+                    reason: format!("{side} offsets do not span adjacency"),
+                });
+            }
+            for w in offsets.windows(2) {
+                if w[0] > w[1] {
+                    return Err(GraphError::Malformed {
+                        reason: format!("{side} offsets not monotone"),
+                    });
+                }
+                let slice = &adj[w[0]..w[1]];
+                for pair in slice.windows(2) {
+                    if pair[0] >= pair[1] {
+                        return Err(GraphError::Malformed {
+                            reason: format!("{side} adjacency not strictly sorted"),
+                        });
+                    }
+                }
+                if let Some(&max) = slice.last() {
+                    if max as usize >= opposite {
+                        return Err(GraphError::Malformed {
+                            reason: format!("{side} adjacency references out-of-range vertex"),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        };
+        check_side(&self.upper_offsets, &self.upper_adj, self.n_lower(), "upper")?;
+        check_side(&self.lower_offsets, &self.lower_adj, self.n_upper(), "lower")?;
+        if self.upper_adj.len() != self.lower_adj.len() {
+            return Err(GraphError::Malformed {
+                reason: "edge count mismatch between directions".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn toy() -> BipartiteGraph {
+        // Figure 1-like toy graph: 2 upper vertices, 4 lower vertices.
+        // u0 - v0, v1, v2 ; u1 - v1, v2, v3
+        BipartiteGraph::from_edges(2, 4, [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (1, 3)]).unwrap()
+    }
+
+    #[test]
+    fn sizes_and_degrees() {
+        let g = toy();
+        assert_eq!(g.n_upper(), 2);
+        assert_eq!(g.n_lower(), 4);
+        assert_eq!(g.n_vertices(), 6);
+        assert_eq!(g.n_edges(), 6);
+        assert!(!g.is_empty());
+        assert_eq!(g.degree(Layer::Upper, 0), 3);
+        assert_eq!(g.degree(Layer::Upper, 1), 3);
+        assert_eq!(g.degree(Layer::Lower, 0), 1);
+        assert_eq!(g.degree(Layer::Lower, 1), 2);
+        assert_eq!(g.max_degree(Layer::Upper), 3);
+        assert_eq!(g.max_degree(Layer::Lower), 2);
+        assert!((g.avg_degree(Layer::Upper) - 3.0).abs() < 1e-12);
+        assert!((g.avg_degree(Layer::Lower) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_mirrored() {
+        let g = toy();
+        assert_eq!(g.neighbors(Layer::Upper, 0), &[0, 1, 2]);
+        assert_eq!(g.neighbors(Layer::Upper, 1), &[1, 2, 3]);
+        assert_eq!(g.neighbors(Layer::Lower, 1), &[0, 1]);
+        assert_eq!(g.neighbors(Layer::Lower, 3), &[1]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn has_edge_and_adjacency() {
+        let g = toy();
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(5, 0), "out of range upper should be false");
+        assert!(!g.has_edge(0, 9), "out of range lower should be false");
+        assert!(g.are_adjacent(Layer::Upper, 0, 2));
+        assert!(g.are_adjacent(Layer::Lower, 2, 0));
+        assert!(!g.are_adjacent(Layer::Lower, 0, 1));
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = toy();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 6);
+        let g2 = BipartiteGraph::from_edges(2, 4, edges).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = BipartiteGraph::from_edges(1, 1, [(0, 0), (0, 0), (0, 0)]).unwrap();
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let err = BipartiteGraph::from_edges(1, 1, [(0, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+        let err = BipartiteGraph::from_edges(1, 1, [(3, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let g = BipartiteGraph::from_edges(3, 2, std::iter::empty()).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.max_degree(Layer::Upper), 0);
+        assert_eq!(g.avg_degree(Layer::Lower), 0.0);
+        assert_eq!(g.neighbors(Layer::Upper, 2), &[] as &[VertexId]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_vertex_layer() {
+        let g = BipartiteGraph::from_edges(0, 0, std::iter::empty()).unwrap();
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.layer_size(Layer::Upper), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn check_vertex_errors() {
+        let g = toy();
+        assert!(g.check_vertex(Layer::Upper, 1).is_ok());
+        let err = g.check_vertex(Layer::Upper, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange {
+                layer: Layer::Upper,
+                id: 2,
+                layer_size: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = toy();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: BipartiteGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

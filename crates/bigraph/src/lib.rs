@@ -1,0 +1,57 @@
+//! # bigraph — bipartite graph substrate
+//!
+//! This crate provides the bipartite-graph data structures and exact (non-private)
+//! graph algorithms that the privacy-preserving common-neighborhood estimators in
+//! the [`cne`] crate are built upon.
+//!
+//! The central type is [`BipartiteGraph`], an immutable CSR-style adjacency
+//! structure over two vertex layers (*upper* and *lower*). Graphs are assembled
+//! with [`GraphBuilder`], which deduplicates edges and validates layer membership.
+//!
+//! Beyond storage, the crate implements the exact operators that the paper's
+//! evaluation needs as ground truth and as downstream applications:
+//!
+//! * exact common-neighbor counting and listing ([`common_neighbors`]),
+//! * Jaccard / cosine vertex similarity ([`common_neighbors`]),
+//! * one-mode projections ([`projection`]),
+//! * wedge and butterfly (2×2 biclique) counting ([`motifs`]),
+//! * vertex-pair samplers, including degree-imbalance (κ) constrained sampling
+//!   and induced-subgraph sampling for scaling experiments ([`sampling`]),
+//! * degree statistics and dataset summaries ([`stats`]).
+//!
+//! ```
+//! use bigraph::{GraphBuilder, Layer};
+//!
+//! let mut b = GraphBuilder::new(3, 4);
+//! b.add_edge(0, 0).unwrap();
+//! b.add_edge(0, 1).unwrap();
+//! b.add_edge(1, 0).unwrap();
+//! b.add_edge(1, 1).unwrap();
+//! b.add_edge(2, 3).unwrap();
+//! let g = b.build();
+//!
+//! // u0 and u1 (upper layer) share lower vertices {0, 1}.
+//! assert_eq!(bigraph::common_neighbors::count(&g, Layer::Upper, 0, 1).unwrap(), 2);
+//! ```
+//!
+//! [`cne`]: https://docs.rs/cne
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod bicliques;
+pub mod builder;
+pub mod common_neighbors;
+pub mod error;
+pub mod graph;
+pub mod motifs;
+pub mod projection;
+pub mod sampling;
+pub mod stats;
+pub mod vertex;
+
+pub use builder::GraphBuilder;
+pub use error::{GraphError, Result};
+pub use graph::BipartiteGraph;
+pub use vertex::{Layer, VertexId};

@@ -1,0 +1,155 @@
+//! Wedge and butterfly counting.
+//!
+//! Wedges (paths of length two centred on one layer) and butterflies
+//! (2×2 bicliques, i.e. `(2,2)`-bicliques) are the basic bipartite motifs.
+//! The paper motivates common-neighbor counting as the primitive underlying
+//! butterfly counting, bipartite clustering coefficients, and
+//! `(p,q)`-biclique pruning; this module provides those exact counts so the
+//! examples and experiments can relate estimator accuracy to downstream tasks.
+
+use crate::error::Result;
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+
+/// Number of wedges centred on vertices of `layer`.
+///
+/// A wedge centred on `v` is an unordered pair of distinct neighbors of `v`,
+/// so the count is `Σ_v C(deg(v), 2)`.
+#[must_use]
+pub fn wedge_count(g: &BipartiteGraph, layer: Layer) -> u64 {
+    (0..g.layer_size(layer) as VertexId)
+        .map(|v| {
+            let d = g.degree(layer, v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Exact butterfly (2×2 biclique) count of the graph.
+///
+/// Uses the standard wedge-aggregation algorithm: for every pair of vertices
+/// `(a, b)` on the chosen aggregation layer, if they have `c` common neighbors
+/// then they close `C(c, 2)` butterflies. Aggregating over the smaller layer
+/// keeps the pair enumeration cheap.
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for API uniformity.
+pub fn butterfly_count(g: &BipartiteGraph) -> Result<u64> {
+    // Aggregate over the layer whose opposite layer has smaller total wedge
+    // work; for simplicity we pick the layer with fewer vertices to enumerate
+    // wedge endpoints from the opposite side.
+    let layer = if g.n_upper() <= g.n_lower() {
+        Layer::Upper
+    } else {
+        Layer::Lower
+    };
+    let opposite = layer.opposite();
+
+    // Count, for each unordered pair on `layer`, how many common neighbors it
+    // has, by enumerating wedges centred on the opposite layer.
+    let mut pair_counts: std::collections::HashMap<(VertexId, VertexId), u64> =
+        std::collections::HashMap::new();
+    for v in 0..g.layer_size(opposite) as VertexId {
+        let neigh = g.neighbors(opposite, v);
+        for i in 0..neigh.len() {
+            for j in (i + 1)..neigh.len() {
+                *pair_counts.entry((neigh[i], neigh[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    Ok(pair_counts
+        .values()
+        .map(|&c| c * c.saturating_sub(1) / 2)
+        .sum())
+}
+
+/// The bipartite clustering coefficient of the graph.
+///
+/// Defined as `4 · #butterflies / #wedges` (the fraction of wedges that close
+/// into a butterfly, counted from both layers), a standard normalisation in
+/// the bipartite-network literature. Returns 0 for graphs with no wedges.
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for API uniformity.
+pub fn clustering_coefficient(g: &BipartiteGraph) -> Result<f64> {
+    let wedges = wedge_count(g, Layer::Upper) + wedge_count(g, Layer::Lower);
+    if wedges == 0 {
+        return Ok(0.0);
+    }
+    let butterflies = butterfly_count(g)?;
+    Ok(4.0 * butterflies as f64 / wedges as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A complete 2×2 biclique is exactly one butterfly.
+    #[test]
+    fn single_butterfly() {
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        assert_eq!(butterfly_count(&g).unwrap(), 1);
+        assert_eq!(wedge_count(&g, Layer::Upper), 2);
+        assert_eq!(wedge_count(&g, Layer::Lower), 2);
+        assert!((clustering_coefficient(&g).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    /// A complete bipartite graph K_{a,b} has C(a,2)·C(b,2) butterflies.
+    #[test]
+    fn complete_bipartite_counts() {
+        let a = 4usize;
+        let b = 5usize;
+        let edges = (0..a as u32).flat_map(|u| (0..b as u32).map(move |v| (u, v)));
+        let g = BipartiteGraph::from_edges(a, b, edges).unwrap();
+        let choose2 = |n: u64| n * (n - 1) / 2;
+        assert_eq!(
+            butterfly_count(&g).unwrap(),
+            choose2(a as u64) * choose2(b as u64)
+        );
+        assert_eq!(wedge_count(&g, Layer::Upper), a as u64 * choose2(b as u64));
+        assert_eq!(wedge_count(&g, Layer::Lower), b as u64 * choose2(a as u64));
+    }
+
+    /// A path u0-v0-u1-v1 has no butterflies and two wedges.
+    #[test]
+    fn path_has_no_butterflies() {
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (1, 0), (1, 1)]).unwrap();
+        assert_eq!(butterfly_count(&g).unwrap(), 0);
+        assert_eq!(wedge_count(&g, Layer::Upper), 1); // centred on u1
+        assert_eq!(wedge_count(&g, Layer::Lower), 1); // centred on v0
+        assert_eq!(clustering_coefficient(&g).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_edges(3, 3, std::iter::empty()).unwrap();
+        assert_eq!(butterfly_count(&g).unwrap(), 0);
+        assert_eq!(wedge_count(&g, Layer::Upper), 0);
+        assert_eq!(clustering_coefficient(&g).unwrap(), 0.0);
+    }
+
+    /// Butterfly counting is independent of which layer is larger.
+    #[test]
+    fn butterfly_layer_choice_is_transparent() {
+        // Wide graph: 2 upper, 6 lower, two butterflies sharing an edge pair.
+        let g = BipartiteGraph::from_edges(
+            2,
+            6,
+            [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (1, 5)],
+        )
+        .unwrap();
+        // Common neighbors of u0,u1 = {v0,v1,v2} -> C(3,2)=3 butterflies.
+        assert_eq!(butterfly_count(&g).unwrap(), 3);
+
+        // Transposed graph (6 upper, 2 lower) must give the same count.
+        let gt = BipartiteGraph::from_edges(
+            6,
+            2,
+            [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1), (5, 1)],
+        )
+        .unwrap();
+        assert_eq!(butterfly_count(&gt).unwrap(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! One-mode projection of a bipartite graph.
+//!
+//! The projection onto a layer connects two vertices of that layer whenever
+//! they share at least one neighbor, weighting each pair by its common-neighbor
+//! count. Bipartite graph projection is one of the downstream applications of
+//! common-neighborhood computation that the paper's introduction cites.
+
+use crate::error::Result;
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+use std::collections::HashMap;
+
+/// A weighted one-mode projection of a bipartite graph onto one layer.
+///
+/// Edges are stored as a map from vertex pairs `(a, b)` with `a < b` to the
+/// number of common neighbors that produced the pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    layer: Layer,
+    weights: HashMap<(VertexId, VertexId), u64>,
+}
+
+impl Projection {
+    /// The layer the projection was built on.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// Number of projected edges (pairs sharing at least one neighbor).
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight of the projected edge `(a, b)`, i.e. their common-neighbor count.
+    /// Returns 0 for pairs that share no neighbor.
+    #[must_use]
+    pub fn weight(&self, a: VertexId, b: VertexId) -> u64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.weights.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `((a, b), weight)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = ((VertexId, VertexId), u64)> + '_ {
+        self.weights.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The total projected weight, i.e. the number of *wedges* centred on the
+    /// opposite layer: `Σ_v C(deg(v), 2)`.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.weights.values().sum()
+    }
+}
+
+/// Builds the weighted projection of `g` onto `layer`.
+///
+/// Complexity is `O(Σ_v deg(v)²)` over the vertices `v` of the opposite layer,
+/// which is the standard wedge-enumeration cost.
+///
+/// # Errors
+///
+/// Currently infallible but returns `Result` for API stability with the rest
+/// of the crate.
+pub fn project(g: &BipartiteGraph, layer: Layer) -> Result<Projection> {
+    let opposite = layer.opposite();
+    let mut weights: HashMap<(VertexId, VertexId), u64> = HashMap::new();
+    for v in 0..g.layer_size(opposite) as VertexId {
+        let neigh = g.neighbors(opposite, v);
+        for i in 0..neigh.len() {
+            for j in (i + 1)..neigh.len() {
+                let key = (neigh[i], neigh[j]);
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    Ok(Projection { layer, weights })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common_neighbors;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_edges(3, 4, [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn projection_weights_equal_common_neighbor_counts() {
+        let g = toy();
+        let p = project(&g, Layer::Upper).unwrap();
+        for a in 0..3u32 {
+            for b in (a + 1)..3u32 {
+                let expected = common_neighbors::count(&g, Layer::Upper, a, b).unwrap();
+                assert_eq!(p.weight(a, b), expected, "pair ({a},{b})");
+                assert_eq!(p.weight(b, a), expected, "weight must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_edge_count_and_total_weight() {
+        let g = toy();
+        let p = project(&g, Layer::Upper).unwrap();
+        // Only (u0,u1) share neighbors (v0 and v1).
+        assert_eq!(p.n_edges(), 1);
+        assert_eq!(p.total_weight(), 2);
+        assert_eq!(p.layer(), Layer::Upper);
+    }
+
+    #[test]
+    fn lower_projection() {
+        let g = toy();
+        let p = project(&g, Layer::Lower).unwrap();
+        // v0,v1 share u0,u1 (weight 2); v0,v2 share u1; v1,v2 share u1.
+        assert_eq!(p.weight(0, 1), 2);
+        assert_eq!(p.weight(0, 2), 1);
+        assert_eq!(p.weight(1, 2), 1);
+        assert_eq!(p.weight(0, 3), 0);
+        assert_eq!(p.n_edges(), 3);
+    }
+
+    #[test]
+    fn empty_graph_projects_to_nothing() {
+        let g = BipartiteGraph::from_edges(4, 4, std::iter::empty()).unwrap();
+        let p = project(&g, Layer::Upper).unwrap();
+        assert_eq!(p.n_edges(), 0);
+        assert_eq!(p.total_weight(), 0);
+    }
+
+    #[test]
+    fn total_weight_counts_wedges() {
+        let g = toy();
+        let p = project(&g, Layer::Upper).unwrap();
+        // Wedges centred on lower vertices: deg(v0)=2 -> 1, deg(v1)=2 -> 1,
+        // deg(v2)=1 -> 0, deg(v3)=1 -> 0. Total 2.
+        assert_eq!(p.total_weight(), 2);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let g = toy();
+        let p = project(&g, Layer::Lower).unwrap();
+        let collected: Vec<_> = p.iter().collect();
+        assert_eq!(collected.len(), p.n_edges());
+    }
+}

@@ -1,0 +1,286 @@
+//! Vertex and vertex-pair samplers used by the experiment harness.
+//!
+//! The paper's evaluation samples (i) 100 uniform same-layer vertex pairs per
+//! dataset, (ii) pairs whose degree imbalance exceeds a threshold κ (Fig. 9),
+//! and (iii) induced subgraphs on 20–100 % of the vertices (Fig. 11). This
+//! module implements all three with deterministic, seedable RNGs.
+
+use crate::error::{GraphError, Result};
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A sampled same-layer query pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPair {
+    /// The layer both query vertices live on.
+    pub layer: Layer,
+    /// First query vertex.
+    pub u: VertexId,
+    /// Second query vertex.
+    pub w: VertexId,
+}
+
+impl QueryPair {
+    /// Creates a new pair (no validation; see [`crate::common_neighbors::check_query_pair`]).
+    #[must_use]
+    pub fn new(layer: Layer, u: VertexId, w: VertexId) -> Self {
+        Self { layer, u, w }
+    }
+}
+
+/// Samples `count` uniform random pairs of distinct vertices on `layer`.
+///
+/// Pairs may repeat across draws (sampling with replacement over pairs), which
+/// matches the paper's "uniformly sample 100 vertex pairs" protocol.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyLayer`] if the layer has fewer than two vertices.
+pub fn uniform_pairs<R: Rng + ?Sized>(
+    g: &BipartiteGraph,
+    layer: Layer,
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<QueryPair>> {
+    let n = g.layer_size(layer);
+    if n < 2 {
+        return Err(GraphError::EmptyLayer { layer });
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let u = rng.gen_range(0..n) as VertexId;
+        let mut w = rng.gen_range(0..n) as VertexId;
+        while w == u {
+            w = rng.gen_range(0..n) as VertexId;
+        }
+        pairs.push(QueryPair::new(layer, u, w));
+    }
+    Ok(pairs)
+}
+
+/// Samples `count` pairs whose degree imbalance exceeds `kappa`:
+/// `max(deg u, deg w) > kappa · min(deg u, deg w)` with both degrees positive.
+///
+/// Used for the Fig. 9 robustness experiment. Falls back to rejection
+/// sampling with a bounded number of attempts; if not enough qualifying pairs
+/// are found the function returns however many it found (possibly fewer than
+/// `count`) — callers that need an exact number should check the length.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyLayer`] if the layer has fewer than two vertices.
+pub fn imbalanced_pairs<R: Rng + ?Sized>(
+    g: &BipartiteGraph,
+    layer: Layer,
+    kappa: f64,
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<QueryPair>> {
+    let n = g.layer_size(layer);
+    if n < 2 {
+        return Err(GraphError::EmptyLayer { layer });
+    }
+    // Pre-split vertices by degree so that high-κ pairs can be drawn directly:
+    // pick one low-degree and one high-degree endpoint.
+    let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(layer, v)).collect();
+    let positive: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| degrees[v as usize] > 0)
+        .collect();
+    if positive.len() < 2 {
+        return Err(GraphError::EmptyLayer { layer });
+    }
+
+    let mut pairs = Vec::with_capacity(count);
+    let max_attempts = count.saturating_mul(10_000).max(100_000);
+    let mut attempts = 0usize;
+    while pairs.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let u = *positive.choose(rng).expect("non-empty");
+        let w = *positive.choose(rng).expect("non-empty");
+        if u == w {
+            continue;
+        }
+        let du = degrees[u as usize] as f64;
+        let dw = degrees[w as usize] as f64;
+        if du.max(dw) > kappa * du.min(dw) {
+            pairs.push(QueryPair::new(layer, u, w));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Uniformly samples a fraction of the vertices of each layer and returns the
+/// induced subgraph together with the index maps from new ids to original ids.
+///
+/// This is the workload of the Fig. 11 scaling experiment (20 %–100 % of |V|).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Malformed`] if `fraction` is not in `(0, 1]`.
+pub fn induced_subgraph<R: Rng + ?Sized>(
+    g: &BipartiteGraph,
+    fraction: f64,
+    rng: &mut R,
+) -> Result<InducedSubgraph> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(GraphError::Malformed {
+            reason: format!("sampling fraction {fraction} must be in (0, 1]"),
+        });
+    }
+    let sample_layer = |n: usize, rng: &mut R| -> Vec<VertexId> {
+        let keep = ((n as f64) * fraction).round() as usize;
+        let keep = keep.clamp(usize::from(n > 0), n);
+        let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+        ids.shuffle(rng);
+        ids.truncate(keep);
+        ids.sort_unstable();
+        ids
+    };
+    let upper_kept = sample_layer(g.n_upper(), rng);
+    let lower_kept = sample_layer(g.n_lower(), rng);
+
+    // Old-id -> new-id maps.
+    let upper_map = build_index_map(&upper_kept, g.n_upper());
+    let lower_map = build_index_map(&lower_kept, g.n_lower());
+
+    let mut builder = crate::GraphBuilder::new(upper_kept.len(), lower_kept.len());
+    for &u_old in &upper_kept {
+        let u_new = upper_map[u_old as usize].expect("kept vertex has new id");
+        for &v_old in g.neighbors(Layer::Upper, u_old) {
+            if let Some(v_new) = lower_map[v_old as usize] {
+                builder
+                    .add_edge(u_new, v_new)
+                    .expect("remapped edge is in range");
+            }
+        }
+    }
+    Ok(InducedSubgraph {
+        graph: builder.build(),
+        upper_original: upper_kept,
+        lower_original: lower_kept,
+    })
+}
+
+/// Result of [`induced_subgraph`]: the sampled graph plus id provenance.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The induced subgraph with densely re-numbered vertex ids.
+    pub graph: BipartiteGraph,
+    /// `upper_original[new_id] = old_id` for kept upper vertices.
+    pub upper_original: Vec<VertexId>,
+    /// `lower_original[new_id] = old_id` for kept lower vertices.
+    pub lower_original: Vec<VertexId>,
+}
+
+fn build_index_map(kept_sorted: &[VertexId], n: usize) -> Vec<Option<VertexId>> {
+    let mut map = vec![None; n];
+    for (new_id, &old_id) in kept_sorted.iter().enumerate() {
+        map[old_id as usize] = Some(new_id as VertexId);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_graph() -> BipartiteGraph {
+        // 10 upper x 20 lower with u-v edge iff v % (u+1) == 0: varied degrees.
+        let edges = (0..10u32)
+            .flat_map(|u| (0..20u32).filter(move |v| v % (u + 1) == 0).map(move |v| (u, v)));
+        BipartiteGraph::from_edges(10, 20, edges).unwrap()
+    }
+
+    #[test]
+    fn uniform_pairs_are_distinct_and_in_range() {
+        let g = grid_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = uniform_pairs(&g, Layer::Upper, 200, &mut rng).unwrap();
+        assert_eq!(pairs.len(), 200);
+        for p in &pairs {
+            assert_ne!(p.u, p.w);
+            assert!(g.contains_vertex(Layer::Upper, p.u));
+            assert!(g.contains_vertex(Layer::Upper, p.w));
+        }
+    }
+
+    #[test]
+    fn uniform_pairs_deterministic_under_seed() {
+        let g = grid_graph();
+        let a = uniform_pairs(&g, Layer::Lower, 50, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = uniform_pairs(&g, Layer::Lower, 50, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_pairs_empty_layer_errors() {
+        let g = BipartiteGraph::from_edges(1, 5, std::iter::empty()).unwrap();
+        let err = uniform_pairs(&g, Layer::Upper, 3, &mut StdRng::seed_from_u64(0)).unwrap_err();
+        assert!(matches!(err, GraphError::EmptyLayer { layer: Layer::Upper }));
+    }
+
+    #[test]
+    fn imbalanced_pairs_respect_kappa() {
+        let g = grid_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let kappa = 3.0;
+        let pairs = imbalanced_pairs(&g, Layer::Upper, kappa, 30, &mut rng).unwrap();
+        assert!(!pairs.is_empty());
+        for p in pairs {
+            let du = g.degree(Layer::Upper, p.u) as f64;
+            let dw = g.degree(Layer::Upper, p.w) as f64;
+            assert!(du.max(dw) > kappa * du.min(dw), "pair violates kappa");
+        }
+    }
+
+    #[test]
+    fn imbalanced_pairs_unreachable_kappa_returns_fewer() {
+        // Regular graph: every upper vertex has degree 20 -> no imbalance.
+        let edges = (0..5u32).flat_map(|u| (0..20u32).map(move |v| (u, v)));
+        let g = BipartiteGraph::from_edges(5, 20, edges).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pairs = imbalanced_pairs(&g, Layer::Upper, 2.0, 5, &mut rng).unwrap();
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_full_fraction_is_isomorphic() {
+        let g = grid_graph();
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = induced_subgraph(&g, 1.0, &mut rng).unwrap();
+        assert_eq!(s.graph.n_upper(), g.n_upper());
+        assert_eq!(s.graph.n_lower(), g.n_lower());
+        assert_eq!(s.graph.n_edges(), g.n_edges());
+        s.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn induced_subgraph_half_fraction_shrinks() {
+        let g = grid_graph();
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = induced_subgraph(&g, 0.5, &mut rng).unwrap();
+        assert_eq!(s.graph.n_upper(), 5);
+        assert_eq!(s.graph.n_lower(), 10);
+        assert!(s.graph.n_edges() <= g.n_edges());
+        s.graph.validate().unwrap();
+        // Every edge of the subgraph maps back to an edge of the original.
+        for (u_new, v_new) in s.graph.edges() {
+            let u_old = s.upper_original[u_new as usize];
+            let v_old = s.lower_original[v_new as usize];
+            assert!(g.has_edge(u_old, v_old));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_bad_fraction() {
+        let g = grid_graph();
+        let mut rng = StdRng::seed_from_u64(17);
+        assert!(induced_subgraph(&g, 0.0, &mut rng).is_err());
+        assert!(induced_subgraph(&g, 1.5, &mut rng).is_err());
+        assert!(induced_subgraph(&g, f64::NAN, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Degree statistics and dataset summaries (the rows of the paper's Table 2).
+
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a bipartite graph, mirroring the columns of the
+/// paper's Table 2 plus degree detail used by the experiment harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// Number of upper vertices, `|U|`.
+    pub n_upper: usize,
+    /// Number of lower vertices, `|L|`.
+    pub n_lower: usize,
+    /// Number of edges, `|E|`.
+    pub n_edges: usize,
+    /// Maximum degree among upper vertices.
+    pub max_degree_upper: usize,
+    /// Maximum degree among lower vertices.
+    pub max_degree_lower: usize,
+    /// Average degree of upper vertices.
+    pub avg_degree_upper: f64,
+    /// Average degree of lower vertices.
+    pub avg_degree_lower: f64,
+    /// Number of isolated (degree-zero) vertices across both layers.
+    pub isolated_vertices: usize,
+}
+
+impl GraphSummary {
+    /// Computes the summary of `g`.
+    #[must_use]
+    pub fn of(g: &BipartiteGraph) -> Self {
+        let isolated = count_isolated(g, Layer::Upper) + count_isolated(g, Layer::Lower);
+        Self {
+            n_upper: g.n_upper(),
+            n_lower: g.n_lower(),
+            n_edges: g.n_edges(),
+            max_degree_upper: g.max_degree(Layer::Upper),
+            max_degree_lower: g.max_degree(Layer::Lower),
+            avg_degree_upper: g.avg_degree(Layer::Upper),
+            avg_degree_lower: g.avg_degree(Layer::Lower),
+            isolated_vertices: isolated,
+        }
+    }
+
+    /// Graph density `m / (n₁ · n₂)`; 0 for degenerate layer sizes.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let denom = self.n_upper as f64 * self.n_lower as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.n_edges as f64 / denom
+        }
+    }
+}
+
+/// Full degree histogram of one layer: `histogram[d]` = number of vertices of
+/// degree `d`.
+#[must_use]
+pub fn degree_histogram(g: &BipartiteGraph, layer: Layer) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree(layer) + 1];
+    for v in 0..g.layer_size(layer) as VertexId {
+        hist[g.degree(layer, v)] += 1;
+    }
+    hist
+}
+
+/// The degree sequence of one layer, sorted descending.
+#[must_use]
+pub fn degree_sequence(g: &BipartiteGraph, layer: Layer) -> Vec<usize> {
+    let mut seq: Vec<usize> = (0..g.layer_size(layer) as VertexId)
+        .map(|v| g.degree(layer, v))
+        .collect();
+    seq.sort_unstable_by(|a, b| b.cmp(a));
+    seq
+}
+
+/// The `q`-th percentile (0–100) of the degree distribution of `layer`,
+/// using nearest-rank interpolation. Returns 0 for an empty layer.
+#[must_use]
+pub fn degree_percentile(g: &BipartiteGraph, layer: Layer, q: f64) -> usize {
+    let mut seq = degree_sequence(g, layer);
+    if seq.is_empty() {
+        return 0;
+    }
+    seq.reverse(); // ascending
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * (seq.len() as f64 - 1.0)).round() as usize;
+    seq[rank]
+}
+
+fn count_isolated(g: &BipartiteGraph, layer: Layer) -> usize {
+    (0..g.layer_size(layer) as VertexId)
+        .filter(|&v| g.degree(layer, v) == 0)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BipartiteGraph {
+        // degrees upper: [3, 1, 0]; lower: [2, 1, 1, 0]
+        BipartiteGraph::from_edges(3, 4, [(0, 0), (0, 1), (0, 2), (1, 0)]).unwrap()
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = GraphSummary::of(&toy());
+        assert_eq!(s.n_upper, 3);
+        assert_eq!(s.n_lower, 4);
+        assert_eq!(s.n_edges, 4);
+        assert_eq!(s.max_degree_upper, 3);
+        assert_eq!(s.max_degree_lower, 2);
+        assert!((s.avg_degree_upper - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.avg_degree_lower - 1.0).abs() < 1e-12);
+        assert_eq!(s.isolated_vertices, 2);
+        assert!((s.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_graph() {
+        let g = BipartiteGraph::from_edges(0, 0, std::iter::empty()).unwrap();
+        let s = GraphSummary::of(&g);
+        assert_eq!(s.n_edges, 0);
+        assert_eq!(s.density(), 0.0);
+        assert_eq!(s.isolated_vertices, 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_layer_size() {
+        let g = toy();
+        let h = degree_histogram(&g, Layer::Upper);
+        assert_eq!(h.iter().sum::<usize>(), g.n_upper());
+        assert_eq!(h, vec![1, 1, 0, 1]); // one deg-0, one deg-1, one deg-3
+        let h = degree_histogram(&g, Layer::Lower);
+        assert_eq!(h, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn degree_sequence_is_sorted_desc() {
+        let g = toy();
+        assert_eq!(degree_sequence(&g, Layer::Upper), vec![3, 1, 0]);
+        assert_eq!(degree_sequence(&g, Layer::Lower), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn percentiles() {
+        let g = toy();
+        assert_eq!(degree_percentile(&g, Layer::Upper, 0.0), 0);
+        assert_eq!(degree_percentile(&g, Layer::Upper, 100.0), 3);
+        assert_eq!(degree_percentile(&g, Layer::Upper, 50.0), 1);
+        // Out-of-range q is clamped.
+        assert_eq!(degree_percentile(&g, Layer::Upper, 150.0), 3);
+        assert_eq!(degree_percentile(&g, Layer::Upper, -5.0), 0);
+    }
+
+    #[test]
+    fn percentile_of_empty_layer_is_zero() {
+        let g = BipartiteGraph::from_edges(0, 3, std::iter::empty()).unwrap();
+        assert_eq!(degree_percentile(&g, Layer::Upper, 50.0), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = GraphSummary::of(&toy());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: GraphSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,134 @@
+//! Vertex identifiers and layer designations.
+//!
+//! A bipartite graph has two vertex layers. Within each layer, vertices are
+//! identified by dense `u32` indices starting at zero. A `(Layer, VertexId)`
+//! pair uniquely identifies a vertex in the graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vertex index inside one layer of a bipartite graph.
+///
+/// Indices are dense: a layer with `n` vertices uses ids `0..n`.
+pub type VertexId = u32;
+
+/// The two vertex layers of a bipartite graph.
+///
+/// The paper denotes these `U(G)` (upper) and `L(G)` (lower). Query vertices
+/// always live on the same layer; their candidate common neighbors live on the
+/// opposite layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Layer {
+    /// The upper layer, `U(G)` in the paper (e.g. users, authors, people).
+    Upper,
+    /// The lower layer, `L(G)` in the paper (e.g. items, papers, locations).
+    Lower,
+}
+
+impl Layer {
+    /// Returns the opposite layer.
+    ///
+    /// ```
+    /// use bigraph::Layer;
+    /// assert_eq!(Layer::Upper.opposite(), Layer::Lower);
+    /// assert_eq!(Layer::Lower.opposite(), Layer::Upper);
+    /// ```
+    #[must_use]
+    pub fn opposite(self) -> Layer {
+        match self {
+            Layer::Upper => Layer::Lower,
+            Layer::Lower => Layer::Upper,
+        }
+    }
+
+    /// A short, stable label used in reports and serialized output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::Upper => "upper",
+            Layer::Lower => "lower",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully-qualified vertex reference: layer plus in-layer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VertexRef {
+    /// Which layer the vertex belongs to.
+    pub layer: Layer,
+    /// The vertex index within its layer.
+    pub id: VertexId,
+}
+
+impl VertexRef {
+    /// Creates a new vertex reference.
+    #[must_use]
+    pub fn new(layer: Layer, id: VertexId) -> Self {
+        Self { layer, id }
+    }
+
+    /// Convenience constructor for an upper-layer vertex.
+    #[must_use]
+    pub fn upper(id: VertexId) -> Self {
+        Self::new(Layer::Upper, id)
+    }
+
+    /// Convenience constructor for a lower-layer vertex.
+    #[must_use]
+    pub fn lower(id: VertexId) -> Self {
+        Self::new(Layer::Lower, id)
+    }
+}
+
+impl fmt::Display for VertexRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.layer {
+            Layer::Upper => write!(f, "u{}", self.id),
+            Layer::Lower => write!(f, "v{}", self.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        assert_eq!(Layer::Upper.opposite().opposite(), Layer::Upper);
+        assert_eq!(Layer::Lower.opposite().opposite(), Layer::Lower);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Layer::Upper.label(), Layer::Lower.label());
+        assert_eq!(Layer::Upper.to_string(), "upper");
+        assert_eq!(Layer::Lower.to_string(), "lower");
+    }
+
+    #[test]
+    fn vertex_ref_display() {
+        assert_eq!(VertexRef::upper(3).to_string(), "u3");
+        assert_eq!(VertexRef::lower(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn vertex_ref_equality_depends_on_layer() {
+        assert_ne!(VertexRef::upper(1), VertexRef::lower(1));
+        assert_eq!(VertexRef::upper(1), VertexRef::new(Layer::Upper, 1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = VertexRef::lower(42);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: VertexRef = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the bipartite graph substrate.
+
+use bigraph::{common_neighbors, motifs, projection, stats, BipartiteGraph, GraphBuilder, Layer};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy producing a random edge list over bounded layer sizes.
+fn arb_graph() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
+    (1usize..20, 1usize..20).prop_flat_map(|(nu, nl)| {
+        let edges = prop::collection::vec((0..nu as u32, 0..nl as u32), 0..120);
+        (Just(nu), Just(nl), edges)
+    })
+}
+
+proptest! {
+    /// Building from an edge list always yields a graph passing CSR validation,
+    /// with the edge count equal to the number of distinct edges.
+    #[test]
+    fn builder_invariants((nu, nl, edges) in arb_graph()) {
+        let distinct: HashSet<_> = edges.iter().copied().collect();
+        let g = BipartiteGraph::from_edges(nu, nl, edges.clone()).unwrap();
+        g.validate().unwrap();
+        prop_assert_eq!(g.n_edges(), distinct.len());
+        prop_assert_eq!(g.n_upper(), nu);
+        prop_assert_eq!(g.n_lower(), nl);
+        // Every inserted edge is queryable, and mirrored in both directions.
+        for (u, v) in distinct {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.neighbors(Layer::Upper, u).contains(&v));
+            prop_assert!(g.neighbors(Layer::Lower, v).contains(&u));
+        }
+    }
+
+    /// Degree sums on both layers equal the edge count.
+    #[test]
+    fn degree_sum_equals_edges((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        let upper_sum: usize = (0..nu as u32).map(|v| g.degree(Layer::Upper, v)).sum();
+        let lower_sum: usize = (0..nl as u32).map(|v| g.degree(Layer::Lower, v)).sum();
+        prop_assert_eq!(upper_sum, g.n_edges());
+        prop_assert_eq!(lower_sum, g.n_edges());
+    }
+
+    /// C2 is symmetric, bounded by min degree, and equals the brute-force count.
+    #[test]
+    fn common_neighbors_matches_brute_force((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        if nu < 2 { return Ok(()); }
+        for u in 0..nu as u32 {
+            for w in (u + 1)..nu as u32 {
+                let fast = common_neighbors::count(&g, Layer::Upper, u, w).unwrap();
+                let brute = (0..nl as u32)
+                    .filter(|&v| g.has_edge(u, v) && g.has_edge(w, v))
+                    .count() as u64;
+                prop_assert_eq!(fast, brute);
+                let sym = common_neighbors::count(&g, Layer::Upper, w, u).unwrap();
+                prop_assert_eq!(fast, sym);
+                let bound = g.degree(Layer::Upper, u).min(g.degree(Layer::Upper, w)) as u64;
+                prop_assert!(fast <= bound);
+            }
+        }
+    }
+
+    /// Inclusion–exclusion: |A| + |B| = |A ∩ B| + |A ∪ B|.
+    #[test]
+    fn union_intersection_inclusion_exclusion((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        if nl < 2 { return Ok(()); }
+        for a in 0..(nl as u32).min(6) {
+            for b in (a + 1)..(nl as u32).min(6) {
+                let inter = common_neighbors::count(&g, Layer::Lower, a, b).unwrap();
+                let uni = common_neighbors::union_size(&g, Layer::Lower, a, b).unwrap();
+                let da = g.degree(Layer::Lower, a) as u64;
+                let db = g.degree(Layer::Lower, b) as u64;
+                prop_assert_eq!(da + db, inter + uni);
+                let j = common_neighbors::jaccard(&g, Layer::Lower, a, b).unwrap();
+                prop_assert!((0.0..=1.0).contains(&j));
+            }
+        }
+    }
+
+    /// Projection weights agree with pairwise common-neighbor counts.
+    #[test]
+    fn projection_agrees_with_counts((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        let p = projection::project(&g, Layer::Upper).unwrap();
+        if nu < 2 { return Ok(()); }
+        for u in 0..(nu as u32).min(8) {
+            for w in (u + 1)..(nu as u32).min(8) {
+                let c = common_neighbors::count(&g, Layer::Upper, u, w).unwrap();
+                prop_assert_eq!(p.weight(u, w), c);
+            }
+        }
+    }
+
+    /// Butterfly count equals the sum over projected pairs of C(weight, 2).
+    #[test]
+    fn butterflies_from_projection((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        let b = motifs::butterfly_count(&g).unwrap();
+        let p = projection::project(&g, Layer::Upper).unwrap();
+        let from_proj: u64 = p.iter().map(|(_, w)| w * w.saturating_sub(1) / 2).sum();
+        prop_assert_eq!(b, from_proj);
+    }
+
+    /// Degree histogram sums to the layer size and is consistent with the
+    /// degree sequence.
+    #[test]
+    fn histogram_consistency((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        for layer in [Layer::Upper, Layer::Lower] {
+            let hist = stats::degree_histogram(&g, layer);
+            prop_assert_eq!(hist.iter().sum::<usize>(), g.layer_size(layer));
+            let seq = stats::degree_sequence(&g, layer);
+            prop_assert_eq!(seq.len(), g.layer_size(layer));
+            if let Some(&max) = seq.first() {
+                prop_assert_eq!(max, g.max_degree(layer));
+            }
+        }
+    }
+
+    /// Graphs serialize/deserialize losslessly.
+    #[test]
+    fn serde_round_trip((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: BipartiteGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    /// GraphBuilder::add_edge_growing never produces out-of-range adjacency.
+    #[test]
+    fn growing_builder_is_valid(edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
+        let mut b = GraphBuilder::default();
+        for (u, v) in &edges {
+            b.add_edge_growing(*u, *v);
+        }
+        let g = b.build();
+        g.validate().unwrap();
+        for (u, v) in edges {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+}

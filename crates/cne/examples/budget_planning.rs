@@ -1,0 +1,72 @@
+//! Planning a privacy budget with the analytic loss model.
+//!
+//! Before deploying a privacy-preserving similarity feature, an engineer wants
+//! to know what accuracy to expect for a given `ε` and query-vertex degrees —
+//! and how MultiR-DS will split its budget. The closed-form loss model and the
+//! optimiser answer both questions without touching any data.
+//!
+//! This example reproduces the shape of the paper's Fig. 5 and prints the
+//! optimiser's decisions for a range of degree profiles.
+//!
+//! Run with `cargo run --example budget_planning`.
+
+use cne::loss::{double_source_l2, single_source_l2};
+use cne::optimizer::{optimal_alpha, optimize_double_source};
+
+fn main() {
+    let epsilon = 2.0;
+
+    // --- Fig. 5 style curves: loss of f* as a function of eps1 -------------
+    for (du, dw) in [(5.0, 10.0), (5.0, 100.0)] {
+        println!("L2 loss of the double-source estimator, d_u={du}, d_w={dw}, eps={epsilon}");
+        println!(
+            "{:>6} | {:>12} {:>12} {:>12} {:>12}",
+            "eps1", "alpha=1", "alpha=0", "alpha=0.5", "alpha=alpha*"
+        );
+        let global = optimize_double_source(du, dw, epsilon);
+        for i in 1..=9 {
+            let e1 = epsilon * i as f64 / 10.0;
+            let e2 = epsilon - e1;
+            let a_star = optimal_alpha(du, dw, e1, e2);
+            println!(
+                "{:>6.2} | {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+                e1,
+                double_source_l2(du, dw, 1.0, e1, e2),
+                double_source_l2(du, dw, 0.0, e1, e2),
+                double_source_l2(du, dw, 0.5, e1, e2),
+                double_source_l2(du, dw, a_star, e1, e2),
+            );
+        }
+        println!(
+            "global minimum: loss {:.2} at eps1 = {:.3}, alpha = {:.3}\n",
+            global.loss, global.epsilon1, global.alpha
+        );
+    }
+
+    // --- How the optimiser reacts to degree profiles ------------------------
+    println!("Optimiser decisions for epsilon = {epsilon}:");
+    println!(
+        "{:>8} {:>8} | {:>8} {:>8} {:>8} | {:>14} {:>14}",
+        "d_u", "d_w", "eps1*", "eps2*", "alpha*", "loss(f*)", "loss(SS even)"
+    );
+    for (du, dw) in [
+        (2.0, 2.0),
+        (5.0, 10.0),
+        (5.0, 100.0),
+        (5.0, 1000.0),
+        (100.0, 100.0),
+        (1000.0, 1000.0),
+    ] {
+        let opt = optimize_double_source(du, dw, epsilon);
+        let ss_even = single_source_l2(du.min(dw), epsilon / 2.0, epsilon / 2.0);
+        println!(
+            "{:>8} {:>8} | {:>8.3} {:>8.3} {:>8.3} | {:>14.2} {:>14.2}",
+            du, dw, opt.epsilon1, opt.epsilon2, opt.alpha, opt.loss, ss_even
+        );
+    }
+
+    println!("\nReadings:");
+    println!(" * imbalanced degrees push alpha towards the low-degree vertex;");
+    println!(" * large degrees push more budget into the randomized-response round;");
+    println!(" * the optimised double-source loss never exceeds the best single source.");
+}

@@ -1,0 +1,64 @@
+//! Privacy-preserving co-location estimation for contact tracing.
+//!
+//! A people–location bipartite graph records which places each person visited.
+//! Health authorities want to know how many places two people have in common
+//! (a proxy for contact risk) without collecting anyone's raw location
+//! history. Each person's visit list stays on their device; only randomized
+//! responses and noisy estimators are uploaded.
+//!
+//! Run with `cargo run --example contact_tracing`.
+
+use bigraph::{sampling, Layer};
+use cne::{CommonNeighborEstimator, MultiRDS, MultiRSS, OneR, Query};
+use datasets::{Catalog, DatasetCode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // The Occupation profile (person–occupation) stands in for a
+    // people–location graph: both are sparse two-mode affiliation networks.
+    let catalog = Catalog::scaled(50_000);
+    let dataset = catalog
+        .generate(DatasetCode::OC, 11)
+        .expect("OC profile exists");
+    let graph = &dataset.graph;
+    println!(
+        "People–location graph: {} people, {} locations, {} visits",
+        graph.n_upper(),
+        graph.n_lower(),
+        graph.n_edges()
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let pairs = sampling::uniform_pairs(graph, Layer::Upper, 5, &mut rng).expect("sampleable");
+
+    // Compare three local-model estimators across privacy levels: the health
+    // authority can trade accuracy against the privacy budget.
+    let budgets = [1.0, 2.0, 3.0];
+    println!(
+        "\n{:<18} {:>8} {:>6} | {:>10} {:>12} {:>12}",
+        "pair", "true C2", "eps", "OneR", "MultiR-SS", "MultiR-DS"
+    );
+    for pair in &pairs {
+        let query = Query::new(pair.layer, pair.u, pair.w);
+        let truth = query.exact_count(graph).expect("valid query");
+        for &eps in &budgets {
+            let oner = OneR::default()
+                .estimate(graph, &query, eps, &mut rng)
+                .expect("OneR runs");
+            let ss = MultiRSS::default()
+                .estimate(graph, &query, eps, &mut rng)
+                .expect("MultiR-SS runs");
+            let ds = MultiRDS::default()
+                .estimate(graph, &query, eps, &mut rng)
+                .expect("MultiR-DS runs");
+            println!(
+                "(p{:>5}, p{:>5}) {:>8} {:>6.1} | {:>10.2} {:>12.2} {:>12.2}",
+                pair.u, pair.w, truth, eps, oner.estimate, ss.estimate, ds.estimate
+            );
+        }
+    }
+
+    println!("\nHigher budgets give sharper estimates; MultiR-DS stays closest to");
+    println!("the truth at every privacy level while never exposing a visit list.");
+}

@@ -1,0 +1,90 @@
+//! Reproduces the shape of the paper's Fig. 2: the distribution of estimates
+//! produced by Naive, OneR, MultiR-SS and MultiR-DS on an rmwiki-like dataset
+//! with ε = 1 for a query pair with highly imbalanced degrees.
+//!
+//! The output is a text histogram per algorithm; the vertical line of interest
+//! is the true count. Run with `cargo run --release --example estimate_distribution`.
+
+use bigraph::Layer;
+use cne::{CommonNeighborEstimator, MultiRDS, MultiRSS, Naive, OneR, Query};
+use datasets::{Catalog, DatasetCode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let catalog = Catalog::scaled(60_000);
+    let dataset = catalog
+        .generate(DatasetCode::RM, 1)
+        .expect("RM profile exists");
+    let graph = &dataset.graph;
+
+    // Pick the most imbalanced pair we can find on the upper layer, mirroring
+    // the paper's (556, 2)-degree pair.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let pairs = bigraph::sampling::imbalanced_pairs(graph, Layer::Upper, 20.0, 1, &mut rng)
+        .expect("sampleable");
+    let pair = pairs
+        .first()
+        .copied()
+        .unwrap_or(bigraph::sampling::QueryPair::new(Layer::Upper, 0, 1));
+    let query = Query::new(pair.layer, pair.u, pair.w);
+    let truth = query.exact_count(graph).expect("valid query") as f64;
+    let (du, dw) = (
+        graph.degree(Layer::Upper, pair.u),
+        graph.degree(Layer::Upper, pair.w),
+    );
+    println!(
+        "rmwiki-like graph: |U|={}, |L|={}, |E|={}",
+        graph.n_upper(),
+        graph.n_lower(),
+        graph.n_edges()
+    );
+    println!("query pair degrees: ({du}, {dw}); true C2 = {truth}; epsilon = 1\n");
+
+    let runs = 1_000;
+    let epsilon = 1.0;
+    let algorithms: Vec<(&str, Box<dyn CommonNeighborEstimator>)> = vec![
+        ("Naive", Box::new(Naive)),
+        ("OneR", Box::new(OneR::default())),
+        ("MultiR-SS", Box::new(MultiRSS::default())),
+        ("MultiR-DS", Box::new(MultiRDS::default())),
+    ];
+
+    for (name, algo) in &algorithms {
+        let estimates: Vec<f64> = (0..runs)
+            .map(|_| {
+                algo.estimate(graph, &query, epsilon, &mut rng)
+                    .expect("estimation succeeds")
+                    .estimate
+            })
+            .collect();
+        let mean = estimates.iter().sum::<f64>() / runs as f64;
+        let var =
+            estimates.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / runs as f64;
+        println!("{name}: mean = {mean:.2}, std = {:.2}", var.sqrt());
+        print_histogram(&estimates, truth);
+        println!();
+    }
+}
+
+/// Prints a coarse text histogram of the estimates, marking the bin that
+/// contains the true value with `<-- true count`.
+fn print_histogram(values: &[f64], truth: f64) {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min).min(truth);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(truth);
+    let bins = 15usize;
+    let width = ((max - min) / bins as f64).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let idx = (((v - min) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + i as f64 * width;
+        let hi = lo + width;
+        let bar = "#".repeat(c * 50 / peak);
+        let marker = if truth >= lo && truth < hi { "  <-- true count" } else { "" };
+        println!("  [{lo:>9.1}, {hi:>9.1}) |{bar}{marker}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: estimate the number of common neighbors of two users in a
+//! user–item bipartite graph under edge local differential privacy.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use bigraph::{BipartiteGraph, Layer};
+use cne::{CentralDP, CommonNeighborEstimator, MultiRDS, MultiRSS, Naive, OneR, Query};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A small user–item graph: 2 users of interest among a catalog of 1000
+    // items. User 0 bought items 0..20, user 1 bought items 10..40, so they
+    // share exactly 10 items.
+    let edges = (0..20u32)
+        .map(|v| (0u32, v))
+        .chain((10..40u32).map(|v| (1u32, v)));
+    let graph = BipartiteGraph::from_edges(2, 1_000, edges).expect("valid edge list");
+
+    let query = Query::new(Layer::Upper, 0, 1);
+    let truth = query.exact_count(&graph).expect("valid query");
+    let epsilon = 2.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+
+    println!("True common neighbor count C2(u, w) = {truth}");
+    println!("Privacy budget epsilon = {epsilon}\n");
+    println!(
+        "{:<16} {:>12} {:>10} {:>8} {:>14}",
+        "algorithm", "estimate", "|error|", "rounds", "comm (bytes)"
+    );
+
+    let algorithms: Vec<Box<dyn CommonNeighborEstimator>> = vec![
+        Box::new(Naive),
+        Box::new(OneR::default()),
+        Box::new(MultiRSS::default()),
+        Box::new(MultiRDS::default()),
+        Box::new(CentralDP),
+    ];
+
+    for algo in &algorithms {
+        let report = algo
+            .estimate(&graph, &query, epsilon, &mut rng)
+            .expect("estimation succeeds");
+        println!(
+            "{:<16} {:>12.2} {:>10.2} {:>8} {:>14}",
+            report.algorithm.paper_name(),
+            report.estimate,
+            (report.estimate - truth as f64).abs(),
+            report.rounds,
+            report.communication_bytes()
+        );
+    }
+
+    println!("\nNote: Naive counts on the dense noisy graph and overcounts badly;");
+    println!("the multi-round estimators stay close to the true count.");
+}

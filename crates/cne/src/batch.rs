@@ -1,0 +1,299 @@
+//! Batch estimation: one target vertex against many candidates.
+//!
+//! Applications such as "find the most similar users to `u`" need
+//! `C2(u, w₁), …, C2(u, w_k)` for many candidates. Running MultiR-SS
+//! independently per candidate would multiply the privacy cost of `u`'s data
+//! by `k`. The batch protocol avoids that:
+//!
+//! * **Round 1** — the target `u` applies randomized response to its neighbor
+//!   list once with budget `ε₁` and uploads the noisy edges. This is the only
+//!   release that touches `u`'s data, so `u` spends exactly `ε₁` regardless of
+//!   how many candidates there are.
+//! * **Round 2** — every candidate `w_i` downloads `u`'s noisy edges, builds
+//!   the single-source estimator `f̃_{w_i}` from its *own* neighborhood, adds
+//!   Laplace noise with budget `ε₂`, and uploads one scalar. The candidates'
+//!   neighbor lists are disjoint datasets, so these releases compose in
+//!   parallel: each vertex's total spend is `ε₁ + ε₂ = ε`.
+//!
+//! The result is `k` unbiased estimates for the price (in privacy) of one.
+
+use crate::error::{CneError, Result};
+use crate::estimate::AlgorithmKind;
+use crate::protocol::{randomized_response_round, record_download, record_scalar_upload};
+use crate::single_source::{single_source_laplace, single_source_value};
+use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
+use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::transcript::Transcript;
+use serde::{Deserialize, Serialize};
+
+/// One candidate's estimate in a batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchEstimate {
+    /// The candidate vertex.
+    pub candidate: VertexId,
+    /// The unbiased estimate of `C2(target, candidate)`.
+    pub estimate: f64,
+}
+
+/// The outcome of a batch estimation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// The target vertex all estimates are relative to.
+    pub target: VertexId,
+    /// The layer the target and candidates live on.
+    pub layer: Layer,
+    /// Per-candidate estimates, in the order the candidates were given.
+    pub estimates: Vec<BatchEstimate>,
+    /// The total privacy budget each participating vertex spent.
+    pub epsilon: f64,
+    /// Privacy accounting for the run (per-vertex view).
+    pub budget: BudgetAccountant,
+    /// Byte-accurate transcript of all exchanged messages.
+    pub transcript: Transcript,
+}
+
+impl BatchReport {
+    /// The candidates ranked by decreasing estimate (ties keep input order).
+    #[must_use]
+    pub fn ranked(&self) -> Vec<BatchEstimate> {
+        let mut sorted = self.estimates.clone();
+        sorted.sort_by(|a, b| b.estimate.partial_cmp(&a.estimate).expect("finite estimates"));
+        sorted
+    }
+
+    /// Total communication in bytes.
+    #[must_use]
+    pub fn communication_bytes(&self) -> usize {
+        self.transcript.total_bytes()
+    }
+}
+
+/// The batch single-source estimator (see the module docs for the protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchSingleSource {
+    /// Fraction of the budget spent on the target's randomized response.
+    pub epsilon1_fraction: f64,
+}
+
+impl Default for BatchSingleSource {
+    fn default() -> Self {
+        Self {
+            epsilon1_fraction: 0.5,
+        }
+    }
+}
+
+impl BatchSingleSource {
+    /// The algorithm family this protocol belongs to (it generalises MultiR-SS).
+    #[must_use]
+    pub fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::MultiRSS
+    }
+
+    /// Runs the batch protocol for `target` against `candidates` on `layer`.
+    ///
+    /// # Errors
+    ///
+    /// * invalid budget or fraction,
+    /// * unknown target/candidate vertices,
+    /// * a candidate equal to the target,
+    /// * an empty candidate list.
+    pub fn estimate_batch(
+        &self,
+        g: &BipartiteGraph,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<BatchReport> {
+        if candidates.is_empty() {
+            return Err(CneError::InvalidParameter {
+                name: "candidates",
+                reason: "the candidate list must not be empty".into(),
+            });
+        }
+        for &w in candidates {
+            common_neighbors::check_query_pair(g, layer, target, w)?;
+        }
+        let total = PrivacyBudget::new(epsilon)?;
+        let (eps1, eps2) = total.split_fraction(self.epsilon1_fraction)?;
+        let mut budget = BudgetAccountant::new(total);
+        let mut transcript = Transcript::new();
+
+        // Round 1: the target perturbs and uploads its neighbor list once.
+        let round1 = randomized_response_round(
+            g,
+            layer,
+            &[target],
+            eps1,
+            1,
+            &mut budget,
+            &mut transcript,
+            rng,
+        )?;
+        let p = round1.flip_probability;
+        let noisy_target = round1.noisy.into_iter().next().expect("one list requested");
+
+        // Round 2: every candidate downloads the noisy list, builds its
+        // single-source estimator, and releases it with Laplace noise. The
+        // first release is charged sequentially; the remaining candidates'
+        // releases cover disjoint neighbor lists and compose in parallel.
+        let laplace = single_source_laplace(p, eps2)?;
+        let mut estimates = Vec::with_capacity(candidates.len());
+        for (i, &w) in candidates.iter().enumerate() {
+            record_download(&mut transcript, 2, "noisy-edges(target) -> candidate", &noisy_target);
+            let composition = if i == 0 {
+                Composition::Sequential
+            } else {
+                Composition::Parallel
+            };
+            budget.charge(format!("round2:laplace(f_w{i})"), eps2, composition)?;
+            let raw = single_source_value(g, layer, w, &noisy_target, p);
+            let noisy = laplace.perturb(raw, rng);
+            record_scalar_upload(&mut transcript, 2, "estimator(f_w)");
+            estimates.push(BatchEstimate {
+                candidate: w,
+                estimate: noisy,
+            });
+        }
+
+        Ok(BatchReport {
+            target,
+            layer,
+            estimates,
+            epsilon,
+            budget,
+            transcript,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Target u0 shares 8, 4, and 0 items with candidates u1, u2, u3.
+    fn graph() -> BipartiteGraph {
+        let edges = (0..10u32)
+            .map(|v| (0u32, v))
+            .chain((2..12u32).map(|v| (1u32, v)))
+            .chain((6..16u32).map(|v| (2u32, v)))
+            .chain((50..60u32).map(|v| (3u32, v)));
+        BipartiteGraph::from_edges(4, 400, edges).unwrap()
+    }
+
+    #[test]
+    fn batch_estimates_are_unbiased_per_candidate() {
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let runs = 400;
+        let mut sums = [0.0f64; 3];
+        for _ in 0..runs {
+            let report = algo
+                .estimate_batch(&g, Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
+                .unwrap();
+            for (i, est) in report.estimates.iter().enumerate() {
+                sums[i] += est.estimate;
+            }
+        }
+        let truths = [8.0, 4.0, 0.0];
+        for i in 0..3 {
+            let mean = sums[i] / runs as f64;
+            assert!(
+                (mean - truths[i]).abs() < 0.6,
+                "candidate {i}: mean {mean} vs truth {}",
+                truths[i]
+            );
+        }
+    }
+
+    #[test]
+    fn per_vertex_budget_is_epsilon_not_k_epsilon() {
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = algo
+            .estimate_batch(&g, Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
+            .unwrap();
+        // One sequential RR charge + one sequential Laplace charge; the other
+        // candidates' Laplace charges are parallel, so total consumption is ε.
+        assert!((report.budget.consumed() - 2.0).abs() < 1e-9);
+        assert_eq!(report.estimates.len(), 3);
+    }
+
+    #[test]
+    fn ranking_orders_by_estimate() {
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Use a generous budget so the ranking matches the ground truth.
+        let report = algo
+            .estimate_batch(&g, Layer::Upper, 0, &[3, 2, 1], 8.0, &mut rng)
+            .unwrap();
+        let ranked = report.ranked();
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked[0].estimate >= ranked[1].estimate);
+        assert!(ranked[1].estimate >= ranked[2].estimate);
+        assert_eq!(ranked[0].candidate, 1, "u1 shares the most items with u0");
+    }
+
+    #[test]
+    fn transcript_scales_with_candidates_but_uploads_target_once() {
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let small = algo
+            .estimate_batch(&g, Layer::Upper, 0, &[1], 2.0, &mut rng)
+            .unwrap();
+        let large = algo
+            .estimate_batch(&g, Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
+            .unwrap();
+        // Exactly one upload of the target's noisy edges in both runs.
+        let uploads = |r: &BatchReport| {
+            r.transcript
+                .messages()
+                .iter()
+                .filter(|m| m.label.starts_with("noisy-edges(v"))
+                .count()
+        };
+        assert_eq!(uploads(&small), 1);
+        assert_eq!(uploads(&large), 1);
+        assert!(large.communication_bytes() > small.communication_bytes());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(algo
+            .estimate_batch(&g, Layer::Upper, 0, &[], 2.0, &mut rng)
+            .is_err());
+        assert!(algo
+            .estimate_batch(&g, Layer::Upper, 0, &[0], 2.0, &mut rng)
+            .is_err());
+        assert!(algo
+            .estimate_batch(&g, Layer::Upper, 0, &[99], 2.0, &mut rng)
+            .is_err());
+        assert!(algo
+            .estimate_batch(&g, Layer::Upper, 0, &[1], 0.0, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(21);
+        let report = BatchSingleSource::default()
+            .estimate_batch(&g, Layer::Upper, 0, &[1, 2], 2.0, &mut rng)
+            .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.estimates.len(), 2);
+        assert_eq!(back.target, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Estimate reports: what an estimation protocol returns.
+
+use ldp::budget::BudgetAccountant;
+use ldp::transcript::Transcript;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which algorithm produced an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AlgorithmKind {
+    /// Common-neighbor count on the noisy graph (biased baseline).
+    Naive,
+    /// One-round unbiased estimator.
+    OneR,
+    /// Multiple-round single-source estimator.
+    MultiRSS,
+    /// Multiple-round double-source estimator with a fixed even split.
+    MultiRDSBasic,
+    /// Multiple-round double-source estimator with optimised `(ε₁, α)`.
+    MultiRDS,
+    /// MultiR-DS assuming public degrees (no degree-estimation round).
+    MultiRDSStar,
+    /// Central-model Laplace baseline.
+    CentralDP,
+}
+
+impl AlgorithmKind {
+    /// The name used in the paper's figures.
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Naive => "Naive",
+            AlgorithmKind::OneR => "OneR",
+            AlgorithmKind::MultiRSS => "MultiR-SS",
+            AlgorithmKind::MultiRDSBasic => "MultiR-DS-Basic",
+            AlgorithmKind::MultiRDS => "MultiR-DS",
+            AlgorithmKind::MultiRDSStar => "MultiR-DS*",
+            AlgorithmKind::CentralDP => "CentralDP",
+        }
+    }
+
+    /// Whether the estimator is unbiased (expectation equals the true count).
+    #[must_use]
+    pub fn is_unbiased(self) -> bool {
+        !matches!(self, AlgorithmKind::Naive)
+    }
+
+    /// Whether the algorithm runs under the local model (as opposed to the
+    /// central model, which trusts the curator with the raw graph).
+    #[must_use]
+    pub fn is_local(self) -> bool {
+        !matches!(self, AlgorithmKind::CentralDP)
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Parameters an adaptive algorithm chose at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChosenParameters {
+    /// Budget spent on degree estimation (`ε₀`), if any.
+    pub epsilon0: Option<f64>,
+    /// Budget spent on randomized response (`ε₁`), if any.
+    pub epsilon1: Option<f64>,
+    /// Budget spent on the Laplace mechanism (`ε₂`), if any.
+    pub epsilon2: Option<f64>,
+    /// Weight of the `u`-side single-source estimator (`α`), if applicable.
+    pub alpha: Option<f64>,
+    /// Noisy (or public) degree of `u` used for optimisation, if any.
+    pub degree_u: Option<f64>,
+    /// Noisy (or public) degree of `w` used for optimisation, if any.
+    pub degree_w: Option<f64>,
+}
+
+/// Everything an estimation run reports back.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimateReport {
+    /// The algorithm that ran.
+    pub algorithm: AlgorithmKind,
+    /// The estimate of `C2(u, w)` (may be negative or fractional — the
+    /// estimators are unbiased, not truncated).
+    pub estimate: f64,
+    /// The total privacy budget the caller requested.
+    pub epsilon: f64,
+    /// Per-round privacy accounting; `budget.consumed() ≤ epsilon` always.
+    pub budget: BudgetAccountant,
+    /// Byte-accurate record of every message exchanged.
+    pub transcript: Transcript,
+    /// Number of client–curator interaction rounds.
+    pub rounds: u32,
+    /// Adaptive parameters the algorithm chose, if any.
+    pub parameters: ChosenParameters,
+}
+
+impl EstimateReport {
+    /// The estimate clamped to the feasible range `[0, ∞)` and rounded — a
+    /// convenience for consumers that need an integral count. The raw
+    /// unbiased value remains in [`EstimateReport::estimate`].
+    #[must_use]
+    pub fn rounded_estimate(&self) -> u64 {
+        if self.estimate.is_nan() {
+            0
+        } else {
+            self.estimate.max(0.0).round() as u64
+        }
+    }
+
+    /// Total communication cost in bytes.
+    #[must_use]
+    pub fn communication_bytes(&self) -> usize {
+        self.transcript.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp::budget::PrivacyBudget;
+
+    #[test]
+    fn paper_names_are_unique() {
+        let kinds = [
+            AlgorithmKind::Naive,
+            AlgorithmKind::OneR,
+            AlgorithmKind::MultiRSS,
+            AlgorithmKind::MultiRDSBasic,
+            AlgorithmKind::MultiRDS,
+            AlgorithmKind::MultiRDSStar,
+            AlgorithmKind::CentralDP,
+        ];
+        let mut names: Vec<_> = kinds.iter().map(|k| k.paper_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn unbiasedness_and_locality_flags() {
+        assert!(!AlgorithmKind::Naive.is_unbiased());
+        assert!(AlgorithmKind::OneR.is_unbiased());
+        assert!(AlgorithmKind::MultiRDS.is_unbiased());
+        assert!(AlgorithmKind::CentralDP.is_unbiased());
+        assert!(AlgorithmKind::Naive.is_local());
+        assert!(!AlgorithmKind::CentralDP.is_local());
+    }
+
+    #[test]
+    fn rounded_estimate_clamps() {
+        let report = EstimateReport {
+            algorithm: AlgorithmKind::OneR,
+            estimate: -3.7,
+            epsilon: 1.0,
+            budget: BudgetAccountant::new(PrivacyBudget::new(1.0).unwrap()),
+            transcript: Transcript::new(),
+            rounds: 1,
+            parameters: ChosenParameters::default(),
+        };
+        assert_eq!(report.rounded_estimate(), 0);
+        let report = EstimateReport {
+            estimate: 4.4,
+            ..report
+        };
+        assert_eq!(report.rounded_estimate(), 4);
+        let report = EstimateReport {
+            estimate: f64::NAN,
+            ..report
+        };
+        assert_eq!(report.rounded_estimate(), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_name() {
+        assert_eq!(AlgorithmKind::MultiRSS.to_string(), "MultiR-SS");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = EstimateReport {
+            algorithm: AlgorithmKind::MultiRDS,
+            estimate: 2.5,
+            epsilon: 2.0,
+            budget: BudgetAccountant::new(PrivacyBudget::new(2.0).unwrap()),
+            transcript: Transcript::new(),
+            rounds: 3,
+            parameters: ChosenParameters {
+                epsilon1: Some(0.9),
+                alpha: Some(0.7),
+                ..Default::default()
+            },
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: EstimateReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.algorithm, AlgorithmKind::MultiRDS);
+        assert_eq!(back.parameters.alpha, Some(0.7));
+    }
+}

@@ -1,0 +1,95 @@
+//! The [`CommonNeighborEstimator`] trait unifying all algorithms.
+
+use crate::error::Result;
+use crate::estimate::{AlgorithmKind, EstimateReport};
+use crate::protocol::Query;
+use bigraph::BipartiteGraph;
+
+/// A privacy-preserving estimator of the common-neighbor count `C2(u, w)`.
+///
+/// Implementations take the *whole* graph because they simulate both the
+/// vertex side and the curator side of the protocol; the privacy guarantee is
+/// that everything recorded in the returned transcript — i.e. everything that
+/// crosses the client/curator boundary — satisfies `ε`-edge LDP.
+///
+/// The trait is object safe (`&mut dyn RngCore`), so experiment harnesses can
+/// iterate over a heterogeneous list of algorithms.
+pub trait CommonNeighborEstimator {
+    /// Which algorithm this is.
+    fn kind(&self) -> AlgorithmKind;
+
+    /// Runs the protocol for `query` with total privacy budget `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid queries (unknown vertices, `u == w`),
+    /// non-positive budgets, or mis-configured algorithm parameters.
+    fn estimate(
+        &self,
+        g: &BipartiteGraph,
+        query: &Query,
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<EstimateReport>;
+}
+
+/// Convenience: run `runs` independent estimates and return the raw values.
+///
+/// # Errors
+///
+/// Propagates the first error any run produces.
+pub fn repeated_estimates<E: CommonNeighborEstimator + ?Sized>(
+    estimator: &E,
+    g: &BipartiteGraph,
+    query: &Query,
+    epsilon: f64,
+    runs: usize,
+    rng: &mut dyn rand::RngCore,
+) -> Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        out.push(estimator.estimate(g, query, epsilon, rng)?.estimate);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CentralDP, Naive, OneR};
+    use bigraph::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_edges(2, 30, (0..10u32).map(|v| (0, v)).chain((5..15u32).map(|v| (1, v))))
+            .unwrap()
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let algorithms: Vec<Box<dyn CommonNeighborEstimator>> = vec![
+            Box::new(Naive::default()),
+            Box::new(OneR::default()),
+            Box::new(CentralDP::default()),
+        ];
+        let g = toy();
+        let q = Query::new(Layer::Upper, 0, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for algo in &algorithms {
+            let report = algo.estimate(&g, &q, 2.0, &mut rng).unwrap();
+            assert_eq!(report.algorithm, algo.kind());
+            assert!(report.estimate.is_finite());
+        }
+    }
+
+    #[test]
+    fn repeated_estimates_length() {
+        let g = toy();
+        let q = Query::new(Layer::Upper, 0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals = repeated_estimates(&OneR::default(), &g, &q, 2.0, 25, &mut rng).unwrap();
+        assert_eq!(vals.len(), 25);
+        assert!(vals.iter().all(|v| v.is_finite()));
+    }
+}

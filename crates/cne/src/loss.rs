@@ -1,0 +1,259 @@
+//! Closed-form expected L2 losses (variances) of all estimators.
+//!
+//! These are the formulas of the paper's Theorems 1, 4, 6 and 8 (Table 3).
+//! They serve three purposes:
+//!
+//! 1. the MultiR-DS optimiser minimises [`double_source_l2`] over `(ε₁, α)`,
+//! 2. the Fig. 5 experiment plots them directly,
+//! 3. the test-suite checks that *empirical* variances of the implemented
+//!    estimators match these predictions — a strong end-to-end correctness
+//!    check of both the math and the implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// The flip probability `p = 1 / (1 + e^ε)` used by randomized response.
+#[must_use]
+pub fn flip_probability(epsilon: f64) -> f64 {
+    1.0 / (1.0 + epsilon.exp())
+}
+
+/// Variance of the unbiased edge estimator `φ`: `p(1−p)/(1−2p)²` (Equation 1).
+#[must_use]
+pub fn phi_variance(epsilon: f64) -> f64 {
+    let p = flip_probability(epsilon);
+    p * (1.0 - p) / ((1.0 - 2.0 * p) * (1.0 - 2.0 * p))
+}
+
+/// Upper bound on the expected L2 loss of the `Naive` estimator
+/// (Theorem 1): `n₁² (1−p)⁴ = n₁² e⁴ᵉ / (1+eᵉ)⁴`.
+///
+/// `Naive` is biased, so this is a bound on `E[(f̃₁ − C2)²]`, dominated by
+/// `E[f̃₁²]`; the paper states it in O-notation and we expose the same leading
+/// term for the Table 3 comparison.
+#[must_use]
+pub fn naive_l2_bound(opposite_size: usize, epsilon: f64) -> f64 {
+    let p = flip_probability(epsilon);
+    let n1 = opposite_size as f64;
+    (n1 * (1.0 - p) * (1.0 - p)).powi(2)
+}
+
+/// Exact expected L2 loss (variance) of the `OneR` estimator (Theorem 4):
+/// `p²(1−p)²/(1−2p)⁴ · n₁ + p(1−p)/(1−2p)² · (d_u + d_w)`.
+#[must_use]
+pub fn one_round_l2(opposite_size: usize, degree_u: f64, degree_w: f64, epsilon: f64) -> f64 {
+    let p = flip_probability(epsilon);
+    let q = 1.0 - 2.0 * p;
+    let n1 = opposite_size as f64;
+    p * p * (1.0 - p) * (1.0 - p) / q.powi(4) * n1 + p * (1.0 - p) / (q * q) * (degree_u + degree_w)
+}
+
+/// Variance contributed by the Laplace noise of a single-source estimator:
+/// `2(1−p)² / ((1−2p)² ε₂²)` where `p` is the flip probability of the RR
+/// round with budget `ε₁`.
+#[must_use]
+pub fn single_source_laplace_variance(epsilon1: f64, epsilon2: f64) -> f64 {
+    let p = flip_probability(epsilon1);
+    let q = 1.0 - 2.0 * p;
+    2.0 * (1.0 - p) * (1.0 - p) / (q * q * epsilon2 * epsilon2)
+}
+
+/// Exact expected L2 loss of the single-source estimator `f̃_u` (Theorem 6):
+/// `p(1−p)/(1−2p)² · d_u + 2(1−p)²/((1−2p)² ε₂²)`.
+#[must_use]
+pub fn single_source_l2(degree_u: f64, epsilon1: f64, epsilon2: f64) -> f64 {
+    phi_variance(epsilon1) * degree_u + single_source_laplace_variance(epsilon1, epsilon2)
+}
+
+/// Exact expected L2 loss of the double-source estimator
+/// `f* = α f̃_u + (1−α) f̃_w` (Theorem 8):
+/// `p(1−p)/(1−2p)² (α² d_u + (1−α)² d_w) + 2(1−p)²/((1−2p)² ε₂²) (α² + (1−α)²)`.
+#[must_use]
+pub fn double_source_l2(
+    degree_u: f64,
+    degree_w: f64,
+    alpha: f64,
+    epsilon1: f64,
+    epsilon2: f64,
+) -> f64 {
+    let a2 = alpha * alpha;
+    let b2 = (1.0 - alpha) * (1.0 - alpha);
+    phi_variance(epsilon1) * (a2 * degree_u + b2 * degree_w)
+        + single_source_laplace_variance(epsilon1, epsilon2) * (a2 + b2)
+}
+
+/// Expected L2 loss of the central-model baseline: the variance of
+/// `Lap(1/ε)`, i.e. `2/ε²`.
+#[must_use]
+pub fn central_dp_l2(epsilon: f64) -> f64 {
+    2.0 / (epsilon * epsilon)
+}
+
+/// Chebyshev bound: for an unbiased estimator with variance `var`, the
+/// probability of deviating from the truth by more than `t` is at most
+/// `var / t²` (clamped to 1).
+#[must_use]
+pub fn chebyshev_bound(variance: f64, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    (variance / (t * t)).min(1.0)
+}
+
+/// A row of the paper's Table 3 (asymptotic / exact loss summary) evaluated
+/// for a concrete configuration; used by the Table 3 reproduction bench.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossSummaryRow {
+    /// Opposite-layer size `n₁`.
+    pub opposite_size: usize,
+    /// Degree of `u`.
+    pub degree_u: f64,
+    /// Degree of `w`.
+    pub degree_w: f64,
+    /// Total budget `ε`.
+    pub epsilon: f64,
+    /// Naive loss bound.
+    pub naive: f64,
+    /// OneR exact loss.
+    pub one_round: f64,
+    /// MultiR-SS exact loss with an even ε split.
+    pub multi_r_ss: f64,
+    /// MultiR-DS loss at the optimised `(ε₁, α)`.
+    pub multi_r_ds: f64,
+    /// CentralDP loss.
+    pub central: f64,
+}
+
+impl LossSummaryRow {
+    /// Evaluates every formula for one configuration. The MultiR-DS entry uses
+    /// the optimiser from [`crate::optimizer`].
+    #[must_use]
+    pub fn evaluate(opposite_size: usize, degree_u: f64, degree_w: f64, epsilon: f64) -> Self {
+        let half = epsilon / 2.0;
+        let opt = crate::optimizer::optimize_double_source(degree_u, degree_w, epsilon);
+        Self {
+            opposite_size,
+            degree_u,
+            degree_w,
+            epsilon,
+            naive: naive_l2_bound(opposite_size, epsilon),
+            one_round: one_round_l2(opposite_size, degree_u, degree_w, epsilon),
+            multi_r_ss: single_source_l2(degree_u, half, half),
+            multi_r_ds: opt.loss,
+            central: central_dp_l2(epsilon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_probability_range() {
+        for eps in [0.1, 1.0, 2.0, 5.0] {
+            let p = flip_probability(eps);
+            assert!(p > 0.0 && p < 0.5, "eps {eps} -> p {p}");
+        }
+        assert!(flip_probability(1.0) > flip_probability(2.0));
+    }
+
+    #[test]
+    fn phi_variance_matches_mechanism() {
+        use ldp::budget::PrivacyBudget;
+        use ldp::randomized_response::RandomizedResponse;
+        for eps in [0.5, 1.0, 2.0, 3.0] {
+            let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+            assert!((phi_variance(eps) - rr.edge_estimate_variance()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_round_loss_grows_linearly_in_n1() {
+        let a = one_round_l2(1_000, 10.0, 10.0, 2.0);
+        let b = one_round_l2(2_000, 10.0, 10.0, 2.0);
+        let per_vertex = phi_variance(2.0).powi(2) / 1.0; // p²(1-p)²/(1-2p)^4
+        let _ = per_vertex;
+        assert!(b > a);
+        // The n1-dependent part doubles exactly.
+        let degree_part = phi_variance(2.0) * 20.0;
+        assert!(((b - degree_part) / (a - degree_part) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn naive_bound_dominates_one_round() {
+        // For moderately sized graphs the Naive bound (quadratic in n1) must
+        // exceed the OneR loss (linear in n1).
+        assert!(naive_l2_bound(10_000, 2.0) > one_round_l2(10_000, 50.0, 50.0, 2.0));
+    }
+
+    #[test]
+    fn single_source_independent_of_n1_and_monotone_in_degree() {
+        let l_small = single_source_l2(5.0, 1.0, 1.0);
+        let l_large = single_source_l2(500.0, 1.0, 1.0);
+        assert!(l_large > l_small);
+        // Loss decreases when more budget is available for both rounds.
+        assert!(single_source_l2(10.0, 2.0, 2.0) < single_source_l2(10.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn double_source_reduces_to_single_source_at_alpha_one() {
+        let du = 7.0;
+        let dw = 100.0;
+        let e1 = 0.8;
+        let e2 = 1.2;
+        let at_one = double_source_l2(du, dw, 1.0, e1, e2);
+        assert!((at_one - single_source_l2(du, e1, e2)).abs() < 1e-12);
+        let at_zero = double_source_l2(du, dw, 0.0, e1, e2);
+        assert!((at_zero - single_source_l2(dw, e1, e2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_source_at_half_averages_laplace() {
+        // α = 0.5 halves the Laplace variance relative to a single source.
+        let du = 10.0;
+        let dw = 10.0;
+        let e1 = 1.0;
+        let e2 = 1.0;
+        let half = double_source_l2(du, dw, 0.5, e1, e2);
+        let single = single_source_l2(du, e1, e2);
+        let expected = phi_variance(e1) * (0.25 * du + 0.25 * dw)
+            + single_source_laplace_variance(e1, e2) * 0.5;
+        assert!((half - expected).abs() < 1e-12);
+        assert!(half < single);
+    }
+
+    #[test]
+    fn central_dp_is_smallest() {
+        let eps = 2.0;
+        let c = central_dp_l2(eps);
+        assert!(c < single_source_l2(5.0, eps / 2.0, eps / 2.0));
+        assert!(c < one_round_l2(1_000, 5.0, 5.0, eps));
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_bound_properties() {
+        assert_eq!(chebyshev_bound(4.0, 0.0), 1.0);
+        assert_eq!(chebyshev_bound(4.0, 1.0), 1.0);
+        assert!((chebyshev_bound(4.0, 4.0) - 0.25).abs() < 1e-12);
+        assert!(chebyshev_bound(4.0, 100.0) < 1e-3);
+    }
+
+    #[test]
+    fn summary_row_orders_algorithms() {
+        // The paper's headline ordering: Naive >> OneR >> MultiR-SS >= MultiR-DS >= CentralDP.
+        let row = LossSummaryRow::evaluate(5_000, 20.0, 200.0, 2.0);
+        assert!(row.naive > row.one_round);
+        assert!(row.one_round > row.multi_r_ss);
+        assert!(row.multi_r_ss >= row.multi_r_ds - 1e-9);
+        assert!(row.multi_r_ds > row.central);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let row = LossSummaryRow::evaluate(100, 5.0, 10.0, 2.0);
+        let json = serde_json::to_string(&row).unwrap();
+        let back: LossSummaryRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(row, back);
+    }
+}

@@ -1,0 +1,305 @@
+//! Privacy-budget allocation optimisation for the double-source estimator.
+//!
+//! The MultiR-DS algorithm chooses the randomized-response budget `ε₁` and the
+//! estimator weight `α` that minimise the analytic L2 loss
+//! `F(ε₁, α) = Var(α f̃_u + (1−α) f̃_w)` of Theorem 8, given (noisy estimates
+//! of) the query-vertex degrees and the budget left after degree estimation.
+//!
+//! Two structural facts make the optimisation tractable:
+//!
+//! * for **fixed ε₁**, `F` is a convex quadratic in `α`, whose minimiser has
+//!   the closed form `α* = (A·d_w + B) / (A·(d_u + d_w) + 2B)` where
+//!   `A = p(1−p)/(1−2p)²` and `B = 2(1−p)²/((1−2p)² ε₂²)`;
+//! * substituting `α*` leaves a smooth one-dimensional function of `ε₁` on
+//!   `(0, ε)`, which we minimise with Newton's method on its derivative
+//!   (finite-difference derivatives), falling back to golden-section search
+//!   whenever Newton wanders outside the feasible interval or fails to
+//!   converge — the paper uses Newton's method, and the fallback guarantees a
+//!   near-optimal answer on every input.
+
+use crate::loss::{double_source_l2, phi_variance, single_source_laplace_variance};
+use serde::{Deserialize, Serialize};
+
+/// Result of optimising the double-source loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizedAllocation {
+    /// Budget allocated to the randomized-response round.
+    pub epsilon1: f64,
+    /// Budget allocated to the Laplace mechanism round.
+    pub epsilon2: f64,
+    /// Weight of the `u`-side single-source estimator.
+    pub alpha: f64,
+    /// The analytic L2 loss at the chosen point.
+    pub loss: f64,
+}
+
+/// The closed-form optimal `α` for fixed `ε₁`, `ε₂` (see module docs).
+///
+/// Degenerate degree inputs (zero or negative after noise) are clamped to a
+/// small positive value so the formula stays well defined.
+#[must_use]
+pub fn optimal_alpha(degree_u: f64, degree_w: f64, epsilon1: f64, epsilon2: f64) -> f64 {
+    let du = degree_u.max(1e-9);
+    let dw = degree_w.max(1e-9);
+    let a = phi_variance(epsilon1);
+    let b = single_source_laplace_variance(epsilon1, epsilon2);
+    let alpha = (a * dw + b) / (a * (du + dw) + 2.0 * b);
+    alpha.clamp(0.0, 1.0)
+}
+
+/// The loss at fixed `ε₁` with `ε₂ = ε_total − ε₁` and the optimal `α`.
+fn profile_loss(degree_u: f64, degree_w: f64, epsilon1: f64, epsilon_total: f64) -> f64 {
+    let epsilon2 = epsilon_total - epsilon1;
+    let alpha = optimal_alpha(degree_u, degree_w, epsilon1, epsilon2);
+    double_source_l2(degree_u, degree_w, alpha, epsilon1, epsilon2)
+}
+
+/// Minimises `F(ε₁, α)` over `ε₁ ∈ (0, ε_total)` and `α ∈ [0, 1]`.
+///
+/// `epsilon_total` is the budget available for RR **plus** Laplace
+/// (i.e. `ε − ε₀` for MultiR-DS, the full `ε` for MultiR-DS*). Degrees may be
+/// noisy estimates; non-positive values are clamped inside [`optimal_alpha`].
+#[must_use]
+pub fn optimize_double_source(
+    degree_u: f64,
+    degree_w: f64,
+    epsilon_total: f64,
+) -> OptimizedAllocation {
+    let lo = epsilon_total * 1e-3;
+    let hi = epsilon_total * (1.0 - 1e-3);
+
+    // Newton's method on g(ε₁) = d/dε₁ profile_loss, with finite differences.
+    let f = |e1: f64| profile_loss(degree_u, degree_w, e1, epsilon_total);
+    let newton = newton_minimize_1d(f, epsilon_total * 0.5, lo, hi);
+    let golden = golden_section_minimize(f, lo, hi, 1e-9);
+
+    // Take whichever candidate achieves the lower loss; Newton occasionally
+    // converges to the boundary of its basin on extreme degree imbalances.
+    let epsilon1 = match newton {
+        Some(e1) if f(e1) <= f(golden) => e1,
+        _ => golden,
+    };
+    let epsilon2 = epsilon_total - epsilon1;
+    let alpha = optimal_alpha(degree_u, degree_w, epsilon1, epsilon2);
+    OptimizedAllocation {
+        epsilon1,
+        epsilon2,
+        alpha,
+        loss: double_source_l2(degree_u, degree_w, alpha, epsilon1, epsilon2),
+    }
+}
+
+/// Minimises the single-source loss (α pinned to 1) over the ε₁/ε₂ split.
+/// This is the "optimised MultiR-SS" variant the paper mentions as a special
+/// case of MultiR-DS; exposed for the ablation benchmarks.
+#[must_use]
+pub fn optimize_single_source(degree_u: f64, epsilon_total: f64) -> OptimizedAllocation {
+    let lo = epsilon_total * 1e-3;
+    let hi = epsilon_total * (1.0 - 1e-3);
+    let f = |e1: f64| {
+        crate::loss::single_source_l2(degree_u.max(1e-9), e1, epsilon_total - e1)
+    };
+    let newton = newton_minimize_1d(f, epsilon_total * 0.5, lo, hi);
+    let golden = golden_section_minimize(f, lo, hi, 1e-9);
+    let epsilon1 = match newton {
+        Some(e1) if f(e1) <= f(golden) => e1,
+        _ => golden,
+    };
+    OptimizedAllocation {
+        epsilon1,
+        epsilon2: epsilon_total - epsilon1,
+        alpha: 1.0,
+        loss: f(epsilon1),
+    }
+}
+
+/// Newton's method on the derivative of `f`, using central finite differences.
+/// Returns `None` if it leaves `[lo, hi]` or fails to converge.
+fn newton_minimize_1d<F: Fn(f64) -> f64>(f: F, start: f64, lo: f64, hi: f64) -> Option<f64> {
+    let h = (hi - lo) * 1e-6;
+    let grad = |x: f64| (f(x + h) - f(x - h)) / (2.0 * h);
+    let hess = |x: f64| (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+
+    let mut x = start;
+    for _ in 0..100 {
+        let g = grad(x);
+        let second = hess(x);
+        if !g.is_finite() || !second.is_finite() || second.abs() < 1e-18 {
+            return None;
+        }
+        let step = g / second;
+        let next = x - step;
+        if !next.is_finite() || next <= lo || next >= hi {
+            return None;
+        }
+        if (next - x).abs() < 1e-12 {
+            // Converged; require the point to be a local minimum.
+            return if hess(next) >= 0.0 { Some(next) } else { None };
+        }
+        x = next;
+    }
+    Some(x)
+}
+
+/// Golden-section search for the minimum of a unimodal function on `[lo, hi]`.
+fn golden_section_minimize<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut c = hi - (hi - lo) * INV_PHI;
+    let mut d = lo + (hi - lo) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (hi - lo).abs() > tol {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - (hi - lo) * INV_PHI;
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + (hi - lo) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::single_source_l2;
+
+    #[test]
+    fn optimal_alpha_closed_form_is_a_stationary_point() {
+        let (du, dw, e1, e2) = (5.0, 100.0, 0.8, 1.2);
+        let alpha = optimal_alpha(du, dw, e1, e2);
+        assert!((0.0..=1.0).contains(&alpha));
+        // Perturbing alpha in either direction must not decrease the loss.
+        let base = double_source_l2(du, dw, alpha, e1, e2);
+        for delta in [-1e-4, 1e-4] {
+            let perturbed = double_source_l2(du, dw, (alpha + delta).clamp(0.0, 1.0), e1, e2);
+            assert!(perturbed >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_alpha_favours_low_degree_vertex() {
+        // When d_u << d_w the u-side estimator is more reliable, so α > 0.5.
+        let alpha = optimal_alpha(2.0, 500.0, 1.0, 1.0);
+        assert!(alpha > 0.5, "alpha {alpha}");
+        // Symmetric case gives exactly 0.5.
+        let alpha = optimal_alpha(10.0, 10.0, 1.0, 1.0);
+        assert!((alpha - 0.5).abs() < 1e-12);
+        // Degenerate degrees do not panic.
+        let alpha = optimal_alpha(0.0, 0.0, 1.0, 1.0);
+        assert!((0.0..=1.0).contains(&alpha));
+    }
+
+    #[test]
+    fn optimized_allocation_is_feasible() {
+        for (du, dw) in [(5.0, 10.0), (5.0, 100.0), (300.0, 2.0), (1.0, 1.0)] {
+            for eps in [1.0, 2.0, 3.0] {
+                let opt = optimize_double_source(du, dw, eps);
+                assert!(opt.epsilon1 > 0.0 && opt.epsilon1 < eps);
+                assert!(opt.epsilon2 > 0.0 && opt.epsilon2 < eps);
+                assert!((opt.epsilon1 + opt.epsilon2 - eps).abs() < 1e-9);
+                assert!((0.0..=1.0).contains(&opt.alpha));
+                assert!(opt.loss.is_finite() && opt.loss > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_beats_both_single_sources() {
+        // Theorem 9: min L2(f*) <= min(L2(f_u), L2(f_w)) for any fixed split;
+        // with the split also optimised it is at most the even-split SS loss.
+        for (du, dw) in [(5.0, 10.0), (5.0, 100.0), (50.0, 60.0), (1000.0, 3.0)] {
+            let eps = 2.0;
+            let opt = optimize_double_source(du, dw, eps);
+            let even_ss_u = single_source_l2(du, eps / 2.0, eps / 2.0);
+            let even_ss_w = single_source_l2(dw, eps / 2.0, eps / 2.0);
+            assert!(
+                opt.loss <= even_ss_u.min(even_ss_w) + 1e-9,
+                "du={du} dw={dw}: {} vs {}",
+                opt.loss,
+                even_ss_u.min(even_ss_w)
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_beats_grid_search() {
+        // The returned loss should be within a hair of a dense grid search.
+        let (du, dw, eps) = (5.0, 100.0, 2.0);
+        let opt = optimize_double_source(du, dw, eps);
+        let mut best_grid = f64::INFINITY;
+        for i in 1..400 {
+            let e1 = eps * i as f64 / 400.0;
+            let e2 = eps - e1;
+            for j in 0..=100 {
+                let alpha = j as f64 / 100.0;
+                best_grid = best_grid.min(double_source_l2(du, dw, alpha, e1, e2));
+            }
+        }
+        assert!(
+            opt.loss <= best_grid * 1.001,
+            "optimizer {} vs grid {best_grid}",
+            opt.loss
+        );
+    }
+
+    #[test]
+    fn large_degrees_shift_budget_towards_rr() {
+        // Paper: "when the incoming query vertices have large degrees,
+        // MultiR-DS tends to devote more privacy budget to noisy graph
+        // construction" (ε₁).
+        let small = optimize_double_source(5.0, 5.0, 2.0);
+        let large = optimize_double_source(500.0, 500.0, 2.0);
+        assert!(
+            large.epsilon1 > small.epsilon1,
+            "large-degree ε₁ {} should exceed small-degree ε₁ {}",
+            large.epsilon1,
+            small.epsilon1
+        );
+    }
+
+    #[test]
+    fn single_source_optimizer_matches_alpha_one_special_case() {
+        let du = 200.0;
+        let eps = 2.0;
+        let ss = optimize_single_source(du, eps);
+        assert_eq!(ss.alpha, 1.0);
+        // Must be no worse than the even split.
+        assert!(ss.loss <= single_source_l2(du, 1.0, 1.0) + 1e-9);
+        // And feasible.
+        assert!(ss.epsilon1 > 0.0 && ss.epsilon2 > 0.0);
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let min = golden_section_minimize(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.0, 10.0, 1e-9);
+        assert!((min - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn newton_finds_parabola_minimum() {
+        let x = newton_minimize_1d(|x| (x - 3.0) * (x - 3.0) + 1.0, 5.0, 0.0, 10.0).unwrap();
+        assert!((x - 3.0).abs() < 1e-6);
+        // Newton refuses a maximum.
+        assert!(newton_minimize_1d(|x| -(x - 3.0) * (x - 3.0), 3.0001, 0.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let opt = optimize_double_source(5.0, 10.0, 2.0);
+        let json = serde_json::to_string(&opt).unwrap();
+        let back: OptimizedAllocation = serde_json::from_str(&json).unwrap();
+        // JSON float round-tripping may differ in the last ulp.
+        assert!((opt.epsilon1 - back.epsilon1).abs() < 1e-12);
+        assert!((opt.epsilon2 - back.epsilon2).abs() < 1e-12);
+        assert!((opt.alpha - back.alpha).abs() < 1e-12);
+        assert!((opt.loss - back.loss).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Shared protocol building blocks: queries and round helpers.
+//!
+//! Every estimation algorithm is phrased as a sequence of *vertex-side* and
+//! *curator-side* steps. The helpers here implement the steps that several
+//! algorithms share — validating the query, running a randomized-response
+//! round for one or both query vertices, and recording the exchanged messages
+//! in a [`Transcript`] — so the per-algorithm modules only contain the logic
+//! that distinguishes them.
+
+use crate::error::Result;
+use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
+use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::noisy_graph::NoisyNeighbors;
+use ldp::transcript::{Direction, Transcript};
+use serde::{Deserialize, Serialize};
+
+/// Size in bytes of one reported edge endpoint in a noisy-edge upload.
+pub const EDGE_BYTES: usize = std::mem::size_of::<VertexId>();
+/// Size in bytes of one scalar (estimator value or noisy degree) message.
+pub const SCALAR_BYTES: usize = std::mem::size_of::<f64>();
+
+/// A same-layer query pair `(u, w)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    /// The layer both query vertices live on.
+    pub layer: Layer,
+    /// The first query vertex.
+    pub u: VertexId,
+    /// The second query vertex.
+    pub w: VertexId,
+}
+
+impl Query {
+    /// Creates a query for two vertices on `layer`.
+    #[must_use]
+    pub fn new(layer: Layer, u: VertexId, w: VertexId) -> Self {
+        Self { layer, u, w }
+    }
+
+    /// Validates the query against a graph: both vertices exist, are distinct,
+    /// and live on the stated layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`bigraph::GraphError`] wrapped in [`crate::CneError::Graph`].
+    pub fn validate(&self, g: &BipartiteGraph) -> Result<()> {
+        common_neighbors::check_query_pair(g, self.layer, self.u, self.w)?;
+        Ok(())
+    }
+
+    /// The exact (non-private) common-neighbor count — the ground truth the
+    /// experiment harness compares estimates against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors for invalid queries.
+    pub fn exact_count(&self, g: &BipartiteGraph) -> Result<u64> {
+        Ok(common_neighbors::count(g, self.layer, self.u, self.w)?)
+    }
+
+    /// The query with `u` and `w` swapped.
+    #[must_use]
+    pub fn swapped(&self) -> Query {
+        Query::new(self.layer, self.w, self.u)
+    }
+
+    /// Number of vertices on the opposite layer (the candidate pool size the
+    /// one-round algorithms work with; `n₁` in the paper when `u, w ∈ L(G)`).
+    #[must_use]
+    pub fn opposite_size(&self, g: &BipartiteGraph) -> usize {
+        g.layer_size(self.layer.opposite())
+    }
+}
+
+/// Outcome of a randomized-response round for a set of query vertices.
+#[derive(Debug, Clone)]
+pub struct RrRound {
+    /// The noisy neighbor lists, in the same order as the vertices passed in.
+    pub noisy: Vec<NoisyNeighbors>,
+    /// The flip probability used.
+    pub flip_probability: f64,
+}
+
+/// Runs one randomized-response round: each vertex in `vertices` perturbs its
+/// neighbor list with budget `epsilon1` and uploads the noisy edges to the
+/// curator. The round is recorded in `transcript` and charged to `budget`
+/// (one sequential charge — the perturbed lists of different vertices cover
+/// disjoint edge sets *of those vertices' own lists*, but the paper accounts
+/// the RR round once at `ε₁`, which parallel composition over the reporting
+/// vertices justifies; we charge it sequentially against the total, matching
+/// Theorem 7 / Theorem 10).
+pub fn randomized_response_round(
+    g: &BipartiteGraph,
+    layer: Layer,
+    vertices: &[VertexId],
+    epsilon1: PrivacyBudget,
+    round: u32,
+    budget: &mut BudgetAccountant,
+    transcript: &mut Transcript,
+    rng: &mut dyn rand::RngCore,
+) -> Result<RrRound> {
+    budget.charge(format!("round{round}:rr"), epsilon1, Composition::Sequential)?;
+    let mut noisy = Vec::with_capacity(vertices.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        let list = NoisyNeighbors::generate(g, layer, v, epsilon1, rng);
+        transcript.record(
+            round,
+            Direction::Upload,
+            format!("noisy-edges(v{i})"),
+            list.message_bytes(),
+        );
+        if i > 0 {
+            // Reporting vertices after the first compose in parallel (their
+            // neighbor lists are disjoint datasets), so they do not consume
+            // additional budget beyond ε₁; record a zero-cost marker charge is
+            // unnecessary — the single sequential charge above covers the round.
+        }
+        noisy.push(list);
+    }
+    let flip_probability = 1.0 / (1.0 + epsilon1.value().exp());
+    Ok(RrRound {
+        noisy,
+        flip_probability,
+    })
+}
+
+/// Records the curator pushing a noisy edge list down to a query vertex
+/// (the "download" step of the multiple-round framework).
+pub fn record_download(transcript: &mut Transcript, round: u32, label: &str, list: &NoisyNeighbors) {
+    transcript.record(round, Direction::Download, label, list.message_bytes());
+}
+
+/// Records a client uploading a scalar (an estimator value or noisy degree).
+pub fn record_scalar_upload(transcript: &mut Transcript, round: u32, label: &str) {
+    transcript.record(round, Direction::Upload, label, SCALAR_BYTES);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_edges(3, 10, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 9)]).unwrap()
+    }
+
+    #[test]
+    fn query_validation() {
+        let g = toy();
+        assert!(Query::new(Layer::Upper, 0, 1).validate(&g).is_ok());
+        assert!(Query::new(Layer::Upper, 0, 0).validate(&g).is_err());
+        assert!(Query::new(Layer::Upper, 0, 9).validate(&g).is_err());
+        assert!(Query::new(Layer::Lower, 0, 9).validate(&g).is_ok());
+    }
+
+    #[test]
+    fn query_exact_count_and_swap() {
+        let g = toy();
+        let q = Query::new(Layer::Upper, 0, 1);
+        assert_eq!(q.exact_count(&g).unwrap(), 1);
+        assert_eq!(q.swapped().exact_count(&g).unwrap(), 1);
+        assert_eq!(q.swapped().u, 1);
+        assert_eq!(q.opposite_size(&g), 10);
+        assert_eq!(Query::new(Layer::Lower, 0, 1).opposite_size(&g), 3);
+    }
+
+    #[test]
+    fn rr_round_charges_budget_once_and_records_uploads() {
+        let g = toy();
+        let total = PrivacyBudget::new(2.0).unwrap();
+        let mut budget = BudgetAccountant::new(total);
+        let mut transcript = Transcript::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let eps1 = PrivacyBudget::new(1.0).unwrap();
+        let round = randomized_response_round(
+            &g,
+            Layer::Upper,
+            &[0, 1],
+            eps1,
+            1,
+            &mut budget,
+            &mut transcript,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(round.noisy.len(), 2);
+        assert!((budget.consumed() - 1.0).abs() < 1e-12);
+        assert_eq!(transcript.messages().len(), 2);
+        assert_eq!(transcript.rounds(), 1);
+        assert!((round.flip_probability - 1.0 / (1.0 + 1.0f64.exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_round_rejects_overcharge() {
+        let g = toy();
+        let total = PrivacyBudget::new(0.5).unwrap();
+        let mut budget = BudgetAccountant::new(total);
+        let mut transcript = Transcript::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let eps1 = PrivacyBudget::new(1.0).unwrap();
+        let err = randomized_response_round(
+            &g,
+            Layer::Upper,
+            &[0],
+            eps1,
+            1,
+            &mut budget,
+            &mut transcript,
+            &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn download_and_scalar_records() {
+        let mut t = Transcript::new();
+        let list = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![1, 2, 3]);
+        record_download(&mut t, 2, "noisy-edges(w) -> u", &list);
+        record_scalar_upload(&mut t, 2, "estimator(f_u)");
+        assert_eq!(t.total_bytes(), 3 * EDGE_BYTES + SCALAR_BYTES);
+        assert_eq!(t.bytes_in_direction(Direction::Download), 3 * EDGE_BYTES);
+    }
+}

@@ -1,0 +1,305 @@
+//! The `MultiR-SS` algorithm (Algorithm 3): a two-round single-source estimator.
+
+use crate::error::{CneError, Result};
+use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
+use crate::estimator::CommonNeighborEstimator;
+use crate::protocol::{
+    randomized_response_round, record_download, record_scalar_upload, Query,
+};
+use bigraph::{BipartiteGraph, Layer, VertexId};
+use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::laplace::LaplaceMechanism;
+use ldp::mechanism::Sensitivity;
+use ldp::noisy_graph::NoisyNeighbors;
+use ldp::transcript::Transcript;
+use serde::{Deserialize, Serialize};
+
+/// The multiple-round single-source estimator.
+///
+/// Round 1: vertex `w` perturbs its neighbor list with budget `ε₁` and uploads
+/// the noisy edges. Round 2: vertex `u` downloads them, combines them with its
+/// **true** neighborhood to form
+///
+/// ```text
+/// f_u(u, w) = Σ_{v ∈ N(u,G)} (A'[v,w] − p) / (1 − 2p)
+///           = S₁ · (1−p)/(1−2p) − S₂ · p/(1−2p)
+/// ```
+///
+/// (`S₁` = true neighbors of `u` that are noisy neighbors of `w`, `S₂` = the
+/// rest), adds Laplace noise scaled to the global sensitivity `(1−p)/(1−2p)`
+/// with budget `ε₂`, and uploads the single scalar. Restricting the candidate
+/// pool to `N(u, G)` removes the `n₁` factor from the variance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiRSS {
+    /// Fraction of the total budget spent on the randomized-response round
+    /// (`ε₁ = fraction · ε`, `ε₂ = (1 − fraction) · ε`). The paper's default
+    /// is an even split.
+    pub epsilon1_fraction: f64,
+}
+
+impl Default for MultiRSS {
+    fn default() -> Self {
+        Self {
+            epsilon1_fraction: 0.5,
+        }
+    }
+}
+
+impl MultiRSS {
+    /// Creates a MultiR-SS instance with a custom ε₁ fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CneError::InvalidParameter`] unless `0 < fraction < 1`.
+    pub fn with_fraction(fraction: f64) -> Result<Self> {
+        if fraction > 0.0 && fraction < 1.0 {
+            Ok(Self {
+                epsilon1_fraction: fraction,
+            })
+        } else {
+            Err(CneError::InvalidParameter {
+                name: "epsilon1_fraction",
+                reason: format!("must be strictly between 0 and 1, got {fraction}"),
+            })
+        }
+    }
+}
+
+/// The un-noised single-source value `f_source` computed from the true
+/// neighborhood of `source` and the noisy neighbor list of the other query
+/// vertex. Shared by MultiR-SS and both MultiR-DS variants.
+#[must_use]
+pub fn single_source_value(
+    g: &BipartiteGraph,
+    layer: Layer,
+    source: VertexId,
+    other_noisy: &NoisyNeighbors,
+    flip_probability: f64,
+) -> f64 {
+    let p = flip_probability;
+    let q = 1.0 - 2.0 * p;
+    let mut s1 = 0u64;
+    let mut s2 = 0u64;
+    for &v in g.neighbors(layer, source) {
+        if other_noisy.contains(v) {
+            s1 += 1;
+        } else {
+            s2 += 1;
+        }
+    }
+    s1 as f64 * (1.0 - p) / q - s2 as f64 * p / q
+}
+
+/// The global sensitivity of the single-source estimator: `(1−p)/(1−2p)`.
+#[must_use]
+pub fn single_source_sensitivity(flip_probability: f64) -> f64 {
+    (1.0 - flip_probability) / (1.0 - 2.0 * flip_probability)
+}
+
+/// The Laplace mechanism used to release a single-source estimator computed
+/// under flip probability `p` with Laplace budget `ε₂`.
+///
+/// # Errors
+///
+/// Propagates budget/sensitivity validation errors.
+pub fn single_source_laplace(flip_probability: f64, epsilon2: PrivacyBudget) -> Result<LaplaceMechanism> {
+    let sensitivity = Sensitivity::new(single_source_sensitivity(flip_probability))?;
+    Ok(LaplaceMechanism::new(epsilon2, sensitivity))
+}
+
+impl CommonNeighborEstimator for MultiRSS {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::MultiRSS
+    }
+
+    fn estimate(
+        &self,
+        g: &BipartiteGraph,
+        query: &Query,
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<EstimateReport> {
+        query.validate(g)?;
+        let total = PrivacyBudget::new(epsilon)?;
+        let (eps1, eps2) = total.split_fraction(self.epsilon1_fraction)?;
+        let mut budget = BudgetAccountant::new(total);
+        let mut transcript = Transcript::new();
+
+        // Round 1: w applies randomized response with ε₁ and uploads.
+        let round1 = randomized_response_round(
+            g,
+            query.layer,
+            &[query.w],
+            eps1,
+            1,
+            &mut budget,
+            &mut transcript,
+            rng,
+        )?;
+        let p = round1.flip_probability;
+        let noisy_w = round1.noisy.into_iter().next().expect("one list requested");
+
+        // Round 2: u downloads the noisy edges of w ...
+        record_download(&mut transcript, 2, "noisy-edges(w) -> u", &noisy_w);
+        // ... combines them with its own neighborhood ...
+        let raw = single_source_value(g, query.layer, query.u, &noisy_w, p);
+        // ... and releases the estimator through the Laplace mechanism.
+        budget.charge("round2:laplace(f_u)", eps2, Composition::Sequential)?;
+        let laplace = single_source_laplace(p, eps2)?;
+        let estimate = laplace.perturb(raw, rng);
+        record_scalar_upload(&mut transcript, 2, "estimator(f_u)");
+
+        Ok(EstimateReport {
+            algorithm: self.kind(),
+            estimate,
+            epsilon,
+            budget,
+            transcript,
+            rounds: 2,
+            parameters: ChosenParameters {
+                epsilon1: Some(eps1.value()),
+                epsilon2: Some(eps2.value()),
+                ..Default::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sparse_graph() -> (BipartiteGraph, Query) {
+        let edges = (0..8u32).map(|v| (0u32, v)).chain((4..12u32).map(|v| (1u32, v)));
+        let g = BipartiteGraph::from_edges(2, 500, edges).unwrap();
+        (g, Query::new(Layer::Upper, 0, 1))
+    }
+
+    #[test]
+    fn single_source_value_on_exact_noisy_list() {
+        // If the "noisy" list equals the true list of w, S1 = C2 and
+        // S2 = deg(u) − C2; the value is then slightly biased away from C2 by
+        // construction (it is only unbiased in expectation over RR noise).
+        let (g, q) = sparse_graph();
+        let p = 0.2;
+        let noisy_w = NoisyNeighbors::from_parts(
+            q.w,
+            q.layer,
+            500,
+            2.0,
+            g.neighbors(q.layer, q.w).to_vec(),
+        );
+        let value = single_source_value(&g, q.layer, q.u, &noisy_w, p);
+        let s1 = 4.0;
+        let s2 = 4.0;
+        let expected = s1 * 0.8 / 0.6 - s2 * 0.2 / 0.6;
+        assert!((value - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_formula() {
+        let p = 0.25;
+        assert!((single_source_sensitivity(p) - 0.75 / 0.5).abs() < 1e-12);
+        // Sensitivity grows as the budget shrinks (p -> 0.5).
+        assert!(single_source_sensitivity(0.4) > single_source_sensitivity(0.1));
+    }
+
+    #[test]
+    fn estimates_are_unbiased() {
+        let (g, q) = sparse_graph();
+        let truth = q.exact_count(&g).unwrap() as f64; // 4
+        let mut rng = StdRng::seed_from_u64(17);
+        let runs = 800;
+        let algo = MultiRSS::default();
+        let mean: f64 = (0..runs)
+            .map(|_| algo.estimate(&g, &q, 2.0, &mut rng).unwrap().estimate)
+            .sum::<f64>()
+            / runs as f64;
+        let var = crate::loss::single_source_l2(8.0, 1.0, 1.0);
+        let se = (var / runs as f64).sqrt();
+        assert!(
+            (mean - truth).abs() < 5.0 * se + 0.05,
+            "mean {mean} truth {truth} se {se}"
+        );
+    }
+
+    #[test]
+    fn empirical_variance_matches_theorem_6() {
+        let (g, q) = sparse_graph();
+        let mut rng = StdRng::seed_from_u64(23);
+        let runs = 1_000;
+        let algo = MultiRSS::default();
+        let vals: Vec<f64> = (0..runs)
+            .map(|_| algo.estimate(&g, &q, 2.0, &mut rng).unwrap().estimate)
+            .collect();
+        let mean = vals.iter().sum::<f64>() / runs as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / runs as f64;
+        let expected = crate::loss::single_source_l2(8.0, 1.0, 1.0);
+        assert!(
+            (var - expected).abs() < expected * 0.25,
+            "empirical var {var} vs theoretical {expected}"
+        );
+    }
+
+    #[test]
+    fn variance_is_much_smaller_than_one_round() {
+        // The headline claim: removing the n₁ factor slashes the error.
+        let (g, q) = sparse_graph();
+        let truth = q.exact_count(&g).unwrap() as f64;
+        let mut rng = StdRng::seed_from_u64(31);
+        let runs = 150;
+        let mut ss_err = 0.0;
+        let mut oner_err = 0.0;
+        for _ in 0..runs {
+            ss_err += (MultiRSS::default().estimate(&g, &q, 1.0, &mut rng).unwrap().estimate - truth).abs();
+            oner_err += (crate::OneR::default().estimate(&g, &q, 1.0, &mut rng).unwrap().estimate - truth).abs();
+        }
+        assert!(
+            ss_err < oner_err,
+            "MultiR-SS MAE {} should beat OneR {}",
+            ss_err / runs as f64,
+            oner_err / runs as f64
+        );
+    }
+
+    #[test]
+    fn budget_split_and_transcript() {
+        let (g, q) = sparse_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = MultiRSS::default().estimate(&g, &q, 2.0, &mut rng).unwrap();
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.parameters.epsilon1, Some(1.0));
+        assert_eq!(report.parameters.epsilon2, Some(1.0));
+        assert!((report.budget.consumed() - 2.0).abs() < 1e-9);
+        // Round 1 upload, round 2 download + scalar upload.
+        assert_eq!(report.transcript.messages().len(), 3);
+        assert_eq!(report.transcript.rounds(), 2);
+    }
+
+    #[test]
+    fn custom_fraction_validated() {
+        assert!(MultiRSS::with_fraction(0.3).is_ok());
+        assert!(MultiRSS::with_fraction(0.0).is_err());
+        assert!(MultiRSS::with_fraction(1.0).is_err());
+        assert!(MultiRSS::with_fraction(f64::NAN).is_err());
+        let (g, q) = sparse_graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = MultiRSS::with_fraction(0.25)
+            .unwrap()
+            .estimate(&g, &q, 2.0, &mut rng)
+            .unwrap();
+        assert!((report.parameters.epsilon1.unwrap() - 0.5).abs() < 1e-12);
+        assert!((report.parameters.epsilon2.unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_query_rejected() {
+        let (g, _) = sparse_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(MultiRSS::default()
+            .estimate(&g, &Query::new(Layer::Upper, 1, 1), 2.0, &mut rng)
+            .is_err());
+    }
+}

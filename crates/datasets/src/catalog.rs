@@ -1,0 +1,287 @@
+//! The named dataset catalog.
+//!
+//! [`Catalog`] maps the paper's dataset codes (`RM`, `AC`, …, `OG`) to
+//! concrete, deterministically generated bipartite graphs. The default
+//! catalog scales every profile down to a laptop-friendly maximum edge count
+//! while preserving the `|U| : |L| : |E|` proportions of Table 2; the
+//! full-size profiles remain available through [`Catalog::full_scale`] for
+//! users with the memory (and patience) to realise them.
+
+use crate::generator::generate_from_spec;
+use crate::spec::{paper_table2, DatasetSpec};
+use bigraph::BipartiteGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 15 dataset codes used throughout the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum DatasetCode {
+    /// Rmwiki (User–Article).
+    RM,
+    /// Collaboration (Author–Paper).
+    AC,
+    /// Occupation (Person–Occupation).
+    OC,
+    /// Bag-kos (Document–Word).
+    DA,
+    /// Bpywiki (User–Article).
+    BP,
+    /// Tewiktionary (User–Article).
+    MT,
+    /// Bookcrossing (User–Book).
+    BX,
+    /// Stackoverflow (User–Post).
+    SO,
+    /// Team (Athlete–Team).
+    TM,
+    /// Wiki-en-cat (Article–Category).
+    WC,
+    /// Movielens (User–Movie).
+    ML,
+    /// Epinions (User–Product).
+    ER,
+    /// Netflix (User–Movie).
+    NX,
+    /// Delicious-ui (User–Url).
+    DUI,
+    /// Orkut (User–Group).
+    OG,
+}
+
+impl DatasetCode {
+    /// All codes in the order the paper's Table 2 lists them.
+    #[must_use]
+    pub fn all() -> [DatasetCode; 15] {
+        use DatasetCode::*;
+        [RM, AC, OC, DA, BP, MT, BX, SO, TM, WC, ML, ER, NX, DUI, OG]
+    }
+
+    /// The code string as printed in the paper (e.g. `"RM"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DatasetCode::RM => "RM",
+            DatasetCode::AC => "AC",
+            DatasetCode::OC => "OC",
+            DatasetCode::DA => "DA",
+            DatasetCode::BP => "BP",
+            DatasetCode::MT => "MT",
+            DatasetCode::BX => "BX",
+            DatasetCode::SO => "SO",
+            DatasetCode::TM => "TM",
+            DatasetCode::WC => "WC",
+            DatasetCode::ML => "ML",
+            DatasetCode::ER => "ER",
+            DatasetCode::NX => "NX",
+            DatasetCode::DUI => "DUI",
+            DatasetCode::OG => "OG",
+        }
+    }
+
+    /// Parses a code string (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<DatasetCode> {
+        DatasetCode::all()
+            .into_iter()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// The eight datasets used in the paper's Fig. 7 ε-sweep.
+    #[must_use]
+    pub fn epsilon_sweep_set() -> [DatasetCode; 8] {
+        use DatasetCode::*;
+        [SO, TM, WC, ML, ER, NX, DUI, OG]
+    }
+
+    /// The four datasets used in the paper's Figs. 8–11 focused experiments.
+    #[must_use]
+    pub fn focused_set() -> [DatasetCode; 4] {
+        use DatasetCode::*;
+        [TM, BX, DUI, OG]
+    }
+}
+
+impl fmt::Display for DatasetCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A dataset realised from the catalog: the generated graph plus provenance.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// The code the graph was generated for.
+    pub code: DatasetCode,
+    /// The (possibly scaled) profile that was realised.
+    pub spec: DatasetSpec,
+    /// The generated graph.
+    pub graph: BipartiteGraph,
+    /// The seed the graph was generated with.
+    pub seed: u64,
+}
+
+/// A catalog of dataset profiles keyed by [`DatasetCode`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    specs: Vec<DatasetSpec>,
+    max_edges: Option<usize>,
+}
+
+/// Default edge cap for the scaled catalog: large enough to preserve each
+/// dataset's character, small enough for commodity hardware and CI.
+pub const DEFAULT_MAX_EDGES: usize = 200_000;
+
+impl Catalog {
+    /// The catalog at the paper's original sizes (hundreds of millions of
+    /// edges for the largest datasets — generate at your own risk).
+    #[must_use]
+    pub fn full_scale() -> Self {
+        Self {
+            specs: paper_table2(),
+            max_edges: None,
+        }
+    }
+
+    /// The default laptop-scale catalog: every profile proportionally scaled
+    /// so that no dataset exceeds [`DEFAULT_MAX_EDGES`] edges.
+    #[must_use]
+    pub fn scaled_default() -> Self {
+        Self::scaled(DEFAULT_MAX_EDGES)
+    }
+
+    /// A catalog scaled so that no dataset exceeds `max_edges` edges.
+    #[must_use]
+    pub fn scaled(max_edges: usize) -> Self {
+        Self {
+            specs: paper_table2()
+                .into_iter()
+                .map(|s| s.scaled_to_max_edges(max_edges))
+                .collect(),
+            max_edges: Some(max_edges),
+        }
+    }
+
+    /// The profile for `code`.
+    #[must_use]
+    pub fn spec(&self, code: DatasetCode) -> Option<&DatasetSpec> {
+        self.specs.iter().find(|s| s.code == code.as_str())
+    }
+
+    /// All profiles in Table 2 order.
+    #[must_use]
+    pub fn specs(&self) -> &[DatasetSpec] {
+        &self.specs
+    }
+
+    /// The edge cap this catalog was scaled to, if any.
+    #[must_use]
+    pub fn max_edges(&self) -> Option<usize> {
+        self.max_edges
+    }
+
+    /// Generates the graph for `code` with a seed derived from `base_seed`
+    /// and the code itself (so different datasets get independent streams).
+    #[must_use]
+    pub fn generate(&self, code: DatasetCode, base_seed: u64) -> Option<GeneratedDataset> {
+        let spec = self.spec(code)?.clone();
+        let seed = derive_seed(base_seed, code);
+        let graph = generate_from_spec(&spec, seed);
+        Some(GeneratedDataset {
+            code,
+            spec,
+            graph,
+            seed,
+        })
+    }
+}
+
+fn derive_seed(base_seed: u64, code: DatasetCode) -> u64 {
+    // Simple splitmix-style mixing of the base seed with the code index so
+    // each dataset draws from an independent stream.
+    let idx = DatasetCode::all()
+        .iter()
+        .position(|&c| c == code)
+        .expect("code is in all()") as u64;
+    let mut z = base_seed ^ (idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_strings() {
+        for code in DatasetCode::all() {
+            assert_eq!(DatasetCode::parse(code.as_str()), Some(code));
+            assert_eq!(DatasetCode::parse(&code.as_str().to_lowercase()), Some(code));
+            assert_eq!(code.to_string(), code.as_str());
+        }
+        assert_eq!(DatasetCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn scaled_catalog_respects_cap() {
+        let cap = 50_000;
+        let cat = Catalog::scaled(cap);
+        assert_eq!(cat.max_edges(), Some(cap));
+        for spec in cat.specs() {
+            assert!(spec.n_edges <= cap, "{} exceeds cap", spec.code);
+            assert!(spec.n_upper >= 2 && spec.n_lower >= 2);
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_table2() {
+        let cat = Catalog::full_scale();
+        assert_eq!(cat.max_edges(), None);
+        assert_eq!(cat.specs().len(), 15);
+        assert_eq!(cat.spec(DatasetCode::OG).unwrap().n_edges, 327_000_000);
+    }
+
+    #[test]
+    fn every_code_has_a_spec() {
+        let cat = Catalog::scaled_default();
+        for code in DatasetCode::all() {
+            assert!(cat.spec(code).is_some(), "missing spec for {code}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_code_and_seed() {
+        let cat = Catalog::scaled(5_000);
+        let a = cat.generate(DatasetCode::RM, 7).unwrap();
+        let b = cat.generate(DatasetCode::RM, 7).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.seed, b.seed);
+        let c = cat.generate(DatasetCode::RM, 8).unwrap();
+        assert_ne!(a.graph, c.graph);
+        // Different codes with the same base seed use different streams.
+        let d = cat.generate(DatasetCode::AC, 7).unwrap();
+        assert_ne!(a.seed, d.seed);
+    }
+
+    #[test]
+    fn generated_graph_matches_spec_shape() {
+        let cat = Catalog::scaled(20_000);
+        let ds = cat.generate(DatasetCode::RM, 1).unwrap();
+        assert_eq!(ds.graph.n_upper(), ds.spec.n_upper);
+        assert_eq!(ds.graph.n_lower(), ds.spec.n_lower);
+        assert_eq!(ds.graph.n_edges(), ds.spec.n_edges);
+        ds.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn subsets_are_subsets_of_all() {
+        let all = DatasetCode::all();
+        for c in DatasetCode::epsilon_sweep_set() {
+            assert!(all.contains(&c));
+        }
+        for c in DatasetCode::focused_set() {
+            assert!(all.contains(&c));
+        }
+    }
+}

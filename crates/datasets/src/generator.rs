@@ -1,0 +1,232 @@
+//! Random bipartite graph generators.
+//!
+//! Two generators are provided:
+//!
+//! * [`uniform_gnm`] — `G(n₁, n₂, m)`: `m` distinct edges drawn uniformly at
+//!   random from the `n₁ × n₂` possible slots.
+//! * [`chung_lu_power_law`] — a Chung–Lu style generator whose expected
+//!   degrees follow truncated power laws on both layers, producing the heavy
+//!   skew real bipartite networks (and the paper's KONECT datasets) exhibit.
+//!
+//! Both are deterministic given a seed, so the experiment harness and the
+//! benchmarks regenerate identical workloads across runs.
+
+use crate::spec::{DatasetSpec, DegreeModel};
+use bigraph::{BipartiteGraph, GraphBuilder, VertexId};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashSet;
+
+/// Generates a uniform random bipartite graph with exactly `m` distinct edges
+/// (or the maximum possible, if `m` exceeds `n_upper · n_lower`).
+pub fn uniform_gnm<R: Rng + ?Sized>(
+    n_upper: usize,
+    n_lower: usize,
+    m: usize,
+    rng: &mut R,
+) -> BipartiteGraph {
+    let capacity = n_upper.saturating_mul(n_lower);
+    let target = m.min(capacity);
+    let mut builder = GraphBuilder::with_capacity(n_upper, n_lower, target);
+    if target == 0 || n_upper == 0 || n_lower == 0 {
+        return builder.build();
+    }
+
+    // Dense fallback: when asked for most of the possible edges, sample the
+    // complement instead to avoid long rejection loops.
+    if target * 2 > capacity {
+        let mut excluded: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(capacity - target);
+        while excluded.len() < capacity - target {
+            let u = rng.gen_range(0..n_upper) as VertexId;
+            let v = rng.gen_range(0..n_lower) as VertexId;
+            excluded.insert((u, v));
+        }
+        for u in 0..n_upper as VertexId {
+            for v in 0..n_lower as VertexId {
+                if !excluded.contains(&(u, v)) {
+                    builder.add_edge(u, v).expect("in range");
+                }
+            }
+        }
+        return builder.build();
+    }
+
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(target);
+    while seen.len() < target {
+        let u = rng.gen_range(0..n_upper) as VertexId;
+        let v = rng.gen_range(0..n_lower) as VertexId;
+        if seen.insert((u, v)) {
+            builder.add_edge(u, v).expect("in range");
+        }
+    }
+    builder.build()
+}
+
+/// Generates a Chung–Lu style bipartite graph with power-law expected degrees.
+///
+/// Expected degrees on each layer follow `w_i ∝ i^(-1/(γ-1))` (the standard
+/// continuous-approximation weights for a power law with exponent `γ`),
+/// rescaled so the expected edge total equals `m`. `m` distinct edges are then
+/// drawn by sampling endpoints proportionally to their weights. The realised
+/// edge count is exactly `min(m, n₁·n₂)` but per-vertex degrees fluctuate
+/// around their expectations, matching how real skewed datasets behave.
+pub fn chung_lu_power_law<R: Rng + ?Sized>(
+    n_upper: usize,
+    n_lower: usize,
+    m: usize,
+    gamma: f64,
+    rng: &mut R,
+) -> BipartiteGraph {
+    let capacity = n_upper.saturating_mul(n_lower);
+    let target = m.min(capacity);
+    let mut builder = GraphBuilder::with_capacity(n_upper, n_lower, target);
+    if target == 0 || n_upper == 0 || n_lower == 0 {
+        return builder.build();
+    }
+
+    let weights = |n: usize| -> Vec<f64> {
+        let exponent = 1.0 / (gamma - 1.0).max(0.1);
+        (0..n).map(|i| ((i + 1) as f64).powf(-exponent)).collect()
+    };
+    let upper_weights = weights(n_upper);
+    let lower_weights = weights(n_lower);
+    let upper_dist = WeightedIndex::new(&upper_weights).expect("positive weights");
+    let lower_dist = WeightedIndex::new(&lower_weights).expect("positive weights");
+
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(target);
+    // Cap the number of rejection attempts: for heavily skewed weight vectors
+    // the top slots saturate, so fall back to uniform sampling for the tail.
+    let max_attempts = target.saturating_mul(50).max(10_000);
+    let mut attempts = 0usize;
+    while seen.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let u = upper_dist.sample(rng) as VertexId;
+        let v = lower_dist.sample(rng) as VertexId;
+        if seen.insert((u, v)) {
+            builder.add_edge(u, v).expect("in range");
+        }
+    }
+    while seen.len() < target {
+        let u = rng.gen_range(0..n_upper) as VertexId;
+        let v = rng.gen_range(0..n_lower) as VertexId;
+        if seen.insert((u, v)) {
+            builder.add_edge(u, v).expect("in range");
+        }
+    }
+    builder.build()
+}
+
+/// Realises a [`DatasetSpec`] as a concrete graph using a deterministic seed.
+#[must_use]
+pub fn generate_from_spec(spec: &DatasetSpec, seed: u64) -> BipartiteGraph {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    match spec.degree_model {
+        DegreeModel::Uniform => uniform_gnm(spec.n_upper, spec.n_lower, spec.n_edges, &mut rng),
+        DegreeModel::PowerLaw { .. } => chung_lu_power_law(
+            spec.n_upper,
+            spec.n_lower,
+            spec.n_edges,
+            spec.degree_model.gamma().unwrap_or(2.1),
+            &mut rng,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{stats, Layer};
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn gnm_produces_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = uniform_gnm(100, 200, 5_000, &mut rng);
+        assert_eq!(g.n_upper(), 100);
+        assert_eq!(g.n_lower(), 200);
+        assert_eq!(g.n_edges(), 5_000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = uniform_gnm(10, 10, 1_000_000, &mut rng);
+        assert_eq!(g.n_edges(), 100);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_dense_request_uses_complement_sampling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = uniform_gnm(30, 30, 800, &mut rng); // 800 of 900 possible
+        assert_eq!(g.n_edges(), 800);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_zero_cases() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(uniform_gnm(0, 10, 5, &mut rng).n_edges(), 0);
+        assert_eq!(uniform_gnm(10, 0, 5, &mut rng).n_edges(), 0);
+        assert_eq!(uniform_gnm(10, 10, 0, &mut rng).n_edges(), 0);
+    }
+
+    #[test]
+    fn chung_lu_produces_exact_edge_count_and_skew() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = chung_lu_power_law(500, 1_000, 10_000, 2.1, &mut rng);
+        assert_eq!(g.n_edges(), 10_000);
+        g.validate().unwrap();
+        // The power-law generator should give a much heavier maximum degree
+        // than a uniform graph with the same size.
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let uniform = uniform_gnm(500, 1_000, 10_000, &mut rng2);
+        assert!(
+            g.max_degree(Layer::Upper) > 2 * uniform.max_degree(Layer::Upper),
+            "power-law max degree {} should exceed 2x uniform {}",
+            g.max_degree(Layer::Upper),
+            uniform.max_degree(Layer::Upper)
+        );
+    }
+
+    #[test]
+    fn chung_lu_low_degree_tail_exists() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = chung_lu_power_law(1_000, 1_000, 5_000, 2.1, &mut rng);
+        let hist = stats::degree_histogram(&g, Layer::Upper);
+        // A skewed graph with avg degree 5 should leave some vertices at
+        // degree zero or one.
+        assert!(hist[0] + hist.get(1).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn chung_lu_saturated_graph_falls_back_to_uniform_fill() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Nearly complete graph forces the fallback path.
+        let g = chung_lu_power_law(20, 20, 395, 2.1, &mut rng);
+        assert_eq!(g.n_edges(), 395);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn generate_from_spec_is_deterministic() {
+        let spec = DatasetSpec::new("T", "Test", "A", "B", 200, 300, 2_000);
+        let a = generate_from_spec(&spec, 99);
+        let b = generate_from_spec(&spec, 99);
+        assert_eq!(a, b);
+        let c = generate_from_spec(&spec, 100);
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn generate_from_spec_respects_uniform_model() {
+        let mut spec = DatasetSpec::new("T", "Test", "A", "B", 100, 100, 500);
+        spec.degree_model = DegreeModel::Uniform;
+        let g = generate_from_spec(&spec, 7);
+        assert_eq!(g.n_edges(), 500);
+        g.validate().unwrap();
+    }
+}

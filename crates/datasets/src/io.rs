@@ -1,0 +1,174 @@
+//! KONECT-style edge-list I/O.
+//!
+//! The KONECT project distributes bipartite graphs as whitespace-separated
+//! edge lists (`out.<name>` files) with optional `%` comment lines. This
+//! module reads and writes that format so real datasets can be substituted
+//! for the synthetic catalog when they are available locally.
+
+use bigraph::{BipartiteGraph, GraphBuilder, GraphError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads a bipartite edge list from any reader.
+///
+/// Each non-comment line must contain at least two whitespace-separated
+/// integers: the upper vertex id and the lower vertex id (1-based or 0-based;
+/// ids are used as given, so a 1-based file simply produces an unused vertex
+/// 0). Lines starting with `%` or `#` are skipped, as are blank lines.
+/// Remaining columns (weights, timestamps) are ignored.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Malformed`] for lines that do not parse, and I/O
+/// errors are mapped to [`GraphError::Malformed`] with the underlying message.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph, GraphError> {
+    let mut builder = GraphBuilder::default();
+    let buf = BufReader::new(reader);
+    for (line_no, line) in buf.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Malformed {
+            reason: format!("I/O error at line {}: {e}", line_no + 1),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let u: u32 = parse_field(fields.next(), line_no, "upper id")?;
+        let v: u32 = parse_field(fields.next(), line_no, "lower id")?;
+        builder.add_edge_growing(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Reads a bipartite edge list from a file path. See [`read_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Malformed`] if the file cannot be opened or parsed.
+pub fn read_edge_list_file(path: &Path) -> Result<BipartiteGraph, GraphError> {
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Malformed {
+        reason: format!("cannot open {}: {e}", path.display()),
+    })?;
+    read_edge_list(file)
+}
+
+/// Writes a graph as a KONECT-style edge list (one `u v` pair per line,
+/// preceded by a `%` header describing the layer sizes).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Malformed`] wrapping any I/O error.
+pub fn write_edge_list<W: Write>(g: &BipartiteGraph, mut writer: W) -> Result<(), GraphError> {
+    let io_err = |e: std::io::Error| GraphError::Malformed {
+        reason: format!("write error: {e}"),
+    };
+    writeln!(
+        writer,
+        "% bip {} {} {}",
+        g.n_upper(),
+        g.n_lower(),
+        g.n_edges()
+    )
+    .map_err(io_err)?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Writes a graph to a file path. See [`write_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Malformed`] if the file cannot be created or written.
+pub fn write_edge_list_file(g: &BipartiteGraph, path: &Path) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path).map_err(|e| GraphError::Malformed {
+        reason: format!("cannot create {}: {e}", path.display()),
+    })?;
+    write_edge_list(g, file)
+}
+
+fn parse_field(field: Option<&str>, line_no: usize, what: &str) -> Result<u32, GraphError> {
+    let field = field.ok_or_else(|| GraphError::Malformed {
+        reason: format!("line {}: missing {what}", line_no + 1),
+    })?;
+    field.parse().map_err(|e| GraphError::Malformed {
+        reason: format!("line {}: cannot parse {what} `{field}`: {e}", line_no + 1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::Layer;
+
+    #[test]
+    fn read_simple_edge_list() {
+        let text = "% comment line\n# another comment\n0 0\n0 1\n2 3 17 999\n\n1 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n_upper(), 3);
+        assert_eq!(g.n_lower(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert!(g.has_edge(2, 3));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let err = read_edge_list("0 zero\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Malformed { .. }));
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Malformed { .. }));
+    }
+
+    #[test]
+    fn read_empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.n_vertices(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let g = BipartiteGraph::from_edges(3, 5, [(0, 0), (1, 4), (2, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("% bip 3 5 4"));
+        let back = read_edge_list(&buf[..]).unwrap();
+        // The reader infers layer sizes from the maximum ids, so vertex counts
+        // can shrink if trailing vertices are isolated; edges must match.
+        let edges_a: Vec<_> = g.edges().collect();
+        let edges_b: Vec<_> = back.edges().collect();
+        assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bigraph_io_test_{}.txt", std::process::id()));
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (1, 1)]).unwrap();
+        write_edge_list_file(&g, &path).unwrap();
+        let back = read_edge_list_file(&path).unwrap();
+        assert_eq!(back.n_edges(), 2);
+        assert!(back.has_edge(0, 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = read_edge_list_file(Path::new("/nonexistent/definitely/missing.txt")).unwrap_err();
+        assert!(matches!(err, GraphError::Malformed { .. }));
+    }
+
+    #[test]
+    fn one_based_konect_ids_are_tolerated() {
+        // KONECT files are commonly 1-based; vertex 0 simply ends up isolated.
+        let text = "1 1\n1 2\n2 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n_upper(), 3);
+        assert_eq!(g.n_lower(), 3);
+        assert_eq!(g.degree(Layer::Upper, 0), 0);
+        assert_eq!(g.degree(Layer::Upper, 1), 2);
+    }
+}

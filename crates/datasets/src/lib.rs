@@ -1,0 +1,39 @@
+//! # datasets — workload substrate
+//!
+//! The paper evaluates on 15 real-world bipartite graphs from KONECT
+//! (Table 2), ranging from 58 K to 327 M edges. Those datasets are not
+//! redistributable with this repository, so this crate provides:
+//!
+//! * [`spec`] — the Table 2 dataset profiles (codes, layer sizes, edge
+//!   counts) and scaled-down synthetic profiles that keep the same
+//!   `|U| : |L| : |E|` proportions,
+//! * [`generator`] — random bipartite graph generators (uniform `G(n₁,n₂,m)`
+//!   and Chung–Lu power-law) used to realise a profile as a concrete graph,
+//! * [`catalog`] — a deterministic, seeded catalog mapping dataset codes
+//!   (`RM`, `AC`, …, `OG`) to generated graphs,
+//! * [`io`] — a KONECT-style edge-list reader/writer, so genuine KONECT
+//!   downloads can be dropped in when available.
+//!
+//! The substitution is documented in `DESIGN.md`: the estimators' error
+//! depends only on the opposite-layer size, the query-vertex degrees and ε,
+//! all of which the synthetic profiles preserve per dataset.
+//!
+//! ```
+//! use datasets::catalog::{Catalog, DatasetCode};
+//!
+//! let catalog = Catalog::scaled_default();
+//! let rm = catalog.generate(DatasetCode::RM, 42).unwrap();
+//! assert!(rm.graph.n_edges() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod generator;
+pub mod io;
+pub mod spec;
+
+pub use catalog::{Catalog, DatasetCode, GeneratedDataset};
+pub use spec::DatasetSpec;

@@ -1,0 +1,238 @@
+//! Dataset profiles: the paper's Table 2 plus scaled synthetic variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Degree-distribution family used when realising a profile as a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegreeModel {
+    /// Every edge slot is equally likely (Erdős–Rényi-style `G(n₁, n₂, m)`).
+    Uniform,
+    /// Chung–Lu with power-law expected degrees on both layers.
+    PowerLaw {
+        /// Power-law exponent scaled by 100 (e.g. `215` means γ = 2.15), kept
+        /// integral so the type stays `Eq`/hashable and serialises exactly.
+        gamma_x100: u32,
+    },
+}
+
+impl DegreeModel {
+    /// The conventional power-law profile used for the synthetic KONECT
+    /// stand-ins (γ = 2.1, a typical exponent for web-like bipartite data).
+    #[must_use]
+    pub fn default_power_law() -> Self {
+        DegreeModel::PowerLaw { gamma_x100: 210 }
+    }
+
+    /// The exponent as a float (only meaningful for [`DegreeModel::PowerLaw`]).
+    #[must_use]
+    pub fn gamma(&self) -> Option<f64> {
+        match self {
+            DegreeModel::Uniform => None,
+            DegreeModel::PowerLaw { gamma_x100 } => Some(f64::from(*gamma_x100) / 100.0),
+        }
+    }
+}
+
+/// A dataset profile: the shape parameters a generator needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Short code used throughout the paper's figures (e.g. `"RM"`).
+    pub code: String,
+    /// Human-readable name (e.g. `"Rmwiki"`).
+    pub name: String,
+    /// What the upper layer models (e.g. `"User"`).
+    pub upper_entity: String,
+    /// What the lower layer models (e.g. `"Article"`).
+    pub lower_entity: String,
+    /// Number of upper vertices, `|U|`.
+    pub n_upper: usize,
+    /// Number of lower vertices, `|L|`.
+    pub n_lower: usize,
+    /// Number of edges, `|E|`.
+    pub n_edges: usize,
+    /// Degree model used when generating a synthetic realisation.
+    pub degree_model: DegreeModel,
+}
+
+impl DatasetSpec {
+    /// Creates a spec with the default power-law degree model.
+    #[must_use]
+    pub fn new(
+        code: &str,
+        name: &str,
+        upper_entity: &str,
+        lower_entity: &str,
+        n_upper: usize,
+        n_lower: usize,
+        n_edges: usize,
+    ) -> Self {
+        Self {
+            code: code.to_string(),
+            name: name.to_string(),
+            upper_entity: upper_entity.to_string(),
+            lower_entity: lower_entity.to_string(),
+            n_upper,
+            n_lower,
+            n_edges,
+            degree_model: DegreeModel::default_power_law(),
+        }
+    }
+
+    /// Average degree of the upper layer, `|E| / |U|`.
+    #[must_use]
+    pub fn avg_degree_upper(&self) -> f64 {
+        if self.n_upper == 0 {
+            0.0
+        } else {
+            self.n_edges as f64 / self.n_upper as f64
+        }
+    }
+
+    /// Average degree of the lower layer, `|E| / |L|`.
+    #[must_use]
+    pub fn avg_degree_lower(&self) -> f64 {
+        if self.n_lower == 0 {
+            0.0
+        } else {
+            self.n_edges as f64 / self.n_lower as f64
+        }
+    }
+
+    /// Graph density `|E| / (|U|·|L|)`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let denom = self.n_upper as f64 * self.n_lower as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.n_edges as f64 / denom
+        }
+    }
+
+    /// Returns a proportionally scaled copy whose edge count does not exceed
+    /// `max_edges`. Layer sizes shrink by the same factor (at least 2
+    /// vertices per layer are kept so query pairs remain sampleable), and the
+    /// edge count is capped at `|U|·|L|` so the result stays realisable.
+    #[must_use]
+    pub fn scaled_to_max_edges(&self, max_edges: usize) -> Self {
+        if self.n_edges <= max_edges {
+            return self.clone();
+        }
+        let factor = max_edges as f64 / self.n_edges as f64;
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(2);
+        let n_upper = scale(self.n_upper);
+        let n_lower = scale(self.n_lower);
+        let n_edges = max_edges.min(n_upper * n_lower);
+        Self {
+            n_upper,
+            n_lower,
+            n_edges,
+            ..self.clone()
+        }
+    }
+}
+
+/// The 15 dataset profiles of the paper's Table 2, at their original sizes.
+#[must_use]
+pub fn paper_table2() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::new("RM", "Rmwiki", "User", "Article", 1_200, 8_100, 58_000),
+        DatasetSpec::new("AC", "Collaboration", "Author", "Paper", 16_700, 22_000, 58_600),
+        DatasetSpec::new("OC", "Occupation", "Person", "Occupation", 127_600, 101_700, 250_900),
+        DatasetSpec::new("DA", "Bag-kos", "Document", "Word", 3_400, 6_900, 353_200),
+        DatasetSpec::new("BP", "Bpywiki", "User", "Article", 1_300, 57_900, 399_700),
+        DatasetSpec::new("MT", "Tewiktionary", "User", "Article", 495, 121_500, 529_600),
+        DatasetSpec::new("BX", "Bookcrossing", "User", "Book", 105_300, 340_500, 1_100_000),
+        DatasetSpec::new("SO", "Stackoverflow", "User", "Post", 545_200, 96_700, 1_300_000),
+        DatasetSpec::new("TM", "Team", "Athlete", "Team", 901_200, 34_500, 1_400_000),
+        DatasetSpec::new("WC", "Wiki-en-cat", "Article", "Category", 1_900_000, 182_900, 3_800_000),
+        DatasetSpec::new("ML", "Movielens", "User", "Movie", 69_900, 10_700, 10_000_000),
+        DatasetSpec::new("ER", "Epinions", "User", "Product", 120_500, 755_800, 13_700_000),
+        DatasetSpec::new("NX", "Netflix", "User", "Movie", 480_200, 17_800, 100_500_000),
+        DatasetSpec::new("DUI", "Delicious-ui", "User", "Url", 833_100, 33_800_000, 101_800_000),
+        DatasetSpec::new("OG", "Orkut", "User", "Group", 2_800_000, 8_700_000, 327_000_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_fifteen_datasets_with_unique_codes() {
+        let specs = paper_table2();
+        assert_eq!(specs.len(), 15);
+        let mut codes: Vec<&str> = specs.iter().map(|s| s.code.as_str()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 15, "dataset codes must be unique");
+    }
+
+    #[test]
+    fn table2_matches_paper_shapes() {
+        let specs = paper_table2();
+        let rm = specs.iter().find(|s| s.code == "RM").unwrap();
+        assert_eq!(rm.n_upper, 1_200);
+        assert_eq!(rm.n_lower, 8_100);
+        assert_eq!(rm.n_edges, 58_000);
+        let og = specs.iter().find(|s| s.code == "OG").unwrap();
+        assert_eq!(og.n_edges, 327_000_000);
+    }
+
+    #[test]
+    fn averages_and_density() {
+        let s = DatasetSpec::new("X", "X", "A", "B", 10, 20, 40);
+        assert!((s.avg_degree_upper() - 4.0).abs() < 1e-12);
+        assert!((s.avg_degree_lower() - 2.0).abs() < 1e-12);
+        assert!((s.density() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_spec_has_zero_ratios() {
+        let s = DatasetSpec::new("X", "X", "A", "B", 0, 0, 0);
+        assert_eq!(s.avg_degree_upper(), 0.0);
+        assert_eq!(s.avg_degree_lower(), 0.0);
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn scaling_preserves_proportions_and_caps_edges() {
+        let s = DatasetSpec::new("NX", "Netflix", "User", "Movie", 480_200, 17_800, 100_500_000);
+        let scaled = s.scaled_to_max_edges(1_000_000);
+        assert!(scaled.n_edges <= 1_000_000);
+        // Ratio |U| / |L| is approximately preserved.
+        let orig_ratio = s.n_upper as f64 / s.n_lower as f64;
+        let new_ratio = scaled.n_upper as f64 / scaled.n_lower as f64;
+        assert!((orig_ratio - new_ratio).abs() / orig_ratio < 0.05);
+        // Feasibility: edges never exceed the complete bipartite capacity.
+        assert!(scaled.n_edges <= scaled.n_upper * scaled.n_lower);
+    }
+
+    #[test]
+    fn scaling_is_identity_when_small_enough() {
+        let s = DatasetSpec::new("RM", "Rmwiki", "User", "Article", 1_200, 8_100, 58_000);
+        assert_eq!(s.scaled_to_max_edges(100_000), s);
+    }
+
+    #[test]
+    fn scaling_keeps_layers_sampleable() {
+        let s = DatasetSpec::new("T", "Tiny", "A", "B", 1_000_000, 3, 5_000_000);
+        let scaled = s.scaled_to_max_edges(1_000);
+        assert!(scaled.n_upper >= 2);
+        assert!(scaled.n_lower >= 2);
+    }
+
+    #[test]
+    fn degree_model_gamma() {
+        assert_eq!(DegreeModel::Uniform.gamma(), None);
+        assert_eq!(DegreeModel::default_power_law().gamma(), Some(2.1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = DatasetSpec::new("RM", "Rmwiki", "User", "Article", 1, 2, 3);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DatasetSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,218 @@
+//! Figure 2: the distribution of estimates on an rmwiki-like dataset at ε = 1.
+//!
+//! The paper runs Naive, OneR, MultiR-SS and MultiR-DS 1000 times on a single
+//! query pair with highly imbalanced degrees (556 vs 2) and plots the
+//! densities. We reproduce the per-algorithm mean, standard deviation and a
+//! coarse histogram; the qualitative claims to check are
+//!
+//! * Naive's distribution is shifted far to the right of the true count,
+//! * OneR is centred on the truth but wide,
+//! * MultiR-SS is centred and narrower,
+//! * MultiR-DS is centred and the narrowest.
+
+use crate::metrics;
+use crate::table::{fmt_f64, Table};
+use crate::{build_estimator, AlgorithmSelection};
+use bigraph::{sampling, Layer};
+use cne::Query;
+use datasets::DatasetCode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of the Fig. 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Shared context (catalog, seed).
+    pub context: super::Context,
+    /// Privacy budget (the paper uses 1.0).
+    pub epsilon: f64,
+    /// Number of repeated runs per algorithm (the paper uses 1000).
+    pub runs: usize,
+    /// Minimum degree imbalance of the chosen query pair.
+    pub kappa: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            context: super::Context::default(),
+            epsilon: 1.0,
+            runs: 1_000,
+            kappa: 20.0,
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            context: super::Context::smoke(),
+            runs: 40,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment and returns one summary table plus one histogram table
+/// per algorithm.
+///
+/// # Panics
+///
+/// Panics if the RM dataset profile is missing from the catalog (a build
+/// configuration error, not a runtime condition).
+#[must_use]
+pub fn run(config: &Config) -> Vec<Table> {
+    let dataset = config
+        .context
+        .catalog
+        .generate(DatasetCode::RM, config.context.seed)
+        .expect("RM profile exists");
+    let graph = &dataset.graph;
+
+    // Pick an imbalanced pair, mirroring the paper's (556, 2) example.
+    let mut rng = ChaCha12Rng::seed_from_u64(config.context.seed ^ 0xF16_02);
+    let pair = sampling::imbalanced_pairs(graph, Layer::Upper, config.kappa, 1, &mut rng)
+        .ok()
+        .and_then(|v| v.first().copied())
+        .unwrap_or(sampling::QueryPair::new(Layer::Upper, 0, 1));
+    let query = Query::new(pair.layer, pair.u, pair.w);
+    let truth = query.exact_count(graph).expect("valid query") as f64;
+    let du = graph.degree(Layer::Upper, pair.u);
+    let dw = graph.degree(Layer::Upper, pair.w);
+
+    let algorithms = [
+        AlgorithmSelection::Naive,
+        AlgorithmSelection::OneR,
+        AlgorithmSelection::MultiRSS {
+            epsilon1_fraction: 0.5,
+        },
+        AlgorithmSelection::MultiRDS,
+    ];
+
+    let mut summary = Table::new(
+        format!(
+            "Figure 2: estimate distribution on {} (deg pair {du}/{dw}, true C2 = {truth}, eps = {})",
+            dataset.code, config.epsilon
+        ),
+        &["algorithm", "mean", "std", "bias", "true_count"],
+    );
+    let mut tables = Vec::new();
+
+    for selection in algorithms {
+        let estimator = build_estimator(&selection);
+        let estimates: Vec<f64> = (0..config.runs)
+            .map(|i| {
+                let mut run_rng =
+                    ChaCha12Rng::seed_from_u64(config.context.seed ^ (i as u64) << 16);
+                estimator
+                    .estimate(graph, &query, config.epsilon, &mut run_rng)
+                    .expect("estimation succeeds")
+                    .estimate
+            })
+            .collect();
+        let mean = metrics::mean(&estimates).unwrap_or(0.0);
+        let std = metrics::variance(&estimates).unwrap_or(0.0).sqrt();
+        summary.push_row(vec![
+            selection.kind().paper_name().to_string(),
+            fmt_f64(mean, 2),
+            fmt_f64(std, 2),
+            fmt_f64(mean - truth, 2),
+            fmt_f64(truth, 0),
+        ]);
+
+        tables.push(histogram_table(
+            selection.kind().paper_name(),
+            &estimates,
+            truth,
+        ));
+    }
+
+    let mut out = vec![summary];
+    out.append(&mut tables);
+    out
+}
+
+/// Builds a coarse 12-bin histogram table of the estimates.
+fn histogram_table(name: &str, estimates: &[f64], truth: f64) -> Table {
+    let mut table = Table::new(
+        format!("Figure 2 histogram: {name}"),
+        &["bin_low", "bin_high", "count", "contains_truth"],
+    );
+    if estimates.is_empty() {
+        return table;
+    }
+    let min = estimates.iter().cloned().fold(f64::INFINITY, f64::min).min(truth);
+    let max = estimates
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(truth);
+    let bins = 12usize;
+    let width = ((max - min) / bins as f64).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &v in estimates {
+        let idx = (((v - min) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    for (i, &count) in counts.iter().enumerate() {
+        let lo = min + i as f64 * width;
+        let hi = lo + width;
+        table.push_row(vec![
+            fmt_f64(lo, 1),
+            fmt_f64(hi, 1),
+            count.to_string(),
+            (truth >= lo && truth < hi || (i == bins - 1 && truth >= hi)).to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reproduces_figure_shape() {
+        let tables = run(&Config::smoke());
+        // One summary plus four histograms.
+        assert_eq!(tables.len(), 5);
+        let summary = &tables[0];
+        assert_eq!(summary.n_rows(), 4);
+
+        let truth: f64 = summary.cell_f64(0, "true_count").unwrap();
+        let naive_mean = summary.cell_f64(0, "mean").unwrap();
+        let oner_std = summary.cell_f64(1, "std").unwrap();
+        let ss_std = summary.cell_f64(2, "std").unwrap();
+        let ds_std = summary.cell_f64(3, "std").unwrap();
+
+        // Naive overestimates; the multi-round estimators are tighter than OneR.
+        assert!(naive_mean > truth);
+        assert!(ss_std < oner_std);
+        assert!(ds_std < oner_std);
+
+        // Histograms cover all runs.
+        for hist in &tables[1..] {
+            let total: usize = (0..hist.n_rows())
+                .map(|r| hist.cell(r, "count").unwrap().parse::<usize>().unwrap())
+                .sum();
+            assert_eq!(total, Config::smoke().runs);
+        }
+    }
+
+    #[test]
+    fn histogram_handles_constant_estimates() {
+        let t = histogram_table("X", &[2.0, 2.0, 2.0], 2.0);
+        let total: usize = (0..t.n_rows())
+            .map(|r| t.cell(r, "count").unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn histogram_empty_input() {
+        let t = histogram_table("X", &[], 1.0);
+        assert_eq!(t.n_rows(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 5: analytic L2 loss of the double-source estimator `f*` against the
+//! randomized-response budget `ε₁`, for α ∈ {0, ½, 1} and the global minimum.
+//!
+//! The paper plots two panels (d_u = 5, d_w = 10 and d_u = 5, d_w = 100, both
+//! at ε = 2) to show that no fixed α matches the optimised `f*` on every
+//! degree profile. This module evaluates the same closed forms.
+
+use crate::table::{fmt_f64, Table};
+use cne::loss::double_source_l2;
+use cne::optimizer::optimize_double_source;
+
+/// One panel of Fig. 5: a `(d_u, d_w)` degree profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Panel {
+    /// Degree of the first query vertex.
+    pub degree_u: f64,
+    /// Degree of the second query vertex.
+    pub degree_w: f64,
+}
+
+/// Configuration of the Fig. 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Total budget (the paper uses 2.0).
+    pub epsilon: f64,
+    /// Degree profiles to plot (the paper uses (5, 10) and (5, 100)).
+    pub panels: Vec<Panel>,
+    /// Number of ε₁ sample points per curve.
+    pub points: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            epsilon: 2.0,
+            panels: vec![
+                Panel {
+                    degree_u: 5.0,
+                    degree_w: 10.0,
+                },
+                Panel {
+                    degree_u: 5.0,
+                    degree_w: 100.0,
+                },
+            ],
+            points: 19,
+        }
+    }
+}
+
+/// Runs the experiment: one table per panel with the three fixed-α curves and
+/// the global minimum.
+#[must_use]
+pub fn run(config: &Config) -> Vec<Table> {
+    config
+        .panels
+        .iter()
+        .map(|panel| {
+            let global = optimize_double_source(panel.degree_u, panel.degree_w, config.epsilon);
+            let mut table = Table::new(
+                format!(
+                    "Figure 5: L2 loss of f* (d_u = {}, d_w = {}, eps = {}); global minimum {:.3} at eps1 = {:.3}, alpha = {:.3}",
+                    panel.degree_u, panel.degree_w, config.epsilon, global.loss, global.epsilon1, global.alpha
+                ),
+                &["eps1", "alpha=1 (f_u)", "alpha=0 (f_w)", "alpha=0.5", "global_min"],
+            );
+            for i in 1..=config.points {
+                let eps1 = config.epsilon * i as f64 / (config.points + 1) as f64;
+                let eps2 = config.epsilon - eps1;
+                table.push_row(vec![
+                    fmt_f64(eps1, 3),
+                    fmt_f64(double_source_l2(panel.degree_u, panel.degree_w, 1.0, eps1, eps2), 3),
+                    fmt_f64(double_source_l2(panel.degree_u, panel.degree_w, 0.0, eps1, eps2), 3),
+                    fmt_f64(double_source_l2(panel.degree_u, panel.degree_w, 0.5, eps1, eps2), 3),
+                    fmt_f64(global.loss, 3),
+                ]);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure5_claims() {
+        let tables = run(&Config::default());
+        assert_eq!(tables.len(), 2);
+
+        // Panel 1 (d_u=5, d_w=10): the balanced average (alpha = 0.5) gets close
+        // to the global minimum — within 10 % at its best eps1.
+        let t1 = &tables[0];
+        let global1: f64 = t1.cell_f64(0, "global_min").unwrap();
+        let best_half = (0..t1.n_rows())
+            .map(|r| t1.cell_f64(r, "alpha=0.5").unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_half <= global1 * 1.15, "best alpha=0.5 {best_half} vs global {global1}");
+
+        // Panel 2 (d_u=5, d_w=100): the single source f_u (alpha = 1) is the
+        // better fixed choice and approaches the global minimum (the optimum
+        // still shaves a bit off by keeping a small f_w contribution), while
+        // alpha=0 (relying on the high-degree vertex) is far worse everywhere.
+        let t2 = &tables[1];
+        let global2: f64 = t2.cell_f64(0, "global_min").unwrap();
+        let best_fu = (0..t2.n_rows())
+            .map(|r| t2.cell_f64(r, "alpha=1 (f_u)").unwrap())
+            .fold(f64::INFINITY, f64::min);
+        let best_fw = (0..t2.n_rows())
+            .map(|r| t2.cell_f64(r, "alpha=0 (f_w)").unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_fu <= global2 * 1.25);
+        assert!(best_fw > best_fu * 2.0, "f_w {best_fw} should be much worse than f_u {best_fu}");
+
+        // The global minimum lower-bounds every curve at every point.
+        for table in &tables {
+            let global: f64 = table.cell_f64(0, "global_min").unwrap();
+            for r in 0..table.n_rows() {
+                for col in ["alpha=1 (f_u)", "alpha=0 (f_w)", "alpha=0.5"] {
+                    assert!(table.cell_f64(r, col).unwrap() >= global - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_config_row_count() {
+        let cfg = Config {
+            points: 5,
+            panels: vec![Panel {
+                degree_u: 3.0,
+                degree_w: 3.0,
+            }],
+            epsilon: 1.0,
+        };
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].n_rows(), 5);
+    }
+}

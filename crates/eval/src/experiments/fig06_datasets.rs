@@ -1,0 +1,135 @@
+//! Figure 6: mean absolute error (a) and computational time (b) of every
+//! algorithm across the datasets at ε = 2.
+
+use crate::runner::{evaluate_on_pairs, AlgorithmSelection};
+use crate::table::{fmt_f64, Table};
+use bigraph::{sampling, Layer};
+use datasets::DatasetCode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of the Fig. 6 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Shared context (catalog, seed, pairs per dataset).
+    pub context: super::Context,
+    /// Privacy budget (the paper uses 2.0).
+    pub epsilon: f64,
+    /// Datasets to include (the paper uses all 15; default mirrors that).
+    pub datasets: Vec<DatasetCode>,
+    /// Algorithms to evaluate.
+    pub algorithms: Vec<AlgorithmSelection>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            context: super::Context::default(),
+            epsilon: 2.0,
+            datasets: DatasetCode::all().to_vec(),
+            algorithms: AlgorithmSelection::figure6_set(),
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests: two small datasets, few pairs.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            context: super::Context::smoke(),
+            datasets: vec![DatasetCode::RM, DatasetCode::AC],
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment: one table for mean absolute error (Fig. 6a) and one
+/// for wall-clock time in milliseconds (Fig. 6b). Rows are datasets, columns
+/// are algorithms.
+#[must_use]
+pub fn run(config: &Config) -> Vec<Table> {
+    let algo_names: Vec<String> = config
+        .algorithms
+        .iter()
+        .map(|a| a.kind().paper_name().to_string())
+        .collect();
+    let mut columns: Vec<&str> = vec!["dataset"];
+    columns.extend(algo_names.iter().map(String::as_str));
+
+    let mut mae_table = Table::new(
+        format!("Figure 6(a): mean absolute error per dataset (eps = {})", config.epsilon),
+        &columns,
+    );
+    let mut time_table = Table::new(
+        format!(
+            "Figure 6(b): total computation time per dataset in ms ({} pairs, eps = {})",
+            config.context.pairs_per_dataset, config.epsilon
+        ),
+        &columns,
+    );
+
+    for &code in &config.datasets {
+        let dataset = config
+            .context
+            .catalog
+            .generate(code, config.context.seed)
+            .expect("catalog covers every code");
+        let graph = &dataset.graph;
+        let mut rng = ChaCha12Rng::seed_from_u64(config.context.seed ^ u64::from(code as u8));
+        let pairs = sampling::uniform_pairs(
+            graph,
+            Layer::Upper,
+            config.context.pairs_per_dataset,
+            &mut rng,
+        )
+        .expect("layer has at least two vertices");
+
+        let mut mae_row = vec![code.as_str().to_string()];
+        let mut time_row = vec![code.as_str().to_string()];
+        for selection in &config.algorithms {
+            let summary = evaluate_on_pairs(graph, &pairs, selection, config.epsilon, config.context.seed)
+                .expect("evaluation succeeds");
+            mae_row.push(fmt_f64(summary.metrics.mean_absolute_error, 3));
+            time_row.push(fmt_f64(summary.total_time.as_secs_f64() * 1e3, 2));
+        }
+        mae_table.push_row(mae_row);
+        time_table.push_row(time_row);
+    }
+
+    vec![mae_table, time_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure6_ordering() {
+        let tables = run(&Config::smoke());
+        assert_eq!(tables.len(), 2);
+        let mae = &tables[0];
+        assert_eq!(mae.n_rows(), 2);
+        for r in 0..mae.n_rows() {
+            let naive = mae.cell_f64(r, "Naive").unwrap();
+            let oner = mae.cell_f64(r, "OneR").unwrap();
+            let ss = mae.cell_f64(r, "MultiR-SS").unwrap();
+            let ds = mae.cell_f64(r, "MultiR-DS").unwrap();
+            let central = mae.cell_f64(r, "CentralDP").unwrap();
+            // The paper's headline ordering: multi-round algorithms beat the
+            // one-round ones, and the central model beats everything local.
+            assert!(ss < naive, "row {r}: SS {ss} vs Naive {naive}");
+            assert!(ss < oner, "row {r}: SS {ss} vs OneR {oner}");
+            assert!(ds < oner, "row {r}: DS {ds} vs OneR {oner}");
+            assert!(central <= ss + 1.0, "row {r}: Central {central} vs SS {ss}");
+        }
+        // Time table has the same shape and positive entries.
+        let time = &tables[1];
+        assert_eq!(time.n_rows(), 2);
+        for r in 0..time.n_rows() {
+            for algo in ["Naive", "OneR", "MultiR-SS", "MultiR-DS"] {
+                assert!(time.cell_f64(r, algo).unwrap() >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 7: effect of the privacy budget ε on the mean absolute error.
+//!
+//! The paper sweeps ε from 1.0 to 3.0 in steps of 0.5 on eight datasets and
+//! plots the mean absolute error of Naive, OneR, MultiR-SS, MultiR-DS and
+//! CentralDP. Expected shape: every algorithm improves as ε grows, the
+//! multi-round algorithms dominate the one-round ones by orders of magnitude,
+//! and CentralDP lower-bounds everything.
+
+use crate::runner::{evaluate_on_pairs, AlgorithmSelection};
+use crate::table::{fmt_f64, Table};
+use bigraph::{sampling, Layer};
+use datasets::DatasetCode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of the Fig. 7 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Shared context (catalog, seed, pairs per dataset).
+    pub context: super::Context,
+    /// Budgets to sweep (the paper uses 1.0, 1.5, 2.0, 2.5, 3.0).
+    pub epsilons: Vec<f64>,
+    /// Datasets to include (the paper uses the eight largest).
+    pub datasets: Vec<DatasetCode>,
+    /// Algorithms to evaluate.
+    pub algorithms: Vec<AlgorithmSelection>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            context: super::Context::default(),
+            epsilons: vec![1.0, 1.5, 2.0, 2.5, 3.0],
+            datasets: DatasetCode::epsilon_sweep_set().to_vec(),
+            algorithms: AlgorithmSelection::figure7_set(),
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            context: super::Context::smoke(),
+            epsilons: vec![1.0, 3.0],
+            datasets: vec![DatasetCode::AC],
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment: one table per dataset; rows are ε values, columns are
+/// algorithms.
+#[must_use]
+pub fn run(config: &Config) -> Vec<Table> {
+    let algo_names: Vec<String> = config
+        .algorithms
+        .iter()
+        .map(|a| a.kind().paper_name().to_string())
+        .collect();
+    let mut columns: Vec<&str> = vec!["epsilon"];
+    columns.extend(algo_names.iter().map(String::as_str));
+
+    let mut tables = Vec::new();
+    for &code in &config.datasets {
+        let dataset = config
+            .context
+            .catalog
+            .generate(code, config.context.seed)
+            .expect("catalog covers every code");
+        let graph = &dataset.graph;
+        let mut rng = ChaCha12Rng::seed_from_u64(config.context.seed ^ 0xF16_07 ^ u64::from(code as u8));
+        let pairs = sampling::uniform_pairs(
+            graph,
+            Layer::Upper,
+            config.context.pairs_per_dataset,
+            &mut rng,
+        )
+        .expect("layer has at least two vertices");
+
+        let mut table = Table::new(
+            format!("Figure 7: effect of epsilon on mean absolute error ({})", code),
+            &columns,
+        );
+        for &eps in &config.epsilons {
+            let mut row = vec![fmt_f64(eps, 1)];
+            for selection in &config.algorithms {
+                let summary =
+                    evaluate_on_pairs(graph, &pairs, selection, eps, config.context.seed)
+                        .expect("evaluation succeeds");
+                row.push(fmt_f64(summary.metrics.mean_absolute_error, 3));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_decreases_with_epsilon_and_multiround_wins() {
+        let tables = run(&Config::smoke());
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.n_rows(), 2);
+
+        // Naive and OneR errors shrink as the budget grows.
+        for algo in ["Naive", "OneR"] {
+            let low = t.cell_f64(0, algo).unwrap();
+            let high = t.cell_f64(1, algo).unwrap();
+            assert!(high < low, "{algo}: error at eps=3 ({high}) should be below eps=1 ({low})");
+        }
+        // At every epsilon the multi-round algorithms beat OneR.
+        for r in 0..t.n_rows() {
+            let oner = t.cell_f64(r, "OneR").unwrap();
+            assert!(t.cell_f64(r, "MultiR-SS").unwrap() < oner);
+            assert!(t.cell_f64(r, "MultiR-DS").unwrap() < oner);
+        }
+    }
+}

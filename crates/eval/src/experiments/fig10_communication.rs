@@ -1,0 +1,130 @@
+//! Figure 10: communication costs.
+//!
+//! The paper reports the average message volume (MB) per query pair for each
+//! algorithm as ε varies. The costs here are *measured* from the recorded
+//! client↔curator transcripts, not computed from formulas. Expected shape:
+//! Naive and OneR coincide (both only upload randomized responses), the
+//! multiple-round algorithms pay extra for downloads and estimator uploads,
+//! and MultiR-DS additionally pays for the degree round.
+
+use crate::runner::{evaluate_on_pairs, AlgorithmSelection};
+use crate::table::{fmt_f64, fmt_sci, Table};
+use bigraph::{sampling, Layer};
+use datasets::DatasetCode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of the Fig. 10 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Shared context (catalog, seed, pairs per dataset).
+    pub context: super::Context,
+    /// Budgets to sweep.
+    pub epsilons: Vec<f64>,
+    /// Datasets to include.
+    pub datasets: Vec<DatasetCode>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            context: super::Context::default(),
+            epsilons: vec![1.0, 1.5, 2.0, 2.5, 3.0],
+            datasets: DatasetCode::focused_set().to_vec(),
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            context: super::Context::smoke(),
+            epsilons: vec![1.0, 3.0],
+            datasets: vec![DatasetCode::TM],
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment: one table per dataset; rows are ε values, columns are
+/// algorithms, cells are average megabytes per query pair.
+#[must_use]
+pub fn run(config: &Config) -> Vec<Table> {
+    let algorithms = [
+        AlgorithmSelection::Naive,
+        AlgorithmSelection::OneR,
+        AlgorithmSelection::MultiRSS {
+            epsilon1_fraction: 0.5,
+        },
+        AlgorithmSelection::MultiRDS,
+    ];
+    let mut tables = Vec::new();
+    for &code in &config.datasets {
+        let dataset = config
+            .context
+            .catalog
+            .generate(code, config.context.seed)
+            .expect("catalog covers every code");
+        let graph = &dataset.graph;
+        let mut rng =
+            ChaCha12Rng::seed_from_u64(config.context.seed ^ 0xF16_10 ^ u64::from(code as u8));
+        let pairs = sampling::uniform_pairs(
+            graph,
+            Layer::Upper,
+            config.context.pairs_per_dataset,
+            &mut rng,
+        )
+        .expect("layer has at least two vertices");
+
+        let mut table = Table::new(
+            format!("Figure 10: communication cost on {} (MB per query pair)", code),
+            &["epsilon", "Naive", "OneR", "MultiR-SS", "MultiR-DS"],
+        );
+        for &eps in &config.epsilons {
+            let mut row = vec![fmt_f64(eps, 1)];
+            for selection in &algorithms {
+                let summary =
+                    evaluate_on_pairs(graph, &pairs, selection, eps, config.context.seed)
+                        .expect("evaluation succeeds");
+                row.push(fmt_sci(summary.mean_communication_megabytes()));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn communication_shape_matches_paper() {
+        let tables = run(&Config::smoke());
+        let t = &tables[0];
+        for r in 0..t.n_rows() {
+            let naive: f64 = t.cell(r, "Naive").unwrap().parse().unwrap();
+            let oner: f64 = t.cell(r, "OneR").unwrap().parse().unwrap();
+            let ss: f64 = t.cell(r, "MultiR-SS").unwrap().parse().unwrap();
+            let ds: f64 = t.cell(r, "MultiR-DS").unwrap().parse().unwrap();
+            // Naive and OneR only differ by sampling noise (same mechanism).
+            let rel = (naive - oner).abs() / naive.max(1e-12);
+            assert!(rel < 0.25, "Naive {naive} vs OneR {oner} differ by {rel}");
+            // MultiR-DS pays for two noisy lists, downloads and the degree
+            // round, so it is the most expensive local algorithm.
+            assert!(ds > ss, "DS {ds} should exceed SS {ss}");
+            assert!(ds > naive, "DS {ds} should exceed Naive {naive}");
+            assert!(ss > 0.0 && naive > 0.0);
+        }
+        // Higher epsilon -> sparser noisy graphs -> smaller uploads for the
+        // RR-based algorithms.
+        if t.n_rows() >= 2 {
+            let first: f64 = t.cell(0, "Naive").unwrap().parse().unwrap();
+            let last: f64 = t.cell(t.n_rows() - 1, "Naive").unwrap().parse().unwrap();
+            assert!(last < first);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 11: effect of the number of vertices.
+//!
+//! The paper runs every algorithm on induced subgraphs containing 20 %–100 %
+//! of each dataset's vertices (ε = 2). Expected shape: the errors of Naive
+//! and OneR grow with the graph size (their losses depend on n₁), while
+//! CentralDP, MultiR-SS and MultiR-DS stay flat (their losses depend only on
+//! query degrees and the budget).
+
+use crate::runner::{evaluate_on_pairs, AlgorithmSelection};
+use crate::table::{fmt_f64, Table};
+use bigraph::{sampling, Layer};
+use datasets::DatasetCode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of the Fig. 11 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Shared context (catalog, seed, pairs per dataset).
+    pub context: super::Context,
+    /// Privacy budget (the paper uses 2.0).
+    pub epsilon: f64,
+    /// Vertex fractions to evaluate (the paper uses 0.2 .. 1.0).
+    pub fractions: Vec<f64>,
+    /// Datasets to include.
+    pub datasets: Vec<DatasetCode>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            context: super::Context::default(),
+            epsilon: 2.0,
+            fractions: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            datasets: DatasetCode::focused_set().to_vec(),
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            context: super::Context::smoke(),
+            fractions: vec![0.2, 1.0],
+            datasets: vec![DatasetCode::RM],
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment: one table per dataset; rows are vertex fractions.
+#[must_use]
+pub fn run(config: &Config) -> Vec<Table> {
+    let algorithms = [
+        AlgorithmSelection::Naive,
+        AlgorithmSelection::OneR,
+        AlgorithmSelection::MultiRSS {
+            epsilon1_fraction: 0.5,
+        },
+        AlgorithmSelection::MultiRDS,
+        AlgorithmSelection::CentralDP,
+    ];
+    let mut tables = Vec::new();
+    for &code in &config.datasets {
+        let dataset = config
+            .context
+            .catalog
+            .generate(code, config.context.seed)
+            .expect("catalog covers every code");
+        let graph = &dataset.graph;
+        let mut table = Table::new(
+            format!(
+                "Figure 11: effect of the number of vertices on {} (eps = {})",
+                code, config.epsilon
+            ),
+            &[
+                "fraction",
+                "n_vertices",
+                "Naive",
+                "OneR",
+                "MultiR-SS",
+                "MultiR-DS",
+                "CentralDP",
+            ],
+        );
+        for &fraction in &config.fractions {
+            let mut rng = ChaCha12Rng::seed_from_u64(
+                config.context.seed ^ 0xF16_11 ^ u64::from(code as u8) ^ fraction.to_bits(),
+            );
+            let sub = sampling::induced_subgraph(graph, fraction, &mut rng)
+                .expect("fraction is valid");
+            let subgraph = &sub.graph;
+            if subgraph.layer_size(Layer::Upper) < 2 {
+                continue;
+            }
+            let pairs = sampling::uniform_pairs(
+                subgraph,
+                Layer::Upper,
+                config.context.pairs_per_dataset,
+                &mut rng,
+            )
+            .expect("layer has at least two vertices");
+            let mut row = vec![
+                fmt_f64(fraction, 1),
+                subgraph.n_vertices().to_string(),
+            ];
+            for selection in &algorithms {
+                let summary = evaluate_on_pairs(
+                    subgraph,
+                    &pairs,
+                    selection,
+                    config.epsilon,
+                    config.context.seed,
+                )
+                .expect("evaluation succeeds");
+                row.push(fmt_f64(summary.metrics.mean_absolute_error, 3));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_round_errors_grow_with_graph_size_but_multiround_stay_flat() {
+        let tables = run(&Config::smoke());
+        let t = &tables[0];
+        assert_eq!(t.n_rows(), 2);
+        let small_naive = t.cell_f64(0, "Naive").unwrap();
+        let large_naive = t.cell_f64(1, "Naive").unwrap();
+        let small_oner = t.cell_f64(0, "OneR").unwrap();
+        let large_oner = t.cell_f64(1, "OneR").unwrap();
+        assert!(
+            large_naive > small_naive,
+            "Naive error should grow with the graph: {small_naive} -> {large_naive}"
+        );
+        assert!(
+            large_oner > small_oner * 0.8,
+            "OneR error should not shrink when the graph grows: {small_oner} -> {large_oner}"
+        );
+        // Multi-round and central errors stay within a constant factor.
+        for algo in ["MultiR-SS", "MultiR-DS", "CentralDP"] {
+            let small = t.cell_f64(0, algo).unwrap();
+            let large = t.cell_f64(1, algo).unwrap();
+            assert!(
+                large < (small + 1.0) * 5.0,
+                "{algo} error should stay roughly flat: {small} -> {large}"
+            );
+        }
+        // Vertex counts grow with the fraction.
+        assert!(t.cell_f64(1, "n_vertices").unwrap() > t.cell_f64(0, "n_vertices").unwrap());
+    }
+}

@@ -1,0 +1,232 @@
+//! Table 3: the analytic loss summary, validated empirically.
+//!
+//! The paper's Table 3 lists the expected L2 loss of every algorithm. Beyond
+//! printing the closed forms for a set of representative configurations, this
+//! module re-estimates each unbiased algorithm's loss empirically (repeated
+//! runs on a synthetic pair with the prescribed degrees) and reports the
+//! ratio — a direct check that the implementation obeys its own theory.
+
+use crate::metrics;
+use crate::table::{fmt_f64, fmt_sci, Table};
+use crate::{build_estimator, AlgorithmSelection};
+use bigraph::{BipartiteGraph, Layer};
+use cne::loss;
+use cne::Query;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// One Table 3 configuration: opposite-layer size, query degrees and budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Opposite-layer size `n₁`.
+    pub opposite_size: usize,
+    /// Degree of `u`.
+    pub degree_u: usize,
+    /// Degree of `w`.
+    pub degree_w: usize,
+    /// Overlap (true common-neighbor count).
+    pub overlap: usize,
+    /// Total budget ε.
+    pub epsilon: f64,
+}
+
+/// Configuration of the Table 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Scenarios to evaluate.
+    pub scenarios: Vec<Scenario>,
+    /// Number of repeated runs used for the empirical variance.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scenarios: vec![
+                Scenario {
+                    opposite_size: 2_000,
+                    degree_u: 10,
+                    degree_w: 20,
+                    overlap: 5,
+                    epsilon: 2.0,
+                },
+                Scenario {
+                    opposite_size: 2_000,
+                    degree_u: 10,
+                    degree_w: 200,
+                    overlap: 8,
+                    epsilon: 2.0,
+                },
+            ],
+            runs: 600,
+            seed: 42,
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            scenarios: vec![Scenario {
+                opposite_size: 400,
+                degree_u: 8,
+                degree_w: 30,
+                overlap: 4,
+                epsilon: 2.0,
+            }],
+            runs: 250,
+            seed: 42,
+        }
+    }
+}
+
+/// Builds a two-vertex graph realising the prescribed degrees and overlap.
+fn scenario_graph(s: &Scenario) -> (BipartiteGraph, Query) {
+    assert!(s.overlap <= s.degree_u.min(s.degree_w));
+    assert!(s.degree_u + s.degree_w - s.overlap <= s.opposite_size);
+    // u gets neighbors [0, degree_u); w gets [degree_u - overlap, degree_u - overlap + degree_w).
+    let u_edges = (0..s.degree_u as u32).map(|v| (0u32, v));
+    let start_w = (s.degree_u - s.overlap) as u32;
+    let w_edges = (start_w..start_w + s.degree_w as u32).map(|v| (1u32, v));
+    let g = BipartiteGraph::from_edges(2, s.opposite_size, u_edges.chain(w_edges))
+        .expect("scenario edges are in range");
+    (g, Query::new(Layer::Upper, 0, 1))
+}
+
+/// Runs the experiment: one table of theoretical losses and one table of
+/// theory-vs-empirical ratios per scenario.
+#[must_use]
+pub fn run(config: &Config) -> Vec<Table> {
+    let mut theory = Table::new(
+        "Table 3: expected L2 losses (closed forms)",
+        &[
+            "n1", "d_u", "d_w", "eps", "Naive(bound)", "OneR", "MultiR-SS", "MultiR-DS", "CentralDP",
+        ],
+    );
+    let mut empirical = Table::new(
+        "Table 3 validation: empirical variance / theoretical variance (unbiased algorithms)",
+        &["n1", "d_u", "d_w", "eps", "OneR", "MultiR-SS", "MultiR-DS-Basic"],
+    );
+
+    for s in &config.scenarios {
+        let row = loss::LossSummaryRow::evaluate(
+            s.opposite_size,
+            s.degree_u as f64,
+            s.degree_w as f64,
+            s.epsilon,
+        );
+        theory.push_row(vec![
+            s.opposite_size.to_string(),
+            s.degree_u.to_string(),
+            s.degree_w.to_string(),
+            fmt_f64(s.epsilon, 1),
+            fmt_sci(row.naive),
+            fmt_f64(row.one_round, 3),
+            fmt_f64(row.multi_r_ss, 3),
+            fmt_f64(row.multi_r_ds, 3),
+            fmt_f64(row.central, 3),
+        ]);
+
+        let (g, query) = scenario_graph(s);
+        let truth = query.exact_count(&g).expect("valid query") as f64;
+        let half = s.epsilon / 2.0;
+        let expectations = [
+            (
+                AlgorithmSelection::OneR,
+                loss::one_round_l2(s.opposite_size, s.degree_u as f64, s.degree_w as f64, s.epsilon),
+            ),
+            (
+                AlgorithmSelection::MultiRSS {
+                    epsilon1_fraction: 0.5,
+                },
+                loss::single_source_l2(s.degree_u as f64, half, half),
+            ),
+            (
+                AlgorithmSelection::MultiRDSBasic {
+                    epsilon1_fraction: 0.5,
+                },
+                loss::double_source_l2(s.degree_u as f64, s.degree_w as f64, 0.5, half, half),
+            ),
+        ];
+        let mut ratios = Vec::new();
+        for (selection, theoretical) in expectations {
+            let estimator = build_estimator(&selection);
+            let squared_errors: Vec<f64> = (0..config.runs)
+                .map(|i| {
+                    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ ((i as u64) << 20));
+                    let est = estimator
+                        .estimate(&g, &query, s.epsilon, &mut rng)
+                        .expect("estimation succeeds")
+                        .estimate;
+                    (est - truth) * (est - truth)
+                })
+                .collect();
+            let empirical_l2 = metrics::mean(&squared_errors).unwrap_or(0.0);
+            ratios.push(empirical_l2 / theoretical);
+        }
+        empirical.push_row(vec![
+            s.opposite_size.to_string(),
+            s.degree_u.to_string(),
+            s.degree_w.to_string(),
+            fmt_f64(s.epsilon, 1),
+            fmt_f64(ratios[0], 3),
+            fmt_f64(ratios[1], 3),
+            fmt_f64(ratios[2], 3),
+        ]);
+    }
+
+    vec![theory, empirical]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theory_table_preserves_ordering() {
+        let tables = run(&Config::smoke());
+        let theory = &tables[0];
+        assert_eq!(theory.n_rows(), 1);
+        let naive: f64 = theory.cell(0, "Naive(bound)").unwrap().parse().unwrap();
+        let oner = theory.cell_f64(0, "OneR").unwrap();
+        let ss = theory.cell_f64(0, "MultiR-SS").unwrap();
+        let ds = theory.cell_f64(0, "MultiR-DS").unwrap();
+        let central = theory.cell_f64(0, "CentralDP").unwrap();
+        assert!(naive > oner);
+        assert!(oner > ss);
+        assert!(ss >= ds);
+        assert!(ds > central);
+    }
+
+    #[test]
+    fn empirical_losses_match_theory_within_tolerance() {
+        let tables = run(&Config::smoke());
+        let empirical = &tables[1];
+        for col in ["OneR", "MultiR-SS", "MultiR-DS-Basic"] {
+            let ratio = empirical.cell_f64(0, col).unwrap();
+            assert!(
+                (0.6..=1.4).contains(&ratio),
+                "{col}: empirical/theory ratio {ratio} out of tolerance"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_graph_realises_degrees() {
+        let s = Scenario {
+            opposite_size: 100,
+            degree_u: 10,
+            degree_w: 30,
+            overlap: 7,
+            epsilon: 2.0,
+        };
+        let (g, q) = scenario_graph(&s);
+        assert_eq!(g.degree(Layer::Upper, 0), 10);
+        assert_eq!(g.degree(Layer::Upper, 1), 30);
+        assert_eq!(q.exact_count(&g).unwrap(), 7);
+    }
+}

@@ -1,0 +1,28 @@
+//! # eval — experiment harness
+//!
+//! This crate regenerates the paper's evaluation: every figure and table has a
+//! module under [`experiments`] whose `run` function executes the
+//! corresponding workload and returns a plain-text [`table::Table`] with the
+//! same rows/series the paper reports. The `bench` crate wraps each of these
+//! in a Criterion target; the modules can also be driven directly from tests
+//! or ad-hoc binaries.
+//!
+//! Supporting pieces:
+//!
+//! * [`metrics`] — mean absolute error, mean relative error, empirical L2
+//!   loss, bias,
+//! * [`runner`] — evaluates a set of algorithms over sampled query pairs with
+//!   deterministic seeding and per-pair parallelism,
+//! * [`table`] — minimal text table/series rendering.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use runner::{build_estimator, AlgorithmSelection, PairEvaluation, RunSummary};
+pub use table::Table;

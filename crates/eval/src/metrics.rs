@@ -1,0 +1,143 @@
+//! Error metrics used throughout the evaluation.
+//!
+//! The paper reports the *mean absolute error* over 100 sampled vertex pairs
+//! per configuration; the analysis sections work with the *expected L2 loss*
+//! (mean squared error). Both, plus mean relative error and bias, are
+//! implemented over `(estimate, truth)` observation pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// One observation: an estimate and the corresponding ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The estimator's output.
+    pub estimate: f64,
+    /// The exact common-neighbor count.
+    pub truth: f64,
+}
+
+/// Aggregate error metrics over a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorMetrics {
+    /// Number of observations aggregated.
+    pub count: usize,
+    /// Mean absolute error `E|est − truth|`.
+    pub mean_absolute_error: f64,
+    /// Mean relative error `E[|est − truth| / max(truth, 1)]`.
+    pub mean_relative_error: f64,
+    /// Mean squared error (empirical L2 loss).
+    pub mean_squared_error: f64,
+    /// Mean signed error `E[est − truth]` (≈ 0 for unbiased estimators).
+    pub bias: f64,
+}
+
+impl ErrorMetrics {
+    /// Computes all metrics from a slice of observations.
+    ///
+    /// Returns `None` for an empty slice — averaging nothing is a caller bug
+    /// we want surfaced, not silently zeroed.
+    #[must_use]
+    pub fn from_observations(observations: &[Observation]) -> Option<Self> {
+        if observations.is_empty() {
+            return None;
+        }
+        let n = observations.len() as f64;
+        let mut abs = 0.0;
+        let mut rel = 0.0;
+        let mut sq = 0.0;
+        let mut signed = 0.0;
+        for o in observations {
+            let err = o.estimate - o.truth;
+            abs += err.abs();
+            rel += err.abs() / o.truth.max(1.0);
+            sq += err * err;
+            signed += err;
+        }
+        Some(Self {
+            count: observations.len(),
+            mean_absolute_error: abs / n,
+            mean_relative_error: rel / n,
+            mean_squared_error: sq / n,
+            bias: signed / n,
+        })
+    }
+}
+
+/// Sample mean of a slice (`None` when empty).
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population variance of a slice (`None` when empty).
+#[must_use]
+pub fn variance(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pairs: &[(f64, f64)]) -> Vec<Observation> {
+        pairs
+            .iter()
+            .map(|&(estimate, truth)| Observation { estimate, truth })
+            .collect()
+    }
+
+    #[test]
+    fn empty_observations_return_none() {
+        assert!(ErrorMetrics::from_observations(&[]).is_none());
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[]).is_none());
+    }
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        let m = ErrorMetrics::from_observations(&obs(&[(3.0, 3.0), (7.0, 7.0)])).unwrap();
+        assert_eq!(m.count, 2);
+        assert_eq!(m.mean_absolute_error, 0.0);
+        assert_eq!(m.mean_relative_error, 0.0);
+        assert_eq!(m.mean_squared_error, 0.0);
+        assert_eq!(m.bias, 0.0);
+    }
+
+    #[test]
+    fn hand_computed_metrics() {
+        // errors: +2 and -4 ; truths: 2 and 8
+        let m = ErrorMetrics::from_observations(&obs(&[(4.0, 2.0), (4.0, 8.0)])).unwrap();
+        assert!((m.mean_absolute_error - 3.0).abs() < 1e-12);
+        assert!((m.mean_relative_error - (1.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((m.mean_squared_error - (4.0 + 16.0) / 2.0).abs() < 1e-12);
+        assert!((m.bias - (2.0 - 4.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_guards_small_truths() {
+        // truth 0 -> denominator clamps to 1, so the metric stays finite.
+        let m = ErrorMetrics::from_observations(&obs(&[(5.0, 0.0)])).unwrap();
+        assert!((m.mean_relative_error - 5.0).abs() < 1e-12);
+        assert!(m.mean_relative_error.is_finite());
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&vals).unwrap() - 2.5).abs() < 1e-12);
+        assert!((variance(&vals).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = ErrorMetrics::from_observations(&obs(&[(4.0, 2.0)])).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ErrorMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal plain-text tables for experiment output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A titled table with a header row and string cells.
+///
+/// Experiments return `Table`s so that benches, tests and binaries all print
+/// the same rows the paper's figures report, without pulling in a plotting
+/// stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 7: effect of epsilon (Stackoverflow)"`).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells; every row must have `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of columns — that is
+    /// a programming error in the experiment, not a data error.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} does not match column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Looks up a cell by row index and column name.
+    #[must_use]
+    pub fn cell(&self, row: usize, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows.get(row).map(|r| r[col].as_str())
+    }
+
+    /// Parses a cell as `f64`.
+    #[must_use]
+    pub fn cell_f64(&self, row: usize, column: &str) -> Option<f64> {
+        self.cell(row, column)?.parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths: max of header and cells.
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with a fixed number of decimals for table cells.
+#[must_use]
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a float in scientific notation for wide-ranging error columns.
+#[must_use]
+pub fn fmt_sci(value: f64) -> String {
+    format!("{value:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("Demo", &["dataset", "mae"]);
+        t.push_row(vec!["RM".into(), "1.25".into()]);
+        t.push_row(vec!["AC".into(), "0.50".into()]);
+        assert_eq!(t.n_rows(), 2);
+        let rendered = t.to_string();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("dataset"));
+        assert!(rendered.contains("RM"));
+        assert!(rendered.lines().count() >= 5);
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new("Demo", &["dataset", "mae"]);
+        t.push_row(vec!["RM".into(), "1.25".into()]);
+        assert_eq!(t.cell(0, "dataset"), Some("RM"));
+        assert_eq!(t.cell_f64(0, "mae"), Some(1.25));
+        assert_eq!(t.cell(0, "missing"), None);
+        assert_eq!(t.cell(5, "mae"), None);
+        assert_eq!(t.cell_f64(0, "dataset"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(2.0, 0), "2");
+        assert!(fmt_sci(12345.678).contains('e'));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.push_row(vec!["x".into()]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

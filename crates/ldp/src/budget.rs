@@ -1,0 +1,334 @@
+//! Privacy budgets and composition accounting.
+//!
+//! Edge LDP composes in two ways that the paper relies on:
+//!
+//! * **Sequential composition** — running mechanisms `M₁, …, M_k` with budgets
+//!   `ε₁, …, ε_k` on the *same* data satisfies `(Σᵢ εᵢ)`-edge LDP. The
+//!   multi-round algorithms split `ε` into per-round budgets this way.
+//! * **Parallel composition** — running mechanisms on *disjoint* parts of the
+//!   data (e.g. each vertex reporting its own degree) satisfies
+//!   `maxᵢ εᵢ`-edge LDP.
+//!
+//! [`PrivacyBudget`] is a validated positive budget, and [`BudgetAccountant`]
+//! tracks how much of a total budget each round of a protocol has consumed so
+//! that implementations cannot silently exceed their allowance.
+
+use crate::error::{LdpError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated, strictly positive, finite privacy budget `ε`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct PrivacyBudget(f64);
+
+impl PrivacyBudget {
+    /// Creates a budget, validating that it is positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::InvalidBudget`] for non-positive, NaN or infinite
+    /// values.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        if epsilon.is_finite() && epsilon > 0.0 {
+            Ok(Self(epsilon))
+        } else {
+            Err(LdpError::InvalidBudget { value: epsilon })
+        }
+    }
+
+    /// The raw `ε` value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Splits the budget into `k` equal parts (sequential composition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::InvalidParameter`] if `k == 0`.
+    pub fn split_even(self, k: usize) -> Result<Vec<PrivacyBudget>> {
+        if k == 0 {
+            return Err(LdpError::InvalidParameter {
+                name: "k",
+                reason: "cannot split a budget into zero parts".into(),
+            });
+        }
+        let part = self.0 / k as f64;
+        Ok(vec![PrivacyBudget(part); k])
+    }
+
+    /// Splits the budget into two parts `(fraction·ε, (1-fraction)·ε)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::InvalidParameter`] unless `0 < fraction < 1`.
+    pub fn split_fraction(self, fraction: f64) -> Result<(PrivacyBudget, PrivacyBudget)> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(LdpError::InvalidParameter {
+                name: "fraction",
+                reason: format!("must be strictly between 0 and 1, got {fraction}"),
+            });
+        }
+        Ok((
+            PrivacyBudget(self.0 * fraction),
+            PrivacyBudget(self.0 * (1.0 - fraction)),
+        ))
+    }
+
+    /// The sequential composition of two budgets: `ε₁ + ε₂`.
+    #[must_use]
+    pub fn sequential(self, other: PrivacyBudget) -> PrivacyBudget {
+        PrivacyBudget(self.0 + other.0)
+    }
+
+    /// The parallel composition of two budgets: `max(ε₁, ε₂)`.
+    #[must_use]
+    pub fn parallel(self, other: PrivacyBudget) -> PrivacyBudget {
+        PrivacyBudget(self.0.max(other.0))
+    }
+
+    /// Subtracts `other`, failing if the remainder would be non-positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::BudgetExceeded`] when `other >= self`.
+    pub fn minus(self, other: PrivacyBudget) -> Result<PrivacyBudget> {
+        let rem = self.0 - other.0;
+        if rem > 0.0 {
+            Ok(PrivacyBudget(rem))
+        } else {
+            Err(LdpError::BudgetExceeded {
+                available: self.0,
+                requested: other.0,
+            })
+        }
+    }
+}
+
+impl fmt::Display for PrivacyBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// How two consecutive charges against a [`BudgetAccountant`] compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Composition {
+    /// Charges add up (mechanisms observe overlapping data).
+    Sequential,
+    /// Charges take the maximum (mechanisms observe disjoint data).
+    Parallel,
+}
+
+/// A single recorded charge against a budget accountant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetCharge {
+    /// A short label describing the round ("rr", "laplace-degree", ...).
+    pub label: String,
+    /// Budget consumed by the round.
+    pub epsilon: f64,
+    /// How this charge composes with the charges before it.
+    pub composition: Composition,
+}
+
+/// Tracks privacy-budget consumption across the rounds of a protocol.
+///
+/// The accountant is created with a total allowance; every round charges its
+/// consumption with [`BudgetAccountant::charge`]. Attempting to exceed the
+/// allowance is an error, which turns silent privacy overruns into test
+/// failures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetAccountant {
+    total: PrivacyBudget,
+    charges: Vec<BudgetCharge>,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with a total allowance of `total`.
+    #[must_use]
+    pub fn new(total: PrivacyBudget) -> Self {
+        Self {
+            total,
+            charges: Vec::new(),
+        }
+    }
+
+    /// The total allowance.
+    #[must_use]
+    pub fn total(&self) -> PrivacyBudget {
+        self.total
+    }
+
+    /// The overall budget consumed so far, honouring each charge's composition
+    /// rule: sequential charges add, parallel charges take the running maximum
+    /// of the parallel group they extend.
+    #[must_use]
+    pub fn consumed(&self) -> f64 {
+        // Group consecutive parallel charges: a Parallel charge merges into the
+        // previous charge by max instead of sum.
+        let mut total = 0.0f64;
+        let mut current_group = 0.0f64;
+        for charge in &self.charges {
+            match charge.composition {
+                Composition::Sequential => {
+                    total += current_group;
+                    current_group = charge.epsilon;
+                }
+                Composition::Parallel => {
+                    current_group = current_group.max(charge.epsilon);
+                }
+            }
+        }
+        total + current_group
+    }
+
+    /// Remaining budget (total − consumed), never negative.
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        (self.total.value() - self.consumed()).max(0.0)
+    }
+
+    /// Records a charge of `epsilon` composing as `composition`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LdpError::InvalidBudget`] if `epsilon` is not positive and finite.
+    /// * [`LdpError::BudgetExceeded`] if the charge would push consumption
+    ///   above the total allowance (beyond a small floating-point tolerance).
+    pub fn charge(
+        &mut self,
+        label: impl Into<String>,
+        epsilon: PrivacyBudget,
+        composition: Composition,
+    ) -> Result<()> {
+        let proposed = BudgetCharge {
+            label: label.into(),
+            epsilon: epsilon.value(),
+            composition,
+        };
+        self.charges.push(proposed);
+        const TOL: f64 = 1e-9;
+        if self.consumed() > self.total.value() * (1.0 + TOL) + TOL {
+            let charge = self.charges.pop().expect("just pushed");
+            return Err(LdpError::BudgetExceeded {
+                available: self.remaining(),
+                requested: charge.epsilon,
+            });
+        }
+        Ok(())
+    }
+
+    /// The recorded charges, in order.
+    #[must_use]
+    pub fn charges(&self) -> &[BudgetCharge] {
+        &self.charges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(PrivacyBudget::new(1.0).is_ok());
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(-2.0).is_err());
+        assert!(PrivacyBudget::new(f64::NAN).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn split_even_sums_back() {
+        let eps = PrivacyBudget::new(2.0).unwrap();
+        let parts = eps.split_even(4).unwrap();
+        assert_eq!(parts.len(), 4);
+        let sum: f64 = parts.iter().map(|p| p.value()).sum();
+        assert!((sum - 2.0).abs() < 1e-12);
+        assert!(eps.split_even(0).is_err());
+    }
+
+    #[test]
+    fn split_fraction_bounds() {
+        let eps = PrivacyBudget::new(2.0).unwrap();
+        let (a, b) = eps.split_fraction(0.25).unwrap();
+        assert!((a.value() - 0.5).abs() < 1e-12);
+        assert!((b.value() - 1.5).abs() < 1e-12);
+        assert!(eps.split_fraction(0.0).is_err());
+        assert!(eps.split_fraction(1.0).is_err());
+        assert!(eps.split_fraction(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn composition_rules() {
+        let a = PrivacyBudget::new(1.0).unwrap();
+        let b = PrivacyBudget::new(0.5).unwrap();
+        assert!((a.sequential(b).value() - 1.5).abs() < 1e-12);
+        assert!((a.parallel(b).value() - 1.0).abs() < 1e-12);
+        assert!((a.minus(b).unwrap().value() - 0.5).abs() < 1e-12);
+        assert!(b.minus(a).is_err());
+    }
+
+    #[test]
+    fn accountant_sequential_overrun_detected() {
+        let total = PrivacyBudget::new(1.0).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        let half = PrivacyBudget::new(0.5).unwrap();
+        acc.charge("round1", half, Composition::Sequential).unwrap();
+        acc.charge("round2", half, Composition::Sequential).unwrap();
+        assert!((acc.consumed() - 1.0).abs() < 1e-9);
+        assert!(acc.remaining() < 1e-9);
+        let err = acc
+            .charge("round3", PrivacyBudget::new(0.1).unwrap(), Composition::Sequential)
+            .unwrap_err();
+        assert!(matches!(err, LdpError::BudgetExceeded { .. }));
+        // The failed charge must not be recorded.
+        assert_eq!(acc.charges().len(), 2);
+    }
+
+    #[test]
+    fn accountant_parallel_takes_max() {
+        let total = PrivacyBudget::new(1.0).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        let e = PrivacyBudget::new(0.8).unwrap();
+        // Degree reports from many vertices: disjoint data -> parallel.
+        acc.charge("deg-u", e, Composition::Sequential).unwrap();
+        acc.charge("deg-w", e, Composition::Parallel).unwrap();
+        acc.charge("deg-x", PrivacyBudget::new(0.3).unwrap(), Composition::Parallel)
+            .unwrap();
+        assert!((acc.consumed() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_mixed_composition() {
+        // ε0 (parallel degree round) + ε1 (RR) + ε2 (parallel Laplace round)
+        let total = PrivacyBudget::new(2.0).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        let e0 = PrivacyBudget::new(0.1).unwrap();
+        acc.charge("deg-u", e0, Composition::Sequential).unwrap();
+        acc.charge("deg-w", e0, Composition::Parallel).unwrap();
+        let e1 = PrivacyBudget::new(0.9).unwrap();
+        acc.charge("rr", e1, Composition::Sequential).unwrap();
+        let e2 = PrivacyBudget::new(1.0).unwrap();
+        acc.charge("laplace-fu", e2, Composition::Sequential).unwrap();
+        acc.charge("laplace-fw", e2, Composition::Parallel).unwrap();
+        assert!((acc.consumed() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(PrivacyBudget::new(1.5).unwrap().to_string(), "ε=1.5");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let total = PrivacyBudget::new(2.0).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        acc.charge("rr", PrivacyBudget::new(1.0).unwrap(), Composition::Sequential)
+            .unwrap();
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: BudgetAccountant = serde_json::from_str(&json).unwrap();
+        assert_eq!(acc, back);
+    }
+}

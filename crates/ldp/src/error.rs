@@ -1,0 +1,90 @@
+//! Error types for the LDP substrate.
+
+use std::fmt;
+
+/// Convenient result alias for fallible LDP operations.
+pub type Result<T> = std::result::Result<T, LdpError>;
+
+/// Errors produced by privacy mechanisms and budget accounting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LdpError {
+    /// A privacy budget was non-positive, NaN, or infinite.
+    InvalidBudget {
+        /// The offending value.
+        value: f64,
+    },
+    /// A budget split or consumption request exceeded the available budget.
+    BudgetExceeded {
+        /// Budget that was available.
+        available: f64,
+        /// Budget that was requested.
+        requested: f64,
+    },
+    /// A global sensitivity was non-positive, NaN, or infinite.
+    InvalidSensitivity {
+        /// The offending value.
+        value: f64,
+    },
+    /// A mechanism parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::InvalidBudget { value } => {
+                write!(f, "privacy budget must be a positive finite number, got {value}")
+            }
+            LdpError::BudgetExceeded {
+                available,
+                requested,
+            } => write!(
+                f,
+                "requested privacy budget {requested} exceeds available {available}"
+            ),
+            LdpError::InvalidSensitivity { value } => {
+                write!(f, "global sensitivity must be positive and finite, got {value}")
+            }
+            LdpError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_values() {
+        assert!(LdpError::InvalidBudget { value: -1.0 }.to_string().contains("-1"));
+        assert!(LdpError::BudgetExceeded {
+            available: 1.0,
+            requested: 2.0
+        }
+        .to_string()
+        .contains('2'));
+        assert!(LdpError::InvalidSensitivity { value: 0.0 }.to_string().contains('0'));
+        assert!(LdpError::InvalidParameter {
+            name: "alpha",
+            reason: "out of [0,1]".into()
+        }
+        .to_string()
+        .contains("alpha"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error>(_: &E) {}
+        takes_err(&LdpError::InvalidBudget { value: f64::NAN });
+    }
+}

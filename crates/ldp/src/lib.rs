@@ -1,0 +1,54 @@
+//! # ldp — local differential privacy substrate
+//!
+//! This crate implements the privacy mechanisms that the common-neighborhood
+//! estimators in the `cne` crate are composed from:
+//!
+//! * [`budget`] — privacy-budget arithmetic with sequential / parallel
+//!   composition accounting,
+//! * [`randomized_response`] — Warner's randomized response over bits and
+//!   neighbor lists (the paper's noisy-graph construction),
+//! * [`laplace`] — the Laplace mechanism with explicit global sensitivity,
+//! * [`noisy_graph`] — the per-query-vertex noisy neighbor sets produced by
+//!   randomized response, with membership queries and size accounting,
+//! * [`transcript`] — a record of every message exchanged between clients
+//!   (vertices) and the data curator, with byte-level communication-cost
+//!   accounting used by the paper's Fig. 10 experiment.
+//!
+//! All mechanisms are generic over `rand::Rng`, so experiments are fully
+//! deterministic under a seeded RNG.
+//!
+//! ```
+//! use ldp::budget::PrivacyBudget;
+//! use ldp::randomized_response::RandomizedResponse;
+//! use rand::SeedableRng;
+//!
+//! let eps = PrivacyBudget::new(2.0).unwrap();
+//! let rr = RandomizedResponse::new(eps);
+//! // Flip probability p = 1 / (1 + e^eps)
+//! assert!((rr.flip_probability() - 1.0 / (1.0 + 2.0f64.exp())).abs() < 1e-12);
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let noisy = rr.perturb_bit(true, &mut rng);
+//! let _ = noisy; // either true or false, with P(flip) = p
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod degree;
+pub mod error;
+pub mod laplace;
+pub mod mechanism;
+pub mod noisy_graph;
+pub mod randomized_response;
+pub mod transcript;
+
+pub use budget::PrivacyBudget;
+pub use error::{LdpError, Result};
+pub use laplace::LaplaceMechanism;
+pub use mechanism::Sensitivity;
+pub use noisy_graph::NoisyNeighbors;
+pub use randomized_response::RandomizedResponse;
+pub use transcript::{Direction, Transcript};

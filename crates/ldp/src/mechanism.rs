@@ -1,0 +1,82 @@
+//! Common mechanism abstractions: global sensitivity and the `Mechanism` trait.
+
+use crate::error::{LdpError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A validated, strictly positive global sensitivity `Δf`.
+///
+/// The global sensitivity of a function `f` over neighbor lists is the maximum
+/// change in `f` when one entry of the neighbor list flips (Definition 4 in
+/// the paper). The Laplace mechanism scales its noise to `Δf / ε`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Sensitivity(f64);
+
+impl Sensitivity {
+    /// Creates a sensitivity, validating that it is positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::InvalidSensitivity`] otherwise.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Self(value))
+        } else {
+            Err(LdpError::InvalidSensitivity { value })
+        }
+    }
+
+    /// Sensitivity of a single counting query (e.g. a vertex degree): 1.
+    #[must_use]
+    pub fn one() -> Self {
+        Self(1.0)
+    }
+
+    /// The raw `Δf` value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// A randomized mechanism that perturbs a value of type `T` under edge LDP.
+///
+/// Implementations document the privacy budget they consume; the trait exists
+/// so that protocol code (the `cne` crate) can treat randomized response and
+/// the Laplace mechanism uniformly when recording transcripts.
+pub trait Mechanism<T> {
+    /// The perturbed output type.
+    type Output;
+
+    /// Applies the mechanism to `input` using `rng` as the randomness source.
+    fn apply<R: rand::Rng + ?Sized>(&self, input: T, rng: &mut R) -> Self::Output;
+
+    /// The privacy budget `ε` this mechanism consumes per application.
+    fn epsilon(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_validation() {
+        assert!(Sensitivity::new(1.0).is_ok());
+        assert!(Sensitivity::new(0.5).is_ok());
+        assert!(Sensitivity::new(0.0).is_err());
+        assert!(Sensitivity::new(-1.0).is_err());
+        assert!(Sensitivity::new(f64::NAN).is_err());
+        assert!(Sensitivity::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sensitivity_one() {
+        assert_eq!(Sensitivity::one().value(), 1.0);
+    }
+
+    #[test]
+    fn sensitivity_ordering() {
+        let a = Sensitivity::new(0.5).unwrap();
+        let b = Sensitivity::new(1.5).unwrap();
+        assert!(a < b);
+    }
+}

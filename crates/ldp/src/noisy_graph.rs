@@ -1,0 +1,235 @@
+//! Noisy neighbor sets produced by randomized response.
+//!
+//! The paper's algorithms never need the full noisy graph — only the noisy
+//! neighbor lists of the one or two query vertices. [`NoisyNeighbors`] stores
+//! one such perturbed list together with the parameters it was generated with,
+//! and [`NoisyGraphView`] bundles the lists of both query vertices so curator-
+//! side code can intersect them.
+
+use crate::budget::PrivacyBudget;
+use crate::randomized_response::RandomizedResponse;
+use bigraph::{BipartiteGraph, Layer, VertexId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The noisy (randomized-response-perturbed) neighbor list of one vertex.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoisyNeighbors {
+    /// The vertex whose list was perturbed.
+    pub owner: VertexId,
+    /// The layer the owner lives on.
+    pub owner_layer: Layer,
+    /// Number of vertices on the opposite layer (the length of the perturbed row).
+    pub opposite_size: usize,
+    /// The privacy budget used for the perturbation.
+    pub epsilon: f64,
+    /// Sorted ids of the noisy neighbors (the "1" entries after perturbation).
+    neighbors: Vec<VertexId>,
+}
+
+impl NoisyNeighbors {
+    /// Applies randomized response to `owner`'s neighbor list in `g`.
+    pub fn generate<R: Rng + ?Sized>(
+        g: &BipartiteGraph,
+        layer: Layer,
+        owner: VertexId,
+        epsilon: PrivacyBudget,
+        rng: &mut R,
+    ) -> Self {
+        let rr = RandomizedResponse::new(epsilon);
+        let opposite_size = g.layer_size(layer.opposite());
+        let neighbors = rr.perturb_neighbor_list(g.neighbors(layer, owner), opposite_size, rng);
+        Self {
+            owner,
+            owner_layer: layer,
+            opposite_size,
+            epsilon: epsilon.value(),
+            neighbors,
+        }
+    }
+
+    /// Builds a noisy list directly from pre-perturbed data (used by tests and
+    /// by protocol code that perturbs in a custom way).
+    #[must_use]
+    pub fn from_parts(
+        owner: VertexId,
+        owner_layer: Layer,
+        opposite_size: usize,
+        epsilon: f64,
+        mut neighbors: Vec<VertexId>,
+    ) -> Self {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        Self {
+            owner,
+            owner_layer,
+            opposite_size,
+            epsilon,
+            neighbors,
+        }
+    }
+
+    /// The sorted noisy neighbor ids.
+    #[must_use]
+    pub fn neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// The noisy degree (number of noisy neighbors).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether `v` is a noisy neighbor of the owner. `O(log deg)`.
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.neighbors.binary_search(&v).is_ok()
+    }
+
+    /// The number of bytes needed to transmit this list to the curator,
+    /// counting 4 bytes per reported edge endpoint (the convention used for
+    /// the paper's communication-cost experiments).
+    #[must_use]
+    pub fn message_bytes(&self) -> usize {
+        self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// The flip probability the list was generated with.
+    #[must_use]
+    pub fn flip_probability(&self) -> f64 {
+        1.0 / (1.0 + self.epsilon.exp())
+    }
+}
+
+/// The curator's view after collecting noisy lists from both query vertices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoisyGraphView {
+    /// Noisy neighbor list of the first query vertex `u`.
+    pub u: NoisyNeighbors,
+    /// Noisy neighbor list of the second query vertex `w`.
+    pub w: NoisyNeighbors,
+}
+
+impl NoisyGraphView {
+    /// Bundles the two noisy lists, checking basic consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two lists disagree on layer or opposite-layer size —
+    /// that would indicate a protocol implementation bug, not bad user input.
+    #[must_use]
+    pub fn new(u: NoisyNeighbors, w: NoisyNeighbors) -> Self {
+        assert_eq!(u.owner_layer, w.owner_layer, "query vertices must share a layer");
+        assert_eq!(
+            u.opposite_size, w.opposite_size,
+            "noisy lists must cover the same opposite layer"
+        );
+        Self { u, w }
+    }
+
+    /// `N1`: the number of common neighbors of `u` and `w` in the noisy graph.
+    #[must_use]
+    pub fn noisy_intersection_size(&self) -> u64 {
+        bigraph::common_neighbors::intersection_size(self.u.neighbors(), self.w.neighbors())
+    }
+
+    /// `N2`: the size of the union of the noisy neighbor sets.
+    #[must_use]
+    pub fn noisy_union_size(&self) -> u64 {
+        self.u.degree() as u64 + self.w.degree() as u64 - self.noisy_intersection_size()
+    }
+
+    /// Number of vertices on the opposite layer (`n₁` when querying lower
+    /// vertices, `n₂` when querying upper vertices).
+    #[must_use]
+    pub fn opposite_size(&self) -> usize {
+        self.u.opposite_size
+    }
+
+    /// Total bytes both clients sent to the curator for this view.
+    #[must_use]
+    pub fn message_bytes(&self) -> usize {
+        self.u.message_bytes() + self.w.message_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_edges(3, 50, (0..20u32).map(|v| (0, v)).chain((10..30u32).map(|v| (1, v))))
+            .unwrap()
+    }
+
+    #[test]
+    fn generate_produces_sorted_in_range_list() {
+        let g = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let eps = PrivacyBudget::new(1.0).unwrap();
+        let noisy = NoisyNeighbors::generate(&g, Layer::Upper, 0, eps, &mut rng);
+        assert_eq!(noisy.owner, 0);
+        assert_eq!(noisy.owner_layer, Layer::Upper);
+        assert_eq!(noisy.opposite_size, 50);
+        assert!(noisy.neighbors().windows(2).all(|w| w[0] < w[1]));
+        assert!(noisy.neighbors().iter().all(|&v| (v as usize) < 50));
+        assert_eq!(noisy.message_bytes(), noisy.degree() * 4);
+        assert!((noisy.flip_probability() - 1.0 / (1.0 + 1.0f64.exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_agrees_with_list() {
+        let noisy = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![3, 1, 7, 3]);
+        assert_eq!(noisy.neighbors(), &[1, 3, 7]);
+        assert!(noisy.contains(3));
+        assert!(!noisy.contains(2));
+        assert_eq!(noisy.degree(), 3);
+    }
+
+    #[test]
+    fn high_epsilon_reproduces_truth() {
+        let g = toy();
+        let mut rng = StdRng::seed_from_u64(5);
+        let eps = PrivacyBudget::new(30.0).unwrap();
+        let noisy = NoisyNeighbors::generate(&g, Layer::Upper, 1, eps, &mut rng);
+        assert_eq!(noisy.neighbors(), g.neighbors(Layer::Upper, 1));
+    }
+
+    #[test]
+    fn view_intersection_and_union() {
+        let u = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![1, 2, 3, 4]);
+        let w = NoisyNeighbors::from_parts(1, Layer::Upper, 10, 1.0, vec![3, 4, 5]);
+        let view = NoisyGraphView::new(u, w);
+        assert_eq!(view.noisy_intersection_size(), 2);
+        assert_eq!(view.noisy_union_size(), 5);
+        assert_eq!(view.opposite_size(), 10);
+        assert_eq!(view.message_bytes(), (4 + 3) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same opposite layer")]
+    fn view_rejects_mismatched_sizes() {
+        let u = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![]);
+        let w = NoisyNeighbors::from_parts(1, Layer::Upper, 20, 1.0, vec![]);
+        let _ = NoisyGraphView::new(u, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a layer")]
+    fn view_rejects_mismatched_layers() {
+        let u = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![]);
+        let w = NoisyNeighbors::from_parts(1, Layer::Lower, 10, 1.0, vec![]);
+        let _ = NoisyGraphView::new(u, w);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let u = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![1, 2]);
+        let json = serde_json::to_string(&u).unwrap();
+        let back: NoisyNeighbors = serde_json::from_str(&json).unwrap();
+        assert_eq!(u, back);
+    }
+}

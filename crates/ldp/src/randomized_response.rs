@@ -1,0 +1,273 @@
+//! Warner's randomized response (RR) over bits and neighbor lists.
+//!
+//! Each bit `x ∈ {0, 1}` of a neighbor list is flipped independently with
+//! probability `p = 1 / (1 + e^ε)` and kept with probability `e^ε / (1 + e^ε)`.
+//! Applying RR to a whole neighbor list satisfies ε-edge LDP because two lists
+//! differing in one bit produce any given output with probability ratio at
+//! most `e^ε`.
+//!
+//! The module also provides the *unbiased edge estimator*
+//! `φ(i,j) = (A'[i,j] − p) / (1 − 2p)` from Section 3.1 of the paper, together
+//! with its variance, which the `cne` estimators build on.
+
+use crate::budget::PrivacyBudget;
+use crate::mechanism::Mechanism;
+use bigraph::VertexId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The randomized-response mechanism for one privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedResponse {
+    epsilon: f64,
+    flip_probability: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a randomized-response mechanism for privacy budget `epsilon`.
+    #[must_use]
+    pub fn new(epsilon: PrivacyBudget) -> Self {
+        let eps = epsilon.value();
+        Self {
+            epsilon: eps,
+            flip_probability: 1.0 / (1.0 + eps.exp()),
+        }
+    }
+
+    /// The flip probability `p = 1 / (1 + e^ε)`, always in `(0, 0.5)`.
+    #[must_use]
+    pub fn flip_probability(&self) -> f64 {
+        self.flip_probability
+    }
+
+    /// The keep probability `e^ε / (1 + e^ε) = 1 − p`.
+    #[must_use]
+    pub fn keep_probability(&self) -> f64 {
+        1.0 - self.flip_probability
+    }
+
+    /// The privacy budget this mechanism consumes per neighbor list.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Perturbs one bit: flips it with probability `p`.
+    pub fn perturb_bit<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
+        if rng.gen::<f64>() < self.flip_probability {
+            !bit
+        } else {
+            bit
+        }
+    }
+
+    /// Applies RR to a full neighbor list of a vertex whose opposite layer has
+    /// `opposite_size` vertices, returning the *sorted* list of noisy
+    /// neighbors (the "1" entries of the perturbed row).
+    ///
+    /// `true_neighbors` must be sorted ascending (as produced by
+    /// [`bigraph::BipartiteGraph::neighbors`]).
+    ///
+    /// The dense scan costs `O(opposite_size)` — exactly the vertex-side cost
+    /// the paper reports — and is the faithful simulation of a client that
+    /// must consider every possible edge slot.
+    pub fn perturb_neighbor_list<R: Rng + ?Sized>(
+        &self,
+        true_neighbors: &[VertexId],
+        opposite_size: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        debug_assert!(true_neighbors.windows(2).all(|w| w[0] < w[1]));
+        let mut noisy = Vec::new();
+        let mut next_true = 0usize;
+        for candidate in 0..opposite_size as VertexId {
+            let is_edge = if next_true < true_neighbors.len() && true_neighbors[next_true] == candidate
+            {
+                next_true += 1;
+                true
+            } else {
+                false
+            };
+            if self.perturb_bit(is_edge, rng) {
+                noisy.push(candidate);
+            }
+        }
+        noisy
+    }
+
+    /// Expected number of noisy edges for a vertex of degree `degree` whose
+    /// opposite layer has `opposite_size` vertices:
+    /// `d·(1−p) + (n−d)·p`.
+    #[must_use]
+    pub fn expected_noisy_edges(&self, degree: usize, opposite_size: usize) -> f64 {
+        let p = self.flip_probability;
+        degree as f64 * (1.0 - p) + (opposite_size.saturating_sub(degree)) as f64 * p
+    }
+
+    /// The unbiased edge estimator `φ(i,j) = (A'[i,j] − p)/(1 − 2p)` given the
+    /// observed noisy bit.
+    #[must_use]
+    pub fn unbiased_edge_estimate(&self, noisy_bit: bool) -> f64 {
+        let p = self.flip_probability;
+        let a = if noisy_bit { 1.0 } else { 0.0 };
+        (a - p) / (1.0 - 2.0 * p)
+    }
+
+    /// Variance of the unbiased edge estimator: `p(1−p)/(1−2p)²`
+    /// (Equation 1 in the paper). Independent of the true bit.
+    #[must_use]
+    pub fn edge_estimate_variance(&self) -> f64 {
+        let p = self.flip_probability;
+        p * (1.0 - p) / ((1.0 - 2.0 * p) * (1.0 - 2.0 * p))
+    }
+}
+
+impl Mechanism<bool> for RandomizedResponse {
+    type Output = bool;
+
+    fn apply<R: Rng + ?Sized>(&self, input: bool, rng: &mut R) -> bool {
+        self.perturb_bit(input, rng)
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rr(eps: f64) -> RandomizedResponse {
+        RandomizedResponse::new(PrivacyBudget::new(eps).unwrap())
+    }
+
+    #[test]
+    fn flip_probability_formula() {
+        for eps in [0.5, 1.0, 2.0, 3.0] {
+            let r = rr(eps);
+            let expected = 1.0 / (1.0 + eps.exp());
+            assert!((r.flip_probability() - expected).abs() < 1e-15);
+            assert!((r.keep_probability() - (1.0 - expected)).abs() < 1e-15);
+            assert!(r.flip_probability() > 0.0 && r.flip_probability() < 0.5);
+            assert_eq!(r.epsilon(), eps);
+        }
+    }
+
+    #[test]
+    fn higher_budget_flips_less() {
+        assert!(rr(3.0).flip_probability() < rr(1.0).flip_probability());
+    }
+
+    #[test]
+    fn empirical_flip_rate_matches_p() {
+        let r = rr(1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let flipped = (0..trials)
+            .filter(|_| r.perturb_bit(false, &mut rng))
+            .count();
+        let rate = flipped as f64 / trials as f64;
+        assert!(
+            (rate - r.flip_probability()).abs() < 0.005,
+            "rate {rate} vs p {}",
+            r.flip_probability()
+        );
+
+        let kept = (0..trials).filter(|_| r.perturb_bit(true, &mut rng)).count();
+        let keep_rate = kept as f64 / trials as f64;
+        assert!((keep_rate - r.keep_probability()).abs() < 0.005);
+    }
+
+    #[test]
+    fn perturb_neighbor_list_is_sorted_and_in_range() {
+        let r = rr(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth: Vec<VertexId> = vec![2, 5, 9];
+        let noisy = r.perturb_neighbor_list(&truth, 50, &mut rng);
+        assert!(noisy.windows(2).all(|w| w[0] < w[1]));
+        assert!(noisy.iter().all(|&v| (v as usize) < 50));
+    }
+
+    #[test]
+    fn perturb_neighbor_list_density_matches_expectation() {
+        let r = rr(2.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let truth: Vec<VertexId> = (0..20).collect();
+        let n = 1000usize;
+        let runs = 300;
+        let total: usize = (0..runs)
+            .map(|_| r.perturb_neighbor_list(&truth, n, &mut rng).len())
+            .sum();
+        let avg = total as f64 / runs as f64;
+        let expected = r.expected_noisy_edges(truth.len(), n);
+        assert!(
+            (avg - expected).abs() < expected * 0.05 + 3.0,
+            "avg {avg} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn high_epsilon_preserves_list_exactly_in_expectation() {
+        // With a huge budget the flip probability is ~0, so the noisy list
+        // should equal the true list almost always.
+        let r = rr(20.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth: Vec<VertexId> = vec![1, 4, 8];
+        let noisy = r.perturb_neighbor_list(&truth, 100, &mut rng);
+        assert_eq!(noisy, truth);
+    }
+
+    #[test]
+    fn unbiased_edge_estimate_is_unbiased() {
+        let r = rr(1.0);
+        let p = r.flip_probability();
+        // E[phi | A=1] = (1-p)·phi(1) + p·phi(0) = 1
+        let e1 = (1.0 - p) * r.unbiased_edge_estimate(true) + p * r.unbiased_edge_estimate(false);
+        assert!((e1 - 1.0).abs() < 1e-12);
+        // E[phi | A=0] = p·phi(1) + (1-p)·phi(0) = 0
+        let e0 = p * r.unbiased_edge_estimate(true) + (1.0 - p) * r.unbiased_edge_estimate(false);
+        assert!(e0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_estimate_variance_formula() {
+        let r = rr(1.5);
+        let p = r.flip_probability();
+        let expected = p * (1.0 - p) / ((1.0 - 2.0 * p) * (1.0 - 2.0 * p));
+        assert!((r.edge_estimate_variance() - expected).abs() < 1e-15);
+        // Variance decreases as epsilon grows.
+        assert!(rr(3.0).edge_estimate_variance() < rr(1.0).edge_estimate_variance());
+    }
+
+    #[test]
+    fn expected_noisy_edges_monotone_in_degree() {
+        let r = rr(1.0);
+        assert!(r.expected_noisy_edges(10, 100) > r.expected_noisy_edges(0, 100));
+        // degree larger than opposite size saturates rather than panics
+        let e = r.expected_noisy_edges(200, 100);
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn mechanism_trait_dispatch() {
+        let r = rr(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out: bool = Mechanism::<bool>::apply(&r, true, &mut rng);
+        let _ = out;
+        assert_eq!(Mechanism::<bool>::epsilon(&r), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = rr(2.0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RandomizedResponse = serde_json::from_str(&json).unwrap();
+        // JSON float round-tripping can differ in the last ulp, so compare
+        // fields with a tolerance instead of exact equality.
+        assert_eq!(back.epsilon(), r.epsilon());
+        assert!((back.flip_probability() - r.flip_probability()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Client ↔ curator message transcripts.
+//!
+//! Every message a protocol exchanges is recorded here with its direction,
+//! round number, byte size, and a label. The paper's Fig. 10 reports the
+//! communication cost of each algorithm; recording actual message sizes (as
+//! opposed to plugging degrees into formulas) lets the experiment harness
+//! measure it, and lets tests check the analytic expectations.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a message relative to the curator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// From a client (vertex) up to the data curator.
+    Upload,
+    /// From the data curator down to a client (vertex).
+    Download,
+}
+
+/// A single recorded message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Protocol round the message belongs to (1-based).
+    pub round: u32,
+    /// Direction relative to the curator.
+    pub direction: Direction,
+    /// Short description, e.g. `"noisy-edges(u)"` or `"estimator(f_u)"`.
+    pub label: String,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// An append-only log of protocol messages with aggregate accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    messages: Vec<Message>,
+}
+
+impl Transcript {
+    /// Creates an empty transcript.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message.
+    pub fn record(
+        &mut self,
+        round: u32,
+        direction: Direction,
+        label: impl Into<String>,
+        bytes: usize,
+    ) {
+        self.messages.push(Message {
+            round,
+            direction,
+            label: label.into(),
+            bytes,
+        });
+    }
+
+    /// All recorded messages in order.
+    #[must_use]
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Total bytes across all messages (upload + download).
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Total bytes in one direction.
+    #[must_use]
+    pub fn bytes_in_direction(&self, direction: Direction) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.direction == direction)
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Total bytes exchanged in a given round.
+    #[must_use]
+    pub fn bytes_in_round(&self, round: u32) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.round == round)
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Number of protocol rounds that exchanged at least one message.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.messages.iter().map(|m| m.round).max().unwrap_or(0)
+    }
+
+    /// Total bytes expressed in megabytes (the unit of the paper's Fig. 10).
+    #[must_use]
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Merges another transcript into this one (used when a protocol runs
+    /// sub-protocols, e.g. MultiR-DS running two single-source estimators).
+    pub fn absorb(&mut self, other: Transcript) {
+        self.messages.extend(other.messages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_transcript() {
+        let t = Transcript::new();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.messages().len(), 0);
+        assert_eq!(t.total_megabytes(), 0.0);
+    }
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut t = Transcript::new();
+        t.record(1, Direction::Upload, "noisy-edges(u)", 400);
+        t.record(1, Direction::Upload, "noisy-edges(w)", 600);
+        t.record(2, Direction::Download, "noisy-edges(w) -> u", 600);
+        t.record(2, Direction::Upload, "estimator(f_u)", 8);
+
+        assert_eq!(t.total_bytes(), 1608);
+        assert_eq!(t.bytes_in_direction(Direction::Upload), 1008);
+        assert_eq!(t.bytes_in_direction(Direction::Download), 600);
+        assert_eq!(t.bytes_in_round(1), 1000);
+        assert_eq!(t.bytes_in_round(2), 608);
+        assert_eq!(t.rounds(), 2);
+        assert!((t.total_megabytes() - 1608.0 / (1024.0 * 1024.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn absorb_merges_messages() {
+        let mut a = Transcript::new();
+        a.record(1, Direction::Upload, "x", 10);
+        let mut b = Transcript::new();
+        b.record(2, Direction::Download, "y", 20);
+        a.absorb(b);
+        assert_eq!(a.messages().len(), 2);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.rounds(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Transcript::new();
+        t.record(1, Direction::Upload, "m", 3);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Transcript = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the LDP substrate.
+
+use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::laplace::{sample_laplace, LaplaceMechanism};
+use ldp::mechanism::Sensitivity;
+use ldp::randomized_response::RandomizedResponse;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_epsilon() -> impl Strategy<Value = f64> {
+    0.1f64..8.0
+}
+
+proptest! {
+    /// Flip probability is always in (0, 0.5) and decreasing in epsilon.
+    #[test]
+    fn flip_probability_in_range(eps in arb_epsilon()) {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let p = rr.flip_probability();
+        prop_assert!(p > 0.0 && p < 0.5);
+        let rr2 = RandomizedResponse::new(PrivacyBudget::new(eps + 0.5).unwrap());
+        prop_assert!(rr2.flip_probability() < p);
+        prop_assert!((rr.keep_probability() + p - 1.0).abs() < 1e-12);
+    }
+
+    /// The unbiased edge estimator has expectation equal to the true bit for
+    /// any epsilon (checked symbolically through the two-outcome expectation).
+    #[test]
+    fn edge_estimator_unbiased(eps in arb_epsilon()) {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let p = rr.flip_probability();
+        let phi1 = rr.unbiased_edge_estimate(true);
+        let phi0 = rr.unbiased_edge_estimate(false);
+        // true bit = 1
+        prop_assert!(((1.0 - p) * phi1 + p * phi0 - 1.0).abs() < 1e-9);
+        // true bit = 0
+        prop_assert!((p * phi1 + (1.0 - p) * phi0).abs() < 1e-9);
+        // variance formula is symmetric and positive
+        prop_assert!(rr.edge_estimate_variance() > 0.0);
+    }
+
+    /// Perturbed neighbor lists are sorted, deduplicated, and within range.
+    #[test]
+    fn perturbed_lists_are_well_formed(
+        eps in arb_epsilon(),
+        seed in any::<u64>(),
+        degree in 0usize..30,
+        extra in 1usize..100,
+    ) {
+        let opposite = degree + extra;
+        let truth: Vec<u32> = (0..degree as u32).collect();
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = rr.perturb_neighbor_list(&truth, opposite, &mut rng);
+        prop_assert!(noisy.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(noisy.iter().all(|&v| (v as usize) < opposite));
+    }
+
+    /// Expected noisy-edge formula is bounded by the opposite-layer size and
+    /// never smaller than both endpoints' contributions.
+    #[test]
+    fn expected_noisy_edges_bounds(eps in arb_epsilon(), d in 0usize..200, n in 200usize..2000) {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let e = rr.expected_noisy_edges(d, n);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= n as f64);
+    }
+
+    /// Laplace mechanism scale equals sensitivity / epsilon and variance 2b².
+    #[test]
+    fn laplace_scale_formula(eps in arb_epsilon(), sens in 0.1f64..10.0) {
+        let m = LaplaceMechanism::new(
+            PrivacyBudget::new(eps).unwrap(),
+            Sensitivity::new(sens).unwrap(),
+        );
+        prop_assert!((m.scale() - sens / eps).abs() < 1e-12);
+        prop_assert!((m.noise_variance() - 2.0 * (sens / eps).powi(2)).abs() < 1e-9);
+    }
+
+    /// Laplace samples are finite for any positive scale.
+    #[test]
+    fn laplace_samples_finite(scale in 0.01f64..100.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = sample_laplace(scale, &mut rng);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    /// Budget splits always sum back to the original budget.
+    #[test]
+    fn budget_splits_sum(eps in arb_epsilon(), k in 1usize..10, frac in 0.01f64..0.99) {
+        let b = PrivacyBudget::new(eps).unwrap();
+        let parts = b.split_even(k).unwrap();
+        let sum: f64 = parts.iter().map(|p| p.value()).sum();
+        prop_assert!((sum - eps).abs() < 1e-9);
+        let (a, c) = b.split_fraction(frac).unwrap();
+        prop_assert!((a.value() + c.value() - eps).abs() < 1e-9);
+        prop_assert!(a.value() > 0.0 && c.value() > 0.0);
+    }
+
+    /// An accountant never reports consumption above its allowance, and
+    /// rejects charges that would exceed it.
+    #[test]
+    fn accountant_never_exceeds(
+        eps in 0.5f64..4.0,
+        charges in prop::collection::vec((0.01f64..2.0, any::<bool>()), 1..12),
+    ) {
+        let total = PrivacyBudget::new(eps).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        for (i, (amount, parallel)) in charges.into_iter().enumerate() {
+            let comp = if parallel { Composition::Parallel } else { Composition::Sequential };
+            let _ = acc.charge(format!("c{i}"), PrivacyBudget::new(amount).unwrap(), comp);
+            prop_assert!(acc.consumed() <= eps * (1.0 + 1e-9) + 1e-9);
+        }
+        prop_assert!(acc.remaining() >= 0.0);
+    }
+
+    /// Sequential-only consumption is exactly the sum of accepted charges.
+    #[test]
+    fn sequential_consumption_is_additive(
+        eps in 2.0f64..10.0,
+        amounts in prop::collection::vec(0.01f64..0.5, 1..8),
+    ) {
+        let total = PrivacyBudget::new(eps).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        let mut accepted = 0.0;
+        for (i, a) in amounts.into_iter().enumerate() {
+            if acc
+                .charge(format!("c{i}"), PrivacyBudget::new(a).unwrap(), Composition::Sequential)
+                .is_ok()
+            {
+                accepted += a;
+            }
+        }
+        prop_assert!((acc.consumed() - accepted).abs() < 1e-9);
+    }
+}
+
+/// Statistical test (not proptest): the empirical flip rate matches p within
+/// a tolerance for a couple of representative budgets.
+#[test]
+fn empirical_flip_rates() {
+    for eps in [0.5, 1.0, 2.0] {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let mut rng = StdRng::seed_from_u64(1234 + eps.to_bits() as u64 % 1000);
+        let trials = 100_000;
+        let flips = (0..trials).filter(|_| rr.perturb_bit(false, &mut rng)).count();
+        let rate = flips as f64 / trials as f64;
+        assert!(
+            (rate - rr.flip_probability()).abs() < 0.01,
+            "eps {eps}: rate {rate} vs p {}",
+            rr.flip_probability()
+        );
+    }
+}

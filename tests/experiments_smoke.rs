@@ -1,0 +1,86 @@
+//! Smoke tests that every experiment module (one per paper figure/table) runs
+//! end-to-end and produces non-empty, well-formed tables. The shape-level
+//! assertions live in each module's own tests; here we only guarantee the
+//! whole harness stays runnable from a single entry point.
+
+use eval::experiments::*;
+
+#[test]
+fn fig02_distribution_produces_tables() {
+    let tables = fig02_distribution::run(&fig02_distribution::Config::smoke());
+    assert!(!tables.is_empty());
+    assert!(tables.iter().all(|t| !t.columns.is_empty()));
+}
+
+#[test]
+fn fig05_loss_curves_produces_tables() {
+    let tables = fig05_loss_curves::run(&fig05_loss_curves::Config::default());
+    assert_eq!(tables.len(), 2);
+    assert!(tables.iter().all(|t| t.n_rows() > 0));
+}
+
+#[test]
+fn fig06_datasets_produces_tables() {
+    let tables = fig06_datasets::run(&fig06_datasets::Config::smoke());
+    assert_eq!(tables.len(), 2);
+    assert!(tables[0].n_rows() > 0);
+    assert_eq!(tables[0].n_rows(), tables[1].n_rows());
+}
+
+#[test]
+fn fig07_epsilon_produces_tables() {
+    let tables = fig07_epsilon::run(&fig07_epsilon::Config::smoke());
+    assert!(!tables.is_empty());
+    assert!(tables[0].n_rows() >= 2);
+}
+
+#[test]
+fn fig08_budget_produces_tables() {
+    let tables = fig08_budget::run(&fig08_budget::Config::smoke());
+    assert!(!tables.is_empty());
+    assert!(tables[0].n_rows() >= 2);
+}
+
+#[test]
+fn fig09_imbalance_produces_tables() {
+    let tables = fig09_imbalance::run(&fig09_imbalance::Config::smoke());
+    assert!(!tables.is_empty());
+    assert!(tables[0].n_rows() >= 1);
+}
+
+#[test]
+fn fig10_communication_produces_tables() {
+    let tables = fig10_communication::run(&fig10_communication::Config::smoke());
+    assert!(!tables.is_empty());
+    assert!(tables[0].n_rows() >= 2);
+}
+
+#[test]
+fn fig11_scaling_produces_tables() {
+    let tables = fig11_scaling::run(&fig11_scaling::Config::smoke());
+    assert!(!tables.is_empty());
+    assert!(tables[0].n_rows() >= 1);
+}
+
+#[test]
+fn table2_datasets_produces_tables() {
+    let tables = table2_datasets::run(&table2_datasets::Config::smoke());
+    assert_eq!(tables.len(), 1);
+    assert!(tables[0].n_rows() >= 3);
+}
+
+#[test]
+fn table3_theory_produces_tables() {
+    let tables = table3_theory::run(&table3_theory::Config::smoke());
+    assert_eq!(tables.len(), 2);
+    assert!(tables.iter().all(|t| t.n_rows() > 0));
+}
+
+#[test]
+fn tables_render_to_text() {
+    for table in table2_datasets::run(&table2_datasets::Config::smoke()) {
+        let rendered = table.to_string();
+        assert!(rendered.contains("=="));
+        assert!(rendered.lines().count() > table.n_rows());
+    }
+}
