@@ -18,15 +18,22 @@ fn bench_oner_forms(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/oner_form");
     group.sample_size(20);
     for code in [DatasetCode::RM, DatasetCode::WC] {
-        let dataset = context
-            .catalog
-            .generate(code, 1)
-            .expect("profile exists");
+        let dataset = context.catalog.generate(code, 1).expect("profile exists");
         let graph = dataset.graph;
         let query = Query::new(Layer::Upper, 0, 1);
         for (label, algo) in [
-            ("closed_form", OneR { use_dense_sum: false }),
-            ("dense_sum", OneR { use_dense_sum: true }),
+            (
+                "closed_form",
+                OneR {
+                    use_dense_sum: false,
+                },
+            ),
+            (
+                "dense_sum",
+                OneR {
+                    use_dense_sum: true,
+                },
+            ),
         ] {
             group.bench_function(format!("{code}/{label}"), |b| {
                 let mut rng = ChaCha12Rng::seed_from_u64(21);

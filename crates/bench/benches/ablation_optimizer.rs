@@ -31,7 +31,13 @@ fn bench_ablation(c: &mut Criterion) {
     // ---- Solution quality table -------------------------------------------
     let mut table = Table::new(
         "Ablation: budget-allocation strategies (loss of f*, eps = 2)",
-        &["d_u", "d_w", "optimiser", "grid(400x100)", "even split (alpha=0.5)"],
+        &[
+            "d_u",
+            "d_w",
+            "optimiser",
+            "grid(400x100)",
+            "even split (alpha=0.5)",
+        ],
     );
     for (du, dw) in [(5.0, 10.0), (5.0, 100.0), (200.0, 3.0), (500.0, 500.0)] {
         let opt = optimize_double_source(du, dw, 2.0);

@@ -18,7 +18,10 @@ fn bench_fig02(c: &mut Criterion) {
         kappa: 20.0,
     };
     let tables = fig02_distribution::run(&config);
-    print_tables("Figure 2: estimate distributions (rmwiki-like, eps = 1)", &tables);
+    print_tables(
+        "Figure 2: estimate distributions (rmwiki-like, eps = 1)",
+        &tables,
+    );
 
     // Kernel: one estimate per algorithm on the same dataset/pair.
     let dataset = config

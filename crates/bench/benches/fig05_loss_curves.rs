@@ -2,9 +2,9 @@
 //! loss-model evaluation and the (ε₁, α) optimiser it feeds.
 
 use bench::print_tables;
-use criterion::{criterion_group, criterion_main, Criterion};
 use cne::loss::double_source_l2;
 use cne::optimizer::{optimal_alpha, optimize_double_source};
+use criterion::{criterion_group, criterion_main, Criterion};
 use eval::experiments::fig05_loss_curves;
 
 fn bench_fig05(c: &mut Criterion) {

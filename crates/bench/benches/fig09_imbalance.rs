@@ -25,8 +25,8 @@ fn bench_fig09(c: &mut Criterion) {
         .expect("BX profile exists");
     let graph = dataset.graph;
     let mut rng = ChaCha12Rng::seed_from_u64(9);
-    let pairs = sampling::imbalanced_pairs(&graph, Layer::Upper, 100.0, 10, &mut rng)
-        .expect("sampleable");
+    let pairs =
+        sampling::imbalanced_pairs(&graph, Layer::Upper, 100.0, 10, &mut rng).expect("sampleable");
 
     let mut group = c.benchmark_group("fig09/imbalanced_pairs_bx");
     group.sample_size(10);

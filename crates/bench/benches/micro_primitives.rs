@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the substrate primitives: randomized response,
 //! Laplace sampling, exact common-neighbor counting, and graph construction.
 
-use bigraph::{common_neighbors, BipartiteGraph, Layer};
+use bigraph::{common_neighbors, BipartiteGraph, Layer, PackedSet};
+use cne::BatchSingleSource;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datasets::generator;
 use ldp::budget::PrivacyBudget;
@@ -21,6 +22,84 @@ fn bench_randomized_response(c: &mut Criterion) {
             b.iter(|| criterion::black_box(rr.perturb_neighbor_list(&truth, n, &mut rng).len()));
         });
     }
+    group.finish();
+}
+
+/// The tentpole workload: sparse rows (n = 100k, d = 10) where the geometric
+/// skip sampler does `O(d + p·n)` work while the dense reference pays for
+/// every one of the `n` slots. At ε = 4 the skip path must be ≥10× faster
+/// (the acceptance bar recorded in BENCH_micro.json).
+fn bench_perturb_sparse_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/perturb_sparse_large");
+    let n = 100_000usize;
+    let truth: Vec<u32> = (0..10u32).map(|i| i * 9_999).collect(); // d = 10
+    for eps in [1.0f64, 4.0] {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).expect("valid"));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("skip", eps), &n, |b, &n| {
+            let mut rng = ChaCha12Rng::seed_from_u64(5);
+            b.iter(|| criterion::black_box(rr.perturb_neighbor_list(&truth, n, &mut rng).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("dense", eps), &n, |b, &n| {
+            let mut rng = ChaCha12Rng::seed_from_u64(5);
+            b.iter(|| {
+                criterion::black_box(rr.perturb_neighbor_list_dense(&truth, n, &mut rng).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Noisy-list intersection at RR densities: sorted merge vs bit-packed
+/// popcount (reusing pre-packed operands, the curator-side steady state).
+fn bench_packed_vs_merge_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/noisy_intersection");
+    let n = 100_000usize;
+    let rr = RandomizedResponse::new(PrivacyBudget::new(1.0).expect("valid"));
+    let truth_a: Vec<u32> = (0..20u32).map(|i| i * 4_999).collect();
+    let truth_b: Vec<u32> = (0..20u32).map(|i| i * 4_999 + 7).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(6);
+    // Two ε = 1 noisy lists: ~27k entries each over a 100k universe.
+    let a = rr.perturb_neighbor_list(&truth_a, n, &mut rng);
+    let b = rr.perturb_neighbor_list(&truth_b, n, &mut rng);
+    group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+    group.bench_function("sorted_merge", |bench| {
+        bench.iter(|| criterion::black_box(common_neighbors::intersection_size(&a, &b)));
+    });
+    let pa = PackedSet::from_sorted(&a, n);
+    let pb = PackedSet::from_sorted(&b, n);
+    group.bench_function("packed_popcount", |bench| {
+        bench.iter(|| criterion::black_box(pa.intersection_size(&pb)));
+    });
+    group.bench_function("pack_then_popcount", |bench| {
+        bench.iter(|| {
+            let pa = PackedSet::from_sorted(&a, n);
+            criterion::black_box(pa.intersection_size(&pb))
+        });
+    });
+    group.finish();
+}
+
+/// The parallel batch engine end to end: one target, many candidates, all
+/// cores. Deterministic per-user streams keep the output byte-identical to a
+/// single-threaded run.
+fn bench_batch_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/batch_engine");
+    group.sample_size(10);
+    let mut rng = ChaCha12Rng::seed_from_u64(8);
+    let g = generator::chung_lu_power_law(4_000, 30_000, 120_000, 2.1, &mut rng);
+    let candidates: Vec<u32> = (1..2_001u32).collect();
+    let algo = BatchSingleSource::default();
+    group.throughput(Throughput::Elements(candidates.len() as u64));
+    group.bench_function("estimate_batch_2000_candidates", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        b.iter(|| {
+            let report = algo
+                .estimate_batch(&g, Layer::Upper, 0, &candidates, 2.0, &mut rng)
+                .expect("valid batch");
+            criterion::black_box(report.estimates.len())
+        });
+    });
     group.finish();
 }
 
@@ -46,7 +125,9 @@ fn bench_exact_counting(c: &mut Criterion) {
         b.iter(|| criterion::black_box(common_neighbors::count(&g, Layer::Upper, u, w).unwrap()));
     });
     group.bench_function("jaccard_random_pair", |b| {
-        b.iter(|| criterion::black_box(common_neighbors::jaccard(&g, Layer::Upper, 10, 20).unwrap()));
+        b.iter(|| {
+            criterion::black_box(common_neighbors::jaccard(&g, Layer::Upper, 10, 20).unwrap())
+        });
     });
     group.finish();
 }
@@ -73,6 +154,9 @@ fn bench_graph_build(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_randomized_response,
+    bench_perturb_sparse_large,
+    bench_packed_vs_merge_intersection,
+    bench_batch_engine,
     bench_laplace,
     bench_exact_counting,
     bench_graph_build

@@ -2,8 +2,8 @@
 //! validation column, and benchmarks the closed-form loss evaluations.
 
 use bench::print_tables;
-use criterion::{criterion_group, criterion_main, Criterion};
 use cne::loss;
+use criterion::{criterion_group, criterion_main, Criterion};
 use eval::experiments::table3_theory;
 
 fn bench_table3(c: &mut Criterion) {

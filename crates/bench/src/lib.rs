@@ -30,7 +30,7 @@ pub const BENCH_PAIRS: usize = 24;
 pub fn bench_context() -> Context {
     Context {
         catalog: datasets::Catalog::scaled(BENCH_MAX_EDGES),
-        seed: 0xBE7C_4_2,
+        seed: 0x00BE_7C42,
         pairs_per_dataset: BENCH_PAIRS,
     }
 }

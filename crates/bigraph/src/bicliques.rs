@@ -166,11 +166,26 @@ mod tests {
 
     #[test]
     fn two_two_bicliques_equal_butterflies() {
-        let edges = [(0u32, 0u32), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2), (2, 0), (1, 3)];
+        let edges = [
+            (0u32, 0u32),
+            (0, 1),
+            (0, 2),
+            (1, 1),
+            (1, 2),
+            (2, 2),
+            (2, 0),
+            (1, 3),
+        ];
         let g = BipartiteGraph::from_edges(3, 4, edges).unwrap();
         let butterflies = motifs::butterfly_count(&g).unwrap();
-        assert_eq!(count_bicliques(&g, Layer::Upper, 2, 2).unwrap(), butterflies);
-        assert_eq!(count_bicliques(&g, Layer::Lower, 2, 2).unwrap(), butterflies);
+        assert_eq!(
+            count_bicliques(&g, Layer::Upper, 2, 2).unwrap(),
+            butterflies
+        );
+        assert_eq!(
+            count_bicliques(&g, Layer::Lower, 2, 2).unwrap(),
+            butterflies
+        );
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Bit-packed vertex sets with word-parallel (popcount) intersection.
+//!
+//! Randomized-response noisy neighbor lists are *dense*: a vertex with true
+//! degree `d` in an opposite layer of size `n` reports `≈ d + p·n` noisy
+//! neighbors, and at ε = 1 the flip probability `p ≈ 0.27` makes the noisy
+//! list a constant fraction of the whole layer. Intersecting two such lists
+//! with a sorted merge costs one branchy comparison per element; packing each
+//! list into `⌈n/64⌉` machine words turns the same intersection into an
+//! `AND` + `popcount` loop that processes 64 candidates per instruction.
+//!
+//! [`intersection_size_degree_aware`] picks the cheapest of the three
+//! available strategies (sorted merge, one-sided membership probes into a
+//! packed set, word-parallel popcount) from the operand densities; the `ldp`
+//! crate's noisy-neighborhood views and the `cne` batch engine both route
+//! their common-neighbor counts through it.
+
+use crate::vertex::VertexId;
+
+/// A fixed-universe set of vertex ids packed into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl PackedSet {
+    /// Packs a sorted, deduplicated, in-range id list over `0..universe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `ids` is unsorted or contains an id `≥ universe`.
+    #[must_use]
+    pub fn from_sorted(ids: &[VertexId], universe: usize) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        let mut words = vec![0u64; universe.div_ceil(64)];
+        for &id in ids {
+            debug_assert!(
+                (id as usize) < universe,
+                "id {id} out of universe {universe}"
+            );
+            words[id as usize / 64] |= 1u64 << (id as usize % 64);
+        }
+        Self {
+            words,
+            universe,
+            len: ids.len(),
+        }
+    }
+
+    /// The number of vertex slots this set ranges over.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The number of ids in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Constant-time membership test.
+    #[must_use]
+    pub fn contains(&self, id: VertexId) -> bool {
+        let idx = id as usize;
+        idx < self.universe && self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Word-parallel intersection size: `AND` + popcount over the packed
+    /// words. `O(universe / 64)` regardless of the operand densities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets range over different universes.
+    #[must_use]
+    pub fn intersection_size(&self, other: &PackedSet) -> u64 {
+        assert_eq!(
+            self.universe, other.universe,
+            "packed sets must share a universe"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| u64::from((a & b).count_ones()))
+            .sum()
+    }
+
+    /// Intersection size against a sorted id list: one `O(1)` membership
+    /// probe per element of `ids`. The cheap path when `ids` is much
+    /// sparser than `universe / 64` words.
+    #[must_use]
+    pub fn intersection_size_sorted(&self, ids: &[VertexId]) -> u64 {
+        ids.iter().filter(|&&id| self.contains(id)).count() as u64
+    }
+
+    /// Unpacks back to a sorted id list (mainly for tests and debugging).
+    #[must_use]
+    pub fn to_sorted_ids(&self) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.len);
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push((w * 64 + b) as VertexId);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Degree-aware intersection: chooses the cheapest strategy for counting
+/// `|a ∩ b|` given that a packed form of `b` is already available.
+///
+/// * `a` much sparser than one probe per packed word → membership probes,
+/// * otherwise the caller should pack `a` too and use popcount; this
+///   function does that packing when it pays off (`|a|` greater than
+///   roughly twice the word count, the break-even point of one pack pass
+///   plus the popcount loop versus per-element probes).
+#[must_use]
+pub fn intersection_size_degree_aware(a: &[VertexId], b_packed: &PackedSet) -> u64 {
+    let words = b_packed.universe().div_ceil(64);
+    if a.len() <= 2 * words {
+        b_packed.intersection_size_sorted(a)
+    } else {
+        PackedSet::from_sorted(a, b_packed.universe()).intersection_size(b_packed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common_neighbors::intersection_size;
+
+    #[test]
+    fn pack_and_unpack_round_trip() {
+        let ids: Vec<VertexId> = vec![0, 1, 63, 64, 65, 127, 200];
+        let packed = PackedSet::from_sorted(&ids, 256);
+        assert_eq!(packed.len(), ids.len());
+        assert_eq!(packed.universe(), 256);
+        assert_eq!(packed.to_sorted_ids(), ids);
+        for id in 0..256u32 {
+            assert_eq!(packed.contains(id), ids.binary_search(&id).is_ok());
+        }
+    }
+
+    #[test]
+    fn popcount_intersection_matches_merge() {
+        let a: Vec<VertexId> = (0..500).step_by(3).collect();
+        let b: Vec<VertexId> = (0..500).step_by(5).collect();
+        let pa = PackedSet::from_sorted(&a, 500);
+        let pb = PackedSet::from_sorted(&b, 500);
+        assert_eq!(pa.intersection_size(&pb), intersection_size(&a, &b));
+        assert_eq!(pa.intersection_size(&pb), pb.intersection_size(&pa));
+    }
+
+    #[test]
+    fn sorted_probe_intersection_matches_merge() {
+        let sparse: Vec<VertexId> = vec![7, 90, 333, 499];
+        let dense: Vec<VertexId> = (0..500).filter(|v| v % 2 == 1).collect();
+        let packed = PackedSet::from_sorted(&dense, 500);
+        assert_eq!(
+            packed.intersection_size_sorted(&sparse),
+            intersection_size(&sparse, &dense)
+        );
+    }
+
+    #[test]
+    fn degree_aware_matches_merge_on_both_branches() {
+        let universe = 1000;
+        let dense: Vec<VertexId> = (0..1000).filter(|v| v % 3 != 0).collect();
+        let packed = PackedSet::from_sorted(&dense, universe);
+        // Sparse probe branch.
+        let sparse: Vec<VertexId> = vec![1, 2, 3, 500, 999];
+        assert_eq!(
+            intersection_size_degree_aware(&sparse, &packed),
+            intersection_size(&sparse, &dense)
+        );
+        // Pack-and-popcount branch.
+        let medium: Vec<VertexId> = (0..1000).step_by(2).collect();
+        assert_eq!(
+            intersection_size_degree_aware(&medium, &packed),
+            intersection_size(&medium, &dense)
+        );
+    }
+
+    #[test]
+    fn empty_sets() {
+        let empty = PackedSet::from_sorted(&[], 100);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        let other = PackedSet::from_sorted(&[5, 50], 100);
+        assert_eq!(empty.intersection_size(&other), 0);
+        assert_eq!(other.intersection_size_sorted(&[]), 0);
+        assert!(empty.to_sorted_ids().is_empty());
+    }
+
+    #[test]
+    fn zero_universe() {
+        let s = PackedSet::from_sorted(&[], 0);
+        assert_eq!(s.universe(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a universe")]
+    fn mismatched_universes_panic() {
+        let a = PackedSet::from_sorted(&[1], 100);
+        let b = PackedSet::from_sorted(&[1], 200);
+        let _ = a.intersection_size(&b);
+    }
+}

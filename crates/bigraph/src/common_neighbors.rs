@@ -105,7 +105,7 @@ pub fn cosine(g: &BipartiteGraph, layer: Layer, u: VertexId, w: VertexId) -> Res
 /// the smaller list into the larger when the ratio exceeds a small threshold —
 /// the same adaptive strategy production set-intersection kernels use.
 #[must_use]
-pub fn intersection_size(a: &[VertexId], b: &[VertexId], ) -> u64 {
+pub fn intersection_size(a: &[VertexId], b: &[VertexId]) -> u64 {
     let mut n = 0u64;
     merge_visit(a, b, |_| n += 1);
     n

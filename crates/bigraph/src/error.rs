@@ -76,7 +76,9 @@ mod tests {
         assert!(msg.contains("upper"));
         assert!(msg.contains('5'));
 
-        let e = GraphError::EmptyLayer { layer: Layer::Lower };
+        let e = GraphError::EmptyLayer {
+            layer: Layer::Lower,
+        };
         assert!(e.to_string().contains("lower"));
 
         let e = GraphError::InvalidQueryPair {
@@ -93,6 +95,8 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
-        assert_err(&GraphError::EmptyLayer { layer: Layer::Upper });
+        assert_err(&GraphError::EmptyLayer {
+            layer: Layer::Upper,
+        });
     }
 }

@@ -165,9 +165,13 @@ impl BipartiteGraph {
         let du = self.degree(Layer::Upper, upper);
         let dl = self.degree(Layer::Lower, lower);
         if du <= dl {
-            self.neighbors(Layer::Upper, upper).binary_search(&lower).is_ok()
+            self.neighbors(Layer::Upper, upper)
+                .binary_search(&lower)
+                .is_ok()
         } else {
-            self.neighbors(Layer::Lower, lower).binary_search(&upper).is_ok()
+            self.neighbors(Layer::Lower, lower)
+                .binary_search(&upper)
+                .is_ok()
         }
     }
 
@@ -183,11 +187,8 @@ impl BipartiteGraph {
 
     /// Iterates over all edges as `(upper, lower)` pairs in CSR order.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        (0..self.n_upper() as VertexId).flat_map(move |u| {
-            self.neighbors(Layer::Upper, u)
-                .iter()
-                .map(move |&v| (u, v))
-        })
+        (0..self.n_upper() as VertexId)
+            .flat_map(move |u| self.neighbors(Layer::Upper, u).iter().map(move |&v| (u, v)))
     }
 
     /// Maximum degree among vertices of `layer`.
@@ -251,8 +252,18 @@ impl BipartiteGraph {
             }
             Ok(())
         };
-        check_side(&self.upper_offsets, &self.upper_adj, self.n_lower(), "upper")?;
-        check_side(&self.lower_offsets, &self.lower_adj, self.n_upper(), "lower")?;
+        check_side(
+            &self.upper_offsets,
+            &self.upper_adj,
+            self.n_lower(),
+            "upper",
+        )?;
+        check_side(
+            &self.lower_offsets,
+            &self.lower_adj,
+            self.n_upper(),
+            "lower",
+        )?;
         if self.upper_adj.len() != self.lower_adj.len() {
             return Err(GraphError::Malformed {
                 reason: "edge count mismatch between directions".into(),
@@ -265,7 +276,6 @@ impl BipartiteGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphBuilder;
 
     fn toy() -> BipartiteGraph {
         // Figure 1-like toy graph: 2 upper vertices, 4 lower vertices.

@@ -13,6 +13,8 @@
 //!
 //! * exact common-neighbor counting and listing ([`common_neighbors`]),
 //! * Jaccard / cosine vertex similarity ([`common_neighbors`]),
+//! * bit-packed vertex sets with degree-aware popcount intersection,
+//!   used by the LDP noisy-neighborhood hot paths ([`bitset`]),
 //! * one-mode projections ([`projection`]),
 //! * wedge and butterfly (2×2 biclique) counting ([`motifs`]),
 //! * vertex-pair samplers, including degree-imbalance (κ) constrained sampling
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bicliques;
+pub mod bitset;
 pub mod builder;
 pub mod common_neighbors;
 pub mod error;
@@ -51,6 +54,7 @@ pub mod sampling;
 pub mod stats;
 pub mod vertex;
 
+pub use bitset::PackedSet;
 pub use builder::GraphBuilder;
 pub use error::{GraphError, Result};
 pub use graph::BipartiteGraph;

@@ -190,8 +190,11 @@ mod tests {
 
     fn grid_graph() -> BipartiteGraph {
         // 10 upper x 20 lower with u-v edge iff v % (u+1) == 0: varied degrees.
-        let edges = (0..10u32)
-            .flat_map(|u| (0..20u32).filter(move |v| v % (u + 1) == 0).map(move |v| (u, v)));
+        let edges = (0..10u32).flat_map(|u| {
+            (0..20u32)
+                .filter(move |v| v % (u + 1) == 0)
+                .map(move |v| (u, v))
+        });
         BipartiteGraph::from_edges(10, 20, edges).unwrap()
     }
 
@@ -220,7 +223,12 @@ mod tests {
     fn uniform_pairs_empty_layer_errors() {
         let g = BipartiteGraph::from_edges(1, 5, std::iter::empty()).unwrap();
         let err = uniform_pairs(&g, Layer::Upper, 3, &mut StdRng::seed_from_u64(0)).unwrap_err();
-        assert!(matches!(err, GraphError::EmptyLayer { layer: Layer::Upper }));
+        assert!(matches!(
+            err,
+            GraphError::EmptyLayer {
+                layer: Layer::Upper
+            }
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests for the bipartite graph substrate.
 
-use bigraph::{common_neighbors, motifs, projection, stats, BipartiteGraph, GraphBuilder, Layer};
+use bigraph::{
+    bitset, common_neighbors, motifs, projection, stats, BipartiteGraph, GraphBuilder, Layer,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -139,6 +141,48 @@ proptest! {
         g.validate().unwrap();
         for (u, v) in edges {
             prop_assert!(g.has_edge(u, v));
+        }
+    }
+}
+
+proptest! {
+    /// Bit-packed intersection (popcount, membership probes, and the
+    /// degree-aware dispatcher) equals the sorted-merge intersection on the
+    /// adjacency lists of random graphs.
+    #[test]
+    fn packed_intersection_matches_sorted_merge((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        if nu < 2 { return Ok(()); }
+        let universe = nl;
+        for u in 0..(nu as u32).min(6) {
+            for w in (u + 1)..(nu as u32).min(6) {
+                let a = g.neighbors(Layer::Upper, u);
+                let b = g.neighbors(Layer::Upper, w);
+                let merge = common_neighbors::intersection_size(a, b);
+                let pa = bitset::PackedSet::from_sorted(a, universe);
+                let pb = bitset::PackedSet::from_sorted(b, universe);
+                prop_assert_eq!(pa.intersection_size(&pb), merge);
+                prop_assert_eq!(pb.intersection_size(&pa), merge);
+                prop_assert_eq!(pa.intersection_size_sorted(b), merge);
+                prop_assert_eq!(bitset::intersection_size_degree_aware(a, &pb), merge);
+                prop_assert_eq!(bitset::intersection_size_degree_aware(b, &pa), merge);
+            }
+        }
+    }
+
+    /// Packing and unpacking an adjacency list is lossless, and membership
+    /// probes agree with the list.
+    #[test]
+    fn packed_set_round_trips_adjacency((nu, nl, edges) in arb_graph()) {
+        let g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        for u in 0..(nu as u32).min(8) {
+            let a = g.neighbors(Layer::Upper, u);
+            let packed = bitset::PackedSet::from_sorted(a, nl);
+            prop_assert_eq!(packed.len(), a.len());
+            prop_assert_eq!(packed.to_sorted_ids(), a.to_vec());
+            for v in 0..nl as u32 {
+                prop_assert_eq!(packed.contains(v), g.has_edge(u, v));
+            }
         }
     }
 }

@@ -59,8 +59,11 @@ fn main() {
             })
             .collect();
         let mean = estimates.iter().sum::<f64>() / runs as f64;
-        let var =
-            estimates.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / runs as f64;
+        let var = estimates
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / runs as f64;
         println!("{name}: mean = {mean:.2}, std = {:.2}", var.sqrt());
         print_histogram(&estimates, truth);
         println!();
@@ -70,8 +73,16 @@ fn main() {
 /// Prints a coarse text histogram of the estimates, marking the bin that
 /// contains the true value with `<-- true count`.
 fn print_histogram(values: &[f64], truth: f64) {
-    let min = values.iter().cloned().fold(f64::INFINITY, f64::min).min(truth);
-    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(truth);
+    let min = values
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .min(truth);
+    let max = values
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(truth);
     let bins = 15usize;
     let width = ((max - min) / bins as f64).max(1e-9);
     let mut counts = vec![0usize; bins];
@@ -84,7 +95,11 @@ fn print_histogram(values: &[f64], truth: f64) {
         let lo = min + i as f64 * width;
         let hi = lo + width;
         let bar = "#".repeat(c * 50 / peak);
-        let marker = if truth >= lo && truth < hi { "  <-- true count" } else { "" };
+        let marker = if truth >= lo && truth < hi {
+            "  <-- true count"
+        } else {
+            ""
+        };
         println!("  [{lo:>9.1}, {hi:>9.1}) |{bar}{marker}");
     }
 }

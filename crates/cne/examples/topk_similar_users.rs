@@ -73,7 +73,11 @@ fn main() {
             est.candidate,
             truth,
             est.estimate,
-            if true_top5.contains(&est.candidate) { "top-5" } else { "" }
+            if true_top5.contains(&est.candidate) {
+                "top-5"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -86,7 +90,12 @@ fn main() {
     if let Some(best) = batch.ranked().first() {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let report = SimilarityEstimator::jaccard()
-            .estimate(graph, &Query::new(Layer::Upper, target, best.candidate), 2.0, &mut rng)
+            .estimate(
+                graph,
+                &Query::new(Layer::Upper, target, best.candidate),
+                2.0,
+                &mut rng,
+            )
             .expect("similarity estimation succeeds");
         let true_jaccard =
             common_neighbors::jaccard(graph, Layer::Upper, target, best.candidate).expect("valid");

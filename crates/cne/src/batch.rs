@@ -16,15 +16,44 @@
 //!   parallel: each vertex's total spend is `ε₁ + ε₂ = ε`.
 //!
 //! The result is `k` unbiased estimates for the price (in privacy) of one.
+//!
+//! # Parallel batch engine
+//!
+//! Round 2 is embarrassingly parallel: every candidate's estimator reads the
+//! same packed noisy target list and its own (immutable) adjacency. The
+//! engine packs the target's noisy list into a bitmap once
+//! ([`ldp::noisy_graph::NoisyNeighbors::packed`]), fans the candidates out
+//! across all cores with `rayon`, and gives every candidate its own RNG
+//! stream derived as `seed + vertex id` (see [`user_stream_seed`]). Streams
+//! depend only on the draw of one base seed and the candidate's vertex id —
+//! never on thread scheduling — so a seeded run produces **byte-identical**
+//! results at any core count.
 
 use crate::error::{CneError, Result};
 use crate::estimate::AlgorithmKind;
 use crate::protocol::{randomized_response_round, record_download, record_scalar_upload};
-use crate::single_source::{single_source_laplace, single_source_value};
+use crate::single_source::{single_source_laplace, single_source_value_packed};
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
 use ldp::transcript::Transcript;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Derives the deterministic RNG stream seed for one participating user.
+///
+/// The contract (documented in ROADMAP.md) is `stream = mix(seed, vertex id)`
+/// with a SplitMix64-style finalizer: streams are decorrelated across users,
+/// reproducible for a fixed `(seed, vertex)` pair, and independent of both
+/// thread scheduling and the order users are processed in.
+#[must_use]
+pub fn user_stream_seed(seed: u64, vertex: u64) -> u64 {
+    let mut z = seed ^ vertex.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// One candidate's estimate in a batch run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,7 +86,11 @@ impl BatchReport {
     #[must_use]
     pub fn ranked(&self) -> Vec<BatchEstimate> {
         let mut sorted = self.estimates.clone();
-        sorted.sort_by(|a, b| b.estimate.partial_cmp(&a.estimate).expect("finite estimates"));
+        sorted.sort_by(|a, b| {
+            b.estimate
+                .partial_cmp(&a.estimate)
+                .expect("finite estimates")
+        });
         sorted
     }
 
@@ -97,6 +130,7 @@ impl BatchSingleSource {
     /// * invalid budget or fraction,
     /// * unknown target/candidate vertices,
     /// * a candidate equal to the target,
+    /// * duplicate candidates (each user may release once per batch),
     /// * an empty candidate list.
     pub fn estimate_batch(
         &self,
@@ -115,6 +149,19 @@ impl BatchSingleSource {
         }
         for &w in candidates {
             common_neighbors::check_query_pair(g, layer, target, w)?;
+        }
+        // Duplicates are rejected rather than silently re-estimated: the
+        // round-2 releases compose in parallel only because the candidates'
+        // neighbor lists are disjoint datasets, which a repeated vertex
+        // violates — and per-user streams (seed + vertex id) would hand the
+        // duplicate the identical Laplace draw, not an independent one.
+        let mut seen = candidates.to_vec();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CneError::InvalidParameter {
+                name: "candidates",
+                reason: "candidate vertices must be distinct".into(),
+            });
         }
         let total = PrivacyBudget::new(epsilon)?;
         let (eps1, eps2) = total.split_fraction(self.epsilon1_fraction)?;
@@ -139,23 +186,41 @@ impl BatchSingleSource {
         // single-source estimator, and releases it with Laplace noise. The
         // first release is charged sequentially; the remaining candidates'
         // releases cover disjoint neighbor lists and compose in parallel.
+        //
+        // Compute is fanned out across cores: the target's noisy list is
+        // packed once, and each candidate perturbs on its own `seed + vertex
+        // id` stream, so the output is identical at any thread count.
         let laplace = single_source_laplace(p, eps2)?;
-        let mut estimates = Vec::with_capacity(candidates.len());
-        for (i, &w) in candidates.iter().enumerate() {
-            record_download(&mut transcript, 2, "noisy-edges(target) -> candidate", &noisy_target);
+        let packed_target = noisy_target.packed();
+        let base_seed = rng.next_u64();
+        let estimates: Vec<BatchEstimate> = candidates
+            .par_iter()
+            .map(|&w| {
+                let mut stream = StdRng::seed_from_u64(user_stream_seed(base_seed, u64::from(w)));
+                let raw = single_source_value_packed(g, layer, w, &packed_target, p);
+                BatchEstimate {
+                    candidate: w,
+                    estimate: laplace.perturb(raw, &mut stream),
+                }
+            })
+            .collect();
+
+        // Accounting and the message transcript are sequential bookkeeping,
+        // recorded exactly as the wire protocol would observe them.
+        for i in 0..candidates.len() {
+            record_download(
+                &mut transcript,
+                2,
+                "noisy-edges(target) -> candidate",
+                &noisy_target,
+            );
             let composition = if i == 0 {
                 Composition::Sequential
             } else {
                 Composition::Parallel
             };
             budget.charge(format!("round2:laplace(f_w{i})"), eps2, composition)?;
-            let raw = single_source_value(g, layer, w, &noisy_target, p);
-            let noisy = laplace.perturb(raw, rng);
             record_scalar_upload(&mut transcript, 2, "estimator(f_w)");
-            estimates.push(BatchEstimate {
-                candidate: w,
-                estimate: noisy,
-            });
         }
 
         Ok(BatchReport {
@@ -282,6 +347,77 @@ mod tests {
         assert!(algo
             .estimate_batch(&g, Layer::Upper, 0, &[1], 0.0, &mut rng)
             .is_err());
+        assert!(
+            algo.estimate_batch(&g, Layer::Upper, 0, &[1, 2, 1], 2.0, &mut rng)
+                .is_err(),
+            "duplicate candidates must be rejected"
+        );
+    }
+
+    #[test]
+    fn batch_is_bit_identical_for_fixed_seed() {
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            algo.estimate_batch(&g, Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
+                .unwrap()
+        };
+        let a = run(77);
+        let b = run(77);
+        let bits = |r: &BatchReport| -> Vec<u64> {
+            r.estimates.iter().map(|e| e.estimate.to_bits()).collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "same seed must be byte-identical");
+        let c = run(78);
+        assert_ne!(bits(&a), bits(&c), "different seeds must differ");
+    }
+
+    #[test]
+    fn candidate_streams_are_independent_of_batch_composition() {
+        // A candidate's noise stream is keyed by (base seed, vertex id), so
+        // its estimate must not change when other candidates join the batch.
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let solo = algo
+            .estimate_batch(
+                &g,
+                Layer::Upper,
+                0,
+                &[2],
+                2.0,
+                &mut StdRng::seed_from_u64(5),
+            )
+            .unwrap();
+        let full = algo
+            .estimate_batch(
+                &g,
+                Layer::Upper,
+                0,
+                &[1, 2, 3],
+                2.0,
+                &mut StdRng::seed_from_u64(5),
+            )
+            .unwrap();
+        let solo_est = solo.estimates[0].estimate;
+        let full_est = full
+            .estimates
+            .iter()
+            .find(|e| e.candidate == 2)
+            .unwrap()
+            .estimate;
+        assert_eq!(solo_est.to_bits(), full_est.to_bits());
+    }
+
+    #[test]
+    fn user_stream_seed_decorrelates_users() {
+        let s = 42u64;
+        let streams: Vec<u64> = (0..100).map(|v| user_stream_seed(s, v)).collect();
+        let mut unique = streams.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), streams.len());
+        assert_ne!(user_stream_seed(1, 0), user_stream_seed(2, 0));
     }
 
     #[test]

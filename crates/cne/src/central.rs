@@ -65,7 +65,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy() -> (BipartiteGraph, Query) {
-        let edges = (0..10u32).map(|v| (0u32, v)).chain((5..15u32).map(|v| (1u32, v)));
+        let edges = (0..10u32)
+            .map(|v| (0u32, v))
+            .chain((5..15u32).map(|v| (1u32, v)));
         let g = BipartiteGraph::from_edges(2, 100, edges).unwrap();
         (g, Query::new(Layer::Upper, 0, 1))
     }
@@ -98,7 +100,8 @@ mod tests {
         let mut central_err = 0.0;
         let mut ss_err = 0.0;
         for _ in 0..runs {
-            central_err += (CentralDP.estimate(&g, &q, 2.0, &mut rng).unwrap().estimate - truth).abs();
+            central_err +=
+                (CentralDP.estimate(&g, &q, 2.0, &mut rng).unwrap().estimate - truth).abs();
             ss_err += (crate::MultiRSS::default()
                 .estimate(&g, &q, 2.0, &mut rng)
                 .unwrap()

@@ -370,7 +370,10 @@ mod tests {
             / runs as f64;
         let var = crate::loss::double_source_l2(6.0, 120.0, 0.5, 1.0, 1.0);
         let se = (var / runs as f64).sqrt();
-        assert!((mean - truth).abs() < 5.0 * se + 0.05, "mean {mean} truth {truth}");
+        assert!(
+            (mean - truth).abs() < 5.0 * se + 0.05,
+            "mean {mean} truth {truth}"
+        );
     }
 
     #[test]
@@ -393,7 +396,10 @@ mod tests {
         }
         let ds_mean = ds_sum / runs as f64;
         // Unbiasedness within a loose statistical tolerance.
-        assert!((ds_mean - truth).abs() < 1.0, "DS mean {ds_mean} vs truth {truth}");
+        assert!(
+            (ds_mean - truth).abs() < 1.0,
+            "DS mean {ds_mean} vs truth {truth}"
+        );
         // On a highly imbalanced pair DS should have lower squared error.
         assert!(
             ds_sq < basic_sq,
@@ -414,8 +420,14 @@ mod tests {
         let mut star_sq = 0.0;
         let mut ds_sq = 0.0;
         for _ in 0..runs {
-            let a = MultiRDSStar.estimate(&g, &q, 2.0, &mut rng).unwrap().estimate;
-            let b = MultiRDS::default().estimate(&g, &q, 2.0, &mut rng).unwrap().estimate;
+            let a = MultiRDSStar
+                .estimate(&g, &q, 2.0, &mut rng)
+                .unwrap()
+                .estimate;
+            let b = MultiRDS::default()
+                .estimate(&g, &q, 2.0, &mut rng)
+                .unwrap()
+                .estimate;
             star_sq += (a - truth) * (a - truth);
             ds_sq += (b - truth) * (b - truth);
         }
@@ -434,7 +446,10 @@ mod tests {
         let report = MultiRDS::default().estimate(&g, &q, 2.0, &mut rng).unwrap();
         let alpha = report.parameters.alpha.unwrap();
         // deg(u) = 6 << deg(w) = 120, so f_u should dominate.
-        assert!(alpha > 0.5, "alpha {alpha} should favour the low-degree vertex");
+        assert!(
+            alpha > 0.5,
+            "alpha {alpha} should favour the low-degree vertex"
+        );
         assert_eq!(report.rounds, 3);
         assert!(report.parameters.epsilon0.is_some());
         assert!(report.parameters.degree_u.is_some());
@@ -446,7 +461,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for eps in [1.0, 2.0, 3.0] {
             for report in [
-                MultiRDSBasic::default().estimate(&g, &q, eps, &mut rng).unwrap(),
+                MultiRDSBasic::default()
+                    .estimate(&g, &q, eps, &mut rng)
+                    .unwrap(),
                 MultiRDS::default().estimate(&g, &q, eps, &mut rng).unwrap(),
                 MultiRDSStar.estimate(&g, &q, eps, &mut rng).unwrap(),
             ] {
@@ -475,7 +492,9 @@ mod tests {
         assert_eq!(degree_msg.bytes, g.layer_size(q.layer) * SCALAR_BYTES);
         assert_eq!(degree_msg.round, 1);
         // Basic and DS* skip the degree round entirely.
-        let basic = MultiRDSBasic::default().estimate(&g, &q, 2.0, &mut rng).unwrap();
+        let basic = MultiRDSBasic::default()
+            .estimate(&g, &q, 2.0, &mut rng)
+            .unwrap();
         let star = MultiRDSStar.estimate(&g, &q, 2.0, &mut rng).unwrap();
         for report in [&basic, &star] {
             assert!(report

@@ -62,16 +62,20 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy() -> BipartiteGraph {
-        BipartiteGraph::from_edges(2, 30, (0..10u32).map(|v| (0, v)).chain((5..15u32).map(|v| (1, v))))
-            .unwrap()
+        BipartiteGraph::from_edges(
+            2,
+            30,
+            (0..10u32).map(|v| (0, v)).chain((5..15u32).map(|v| (1, v))),
+        )
+        .unwrap()
     }
 
     #[test]
     fn trait_objects_work() {
         let algorithms: Vec<Box<dyn CommonNeighborEstimator>> = vec![
-            Box::new(Naive::default()),
+            Box::new(Naive),
             Box::new(OneR::default()),
-            Box::new(CentralDP::default()),
+            Box::new(CentralDP),
         ];
         let g = toy();
         let q = Query::new(Layer::Upper, 0, 1);

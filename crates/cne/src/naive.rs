@@ -139,8 +139,12 @@ mod tests {
 
     #[test]
     fn lower_layer_queries_work() {
-        let g = BipartiteGraph::from_edges(50, 4, (0..20u32).map(|u| (u, 0)).chain((0..20u32).map(|u| (u, 1))))
-            .unwrap();
+        let g = BipartiteGraph::from_edges(
+            50,
+            4,
+            (0..20u32).map(|u| (u, 0)).chain((0..20u32).map(|u| (u, 1))),
+        )
+        .unwrap();
         let q = Query::new(Layer::Lower, 0, 1);
         let mut rng = StdRng::seed_from_u64(3);
         let report = Naive.estimate(&g, &q, 2.0, &mut rng).unwrap();

@@ -99,12 +99,8 @@ impl CommonNeighborEstimator for OneR {
         let estimate = if self.use_dense_sum {
             Self::dense_sum(&view, p)
         } else {
-            Self::closed_form(
-                view.noisy_intersection_size(),
-                view.noisy_union_size(),
-                view.opposite_size(),
-                p,
-            )
+            let (n1, n2) = view.noisy_counts();
+            Self::closed_form(n1, n2, view.opposite_size(), p)
         };
 
         Ok(EstimateReport {
@@ -127,7 +123,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn sparse_graph() -> (BipartiteGraph, Query) {
-        let edges = (0..8u32).map(|v| (0u32, v)).chain((4..12u32).map(|v| (1u32, v)));
+        let edges = (0..8u32)
+            .map(|v| (0u32, v))
+            .chain((4..12u32).map(|v| (1u32, v)));
         let g = BipartiteGraph::from_edges(2, 500, edges).unwrap();
         (g, Query::new(Layer::Upper, 0, 1))
     }
@@ -139,9 +137,11 @@ mod tests {
             let mut rng_a = StdRng::seed_from_u64(seed);
             let mut rng_b = StdRng::seed_from_u64(seed);
             let fast = OneR::default().estimate(&g, &q, 1.5, &mut rng_a).unwrap();
-            let dense = OneR { use_dense_sum: true }
-                .estimate(&g, &q, 1.5, &mut rng_b)
-                .unwrap();
+            let dense = OneR {
+                use_dense_sum: true,
+            }
+            .estimate(&g, &q, 1.5, &mut rng_b)
+            .unwrap();
             assert!(
                 (fast.estimate - dense.estimate).abs() < 1e-9,
                 "closed form {} vs dense {}",
@@ -158,7 +158,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let runs = 600;
         let mean: f64 = (0..runs)
-            .map(|_| OneR::default().estimate(&g, &q, 2.0, &mut rng).unwrap().estimate)
+            .map(|_| {
+                OneR::default()
+                    .estimate(&g, &q, 2.0, &mut rng)
+                    .unwrap()
+                    .estimate
+            })
             .sum::<f64>()
             / runs as f64;
         // Standard error of the mean is sqrt(Var/runs); Var here is roughly
@@ -177,7 +182,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let runs = 800;
         let vals: Vec<f64> = (0..runs)
-            .map(|_| OneR::default().estimate(&g, &q, 2.0, &mut rng).unwrap().estimate)
+            .map(|_| {
+                OneR::default()
+                    .estimate(&g, &q, 2.0, &mut rng)
+                    .unwrap()
+                    .estimate
+            })
             .collect();
         let mean = vals.iter().sum::<f64>() / runs as f64;
         let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / runs as f64;
@@ -197,8 +207,18 @@ mod tests {
         let mut naive_err = 0.0;
         let mut oner_err = 0.0;
         for _ in 0..runs {
-            naive_err += (crate::Naive.estimate(&g, &q, 1.0, &mut rng).unwrap().estimate - truth).abs();
-            oner_err += (OneR::default().estimate(&g, &q, 1.0, &mut rng).unwrap().estimate - truth).abs();
+            naive_err += (crate::Naive
+                .estimate(&g, &q, 1.0, &mut rng)
+                .unwrap()
+                .estimate
+                - truth)
+                .abs();
+            oner_err += (OneR::default()
+                .estimate(&g, &q, 1.0, &mut rng)
+                .unwrap()
+                .estimate
+                - truth)
+                .abs();
         }
         assert!(
             oner_err < naive_err,
@@ -234,6 +254,8 @@ mod tests {
     fn invalid_budget_rejected() {
         let (g, q) = sparse_graph();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(OneR::default().estimate(&g, &q, f64::NAN, &mut rng).is_err());
+        assert!(OneR::default()
+            .estimate(&g, &q, f64::NAN, &mut rng)
+            .is_err());
     }
 }

@@ -96,9 +96,7 @@ pub fn optimize_double_source(
 pub fn optimize_single_source(degree_u: f64, epsilon_total: f64) -> OptimizedAllocation {
     let lo = epsilon_total * 1e-3;
     let hi = epsilon_total * (1.0 - 1e-3);
-    let f = |e1: f64| {
-        crate::loss::single_source_l2(degree_u.max(1e-9), e1, epsilon_total - e1)
-    };
+    let f = |e1: f64| crate::loss::single_source_l2(degree_u.max(1e-9), e1, epsilon_total - e1);
     let newton = newton_minimize_1d(f, epsilon_total * 0.5, lo, hi);
     let golden = golden_section_minimize(f, lo, hi, 1e-9);
     let epsilon1 = match newton {

@@ -89,6 +89,7 @@ pub struct RrRound {
 /// the RR round once at `ε₁`, which parallel composition over the reporting
 /// vertices justifies; we charge it sequentially against the total, matching
 /// Theorem 7 / Theorem 10).
+#[allow(clippy::too_many_arguments)] // protocol steps read clearest as one flat call
 pub fn randomized_response_round(
     g: &BipartiteGraph,
     layer: Layer,
@@ -99,7 +100,11 @@ pub fn randomized_response_round(
     transcript: &mut Transcript,
     rng: &mut dyn rand::RngCore,
 ) -> Result<RrRound> {
-    budget.charge(format!("round{round}:rr"), epsilon1, Composition::Sequential)?;
+    budget.charge(
+        format!("round{round}:rr"),
+        epsilon1,
+        Composition::Sequential,
+    )?;
     let mut noisy = Vec::with_capacity(vertices.len());
     for (i, &v) in vertices.iter().enumerate() {
         let list = NoisyNeighbors::generate(g, layer, v, epsilon1, rng);
@@ -126,7 +131,12 @@ pub fn randomized_response_round(
 
 /// Records the curator pushing a noisy edge list down to a query vertex
 /// (the "download" step of the multiple-round framework).
-pub fn record_download(transcript: &mut Transcript, round: u32, label: &str, list: &NoisyNeighbors) {
+pub fn record_download(
+    transcript: &mut Transcript,
+    round: u32,
+    label: &str,
+    list: &NoisyNeighbors,
+) {
     transcript.record(round, Direction::Download, label, list.message_bytes());
 }
 

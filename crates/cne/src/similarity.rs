@@ -105,7 +105,9 @@ impl SimilarityEstimator {
             })?;
         // Post-processing of already-private quantities: clamp the numerator
         // to the feasible range [0, min(deg)] before forming the ratio.
-        let c2 = c2_report.estimate.clamp(0.0, degree_u.min(degree_w).max(0.0));
+        let c2 = c2_report
+            .estimate
+            .clamp(0.0, degree_u.min(degree_w).max(0.0));
         let similarity = match self.measure {
             SimilarityMeasure::Jaccard => {
                 let union = (degree_u + degree_w - c2).max(1e-9);
@@ -149,7 +151,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let runs = 200;
         let mean: f64 = (0..runs)
-            .map(|_| estimator.estimate(&g, &q, 2.0, &mut rng).unwrap().similarity)
+            .map(|_| {
+                estimator
+                    .estimate(&g, &q, 2.0, &mut rng)
+                    .unwrap()
+                    .similarity
+            })
             .sum::<f64>()
             / runs as f64;
         assert!(
@@ -166,7 +173,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let runs = 200;
         let mean: f64 = (0..runs)
-            .map(|_| estimator.estimate(&g, &q, 2.0, &mut rng).unwrap().similarity)
+            .map(|_| {
+                estimator
+                    .estimate(&g, &q, 2.0, &mut rng)
+                    .unwrap()
+                    .similarity
+            })
             .sum::<f64>()
             / runs as f64;
         assert!(
@@ -226,7 +238,9 @@ mod tests {
     fn serde_round_trip() {
         let (g, q) = graph();
         let mut rng = StdRng::seed_from_u64(13);
-        let report = SimilarityEstimator::cosine().estimate(&g, &q, 2.0, &mut rng).unwrap();
+        let report = SimilarityEstimator::cosine()
+            .estimate(&g, &q, 2.0, &mut rng)
+            .unwrap();
         let json = serde_json::to_string(&report).unwrap();
         let back: SimilarityReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.measure, SimilarityMeasure::Cosine);

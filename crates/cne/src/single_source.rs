@@ -3,9 +3,7 @@
 use crate::error::{CneError, Result};
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
-use crate::protocol::{
-    randomized_response_round, record_download, record_scalar_upload, Query,
-};
+use crate::protocol::{randomized_response_round, record_download, record_scalar_upload, Query};
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
 use ldp::laplace::LaplaceMechanism;
@@ -90,6 +88,30 @@ pub fn single_source_value(
     s1 as f64 * (1.0 - p) / q - s2 as f64 * p / q
 }
 
+/// [`single_source_value`] against a pre-packed noisy list.
+///
+/// The batch engine intersects one noisy target list against *many*
+/// candidates' true neighborhoods; packing the noisy list once
+/// ([`ldp::noisy_graph::NoisyNeighbors::packed`]) turns every membership
+/// test into one bit probe, and [`bigraph::bitset::intersection_size_degree_aware`]
+/// upgrades to a word-parallel popcount when a candidate is dense too.
+/// Produces exactly the same value as [`single_source_value`].
+#[must_use]
+pub fn single_source_value_packed(
+    g: &BipartiteGraph,
+    layer: Layer,
+    source: VertexId,
+    other_packed: &bigraph::bitset::PackedSet,
+    flip_probability: f64,
+) -> f64 {
+    let p = flip_probability;
+    let q = 1.0 - 2.0 * p;
+    let neighbors = g.neighbors(layer, source);
+    let s1 = bigraph::bitset::intersection_size_degree_aware(neighbors, other_packed);
+    let s2 = neighbors.len() as u64 - s1;
+    s1 as f64 * (1.0 - p) / q - s2 as f64 * p / q
+}
+
 /// The global sensitivity of the single-source estimator: `(1−p)/(1−2p)`.
 #[must_use]
 pub fn single_source_sensitivity(flip_probability: f64) -> f64 {
@@ -102,7 +124,10 @@ pub fn single_source_sensitivity(flip_probability: f64) -> f64 {
 /// # Errors
 ///
 /// Propagates budget/sensitivity validation errors.
-pub fn single_source_laplace(flip_probability: f64, epsilon2: PrivacyBudget) -> Result<LaplaceMechanism> {
+pub fn single_source_laplace(
+    flip_probability: f64,
+    epsilon2: PrivacyBudget,
+) -> Result<LaplaceMechanism> {
     let sensitivity = Sensitivity::new(single_source_sensitivity(flip_probability))?;
     Ok(LaplaceMechanism::new(epsilon2, sensitivity))
 }
@@ -172,7 +197,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn sparse_graph() -> (BipartiteGraph, Query) {
-        let edges = (0..8u32).map(|v| (0u32, v)).chain((4..12u32).map(|v| (1u32, v)));
+        let edges = (0..8u32)
+            .map(|v| (0u32, v))
+            .chain((4..12u32).map(|v| (1u32, v)));
         let g = BipartiteGraph::from_edges(2, 500, edges).unwrap();
         (g, Query::new(Layer::Upper, 0, 1))
     }
@@ -184,18 +211,36 @@ mod tests {
         // construction (it is only unbiased in expectation over RR noise).
         let (g, q) = sparse_graph();
         let p = 0.2;
-        let noisy_w = NoisyNeighbors::from_parts(
-            q.w,
-            q.layer,
-            500,
-            2.0,
-            g.neighbors(q.layer, q.w).to_vec(),
-        );
+        let noisy_w =
+            NoisyNeighbors::from_parts(q.w, q.layer, 500, 2.0, g.neighbors(q.layer, q.w).to_vec());
         let value = single_source_value(&g, q.layer, q.u, &noisy_w, p);
         let s1 = 4.0;
         let s2 = 4.0;
         let expected = s1 * 0.8 / 0.6 - s2 * 0.2 / 0.6;
         assert!((value - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_value_matches_scalar_value() {
+        let (g, q) = sparse_graph();
+        let mut rng = StdRng::seed_from_u64(41);
+        for eps in [0.5, 1.0, 4.0] {
+            let noisy = NoisyNeighbors::generate(
+                &g,
+                q.layer,
+                q.w,
+                ldp::budget::PrivacyBudget::new(eps).unwrap(),
+                &mut rng,
+            );
+            let p = noisy.flip_probability();
+            let scalar = single_source_value(&g, q.layer, q.u, &noisy, p);
+            let packed = single_source_value_packed(&g, q.layer, q.u, &noisy.packed(), p);
+            assert_eq!(
+                scalar.to_bits(),
+                packed.to_bits(),
+                "packed and scalar paths must agree exactly at eps {eps}"
+            );
+        }
     }
 
     #[test]
@@ -253,8 +298,18 @@ mod tests {
         let mut ss_err = 0.0;
         let mut oner_err = 0.0;
         for _ in 0..runs {
-            ss_err += (MultiRSS::default().estimate(&g, &q, 1.0, &mut rng).unwrap().estimate - truth).abs();
-            oner_err += (crate::OneR::default().estimate(&g, &q, 1.0, &mut rng).unwrap().estimate - truth).abs();
+            ss_err += (MultiRSS::default()
+                .estimate(&g, &q, 1.0, &mut rng)
+                .unwrap()
+                .estimate
+                - truth)
+                .abs();
+            oner_err += (crate::OneR::default()
+                .estimate(&g, &q, 1.0, &mut rng)
+                .unwrap()
+                .estimate
+                - truth)
+                .abs();
         }
         assert!(
             ss_err < oner_err,

@@ -217,7 +217,10 @@ mod tests {
     fn codes_round_trip_through_strings() {
         for code in DatasetCode::all() {
             assert_eq!(DatasetCode::parse(code.as_str()), Some(code));
-            assert_eq!(DatasetCode::parse(&code.as_str().to_lowercase()), Some(code));
+            assert_eq!(
+                DatasetCode::parse(&code.as_str().to_lowercase()),
+                Some(code)
+            );
             assert_eq!(code.to_string(), code.as_str());
         }
         assert_eq!(DatasetCode::parse("nope"), None);

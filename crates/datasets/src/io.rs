@@ -157,7 +157,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_reported() {
-        let err = read_edge_list_file(Path::new("/nonexistent/definitely/missing.txt")).unwrap_err();
+        let err =
+            read_edge_list_file(Path::new("/nonexistent/definitely/missing.txt")).unwrap_err();
         assert!(matches!(err, GraphError::Malformed { .. }));
     }
 

@@ -137,20 +137,102 @@ impl DatasetSpec {
 pub fn paper_table2() -> Vec<DatasetSpec> {
     vec![
         DatasetSpec::new("RM", "Rmwiki", "User", "Article", 1_200, 8_100, 58_000),
-        DatasetSpec::new("AC", "Collaboration", "Author", "Paper", 16_700, 22_000, 58_600),
-        DatasetSpec::new("OC", "Occupation", "Person", "Occupation", 127_600, 101_700, 250_900),
+        DatasetSpec::new(
+            "AC",
+            "Collaboration",
+            "Author",
+            "Paper",
+            16_700,
+            22_000,
+            58_600,
+        ),
+        DatasetSpec::new(
+            "OC",
+            "Occupation",
+            "Person",
+            "Occupation",
+            127_600,
+            101_700,
+            250_900,
+        ),
         DatasetSpec::new("DA", "Bag-kos", "Document", "Word", 3_400, 6_900, 353_200),
         DatasetSpec::new("BP", "Bpywiki", "User", "Article", 1_300, 57_900, 399_700),
-        DatasetSpec::new("MT", "Tewiktionary", "User", "Article", 495, 121_500, 529_600),
-        DatasetSpec::new("BX", "Bookcrossing", "User", "Book", 105_300, 340_500, 1_100_000),
-        DatasetSpec::new("SO", "Stackoverflow", "User", "Post", 545_200, 96_700, 1_300_000),
+        DatasetSpec::new(
+            "MT",
+            "Tewiktionary",
+            "User",
+            "Article",
+            495,
+            121_500,
+            529_600,
+        ),
+        DatasetSpec::new(
+            "BX",
+            "Bookcrossing",
+            "User",
+            "Book",
+            105_300,
+            340_500,
+            1_100_000,
+        ),
+        DatasetSpec::new(
+            "SO",
+            "Stackoverflow",
+            "User",
+            "Post",
+            545_200,
+            96_700,
+            1_300_000,
+        ),
         DatasetSpec::new("TM", "Team", "Athlete", "Team", 901_200, 34_500, 1_400_000),
-        DatasetSpec::new("WC", "Wiki-en-cat", "Article", "Category", 1_900_000, 182_900, 3_800_000),
-        DatasetSpec::new("ML", "Movielens", "User", "Movie", 69_900, 10_700, 10_000_000),
-        DatasetSpec::new("ER", "Epinions", "User", "Product", 120_500, 755_800, 13_700_000),
-        DatasetSpec::new("NX", "Netflix", "User", "Movie", 480_200, 17_800, 100_500_000),
-        DatasetSpec::new("DUI", "Delicious-ui", "User", "Url", 833_100, 33_800_000, 101_800_000),
-        DatasetSpec::new("OG", "Orkut", "User", "Group", 2_800_000, 8_700_000, 327_000_000),
+        DatasetSpec::new(
+            "WC",
+            "Wiki-en-cat",
+            "Article",
+            "Category",
+            1_900_000,
+            182_900,
+            3_800_000,
+        ),
+        DatasetSpec::new(
+            "ML",
+            "Movielens",
+            "User",
+            "Movie",
+            69_900,
+            10_700,
+            10_000_000,
+        ),
+        DatasetSpec::new(
+            "ER", "Epinions", "User", "Product", 120_500, 755_800, 13_700_000,
+        ),
+        DatasetSpec::new(
+            "NX",
+            "Netflix",
+            "User",
+            "Movie",
+            480_200,
+            17_800,
+            100_500_000,
+        ),
+        DatasetSpec::new(
+            "DUI",
+            "Delicious-ui",
+            "User",
+            "Url",
+            833_100,
+            33_800_000,
+            101_800_000,
+        ),
+        DatasetSpec::new(
+            "OG",
+            "Orkut",
+            "User",
+            "Group",
+            2_800_000,
+            8_700_000,
+            327_000_000,
+        ),
     ]
 }
 
@@ -197,7 +279,15 @@ mod tests {
 
     #[test]
     fn scaling_preserves_proportions_and_caps_edges() {
-        let s = DatasetSpec::new("NX", "Netflix", "User", "Movie", 480_200, 17_800, 100_500_000);
+        let s = DatasetSpec::new(
+            "NX",
+            "Netflix",
+            "User",
+            "Movie",
+            480_200,
+            17_800,
+            100_500_000,
+        );
         let scaled = s.scaled_to_max_edges(1_000_000);
         assert!(scaled.n_edges <= 1_000_000);
         // Ratio |U| / |L| is approximately preserved.

@@ -72,7 +72,7 @@ pub fn run(config: &Config) -> Vec<Table> {
     let graph = &dataset.graph;
 
     // Pick an imbalanced pair, mirroring the paper's (556, 2) example.
-    let mut rng = ChaCha12Rng::seed_from_u64(config.context.seed ^ 0xF16_02);
+    let mut rng = ChaCha12Rng::seed_from_u64(config.context.seed ^ 0x000F_1602);
     let pair = sampling::imbalanced_pairs(graph, Layer::Upper, config.kappa, 1, &mut rng)
         .ok()
         .and_then(|v| v.first().copied())
@@ -143,7 +143,11 @@ fn histogram_table(name: &str, estimates: &[f64], truth: f64) -> Table {
     if estimates.is_empty() {
         return table;
     }
-    let min = estimates.iter().cloned().fold(f64::INFINITY, f64::min).min(truth);
+    let min = estimates
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .min(truth);
     let max = estimates
         .iter()
         .cloned()

@@ -96,7 +96,10 @@ mod tests {
         let best_half = (0..t1.n_rows())
             .map(|r| t1.cell_f64(r, "alpha=0.5").unwrap())
             .fold(f64::INFINITY, f64::min);
-        assert!(best_half <= global1 * 1.15, "best alpha=0.5 {best_half} vs global {global1}");
+        assert!(
+            best_half <= global1 * 1.15,
+            "best alpha=0.5 {best_half} vs global {global1}"
+        );
 
         // Panel 2 (d_u=5, d_w=100): the single source f_u (alpha = 1) is the
         // better fixed choice and approaches the global minimum (the optimum
@@ -111,7 +114,10 @@ mod tests {
             .map(|r| t2.cell_f64(r, "alpha=0 (f_w)").unwrap())
             .fold(f64::INFINITY, f64::min);
         assert!(best_fu <= global2 * 1.25);
-        assert!(best_fw > best_fu * 2.0, "f_w {best_fw} should be much worse than f_u {best_fu}");
+        assert!(
+            best_fw > best_fu * 2.0,
+            "f_w {best_fw} should be much worse than f_u {best_fu}"
+        );
 
         // The global minimum lower-bounds every curve at every point.
         for table in &tables {

@@ -58,7 +58,10 @@ pub fn run(config: &Config) -> Vec<Table> {
     columns.extend(algo_names.iter().map(String::as_str));
 
     let mut mae_table = Table::new(
-        format!("Figure 6(a): mean absolute error per dataset (eps = {})", config.epsilon),
+        format!(
+            "Figure 6(a): mean absolute error per dataset (eps = {})",
+            config.epsilon
+        ),
         &columns,
     );
     let mut time_table = Table::new(
@@ -88,8 +91,14 @@ pub fn run(config: &Config) -> Vec<Table> {
         let mut mae_row = vec![code.as_str().to_string()];
         let mut time_row = vec![code.as_str().to_string()];
         for selection in &config.algorithms {
-            let summary = evaluate_on_pairs(graph, &pairs, selection, config.epsilon, config.context.seed)
-                .expect("evaluation succeeds");
+            let summary = evaluate_on_pairs(
+                graph,
+                &pairs,
+                selection,
+                config.epsilon,
+                config.context.seed,
+            )
+            .expect("evaluation succeeds");
             mae_row.push(fmt_f64(summary.metrics.mean_absolute_error, 3));
             time_row.push(fmt_f64(summary.total_time.as_secs_f64() * 1e3, 2));
         }

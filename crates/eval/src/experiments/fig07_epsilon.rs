@@ -70,7 +70,8 @@ pub fn run(config: &Config) -> Vec<Table> {
             .generate(code, config.context.seed)
             .expect("catalog covers every code");
         let graph = &dataset.graph;
-        let mut rng = ChaCha12Rng::seed_from_u64(config.context.seed ^ 0xF16_07 ^ u64::from(code as u8));
+        let mut rng =
+            ChaCha12Rng::seed_from_u64(config.context.seed ^ 0x000F_1607 ^ u64::from(code as u8));
         let pairs = sampling::uniform_pairs(
             graph,
             Layer::Upper,
@@ -80,15 +81,17 @@ pub fn run(config: &Config) -> Vec<Table> {
         .expect("layer has at least two vertices");
 
         let mut table = Table::new(
-            format!("Figure 7: effect of epsilon on mean absolute error ({})", code),
+            format!(
+                "Figure 7: effect of epsilon on mean absolute error ({})",
+                code
+            ),
             &columns,
         );
         for &eps in &config.epsilons {
             let mut row = vec![fmt_f64(eps, 1)];
             for selection in &config.algorithms {
-                let summary =
-                    evaluate_on_pairs(graph, &pairs, selection, eps, config.context.seed)
-                        .expect("evaluation succeeds");
+                let summary = evaluate_on_pairs(graph, &pairs, selection, eps, config.context.seed)
+                    .expect("evaluation succeeds");
                 row.push(fmt_f64(summary.metrics.mean_absolute_error, 3));
             }
             table.push_row(row);
@@ -113,7 +116,10 @@ mod tests {
         for algo in ["Naive", "OneR"] {
             let low = t.cell_f64(0, algo).unwrap();
             let high = t.cell_f64(1, algo).unwrap();
-            assert!(high < low, "{algo}: error at eps=3 ({high}) should be below eps=1 ({low})");
+            assert!(
+                high < low,
+                "{algo}: error at eps=3 ({high}) should be below eps=1 ({low})"
+            );
         }
         // At every epsilon the multi-round algorithms beat OneR.
         for r in 0..t.n_rows() {

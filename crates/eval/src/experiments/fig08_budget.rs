@@ -62,7 +62,7 @@ pub fn run(config: &Config) -> Vec<Table> {
             .expect("catalog covers every code");
         let graph = &dataset.graph;
         let mut rng =
-            ChaCha12Rng::seed_from_u64(config.context.seed ^ 0xF16_08 ^ u64::from(code as u8));
+            ChaCha12Rng::seed_from_u64(config.context.seed ^ 0x000F_1608 ^ u64::from(code as u8));
         let pairs = sampling::uniform_pairs(
             graph,
             Layer::Upper,

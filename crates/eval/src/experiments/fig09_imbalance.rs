@@ -79,11 +79,17 @@ pub fn run(config: &Config) -> Vec<Table> {
                 "Figure 9: effect of degree imbalance kappa on {} (eps = {})",
                 code, config.epsilon
             ),
-            &["kappa", "pairs", "MultiR-SS", "MultiR-DS-Basic", "MultiR-DS"],
+            &[
+                "kappa",
+                "pairs",
+                "MultiR-SS",
+                "MultiR-DS-Basic",
+                "MultiR-DS",
+            ],
         );
         for &kappa in &config.kappas {
             let mut rng = ChaCha12Rng::seed_from_u64(
-                config.context.seed ^ 0xF16_09 ^ u64::from(code as u8) ^ kappa.to_bits(),
+                config.context.seed ^ 0x000F_1609 ^ u64::from(code as u8) ^ kappa.to_bits(),
             );
             let pairs = sampling::imbalanced_pairs(
                 graph,

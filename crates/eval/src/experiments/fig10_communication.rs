@@ -43,7 +43,6 @@ impl Config {
             context: super::Context::smoke(),
             epsilons: vec![1.0, 3.0],
             datasets: vec![DatasetCode::TM],
-            ..Self::default()
         }
     }
 }
@@ -69,7 +68,7 @@ pub fn run(config: &Config) -> Vec<Table> {
             .expect("catalog covers every code");
         let graph = &dataset.graph;
         let mut rng =
-            ChaCha12Rng::seed_from_u64(config.context.seed ^ 0xF16_10 ^ u64::from(code as u8));
+            ChaCha12Rng::seed_from_u64(config.context.seed ^ 0x000F_1610 ^ u64::from(code as u8));
         let pairs = sampling::uniform_pairs(
             graph,
             Layer::Upper,
@@ -79,15 +78,17 @@ pub fn run(config: &Config) -> Vec<Table> {
         .expect("layer has at least two vertices");
 
         let mut table = Table::new(
-            format!("Figure 10: communication cost on {} (MB per query pair)", code),
+            format!(
+                "Figure 10: communication cost on {} (MB per query pair)",
+                code
+            ),
             &["epsilon", "Naive", "OneR", "MultiR-SS", "MultiR-DS"],
         );
         for &eps in &config.epsilons {
             let mut row = vec![fmt_f64(eps, 1)];
             for selection in &algorithms {
-                let summary =
-                    evaluate_on_pairs(graph, &pairs, selection, eps, config.context.seed)
-                        .expect("evaluation succeeds");
+                let summary = evaluate_on_pairs(graph, &pairs, selection, eps, config.context.seed)
+                    .expect("evaluation succeeds");
                 row.push(fmt_sci(summary.mean_communication_megabytes()));
             }
             table.push_row(row);

@@ -87,10 +87,10 @@ pub fn run(config: &Config) -> Vec<Table> {
         );
         for &fraction in &config.fractions {
             let mut rng = ChaCha12Rng::seed_from_u64(
-                config.context.seed ^ 0xF16_11 ^ u64::from(code as u8) ^ fraction.to_bits(),
+                config.context.seed ^ 0x000F_1611 ^ u64::from(code as u8) ^ fraction.to_bits(),
             );
-            let sub = sampling::induced_subgraph(graph, fraction, &mut rng)
-                .expect("fraction is valid");
+            let sub =
+                sampling::induced_subgraph(graph, fraction, &mut rng).expect("fraction is valid");
             let subgraph = &sub.graph;
             if subgraph.layer_size(Layer::Upper) < 2 {
                 continue;
@@ -102,10 +102,7 @@ pub fn run(config: &Config) -> Vec<Table> {
                 &mut rng,
             )
             .expect("layer has at least two vertices");
-            let mut row = vec![
-                fmt_f64(fraction, 1),
-                subgraph.n_vertices().to_string(),
-            ];
+            let mut row = vec![fmt_f64(fraction, 1), subgraph.n_vertices().to_string()];
             for selection in &algorithms {
                 let summary = evaluate_on_pairs(
                     subgraph,

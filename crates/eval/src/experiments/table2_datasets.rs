@@ -91,7 +91,9 @@ mod tests {
             let spec_edges: f64 = t.cell_f64(r, "spec_|E|").unwrap();
             let gen_edges: f64 = t.cell_f64(r, "gen_|E|").unwrap();
             assert_eq!(spec_edges, gen_edges, "row {r}");
-            assert!(t.cell_f64(r, "gen_dmax_U").unwrap() >= t.cell_f64(r, "gen_avg_deg_U").unwrap());
+            assert!(
+                t.cell_f64(r, "gen_dmax_U").unwrap() >= t.cell_f64(r, "gen_avg_deg_U").unwrap()
+            );
         }
     }
 

@@ -104,12 +104,28 @@ pub fn run(config: &Config) -> Vec<Table> {
     let mut theory = Table::new(
         "Table 3: expected L2 losses (closed forms)",
         &[
-            "n1", "d_u", "d_w", "eps", "Naive(bound)", "OneR", "MultiR-SS", "MultiR-DS", "CentralDP",
+            "n1",
+            "d_u",
+            "d_w",
+            "eps",
+            "Naive(bound)",
+            "OneR",
+            "MultiR-SS",
+            "MultiR-DS",
+            "CentralDP",
         ],
     );
     let mut empirical = Table::new(
         "Table 3 validation: empirical variance / theoretical variance (unbiased algorithms)",
-        &["n1", "d_u", "d_w", "eps", "OneR", "MultiR-SS", "MultiR-DS-Basic"],
+        &[
+            "n1",
+            "d_u",
+            "d_w",
+            "eps",
+            "OneR",
+            "MultiR-SS",
+            "MultiR-DS-Basic",
+        ],
     );
 
     for s in &config.scenarios {
@@ -137,7 +153,12 @@ pub fn run(config: &Config) -> Vec<Table> {
         let expectations = [
             (
                 AlgorithmSelection::OneR,
-                loss::one_round_l2(s.opposite_size, s.degree_u as f64, s.degree_w as f64, s.epsilon),
+                loss::one_round_l2(
+                    s.opposite_size,
+                    s.degree_u as f64,
+                    s.degree_w as f64,
+                    s.epsilon,
+                ),
             ),
             (
                 AlgorithmSelection::MultiRSS {

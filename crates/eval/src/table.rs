@@ -83,7 +83,11 @@ impl fmt::Display for Table {
             .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
             .collect();
         writeln!(f, "{}", header.join("  "))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()

@@ -280,7 +280,11 @@ mod tests {
         assert!((acc.consumed() - 1.0).abs() < 1e-9);
         assert!(acc.remaining() < 1e-9);
         let err = acc
-            .charge("round3", PrivacyBudget::new(0.1).unwrap(), Composition::Sequential)
+            .charge(
+                "round3",
+                PrivacyBudget::new(0.1).unwrap(),
+                Composition::Sequential,
+            )
             .unwrap_err();
         assert!(matches!(err, LdpError::BudgetExceeded { .. }));
         // The failed charge must not be recorded.
@@ -295,8 +299,12 @@ mod tests {
         // Degree reports from many vertices: disjoint data -> parallel.
         acc.charge("deg-u", e, Composition::Sequential).unwrap();
         acc.charge("deg-w", e, Composition::Parallel).unwrap();
-        acc.charge("deg-x", PrivacyBudget::new(0.3).unwrap(), Composition::Parallel)
-            .unwrap();
+        acc.charge(
+            "deg-x",
+            PrivacyBudget::new(0.3).unwrap(),
+            Composition::Parallel,
+        )
+        .unwrap();
         assert!((acc.consumed() - 0.8).abs() < 1e-12);
     }
 
@@ -311,7 +319,8 @@ mod tests {
         let e1 = PrivacyBudget::new(0.9).unwrap();
         acc.charge("rr", e1, Composition::Sequential).unwrap();
         let e2 = PrivacyBudget::new(1.0).unwrap();
-        acc.charge("laplace-fu", e2, Composition::Sequential).unwrap();
+        acc.charge("laplace-fu", e2, Composition::Sequential)
+            .unwrap();
         acc.charge("laplace-fw", e2, Composition::Parallel).unwrap();
         assert!((acc.consumed() - 2.0).abs() < 1e-9);
     }
@@ -325,8 +334,12 @@ mod tests {
     fn serde_round_trip() {
         let total = PrivacyBudget::new(2.0).unwrap();
         let mut acc = BudgetAccountant::new(total);
-        acc.charge("rr", PrivacyBudget::new(1.0).unwrap(), Composition::Sequential)
-            .unwrap();
+        acc.charge(
+            "rr",
+            PrivacyBudget::new(1.0).unwrap(),
+            Composition::Sequential,
+        )
+        .unwrap();
         let json = serde_json::to_string(&acc).unwrap();
         let back: BudgetAccountant = serde_json::from_str(&json).unwrap();
         assert_eq!(acc, back);

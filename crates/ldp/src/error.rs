@@ -39,7 +39,10 @@ impl fmt::Display for LdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LdpError::InvalidBudget { value } => {
-                write!(f, "privacy budget must be a positive finite number, got {value}")
+                write!(
+                    f,
+                    "privacy budget must be a positive finite number, got {value}"
+                )
             }
             LdpError::BudgetExceeded {
                 available,
@@ -49,7 +52,10 @@ impl fmt::Display for LdpError {
                 "requested privacy budget {requested} exceeds available {available}"
             ),
             LdpError::InvalidSensitivity { value } => {
-                write!(f, "global sensitivity must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "global sensitivity must be positive and finite, got {value}"
+                )
             }
             LdpError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -66,14 +72,18 @@ mod tests {
 
     #[test]
     fn display_contains_values() {
-        assert!(LdpError::InvalidBudget { value: -1.0 }.to_string().contains("-1"));
+        assert!(LdpError::InvalidBudget { value: -1.0 }
+            .to_string()
+            .contains("-1"));
         assert!(LdpError::BudgetExceeded {
             available: 1.0,
             requested: 2.0
         }
         .to_string()
         .contains('2'));
-        assert!(LdpError::InvalidSensitivity { value: 0.0 }.to_string().contains('0'));
+        assert!(LdpError::InvalidSensitivity { value: 0.0 }
+            .to_string()
+            .contains('0'));
         assert!(LdpError::InvalidParameter {
             name: "alpha",
             reason: "out of [0,1]".into()

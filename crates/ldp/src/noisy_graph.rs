@@ -8,6 +8,7 @@
 
 use crate::budget::PrivacyBudget;
 use crate::randomized_response::RandomizedResponse;
+use bigraph::bitset::PackedSet;
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -100,6 +101,17 @@ impl NoisyNeighbors {
     pub fn flip_probability(&self) -> f64 {
         1.0 / (1.0 + self.epsilon.exp())
     }
+
+    /// Packs the noisy list into a [`PackedSet`] over the opposite layer.
+    ///
+    /// Noisy lists are dense (expected degree `d + p·n`), so curator-side
+    /// code that intersects one list against many others — the batch engine,
+    /// the estimator hot loops — packs it once and reuses the bitmap for
+    /// `O(1)` membership probes or word-parallel popcount intersections.
+    #[must_use]
+    pub fn packed(&self) -> PackedSet {
+        PackedSet::from_sorted(&self.neighbors, self.opposite_size)
+    }
 }
 
 /// The curator's view after collecting noisy lists from both query vertices.
@@ -120,7 +132,10 @@ impl NoisyGraphView {
     /// that would indicate a protocol implementation bug, not bad user input.
     #[must_use]
     pub fn new(u: NoisyNeighbors, w: NoisyNeighbors) -> Self {
-        assert_eq!(u.owner_layer, w.owner_layer, "query vertices must share a layer");
+        assert_eq!(
+            u.owner_layer, w.owner_layer,
+            "query vertices must share a layer"
+        );
         assert_eq!(
             u.opposite_size, w.opposite_size,
             "noisy lists must cover the same opposite layer"
@@ -129,15 +144,41 @@ impl NoisyGraphView {
     }
 
     /// `N1`: the number of common neighbors of `u` and `w` in the noisy graph.
+    ///
+    /// Adaptive: dense noisy lists (the common case at small ε, where the
+    /// expected degree is `≈ p·n`) are packed into bitmaps and intersected
+    /// word-parallel with popcount; sparse lists fall back to the sorted
+    /// merge. Both strategies count the same set, so the result is identical
+    /// either way.
     #[must_use]
     pub fn noisy_intersection_size(&self) -> u64 {
-        bigraph::common_neighbors::intersection_size(self.u.neighbors(), self.w.neighbors())
+        let n = self.opposite_size();
+        let words = n.div_ceil(64);
+        // Packing costs two O(degree) passes plus an O(words) popcount loop;
+        // it beats the branchy merge once the lists hold a few ids per word.
+        if self.u.degree().min(self.w.degree()) >= 4 * words {
+            self.u.packed().intersection_size(&self.w.packed())
+        } else {
+            bigraph::common_neighbors::intersection_size(self.u.neighbors(), self.w.neighbors())
+        }
     }
 
     /// `N2`: the size of the union of the noisy neighbor sets.
     #[must_use]
     pub fn noisy_union_size(&self) -> u64 {
         self.u.degree() as u64 + self.w.degree() as u64 - self.noisy_intersection_size()
+    }
+
+    /// `(N1, N2)` in one pass: the intersection is computed once and the
+    /// union derived from the degrees. Callers needing both (e.g. the
+    /// one-round estimator's closed form) should use this instead of two
+    /// separate calls, which would redo the intersection — and, on the dense
+    /// packed path, rebuild both bitmaps.
+    #[must_use]
+    pub fn noisy_counts(&self) -> (u64, u64) {
+        let intersection = self.noisy_intersection_size();
+        let union = self.u.degree() as u64 + self.w.degree() as u64 - intersection;
+        (intersection, union)
     }
 
     /// Number of vertices on the opposite layer (`n₁` when querying lower
@@ -161,8 +202,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy() -> BipartiteGraph {
-        BipartiteGraph::from_edges(3, 50, (0..20u32).map(|v| (0, v)).chain((10..30u32).map(|v| (1, v))))
-            .unwrap()
+        BipartiteGraph::from_edges(
+            3,
+            50,
+            (0..20u32)
+                .map(|v| (0, v))
+                .chain((10..30u32).map(|v| (1, v))),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -205,6 +252,7 @@ mod tests {
         let view = NoisyGraphView::new(u, w);
         assert_eq!(view.noisy_intersection_size(), 2);
         assert_eq!(view.noisy_union_size(), 5);
+        assert_eq!(view.noisy_counts(), (2, 5));
         assert_eq!(view.opposite_size(), 10);
         assert_eq!(view.message_bytes(), (4 + 3) * 4);
     }
@@ -223,6 +271,23 @@ mod tests {
         let u = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![]);
         let w = NoisyNeighbors::from_parts(1, Layer::Lower, 10, 1.0, vec![]);
         let _ = NoisyGraphView::new(u, w);
+    }
+
+    #[test]
+    fn dense_lists_take_packed_path_with_identical_result() {
+        // Dense enough that degree >= 4 * ceil(n/64): packed branch taken.
+        let n = 256usize;
+        let a: Vec<u32> = (0..256).filter(|v| v % 3 != 0).collect();
+        let b: Vec<u32> = (0..256).filter(|v| v % 2 == 0).collect();
+        let merge = bigraph::common_neighbors::intersection_size(&a, &b);
+        let u = NoisyNeighbors::from_parts(0, Layer::Upper, n, 1.0, a);
+        let w = NoisyNeighbors::from_parts(1, Layer::Upper, n, 1.0, b);
+        let view = NoisyGraphView::new(u, w);
+        assert!(view.u.degree().min(view.w.degree()) >= 4 * n.div_ceil(64));
+        assert_eq!(view.noisy_intersection_size(), merge);
+        let (n1, n2) = view.noisy_counts();
+        assert_eq!(n1, merge);
+        assert_eq!(n2, view.u.degree() as u64 + view.w.degree() as u64 - merge);
     }
 
     #[test]

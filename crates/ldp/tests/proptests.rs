@@ -144,9 +144,11 @@ proptest! {
 fn empirical_flip_rates() {
     for eps in [0.5, 1.0, 2.0] {
         let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
-        let mut rng = StdRng::seed_from_u64(1234 + eps.to_bits() as u64 % 1000);
+        let mut rng = StdRng::seed_from_u64(1234 + eps.to_bits() % 1000);
         let trials = 100_000;
-        let flips = (0..trials).filter(|_| rr.perturb_bit(false, &mut rng)).count();
+        let flips = (0..trials)
+            .filter(|_| rr.perturb_bit(false, &mut rng))
+            .count();
         let rate = flips as f64 / trials as f64;
         assert!(
             (rate - rr.flip_probability()).abs() < 0.01,
@@ -154,4 +156,132 @@ fn empirical_flip_rates() {
             rr.flip_probability()
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Skip-sampled randomized response vs the dense per-bit reference sampler.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The skip sampler always returns sorted, deduplicated, in-range lists,
+    /// for arbitrary budgets, seeds, degrees, and layer sizes.
+    #[test]
+    fn skip_sampler_output_is_well_formed(
+        eps in arb_epsilon(),
+        seed in any::<u64>(),
+        degree in 0usize..40,
+        extra in 1usize..200,
+    ) {
+        let opposite = degree + extra;
+        let truth: Vec<u32> = (0..degree as u32).map(|i| i * 2).collect();
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Spread the true neighbors out so flips can land between them.
+        let opposite = opposite + degree;
+        let noisy = rr.perturb_neighbor_list(&truth, opposite, &mut rng);
+        prop_assert!(noisy.windows(2).all(|w| w[0] < w[1]), "sorted + deduplicated");
+        prop_assert!(noisy.iter().all(|&v| (v as usize) < opposite), "in range");
+    }
+
+    /// With a huge budget the skip sampler reproduces the truth, like the
+    /// dense sampler does. The ε values straddle the float-precision
+    /// regimes: ε = 25 (p ≈ 1e-11, where `1.0 - p` is still < 1.0), ε = 50
+    /// and 700 (p so small that `1.0 - p` rounds to exactly 1.0 — the
+    /// `ln_1p` path; a naive `ln(1.0 - p)` collapses every gap to zero and
+    /// returns the *complement* of the list here), and ε = 1000 (p
+    /// underflows to exactly 0 — the early-return guard).
+    #[test]
+    fn skip_sampler_identity_at_high_budget(seed in any::<u64>(), degree in 0usize..30) {
+        let truth: Vec<u32> = (0..degree as u32).map(|i| i * 3 + 1).collect();
+        for eps in [25.0, 50.0, 700.0, 1000.0] {
+            let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let noisy = rr.perturb_neighbor_list(&truth, 3 * degree + 10, &mut rng);
+            prop_assert_eq!(noisy, truth.clone(), "eps {}", eps);
+        }
+    }
+}
+
+/// χ² goodness-of-fit at fixed seeds: for both the skip sampler and the dense
+/// reference, the aggregate counts of the four bit transitions (1→1, 1→0,
+/// 0→1, 0→0) must match the analytic randomized-response probabilities. Both
+/// samplers passing the same test against the same analytic law is the
+/// distribution-identity check the skip-sampling rewrite is gated on.
+#[test]
+fn skip_and_dense_samplers_match_rr_law_chi_squared() {
+    let n = 400usize;
+    let truth: Vec<u32> = (0..25u32).map(|i| i * 7).collect(); // d = 25
+    let d = truth.len();
+    let runs = 3_000usize;
+
+    for (eps, seed) in [(1.0, 11u64), (4.0, 13u64)] {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let p = rr.flip_probability();
+
+        // counts = (kept ones, dropped ones, flipped zeros, silent zeros)
+        let tally = |use_skip: bool, seed: u64| -> [f64; 4] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut counts = [0f64; 4];
+            for _ in 0..runs {
+                let noisy = if use_skip {
+                    rr.perturb_neighbor_list(&truth, n, &mut rng)
+                } else {
+                    rr.perturb_neighbor_list_dense(&truth, n, &mut rng)
+                };
+                let kept_ones = noisy
+                    .iter()
+                    .filter(|v| truth.binary_search(v).is_ok())
+                    .count();
+                let flipped_zeros = noisy.len() - kept_ones;
+                counts[0] += kept_ones as f64;
+                counts[1] += (d - kept_ones) as f64;
+                counts[2] += flipped_zeros as f64;
+                counts[3] += ((n - d) - flipped_zeros) as f64;
+            }
+            counts
+        };
+
+        let expected = [
+            runs as f64 * d as f64 * (1.0 - p),
+            runs as f64 * d as f64 * p,
+            runs as f64 * (n - d) as f64 * p,
+            runs as f64 * (n - d) as f64 * (1.0 - p),
+        ];
+        for (label, counts) in [("skip", tally(true, seed)), ("dense", tally(false, seed))] {
+            let chi2: f64 = counts
+                .iter()
+                .zip(&expected)
+                .map(|(obs, exp)| (obs - exp) * (obs - exp) / exp)
+                .sum();
+            // 2 effective degrees of freedom (ones and zeros each split in
+            // two); the 99.9th percentile of χ²(2) is 13.8 — use a little
+            // headroom so the fixed-seed test is robust yet still sharp
+            // enough to catch a mis-specified sampler immediately.
+            assert!(
+                chi2 < 20.0,
+                "{label} sampler failed chi^2 at eps {eps}: {chi2:.2} (counts {counts:?} expected {expected:?})"
+            );
+        }
+    }
+}
+
+/// The skip sampler's mean noisy degree matches the analytic expectation for
+/// a sparse-large configuration (the batch-engine workload shape).
+#[test]
+fn skip_sampler_density_sparse_large() {
+    let n = 100_000usize;
+    let truth: Vec<u32> = (0..10u32).map(|i| i * 9_999).collect(); // d = 10
+    let rr = RandomizedResponse::new(PrivacyBudget::new(4.0).unwrap());
+    let mut rng = StdRng::seed_from_u64(7);
+    let runs = 200;
+    let total: usize = (0..runs)
+        .map(|_| rr.perturb_neighbor_list(&truth, n, &mut rng).len())
+        .sum();
+    let avg = total as f64 / runs as f64;
+    let expected = rr.expected_noisy_edges(truth.len(), n);
+    // Binomial sd per run is ~42; the mean of 200 runs has se ~3.
+    assert!(
+        (avg - expected).abs() < 15.0,
+        "avg {avg} vs expected {expected}"
+    );
 }

@@ -88,11 +88,20 @@ fn accuracy_ordering_matches_paper() {
     let ds = mae(&AlgorithmSelection::MultiRDS);
     let central = mae(&AlgorithmSelection::CentralDP);
 
-    assert!(naive > oner, "Naive {naive} should be worse than OneR {oner}");
+    assert!(
+        naive > oner,
+        "Naive {naive} should be worse than OneR {oner}"
+    );
     assert!(oner > ss, "OneR {oner} should be worse than MultiR-SS {ss}");
     assert!(oner > ds, "OneR {oner} should be worse than MultiR-DS {ds}");
-    assert!(central < ss, "CentralDP {central} should beat MultiR-SS {ss}");
-    assert!(central < ds, "CentralDP {central} should beat MultiR-DS {ds}");
+    assert!(
+        central < ss,
+        "CentralDP {central} should beat MultiR-SS {ss}"
+    );
+    assert!(
+        central < ds,
+        "CentralDP {central} should beat MultiR-DS {ds}"
+    );
 }
 
 /// Estimation is deterministic for a fixed seed and differs across seeds.
@@ -136,7 +145,10 @@ fn reports_serialize_round_trip() {
     let back: cne::EstimateReport = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(back.algorithm, report.algorithm);
     assert_eq!(back.rounds, report.rounds);
-    assert_eq!(back.transcript.total_bytes(), report.transcript.total_bytes());
+    assert_eq!(
+        back.transcript.total_bytes(),
+        report.transcript.total_bytes()
+    );
     assert!((back.estimate - report.estimate).abs() < 1e-9);
 }
 

@@ -1,0 +1,294 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API the workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, throughput annotation, and `Bencher::iter`.
+//!
+//! Each benchmark is warmed up briefly, then timed over a fixed measurement
+//! window; the mean ns/iteration is printed as
+//! `bench: <group>/<name> ... <time> (<throughput>)` and recorded in the
+//! [`Criterion`] so callers can export machine-readable results with
+//! [`Criterion::results`].
+
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified benchmark id (`group/name`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    /// Measurement window per benchmark.
+    measurement: Option<Duration>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_benchmark(self, name.to_string(), None, f);
+    }
+
+    /// All results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Overrides the measurement window (mainly for fast CI runs).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = Some(d);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, full, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; results were recorded as they ran).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    measurement: Duration,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~5 ms have elapsed to stabilise caches.
+        let warmup_deadline = Instant::now() + Duration::from_millis(5);
+        let mut warmup_iters = 0u64;
+        while Instant::now() < warmup_deadline {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        // Choose a batch size aiming for ~20 batches in the window.
+        let per_iter_estimate = Duration::from_millis(5)
+            .checked_div(warmup_iters.max(1) as u32)
+            .unwrap_or(Duration::from_nanos(1));
+        let target_batch =
+            (self.measurement.as_nanos() / 20 / per_iter_estimate.as_nanos().max(1)).max(1);
+        let deadline = Instant::now() + self.measurement;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..target_batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += target_batch as u64;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.iterations = iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    id: String,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let measurement = criterion
+        .measurement
+        .or_else(env_measurement)
+        .unwrap_or(Duration::from_millis(300));
+    let mut bencher = Bencher {
+        measurement,
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let result = BenchResult {
+        id: id.clone(),
+        mean_ns: bencher.mean_ns,
+        iterations: bencher.iterations,
+        throughput,
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.1} Melem/s)", n as f64 / bencher.mean_ns * 1e9 / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / bencher.mean_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench: {:<55} {}{}", id, format_ns(bencher.mean_ns), rate);
+    criterion.results.push(result);
+}
+
+/// `CRITERION_MEASUREMENT_MS` overrides the per-benchmark window.
+fn env_measurement() -> Option<Duration> {
+    std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(10));
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].mean_ns > 0.0);
+        assert!(results[0].iterations > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| black_box(3u32) * 2));
+        g.bench_with_input(BenchmarkId::new("param", 42), &7u32, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/inner");
+        assert_eq!(c.results()[1].id, "grp/param/42");
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline subset of `rayon` built on `std::thread::scope`.
+//!
+//! Provides indexed parallel iterators over slices and ranges with `map`,
+//! `enumerate`, `collect`, `for_each`, and `sum`, plus [`join`]. Work is
+//! split into one contiguous chunk per available core; item order is always
+//! preserved, so `collect` output is identical to the sequential result
+//! regardless of thread count. Closures must be `Fn + Sync + Send`, exactly
+//! as real rayon requires.
+
+#![warn(rust_2018_idioms)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use.
+///
+/// Honors `RAYON_NUM_THREADS` (like real rayon's global pool), defaulting to
+/// the machine's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Everything needed to use the parallel iterator API.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Indexed parallel iterators.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// A parallel iterator: a length plus a `Sync` position-to-item function.
+    ///
+    /// All adaptors keep items indexed, so terminal operations can hand each
+    /// worker thread a contiguous index range and reassemble results in
+    /// order.
+    pub struct ParIter<F> {
+        len: usize,
+        f: F,
+    }
+
+    /// Types convertible into a parallel iterator (by value).
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Types whose references convert into a parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The element type (a reference).
+        type Item: Send + 'a;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParIter<SliceGet<'a, T>>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            ParIter {
+                len: self.len(),
+                f: SliceGet { slice: self },
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<SliceGet<'a, T>>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.as_slice().par_iter()
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = ParIter<SliceGet<'a, T>>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.par_iter()
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<SliceGet<'a, T>>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.as_slice().par_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParIter<RangeGet>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter {
+                len: self.end.saturating_sub(self.start),
+                f: RangeGet { start: self.start },
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Item = u32;
+        type Iter = ParIter<RangeGet32>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter {
+                len: (self.end.saturating_sub(self.start)) as usize,
+                f: RangeGet32 { start: self.start },
+            }
+        }
+    }
+
+    /// Position accessor for slices.
+    pub struct SliceGet<'a, T> {
+        slice: &'a [T],
+    }
+
+    /// Position accessor for `Range<usize>`.
+    pub struct RangeGet {
+        start: usize,
+    }
+
+    /// Position accessor for `Range<u32>`.
+    pub struct RangeGet32 {
+        start: u32,
+    }
+
+    /// Maps a position to an item. Implementations must be cheap: terminal
+    /// operations call this once per index from worker threads.
+    pub trait PositionFn: Sync {
+        /// The produced item.
+        type Output: Send;
+        /// Produces the item at `index`.
+        fn at(&self, index: usize) -> Self::Output;
+    }
+
+    impl<'a, T: Sync> PositionFn for SliceGet<'a, T> {
+        type Output = &'a T;
+        fn at(&self, index: usize) -> &'a T {
+            &self.slice[index]
+        }
+    }
+
+    impl PositionFn for RangeGet {
+        type Output = usize;
+        fn at(&self, index: usize) -> usize {
+            self.start + index
+        }
+    }
+
+    impl PositionFn for RangeGet32 {
+        type Output = u32;
+        fn at(&self, index: usize) -> u32 {
+            self.start + index as u32
+        }
+    }
+
+    /// A mapped accessor.
+    pub struct MapFn<F, G> {
+        base: F,
+        g: G,
+    }
+
+    impl<F: PositionFn, U: Send, G: Fn(F::Output) -> U + Sync> PositionFn for MapFn<F, G> {
+        type Output = U;
+        fn at(&self, index: usize) -> U {
+            (self.g)(self.base.at(index))
+        }
+    }
+
+    /// An enumerated accessor.
+    pub struct EnumerateFn<F> {
+        base: F,
+    }
+
+    impl<F: PositionFn> PositionFn for EnumerateFn<F> {
+        type Output = (usize, F::Output);
+        fn at(&self, index: usize) -> (usize, F::Output) {
+            (index, self.base.at(index))
+        }
+    }
+
+    /// The parallel iterator interface (indexed subset of rayon's).
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+        /// The underlying accessor type.
+        type Fn: PositionFn<Output = Self::Item>;
+
+        /// Decomposes into `(len, accessor)`.
+        fn into_parts(self) -> (usize, Self::Fn);
+
+        /// Maps each item through `g`.
+        fn map<U: Send, G: Fn(Self::Item) -> U + Sync>(self, g: G) -> ParIter<MapFn<Self::Fn, G>> {
+            let (len, f) = self.into_parts();
+            ParIter {
+                len,
+                f: MapFn { base: f, g },
+            }
+        }
+
+        /// Pairs each item with its index.
+        fn enumerate(self) -> ParIter<EnumerateFn<Self::Fn>> {
+            let (len, f) = self.into_parts();
+            ParIter {
+                len,
+                f: EnumerateFn { base: f },
+            }
+        }
+
+        /// Evaluates all items across worker threads, preserving order.
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+            let (len, f) = self.into_parts();
+            C::from(run_indexed(len, &f))
+        }
+
+        /// Runs `g` on every item (order of side effects is unspecified).
+        fn for_each<G: Fn(Self::Item) + Sync>(self, g: G) {
+            let (len, f) = self.into_parts();
+            let mapped = MapFn {
+                base: f,
+                g: |x| g(x),
+            };
+            let _ = run_indexed(len, &mapped);
+        }
+
+        /// Sums all items.
+        fn sum<S: std::iter::Sum<Self::Item> + Send>(self) -> S {
+            let (len, f) = self.into_parts();
+            run_indexed(len, &f).into_iter().sum()
+        }
+    }
+
+    impl<F: PositionFn> ParallelIterator for ParIter<F> {
+        type Item = F::Output;
+        type Fn = F;
+
+        fn into_parts(self) -> (usize, F) {
+            (self.len, self.f)
+        }
+    }
+
+    /// Evaluates `f.at(i)` for `0..len` using one contiguous chunk per
+    /// worker thread, reassembling results in index order.
+    fn run_indexed<F: PositionFn>(len: usize, f: &F) -> Vec<F::Output> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let threads = current_num_threads().min(len);
+        if threads <= 1 {
+            return (0..len).map(|i| f.at(i)).collect();
+        }
+        let chunk = len.div_ceil(threads);
+        let mut chunks: Vec<Vec<F::Output>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(len);
+                    scope.spawn(move || (start..end).map(|i| f.at(i)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(len);
+        for c in &mut chunks {
+            out.append(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn enumerate_matches_indices() {
+        let v = vec!["a", "b", "c"];
+        let pairs: Vec<(usize, String)> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.to_string()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]
+        );
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (1..=100).collect();
+        let total: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        (0..500usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+}

@@ -1,0 +1,447 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! serde stub. Parses the item's token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and generates `to_value`/`from_value`
+//! impls against `serde::{Serialize, Deserialize, Value, Error}`.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * unit structs, newtype/tuple structs, named-field structs,
+//! * enums with unit, newtype/tuple, and named-field variants,
+//! * no generic parameters, no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated code parses"),
+        Err(e) => error_stream(&e),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated code parses"),
+        Err(e) => error_stream(&e),
+    }
+}
+
+fn error_stream(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error stream parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("expected struct or enum, got `{other}`")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+/// Parses `a: Type, b: Type, ...`, returning the field names. Types are
+/// skipped wholesale (generated code never needs them), tracking `<`/`>`
+/// depth so commas inside generic arguments don't split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        names.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Advances past one type: consumes tokens until a comma at angle-bracket
+/// depth zero (or end of stream).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts top-level comma-separated segments of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_content_since_comma = true;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_content_since_comma = false;
+            }
+            _ => saw_content_since_comma = true,
+        }
+    }
+    if !saw_content_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and advance to the next comma.
+        while i < tokens.len()
+            && !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn object_literal(entries: &[(String, String)]) -> String {
+    let inner = entries
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from({k:?}), {v})"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::serde::Value::Object(::std::vec![{inner}])")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Array(::std::vec![{items}])")
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<(String, String)> = names
+                        .iter()
+                        .map(|f| {
+                            (
+                                f.clone(),
+                                format!("::serde::Serialize::to_value(&self.{f})"),
+                            )
+                        })
+                        .collect();
+                    object_literal(&entries)
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds = (0..*n).map(|k| format!("f{k}")).collect::<Vec<_>>();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::Value::Array(::std::vec![{items}])")
+                            };
+                            let tagged = object_literal(&[(vname.clone(), payload)]);
+                            format!("{name}::{vname}({}) => {tagged},", binds.join(", "))
+                        }
+                        Fields::Named(fnames) => {
+                            let entries: Vec<(String, String)> = fnames
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            let payload = object_literal(&entries);
+                            let tagged = object_literal(&[(vname.clone(), payload)]);
+                            format!("{name}::{vname} {{ {} }} => {tagged},", fnames.join(", "))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::from_value(items.get({k}).ok_or_else(|| \
+                                 ::serde::Error::msg(\"tuple too short\"))?)?"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match v {{ ::serde::Value::Array(items) => \
+                         ::std::result::Result::Ok({name}({items})), \
+                         _ => ::std::result::Result::Err(::serde::Error::msg(\"expected array\")) }}"
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::from_field(v, {f:?})?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::std::result::Result::Ok({name} {{ {inits} }})")
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let tagged_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => unreachable!("filtered above"),
+                        Fields::Tuple(1) => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({k}).\
+                                         ok_or_else(|| ::serde::Error::msg(\"tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{vname:?} => match payload {{ ::serde::Value::Array(items) => \
+                                 ::std::result::Result::Ok({name}::{vname}({items})), \
+                                 _ => ::std::result::Result::Err(::serde::Error::msg(\"expected array\")) }},"
+                            )
+                        }
+                        Fields::Named(fnames) => {
+                            let inits = fnames
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::from_field(payload, {f:?})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                           {tagged_arms}\n\
+                           other => ::std::result::Result::Err(::serde::Error::msg(\
+                               ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                       _ => ::std::result::Result::Err(::serde::Error::msg(\
+                           \"expected string or single-key object for enum\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
