@@ -9,7 +9,7 @@
 //! Run with `cargo run --example private_recommendation`.
 
 use bigraph::{stats, Layer};
-use cne::{CommonNeighborEstimator, MultiRDS, Query};
+use cne::{AlgorithmKind, EstimationEngine, Query};
 use datasets::{Catalog, DatasetCode};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -37,7 +37,9 @@ fn main() {
         .collect();
 
     let epsilon = 2.0;
-    let algo = MultiRDS::default();
+    // One persistent engine serves every query; repeated calls reuse its
+    // packed-adjacency cache.
+    let engine = EstimationEngine::new(graph);
     let mut rng = ChaCha8Rng::seed_from_u64(99);
 
     println!(
@@ -54,8 +56,8 @@ fn main() {
     for &cand in &candidates {
         let query = Query::new(Layer::Upper, target, cand);
         let truth = query.exact_count(graph).expect("valid query");
-        let report = algo
-            .estimate(graph, &query, epsilon, &mut rng)
+        let report = engine
+            .estimate(&query, AlgorithmKind::MultiRDS, epsilon, &mut rng)
             .expect("estimation succeeds");
         // Private Jaccard estimate: degrees are released with noise by the
         // MultiR-DS degree round; reuse the reported noisy degrees.
@@ -74,7 +76,9 @@ fn main() {
         );
     }
 
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    // NaN-safe ranking: a NaN similarity sorts last instead of panicking the
+    // sort or surfacing as the top pick.
+    ranked.sort_by(|a, b| cne::estimate::nan_last_desc(a.1, b.1));
     println!("\nPrivately ranked recommendations (most similar first):");
     for (rank, (cand, jaccard)) in ranked.iter().enumerate() {
         println!("  {}. u{cand} (estimated Jaccard {jaccard:.4})", rank + 1);

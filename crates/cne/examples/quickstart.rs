@@ -4,7 +4,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use bigraph::{BipartiteGraph, Layer};
-use cne::{CentralDP, CommonNeighborEstimator, MultiRDS, MultiRSS, Naive, OneR, Query};
+use cne::{AlgorithmKind, EstimationEngine, Query};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -29,17 +29,20 @@ fn main() {
         "algorithm", "estimate", "|error|", "rounds", "comm (bytes)"
     );
 
-    let algorithms: Vec<Box<dyn CommonNeighborEstimator>> = vec![
-        Box::new(Naive),
-        Box::new(OneR::default()),
-        Box::new(MultiRSS::default()),
-        Box::new(MultiRDS::default()),
-        Box::new(CentralDP),
+    // One persistent engine runs every algorithm; repeated queries share its
+    // packed-adjacency cache.
+    let engine = EstimationEngine::new(&graph);
+    let algorithms = [
+        AlgorithmKind::Naive,
+        AlgorithmKind::OneR,
+        AlgorithmKind::MultiRSS,
+        AlgorithmKind::MultiRDS,
+        AlgorithmKind::CentralDP,
     ];
 
-    for algo in &algorithms {
-        let report = algo
-            .estimate(&graph, &query, epsilon, &mut rng)
+    for kind in algorithms {
+        let report = engine
+            .estimate(&query, kind, epsilon, &mut rng)
             .expect("estimation succeeds");
         println!(
             "{:<16} {:>12.2} {:>10.2} {:>8} {:>14}",

@@ -9,7 +9,7 @@
 //! Run with `cargo run --release --example topk_similar_users`.
 
 use bigraph::{common_neighbors, Layer};
-use cne::batch::BatchSingleSource;
+use cne::engine::EstimationEngine;
 use cne::similarity::SimilarityEstimator;
 use cne::Query;
 use datasets::{Catalog, DatasetCode};
@@ -42,11 +42,15 @@ fn main() {
         candidates.len()
     );
 
+    // Build the persistent engine once; its packed-adjacency cache is shared
+    // by every query below (and would be by the next million, too).
+    let engine = EstimationEngine::new(graph);
+
     // Batch common-neighbor estimates: one RR upload by the target, one
     // estimator upload per candidate.
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let batch = BatchSingleSource::default()
-        .estimate_batch(graph, Layer::Upper, target, &candidates, 2.0, &mut rng)
+    let batch = engine
+        .estimate_batch(Layer::Upper, target, &candidates, 2.0, &mut rng)
         .expect("batch estimation succeeds");
 
     println!(
@@ -102,6 +106,25 @@ fn main() {
         println!(
             "\nbest candidate u{}: estimated Jaccard {:.4} (true {:.4})",
             best.candidate, report.similarity, true_jaccard
+        );
+    }
+
+    // The same warm engine serves many targets at once: the three biggest
+    // hubs are screened against the whole candidate pool, sharded over all
+    // cores with one deterministic RNG stream per target.
+    let hubs: Vec<u32> = users.iter().copied().take(3).collect();
+    let reports = engine
+        .estimate_many_targets(Layer::Upper, &hubs, &candidates, 2.0, 42)
+        .expect("sharded batch estimation succeeds");
+    println!("\nSharded multi-target screening (eps = 2 per vertex per target):");
+    for report in &reports {
+        let best = report.ranked().into_iter().next().expect("candidates");
+        println!(
+            "  target u{:<6} best match u{:<6} (estimated C2 {:.2}, {} candidates)",
+            report.target,
+            best.candidate,
+            best.estimate,
+            report.estimates.len()
         );
     }
 }

@@ -29,15 +29,14 @@
 //! never on thread scheduling — so a seeded run produces **byte-identical**
 //! results at any core count.
 
+use crate::engine::{ProtocolEnv, RoundContext};
 use crate::error::{CneError, Result};
 use crate::estimate::AlgorithmKind;
-use crate::protocol::{randomized_response_round, record_download, record_scalar_upload};
-use crate::single_source::{single_source_laplace, single_source_value_packed};
+use crate::protocol::randomized_response_round;
+use crate::single_source::{single_source_laplace, single_source_value_cached};
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
-use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::budget::{BudgetAccountant, Composition};
 use ldp::transcript::Transcript;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -83,14 +82,15 @@ pub struct BatchReport {
 
 impl BatchReport {
     /// The candidates ranked by decreasing estimate (ties keep input order).
+    ///
+    /// A NaN estimate (possible only from pathological downstream
+    /// post-processing — the protocol itself never produces one) sorts
+    /// *after* every real value ([`crate::estimate::nan_last_desc`]) instead
+    /// of panicking the ranking or surfacing as the winner.
     #[must_use]
     pub fn ranked(&self) -> Vec<BatchEstimate> {
         let mut sorted = self.estimates.clone();
-        sorted.sort_by(|a, b| {
-            b.estimate
-                .partial_cmp(&a.estimate)
-                .expect("finite estimates")
-        });
+        sorted.sort_by(|a, b| crate::estimate::nan_last_desc(a.estimate, b.estimate));
         sorted
     }
 
@@ -141,6 +141,35 @@ impl BatchSingleSource {
         epsilon: f64,
         rng: &mut dyn rand::RngCore,
     ) -> Result<BatchReport> {
+        self.estimate_batch_in(
+            ProtocolEnv::uncached(g),
+            layer,
+            target,
+            candidates,
+            epsilon,
+            rng,
+        )
+    }
+
+    /// [`BatchSingleSource::estimate_batch`] inside a protocol environment —
+    /// the entry point [`crate::engine::EstimationEngine`] routes through so
+    /// candidate adjacencies come from its warm
+    /// [`crate::engine::AdjacencyStore`]. Byte-identical to the uncached
+    /// path for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSingleSource::estimate_batch`].
+    pub fn estimate_batch_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<BatchReport> {
+        let g = env.graph;
         if candidates.is_empty() {
             return Err(CneError::InvalidParameter {
                 name: "candidates",
@@ -163,22 +192,11 @@ impl BatchSingleSource {
                 reason: "candidate vertices must be distinct".into(),
             });
         }
-        let total = PrivacyBudget::new(epsilon)?;
-        let (eps1, eps2) = total.split_fraction(self.epsilon1_fraction)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
+        let mut ctx = RoundContext::begin(epsilon, rng)?;
+        let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
 
         // Round 1: the target perturbs and uploads its neighbor list once.
-        let round1 = randomized_response_round(
-            g,
-            layer,
-            &[target],
-            eps1,
-            1,
-            &mut budget,
-            &mut transcript,
-            rng,
-        )?;
+        let round1 = randomized_response_round(g, layer, &[target], eps1, 1, &mut ctx)?;
         let p = round1.flip_probability;
         let noisy_target = round1.noisy.into_iter().next().expect("one list requested");
 
@@ -188,16 +206,17 @@ impl BatchSingleSource {
         // releases cover disjoint neighbor lists and compose in parallel.
         //
         // Compute is fanned out across cores: the target's noisy list is
-        // packed once, and each candidate perturbs on its own `seed + vertex
+        // packed once, dense candidates reuse the environment's cached
+        // bitmaps, and each candidate perturbs on its own `seed + vertex
         // id` stream, so the output is identical at any thread count.
         let laplace = single_source_laplace(p, eps2)?;
         let packed_target = noisy_target.packed();
-        let base_seed = rng.next_u64();
+        let base_seed = ctx.next_stream_base();
         let estimates: Vec<BatchEstimate> = candidates
             .par_iter()
             .map(|&w| {
-                let mut stream = StdRng::seed_from_u64(user_stream_seed(base_seed, u64::from(w)));
-                let raw = single_source_value_packed(g, layer, w, &packed_target, p);
+                let mut stream = RoundContext::user_rng(base_seed, w);
+                let raw = single_source_value_cached(env, layer, w, &packed_target, p);
                 BatchEstimate {
                     candidate: w,
                     estimate: laplace.perturb(raw, &mut stream),
@@ -208,21 +227,17 @@ impl BatchSingleSource {
         // Accounting and the message transcript are sequential bookkeeping,
         // recorded exactly as the wire protocol would observe them.
         for i in 0..candidates.len() {
-            record_download(
-                &mut transcript,
-                2,
-                "noisy-edges(target) -> candidate",
-                &noisy_target,
-            );
+            ctx.record_download(2, "noisy-edges(target) -> candidate", &noisy_target);
             let composition = if i == 0 {
                 Composition::Sequential
             } else {
                 Composition::Parallel
             };
-            budget.charge(format!("round2:laplace(f_w{i})"), eps2, composition)?;
-            record_scalar_upload(&mut transcript, 2, "estimator(f_w)");
+            ctx.charge(format!("round2:laplace(f_w{i})"), eps2, composition)?;
+            ctx.record_scalar_upload(2, "estimator(f_w)");
         }
 
+        let (budget, transcript) = ctx.finish();
         Ok(BatchReport {
             target,
             layer,
@@ -304,6 +319,39 @@ mod tests {
         assert!(ranked[0].estimate >= ranked[1].estimate);
         assert!(ranked[1].estimate >= ranked[2].estimate);
         assert_eq!(ranked[0].candidate, 1, "u1 shares the most items with u0");
+    }
+
+    #[test]
+    fn ranking_is_total_and_does_not_panic_on_nan() {
+        use ldp::budget::PrivacyBudget;
+        let report = BatchReport {
+            target: 0,
+            layer: Layer::Upper,
+            estimates: vec![
+                BatchEstimate {
+                    candidate: 1,
+                    estimate: 2.5,
+                },
+                BatchEstimate {
+                    candidate: 2,
+                    estimate: f64::NAN,
+                },
+                BatchEstimate {
+                    candidate: 3,
+                    estimate: 7.0,
+                },
+            ],
+            epsilon: 1.0,
+            budget: BudgetAccountant::new(PrivacyBudget::new(1.0).unwrap()),
+            transcript: Transcript::new(),
+        };
+        let ranked = report.ranked();
+        assert_eq!(ranked.len(), 3);
+        // Finite values keep their order; the NaN is demoted to last instead
+        // of panicking the sort or surfacing as the winner.
+        let order: Vec<u32> = ranked.iter().map(|e| e.candidate).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+        assert!(ranked[2].estimate.is_nan());
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! The central-model baseline `CentralDP`.
 
+use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
 use crate::error::Result;
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
-use crate::protocol::{record_scalar_upload, Query};
+use crate::protocol::Query;
 use bigraph::BipartiteGraph;
-use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::budget::Composition;
 use ldp::laplace::LaplaceMechanism;
 use ldp::mechanism::Sensitivity;
-use ldp::transcript::Transcript;
 use serde::{Deserialize, Serialize};
 
 /// The central differential-privacy baseline.
@@ -22,6 +22,36 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CentralDP;
 
+impl EngineEstimator for CentralDP {
+    fn estimate_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        query: &Query,
+        mut ctx: RoundContext<'_>,
+    ) -> Result<EstimateReport> {
+        query.validate(env.graph)?;
+        let total = ctx.total();
+
+        ctx.charge("central:laplace", total, Composition::Sequential)?;
+        let mechanism = LaplaceMechanism::new(total, Sensitivity::one());
+        let exact = query.exact_count(env.graph)? as f64;
+        let estimate = mechanism.perturb(exact, ctx.rng());
+        ctx.record_scalar_upload(1, "central-release");
+
+        let epsilon = ctx.epsilon();
+        let (budget, transcript) = ctx.finish();
+        Ok(EstimateReport {
+            algorithm: self.kind(),
+            estimate,
+            epsilon,
+            budget,
+            transcript,
+            rounds: 1,
+            parameters: ChosenParameters::default(),
+        })
+    }
+}
+
 impl CommonNeighborEstimator for CentralDP {
     fn kind(&self) -> AlgorithmKind {
         AlgorithmKind::CentralDP
@@ -34,26 +64,7 @@ impl CommonNeighborEstimator for CentralDP {
         epsilon: f64,
         rng: &mut dyn rand::RngCore,
     ) -> Result<EstimateReport> {
-        query.validate(g)?;
-        let total = PrivacyBudget::new(epsilon)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
-
-        budget.charge("central:laplace", total, Composition::Sequential)?;
-        let mechanism = LaplaceMechanism::new(total, Sensitivity::one());
-        let exact = query.exact_count(g)? as f64;
-        let estimate = mechanism.perturb(exact, rng);
-        record_scalar_upload(&mut transcript, 1, "central-release");
-
-        Ok(EstimateReport {
-            algorithm: self.kind(),
-            estimate,
-            epsilon,
-            budget,
-            transcript,
-            rounds: 1,
-            parameters: ChosenParameters::default(),
-        })
+        crate::engine::run_uncached(self, g, query, epsilon, rng)
     }
 }
 

@@ -12,19 +12,18 @@
 //!   are public, so the `ε₀` round is skipped and the whole budget goes to the
 //!   optimised `ε₁ + ε₂` split.
 
+use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
 use crate::error::{CneError, Result};
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
 use crate::optimizer::optimize_double_source;
-use crate::protocol::{
-    randomized_response_round, record_download, record_scalar_upload, Query, SCALAR_BYTES,
-};
-use crate::single_source::{single_source_laplace, single_source_value};
+use crate::protocol::{randomized_response_round, Query, SCALAR_BYTES};
+use crate::single_source::{single_source_laplace, single_source_value_env};
 use bigraph::{BipartiteGraph, VertexId};
-use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::budget::{Composition, PrivacyBudget};
 use ldp::laplace::LaplaceMechanism;
 use ldp::mechanism::Sensitivity;
-use ldp::transcript::{Direction, Transcript};
+use ldp::transcript::Direction;
 use serde::{Deserialize, Serialize};
 
 /// Fraction of the total budget MultiR-DS spends on degree estimation
@@ -113,27 +112,22 @@ struct DoubleSourceRounds {
 
 /// Runs the RR round for both query vertices and builds both noisy
 /// single-source estimators (rounds 2 and 3 of Algorithm 4).
-#[allow(clippy::too_many_arguments)]
 fn run_double_source_rounds(
-    g: &BipartiteGraph,
+    env: ProtocolEnv<'_>,
     query: &Query,
     eps1: PrivacyBudget,
     eps2: PrivacyBudget,
     first_round: u32,
-    budget: &mut BudgetAccountant,
-    transcript: &mut Transcript,
-    rng: &mut dyn rand::RngCore,
+    ctx: &mut RoundContext<'_>,
 ) -> Result<DoubleSourceRounds> {
     // RR round: both u and w perturb and upload their noisy edges.
     let rr = randomized_response_round(
-        g,
+        env.graph,
         query.layer,
         &[query.u, query.w],
         eps1,
         first_round,
-        budget,
-        transcript,
-        rng,
+        ctx,
     )?;
     let p = rr.flip_probability;
     let mut noisy = rr.noisy.into_iter();
@@ -143,55 +137,51 @@ fn run_double_source_rounds(
     // Estimator round: each query vertex downloads the other's noisy edges,
     // builds its single-source estimator, adds Laplace noise, and uploads it.
     let round = first_round + 1;
-    record_download(transcript, round, "noisy-edges(w) -> u", &noisy_w);
-    record_download(transcript, round, "noisy-edges(u) -> w", &noisy_u);
+    ctx.record_download(round, "noisy-edges(w) -> u", &noisy_w);
+    ctx.record_download(round, "noisy-edges(u) -> w", &noisy_u);
 
     let laplace = single_source_laplace(p, eps2)?;
-    budget.charge(
+    ctx.charge(
         format!("round{round}:laplace(f_u)"),
         eps2,
         Composition::Sequential,
     )?;
     // f_w is computed from w's own neighbor list — disjoint data from u's —
     // so its release composes in parallel with f_u's (Theorem 10).
-    budget.charge(
+    ctx.charge(
         format!("round{round}:laplace(f_w)"),
         eps2,
         Composition::Parallel,
     )?;
 
-    let raw_u = single_source_value(g, query.layer, query.u, &noisy_w, p);
-    let raw_w = single_source_value(g, query.layer, query.w, &noisy_u, p);
-    let f_u = laplace.perturb(raw_u, rng);
-    let f_w = laplace.perturb(raw_w, rng);
-    record_scalar_upload(transcript, round, "estimator(f_u)");
-    record_scalar_upload(transcript, round, "estimator(f_w)");
+    // Strategy dispatch per source vertex: packed/cached only when the
+    // source is dense enough to amortize the noisy-list packing
+    // (bit-identical either way — see `single_source_value_env`).
+    let raw_u = single_source_value_env(env, query.layer, query.u, &noisy_w, p);
+    let raw_w = single_source_value_env(env, query.layer, query.w, &noisy_u, p);
+    let f_u = laplace.perturb(raw_u, ctx.rng());
+    let f_w = laplace.perturb(raw_w, ctx.rng());
+    ctx.record_scalar_upload(round, "estimator(f_u)");
+    ctx.record_scalar_upload(round, "estimator(f_w)");
 
     Ok(DoubleSourceRounds { f_u, f_w })
 }
 
-impl CommonNeighborEstimator for MultiRDSBasic {
-    fn kind(&self) -> AlgorithmKind {
-        AlgorithmKind::MultiRDSBasic
-    }
-
-    fn estimate(
+impl EngineEstimator for MultiRDSBasic {
+    fn estimate_in(
         &self,
-        g: &BipartiteGraph,
+        env: ProtocolEnv<'_>,
         query: &Query,
-        epsilon: f64,
-        rng: &mut dyn rand::RngCore,
+        mut ctx: RoundContext<'_>,
     ) -> Result<EstimateReport> {
-        query.validate(g)?;
-        let total = PrivacyBudget::new(epsilon)?;
-        let (eps1, eps2) = total.split_fraction(self.epsilon1_fraction)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
+        query.validate(env.graph)?;
+        let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
 
-        let rounds =
-            run_double_source_rounds(g, query, eps1, eps2, 1, &mut budget, &mut transcript, rng)?;
+        let rounds = run_double_source_rounds(env, query, eps1, eps2, 1, &mut ctx)?;
         let estimate = 0.5 * rounds.f_u + 0.5 * rounds.f_w;
 
+        let epsilon = ctx.epsilon();
+        let (budget, transcript) = ctx.finish();
         Ok(EstimateReport {
             algorithm: self.kind(),
             estimate,
@@ -209,9 +199,9 @@ impl CommonNeighborEstimator for MultiRDSBasic {
     }
 }
 
-impl CommonNeighborEstimator for MultiRDS {
+impl CommonNeighborEstimator for MultiRDSBasic {
     fn kind(&self) -> AlgorithmKind {
-        AlgorithmKind::MultiRDS
+        AlgorithmKind::MultiRDSBasic
     }
 
     fn estimate(
@@ -221,24 +211,32 @@ impl CommonNeighborEstimator for MultiRDS {
         epsilon: f64,
         rng: &mut dyn rand::RngCore,
     ) -> Result<EstimateReport> {
-        query.validate(g)?;
-        let total = PrivacyBudget::new(epsilon)?;
-        let (eps0, eps_rest) = total.split_fraction(self.epsilon0_fraction)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
+        crate::engine::run_uncached(self, g, query, epsilon, rng)
+    }
+}
+
+impl EngineEstimator for MultiRDS {
+    fn estimate_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        query: &Query,
+        mut ctx: RoundContext<'_>,
+    ) -> Result<EstimateReport> {
+        query.validate(env.graph)?;
+        let (eps0, eps_rest) = ctx.total().split_fraction(self.epsilon0_fraction)?;
 
         // ---- Round 1: degree estimation under ε₀ ----------------------------
         // Every vertex on the query layer reports its degree through the
         // Laplace mechanism (sensitivity 1). The reports cover disjoint
         // neighbor lists, so they compose in parallel and the round costs ε₀.
-        budget.charge("round1:laplace(degrees)", eps0, Composition::Sequential)?;
+        ctx.charge("round1:laplace(degrees)", eps0, Composition::Sequential)?;
         let degree_laplace = LaplaceMechanism::new(eps0, Sensitivity::one());
-        let layer_size = g.layer_size(query.layer);
+        let layer_size = env.graph.layer_size(query.layer);
         let mut noisy_degree_sum = 0.0;
         let mut noisy_du = 0.0;
         let mut noisy_dw = 0.0;
         for v in 0..layer_size as VertexId {
-            let noisy = degree_laplace.perturb(g.degree(query.layer, v) as f64, rng);
+            let noisy = degree_laplace.perturb(env.graph.degree(query.layer, v) as f64, ctx.rng());
             noisy_degree_sum += noisy;
             if v == query.u {
                 noisy_du = noisy;
@@ -247,7 +245,7 @@ impl CommonNeighborEstimator for MultiRDS {
                 noisy_dw = noisy;
             }
         }
-        transcript.record(
+        ctx.record(
             1,
             Direction::Upload,
             "noisy-degrees(layer)",
@@ -269,10 +267,11 @@ impl CommonNeighborEstimator for MultiRDS {
         let alpha = allocation.alpha;
 
         // ---- Rounds 2–3: RR + two single-source estimators -------------------
-        let rounds =
-            run_double_source_rounds(g, query, eps1, eps2, 2, &mut budget, &mut transcript, rng)?;
+        let rounds = run_double_source_rounds(env, query, eps1, eps2, 2, &mut ctx)?;
         let estimate = alpha * rounds.f_u + (1.0 - alpha) * rounds.f_w;
 
+        let epsilon = ctx.epsilon();
+        let (budget, transcript) = ctx.finish();
         Ok(EstimateReport {
             algorithm: self.kind(),
             estimate,
@@ -292,9 +291,9 @@ impl CommonNeighborEstimator for MultiRDS {
     }
 }
 
-impl CommonNeighborEstimator for MultiRDSStar {
+impl CommonNeighborEstimator for MultiRDS {
     fn kind(&self) -> AlgorithmKind {
-        AlgorithmKind::MultiRDSStar
+        AlgorithmKind::MultiRDS
     }
 
     fn estimate(
@@ -304,23 +303,32 @@ impl CommonNeighborEstimator for MultiRDSStar {
         epsilon: f64,
         rng: &mut dyn rand::RngCore,
     ) -> Result<EstimateReport> {
-        query.validate(g)?;
-        let total = PrivacyBudget::new(epsilon)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
+        crate::engine::run_uncached(self, g, query, epsilon, rng)
+    }
+}
+
+impl EngineEstimator for MultiRDSStar {
+    fn estimate_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        query: &Query,
+        mut ctx: RoundContext<'_>,
+    ) -> Result<EstimateReport> {
+        query.validate(env.graph)?;
 
         // Degrees are public: use them directly and optimise over the full ε.
-        let du = g.degree(query.layer, query.u) as f64;
-        let dw = g.degree(query.layer, query.w) as f64;
-        let allocation = optimize_double_source(du.max(1e-9), dw.max(1e-9), epsilon);
+        let du = env.graph.degree(query.layer, query.u) as f64;
+        let dw = env.graph.degree(query.layer, query.w) as f64;
+        let allocation = optimize_double_source(du.max(1e-9), dw.max(1e-9), ctx.epsilon());
         let eps1 = PrivacyBudget::new(allocation.epsilon1)?;
         let eps2 = PrivacyBudget::new(allocation.epsilon2)?;
         let alpha = allocation.alpha;
 
-        let rounds =
-            run_double_source_rounds(g, query, eps1, eps2, 1, &mut budget, &mut transcript, rng)?;
+        let rounds = run_double_source_rounds(env, query, eps1, eps2, 1, &mut ctx)?;
         let estimate = alpha * rounds.f_u + (1.0 - alpha) * rounds.f_w;
 
+        let epsilon = ctx.epsilon();
+        let (budget, transcript) = ctx.finish();
         Ok(EstimateReport {
             algorithm: self.kind(),
             estimate,
@@ -337,6 +345,22 @@ impl CommonNeighborEstimator for MultiRDSStar {
                 ..Default::default()
             },
         })
+    }
+}
+
+impl CommonNeighborEstimator for MultiRDSStar {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::MultiRDSStar
+    }
+
+    fn estimate(
+        &self,
+        g: &BipartiteGraph,
+        query: &Query,
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<EstimateReport> {
+        crate::engine::run_uncached(self, g, query, epsilon, rng)
     }
 }
 

@@ -1,0 +1,884 @@
+//! The persistent curator-side estimation engine.
+//!
+//! The per-algorithm modules implement *one* protocol run each. Serving
+//! millions of repeated queries needs three things they cannot provide on
+//! their own, and this module supplies all three:
+//!
+//! * [`AdjacencyStore`] — a lazily built, read-only cache of bit-packed
+//!   ([`bigraph::bitset::PackedSet`]) true adjacencies, one bitmap per
+//!   vertex and layer, plus per-layer degree statistics. Packing a vertex's
+//!   neighbor list costs `O(degree + universe/64)`; the store pays that cost
+//!   once per vertex per graph instead of once per query, so the word-parallel
+//!   popcount intersections in the single-source hot loop start from warm
+//!   bitmaps.
+//! * [`RoundContext`] — the unified per-run state (privacy-budget accountant,
+//!   byte-accurate message transcript, and the RNG stream) that every
+//!   protocol round reads and writes. It replaces the
+//!   `&mut BudgetAccountant, &mut Transcript, &mut dyn RngCore` parameter
+//!   trains the protocol modules used to thread through every helper.
+//! * [`EstimationEngine`] — the facade applications talk to: build it once
+//!   per graph, then call [`EstimationEngine::estimate`] /
+//!   [`EstimationEngine::estimate_batch`] /
+//!   [`EstimationEngine::estimate_many_targets`] as often as needed. Every
+//!   call shares the same warm [`AdjacencyStore`].
+//!
+//! # Cache lifecycle
+//!
+//! The store is immutable-after-init per slot: each vertex's bitmap is built
+//! on first use (from any thread — slots are [`std::sync::OnceLock`]s) and
+//! never invalidated, which is sound because [`bigraph::BipartiteGraph`] is
+//! immutable. A store must only ever be used with the graph it was created
+//! for; [`EstimationEngine`] enforces that pairing by construction. Sparse
+//! vertices never get packed at all — the degree-aware dispatch only consults
+//! the cache for vertices dense enough that popcount beats per-id probing —
+//! so memory stays proportional to the number of *dense* vertices actually
+//! queried. Call [`EstimationEngine::warm`] (or [`AdjacencyStore::warm`]) to
+//! pre-build a layer's *dense* vertices up front (sparse ones are skipped —
+//! no query path ever reads their bitmaps), e.g. before latency-sensitive
+//! serving.
+//!
+//! # Determinism contract
+//!
+//! Engine results are a pure function of `(graph, query, epsilon, seed)`:
+//!
+//! * cached and uncached paths are **byte-identical** — the cache only
+//!   changes *how* an intersection is counted, never the count, so every
+//!   downstream floating-point operation sees identical inputs;
+//! * parallel fan-outs ([`EstimationEngine::estimate_batch`] round 2,
+//!   [`EstimationEngine::estimate_many_targets`]) derive one RNG stream per
+//!   participating user as `mix(seed, vertex id)`
+//!   ([`crate::batch::user_stream_seed`]) — never from thread scheduling —
+//!   so output is byte-identical at any `RAYON_NUM_THREADS`.
+//!
+//! Both properties are enforced by regression tests
+//! (`tests/engine_determinism.rs`).
+//!
+//! # Sharding story
+//!
+//! [`EstimationEngine::estimate_many_targets`] fans `targets × candidates`
+//! over rayon: each target shard runs the whole batch protocol on its own
+//! `mix(seed, target)` stream, and inside a shard every candidate estimator
+//! runs on its own `mix(base, candidate)` stream. Because no stream depends
+//! on placement, the same contract extends across processes or machines —
+//! shard the target list however is convenient and concatenate the reports.
+
+use crate::batch::{user_stream_seed, BatchReport, BatchSingleSource};
+use crate::central::CentralDP;
+use crate::double_source::{MultiRDS, MultiRDSBasic, MultiRDSStar};
+use crate::error::{CneError, Result};
+use crate::estimate::{AlgorithmKind, EstimateReport};
+use crate::estimator::CommonNeighborEstimator;
+use crate::naive::Naive;
+use crate::one_round::OneR;
+use crate::protocol::Query;
+use crate::single_source::MultiRSS;
+use bigraph::bitset::PackedSet;
+use bigraph::{BipartiteGraph, Layer, VertexId};
+use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::noisy_graph::NoisyNeighbors;
+use ldp::transcript::{Direction, Transcript};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Aggregate degree statistics of one graph layer, computed once and cached.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Number of vertices on the layer.
+    pub vertices: usize,
+    /// Number of edges incident to the layer (= `|E|` for either layer).
+    pub edges: usize,
+    /// Largest vertex degree on the layer.
+    pub max_degree: usize,
+    /// Mean vertex degree on the layer (0 for an empty layer).
+    pub mean_degree: f64,
+}
+
+/// A lazily built, shareable cache of bit-packed true adjacencies.
+///
+/// One slot per vertex and layer; each slot is initialized at most once (on
+/// first use, from whichever thread gets there first) and then shared
+/// read-only. See the [module docs](self) for the cache lifecycle.
+#[derive(Debug)]
+pub struct AdjacencyStore {
+    upper: Vec<OnceLock<PackedSet>>,
+    lower: Vec<OnceLock<PackedSet>>,
+    upper_stats: OnceLock<LayerStats>,
+    lower_stats: OnceLock<LayerStats>,
+}
+
+impl AdjacencyStore {
+    /// Creates an empty store sized for `g`. No bitmaps are built yet.
+    #[must_use]
+    pub fn new(g: &BipartiteGraph) -> Self {
+        let mut upper = Vec::new();
+        let mut lower = Vec::new();
+        upper.resize_with(g.n_upper(), OnceLock::new);
+        lower.resize_with(g.n_lower(), OnceLock::new);
+        Self {
+            upper,
+            lower,
+            upper_stats: OnceLock::new(),
+            lower_stats: OnceLock::new(),
+        }
+    }
+
+    fn slots(&self, layer: Layer) -> &[OnceLock<PackedSet>] {
+        match layer {
+            Layer::Upper => &self.upper,
+            Layer::Lower => &self.lower,
+        }
+    }
+
+    /// The packed true adjacency of vertex `v` on `layer`, built on first use.
+    ///
+    /// The bitmap ranges over the opposite layer (`universe =
+    /// g.layer_size(layer.opposite())`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for `layer`, or if `g` is not the graph
+    /// this store was created for (detected via a layer-size mismatch).
+    #[must_use]
+    pub fn packed(&self, g: &BipartiteGraph, layer: Layer, v: VertexId) -> &PackedSet {
+        let slots = self.slots(layer);
+        assert_eq!(
+            slots.len(),
+            g.layer_size(layer),
+            "AdjacencyStore used with a graph it was not built for"
+        );
+        slots[v as usize].get_or_init(|| {
+            PackedSet::from_sorted(g.neighbors(layer, v), g.layer_size(layer.opposite()))
+        })
+    }
+
+    /// The bitmap for `v` if it has already been built, without building it.
+    #[must_use]
+    pub fn cached(&self, layer: Layer, v: VertexId) -> Option<&PackedSet> {
+        self.slots(layer).get(v as usize).and_then(OnceLock::get)
+    }
+
+    /// How many vertices of `layer` currently have a built bitmap.
+    #[must_use]
+    pub fn cached_count(&self, layer: Layer) -> usize {
+        self.slots(layer)
+            .iter()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// Pre-builds the bitmaps of every *dense* vertex on `layer` — those the
+    /// degree-aware dispatch ([`ProtocolEnv::true_intersection_with`]) will
+    /// actually read. Sparse vertices are skipped: their queries take the
+    /// probe path, so packing them would only burn memory
+    /// (`⌈universe/64⌉ · 8` bytes each) that no query ever touches.
+    pub fn warm(&self, g: &BipartiteGraph, layer: Layer) {
+        let words = g.layer_size(layer.opposite()).div_ceil(64);
+        for v in 0..g.layer_size(layer) as VertexId {
+            if g.degree(layer, v) > 2 * words {
+                let _ = self.packed(g, layer, v);
+            }
+        }
+    }
+
+    /// Degree statistics of `layer`, computed on first use and cached.
+    pub fn stats(&self, g: &BipartiteGraph, layer: Layer) -> LayerStats {
+        let cell = match layer {
+            Layer::Upper => &self.upper_stats,
+            Layer::Lower => &self.lower_stats,
+        };
+        *cell.get_or_init(|| {
+            let vertices = g.layer_size(layer);
+            let mut edges = 0usize;
+            let mut max_degree = 0usize;
+            for v in 0..vertices as VertexId {
+                let d = g.degree(layer, v);
+                edges += d;
+                max_degree = max_degree.max(d);
+            }
+            let mean_degree = if vertices == 0 {
+                0.0
+            } else {
+                edges as f64 / vertices as f64
+            };
+            LayerStats {
+                vertices,
+                edges,
+                max_degree,
+                mean_degree,
+            }
+        })
+    }
+}
+
+/// The read-only environment a protocol run executes in: the graph plus an
+/// optional warm [`AdjacencyStore`].
+///
+/// `Copy` so it can be captured by value in parallel closures. With
+/// `store: None` every intersection falls back to the pack-per-call strategy
+/// of [`bigraph::bitset::intersection_size_degree_aware`] — the legacy
+/// uncached path, byte-identical to the cached one.
+#[derive(Clone, Copy)]
+pub struct ProtocolEnv<'a> {
+    /// The graph both vertex- and curator-side steps read.
+    pub graph: &'a BipartiteGraph,
+    /// The shared adjacency cache, if the run goes through an engine.
+    pub store: Option<&'a AdjacencyStore>,
+}
+
+impl<'a> ProtocolEnv<'a> {
+    /// An environment with no adjacency cache (the legacy one-shot path).
+    #[must_use]
+    pub fn uncached(graph: &'a BipartiteGraph) -> Self {
+        Self { graph, store: None }
+    }
+
+    /// An environment backed by a warm adjacency cache.
+    #[must_use]
+    pub fn cached(graph: &'a BipartiteGraph, store: &'a AdjacencyStore) -> Self {
+        Self {
+            graph,
+            store: Some(store),
+        }
+    }
+
+    /// Counts `|N(v) ∩ other|` for the *true* neighborhood of `v`, using the
+    /// cheapest available strategy.
+    ///
+    /// Sparse `v` probes `other` per neighbor id; dense `v` uses a
+    /// word-parallel popcount against the cached bitmap when a store is
+    /// available (packing on the fly otherwise). All strategies count the
+    /// same set, so the result — and everything derived from it — is
+    /// identical with and without a store. The density threshold matches
+    /// [`bigraph::bitset::intersection_size_degree_aware`] exactly.
+    #[must_use]
+    pub fn true_intersection_with(&self, layer: Layer, v: VertexId, other: &PackedSet) -> u64 {
+        let neighbors = self.graph.neighbors(layer, v);
+        if let Some(store) = self.store {
+            let words = other.universe().div_ceil(64);
+            if neighbors.len() > 2 * words {
+                return store.packed(self.graph, layer, v).intersection_size(other);
+            }
+        }
+        bigraph::bitset::intersection_size_degree_aware(neighbors, other)
+    }
+}
+
+/// The unified mutable state of one protocol run: privacy-budget accounting,
+/// the message transcript, and the RNG stream, created with
+/// [`RoundContext::begin`] and consumed by [`RoundContext::finish`].
+pub struct RoundContext<'r> {
+    total: PrivacyBudget,
+    budget: BudgetAccountant,
+    transcript: Transcript,
+    rng: &'r mut dyn RngCore,
+}
+
+impl<'r> RoundContext<'r> {
+    /// Validates `epsilon` and opens a fresh context around `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive, NaN, or infinite budgets.
+    pub fn begin(epsilon: f64, rng: &'r mut dyn RngCore) -> Result<Self> {
+        let total = PrivacyBudget::new(epsilon)?;
+        Ok(Self {
+            total,
+            budget: BudgetAccountant::new(total),
+            transcript: Transcript::new(),
+            rng,
+        })
+    }
+
+    /// The total budget of the run.
+    #[must_use]
+    pub fn total(&self) -> PrivacyBudget {
+        self.total
+    }
+
+    /// The total budget as a raw `ε` (what [`EstimateReport::epsilon`] records).
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.total.value()
+    }
+
+    /// Charges `eps` against the run's budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the charge would exceed the total budget.
+    pub fn charge(
+        &mut self,
+        label: impl Into<String>,
+        eps: PrivacyBudget,
+        composition: Composition,
+    ) -> Result<()> {
+        self.budget.charge(label, eps, composition)?;
+        Ok(())
+    }
+
+    /// Records an arbitrary message in the transcript.
+    pub fn record(
+        &mut self,
+        round: u32,
+        direction: Direction,
+        label: impl Into<String>,
+        bytes: usize,
+    ) {
+        self.transcript.record(round, direction, label, bytes);
+    }
+
+    /// Records the curator pushing a noisy edge list down to a client.
+    pub fn record_download(&mut self, round: u32, label: &str, list: &NoisyNeighbors) {
+        self.transcript
+            .record(round, Direction::Download, label, list.message_bytes());
+    }
+
+    /// Records a client uploading one scalar (estimator value or noisy degree).
+    pub fn record_scalar_upload(&mut self, round: u32, label: &str) {
+        self.transcript.record(
+            round,
+            Direction::Upload,
+            label,
+            crate::protocol::SCALAR_BYTES,
+        );
+    }
+
+    /// The run's RNG stream.
+    pub fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+
+    /// Draws a base seed for deterministic per-user fan-out streams.
+    ///
+    /// Combine with [`RoundContext::user_rng`]: the derived streams depend
+    /// only on the draw and the vertex id, never on thread scheduling.
+    pub fn next_stream_base(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// The deterministic RNG stream of one participating user, per the
+    /// `mix(seed, vertex id)` contract ([`crate::batch::user_stream_seed`]).
+    #[must_use]
+    pub fn user_rng(base: u64, vertex: VertexId) -> StdRng {
+        StdRng::seed_from_u64(user_stream_seed(base, u64::from(vertex)))
+    }
+
+    /// Closes the run, yielding the accounting artifacts for the report.
+    #[must_use]
+    pub fn finish(self) -> (BudgetAccountant, Transcript) {
+        (self.budget, self.transcript)
+    }
+}
+
+/// A pairwise estimator that can run inside an engine environment.
+///
+/// This is the engine-aware face of [`CommonNeighborEstimator`]: the logic
+/// lives in [`EngineEstimator::estimate_in`], and the legacy
+/// [`CommonNeighborEstimator::estimate`] entry point of every algorithm is a
+/// thin wrapper that runs the same code with an uncached environment —
+/// guaranteeing the two paths cannot drift apart.
+pub trait EngineEstimator: CommonNeighborEstimator {
+    /// Runs the protocol in `env`, reading and writing run state via `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CommonNeighborEstimator::estimate`].
+    fn estimate_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        query: &Query,
+        ctx: RoundContext<'_>,
+    ) -> Result<EstimateReport>;
+}
+
+/// Runs `est` once without a cache — the body of every legacy
+/// [`CommonNeighborEstimator::estimate`] implementation.
+pub(crate) fn run_uncached(
+    est: &dyn EngineEstimator,
+    g: &BipartiteGraph,
+    query: &Query,
+    epsilon: f64,
+    rng: &mut dyn RngCore,
+) -> Result<EstimateReport> {
+    let ctx = RoundContext::begin(epsilon, rng)?;
+    est.estimate_in(ProtocolEnv::uncached(g), query, ctx)
+}
+
+/// The persistent curator-side service facade: one graph, one warm
+/// [`AdjacencyStore`], any number of queries.
+///
+/// See the [module docs](self) for the cache lifecycle, the determinism
+/// contract, and the sharding story.
+pub struct EstimationEngine<'g> {
+    graph: &'g BipartiteGraph,
+    store: AdjacencyStore,
+}
+
+impl<'g> EstimationEngine<'g> {
+    /// Creates an engine for `graph` with a cold (empty) adjacency cache.
+    #[must_use]
+    pub fn new(graph: &'g BipartiteGraph) -> Self {
+        Self {
+            graph,
+            store: AdjacencyStore::new(graph),
+        }
+    }
+
+    /// The graph this engine serves.
+    #[must_use]
+    pub fn graph(&self) -> &'g BipartiteGraph {
+        self.graph
+    }
+
+    /// The engine's adjacency cache.
+    #[must_use]
+    pub fn store(&self) -> &AdjacencyStore {
+        &self.store
+    }
+
+    /// Pre-builds the packed adjacency of every dense vertex on `layer`
+    /// (the only bitmaps queries read — see [`AdjacencyStore::warm`]), so
+    /// the first query is as fast as the thousandth. Returns `&self` so
+    /// warming chains off construction.
+    pub fn warm(&self, layer: Layer) -> &Self {
+        self.store.warm(self.graph, layer);
+        self
+    }
+
+    /// Degree statistics of `layer` (computed once, then cached).
+    pub fn layer_stats(&self, layer: Layer) -> LayerStats {
+        self.store.stats(self.graph, layer)
+    }
+
+    /// The cached environment engine-routed protocol runs execute in.
+    #[must_use]
+    pub fn env(&self) -> ProtocolEnv<'_> {
+        ProtocolEnv::cached(self.graph, &self.store)
+    }
+
+    /// Runs `kind` with its default parameters on one query pair.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CommonNeighborEstimator::estimate`].
+    pub fn estimate(
+        &self,
+        query: &Query,
+        kind: AlgorithmKind,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<EstimateReport> {
+        match kind {
+            AlgorithmKind::Naive => self.estimate_with(&Naive, query, epsilon, rng),
+            AlgorithmKind::OneR => self.estimate_with(&OneR::default(), query, epsilon, rng),
+            AlgorithmKind::MultiRSS => {
+                self.estimate_with(&MultiRSS::default(), query, epsilon, rng)
+            }
+            AlgorithmKind::MultiRDSBasic => {
+                self.estimate_with(&MultiRDSBasic::default(), query, epsilon, rng)
+            }
+            AlgorithmKind::MultiRDS => {
+                self.estimate_with(&MultiRDS::default(), query, epsilon, rng)
+            }
+            AlgorithmKind::MultiRDSStar => self.estimate_with(&MultiRDSStar, query, epsilon, rng),
+            AlgorithmKind::CentralDP => self.estimate_with(&CentralDP, query, epsilon, rng),
+        }
+    }
+
+    /// Runs a configured estimator through the engine's warm cache.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CommonNeighborEstimator::estimate`].
+    pub fn estimate_with(
+        &self,
+        est: &dyn EngineEstimator,
+        query: &Query,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<EstimateReport> {
+        let ctx = RoundContext::begin(epsilon, rng)?;
+        est.estimate_in(self.env(), query, ctx)
+    }
+
+    /// Runs the batch single-source protocol (default configuration) for one
+    /// target against many candidates, reusing the warm cache.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSingleSource::estimate_batch`].
+    pub fn estimate_batch(
+        &self,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<BatchReport> {
+        self.estimate_batch_with(
+            &BatchSingleSource::default(),
+            layer,
+            target,
+            candidates,
+            epsilon,
+            rng,
+        )
+    }
+
+    /// [`EstimationEngine::estimate_batch`] with a custom batch configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSingleSource::estimate_batch`].
+    pub fn estimate_batch_with(
+        &self,
+        algo: &BatchSingleSource,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<BatchReport> {
+        algo.estimate_batch_in(self.env(), layer, target, candidates, epsilon, rng)
+    }
+
+    /// Sharded batch estimation: every target in `targets` is estimated
+    /// against every candidate in `candidates` (minus itself), fanned out
+    /// over rayon with one deterministic RNG stream per target shard.
+    ///
+    /// Each shard runs on the stream `mix(seed, target)`, so the report for
+    /// target `t` is byte-identical to
+    /// `engine.estimate_batch(layer, t, candidates_without_t, ..., &mut
+    /// RoundContext::user_rng(seed, t))` — and therefore
+    /// independent of thread count, shard order, and process placement.
+    ///
+    /// # Privacy composition across shards
+    ///
+    /// Each returned [`BatchReport`]'s ledger accounts **one** shard: per
+    /// shard, every participant spends at most `epsilon`. Across shards the
+    /// releases compose *sequentially* — a candidate screened against `T`
+    /// targets releases `T` Laplace-noised estimators from its neighbor
+    /// list and accrues up to `T · ε₂` (plus `ε₁` for each shard it is the
+    /// target of). The cost is `ε` **per vertex per target**; callers own
+    /// the cross-shard budget, exactly as if they had issued the `T` batch
+    /// calls themselves.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty or duplicate-containing target list, and propagates
+    /// the first per-shard protocol error (unknown vertices, exhausted
+    /// budget, a shard left with no candidates, ...).
+    pub fn estimate_many_targets(
+        &self,
+        layer: Layer,
+        targets: &[VertexId],
+        candidates: &[VertexId],
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<Vec<BatchReport>> {
+        self.estimate_many_targets_with(
+            &BatchSingleSource::default(),
+            layer,
+            targets,
+            candidates,
+            epsilon,
+            seed,
+        )
+    }
+
+    /// [`EstimationEngine::estimate_many_targets`] with a custom batch
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`EstimationEngine::estimate_many_targets`].
+    pub fn estimate_many_targets_with(
+        &self,
+        algo: &BatchSingleSource,
+        layer: Layer,
+        targets: &[VertexId],
+        candidates: &[VertexId],
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<Vec<BatchReport>> {
+        if targets.is_empty() {
+            return Err(CneError::InvalidParameter {
+                name: "targets",
+                reason: "the target list must not be empty".into(),
+            });
+        }
+        // Duplicate targets would re-release the duplicate's data on the
+        // identical mix(seed, target) stream — reject them like the batch
+        // protocol rejects duplicate candidates.
+        let mut seen = targets.to_vec();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CneError::InvalidParameter {
+                name: "targets",
+                reason: "target vertices must be distinct".into(),
+            });
+        }
+        let results: Vec<Result<BatchReport>> = targets
+            .par_iter()
+            .map(|&t| {
+                let shard: Vec<VertexId> = candidates.iter().copied().filter(|&w| w != t).collect();
+                let mut rng = RoundContext::user_rng(seed, t);
+                algo.estimate_batch_in(self.env(), layer, t, &shard, epsilon, &mut rng)
+            })
+            .collect();
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Upper layer of 4 users over 400 items; u0 shares 8/4/0 items with
+    /// u1/u2/u3 (the batch-module test graph).
+    fn graph() -> BipartiteGraph {
+        let edges = (0..10u32)
+            .map(|v| (0u32, v))
+            .chain((2..12u32).map(|v| (1u32, v)))
+            .chain((6..16u32).map(|v| (2u32, v)))
+            .chain((50..60u32).map(|v| (3u32, v)));
+        BipartiteGraph::from_edges(4, 400, edges).unwrap()
+    }
+
+    #[test]
+    fn store_is_lazy_and_warmable() {
+        let g = graph();
+        let store = AdjacencyStore::new(&g);
+        assert_eq!(store.cached_count(Layer::Upper), 0);
+        assert!(store.cached(Layer::Upper, 0).is_none());
+        let packed = store.packed(&g, Layer::Upper, 0);
+        assert_eq!(packed.len(), 10);
+        assert_eq!(packed.universe(), 400);
+        assert_eq!(store.cached_count(Layer::Upper), 1);
+        assert!(store.cached(Layer::Upper, 0).is_some());
+        // Every vertex here is sparse (degree 10 ≤ 2 · ⌈400/64⌉ = 14), so
+        // warming packs nothing new: no query path would read those bitmaps.
+        store.warm(&g, Layer::Upper);
+        assert_eq!(store.cached_count(Layer::Upper), 1);
+        assert_eq!(store.cached_count(Layer::Lower), 0);
+    }
+
+    #[test]
+    fn warm_packs_exactly_the_dense_vertices() {
+        // Universe 64 → 1 word → dense threshold is degree > 2. Vertices 0
+        // and 1 qualify; vertex 2 (degree 2) stays un-packed.
+        let edges = (0..40u32)
+            .map(|v| (0u32, v))
+            .chain((20..60u32).map(|v| (1u32, v)))
+            .chain((0..2u32).map(|v| (2u32, v)));
+        let g = BipartiteGraph::from_edges(3, 64, edges).unwrap();
+        let store = AdjacencyStore::new(&g);
+        store.warm(&g, Layer::Upper);
+        assert_eq!(store.cached_count(Layer::Upper), 2);
+        assert!(store.cached(Layer::Upper, 0).is_some());
+        assert!(store.cached(Layer::Upper, 1).is_some());
+        assert!(store.cached(Layer::Upper, 2).is_none());
+    }
+
+    #[test]
+    fn store_packed_matches_true_adjacency() {
+        let g = graph();
+        let store = AdjacencyStore::new(&g);
+        for v in 0..4u32 {
+            let packed = store.packed(&g, Layer::Upper, v);
+            assert_eq!(packed.to_sorted_ids(), g.neighbors(Layer::Upper, v));
+        }
+    }
+
+    #[test]
+    fn layer_stats_are_correct() {
+        let g = graph();
+        let engine = EstimationEngine::new(&g);
+        let stats = engine.layer_stats(Layer::Upper);
+        assert_eq!(stats.vertices, 4);
+        assert_eq!(stats.edges, 40);
+        assert_eq!(stats.max_degree, 10);
+        assert!((stats.mean_degree - 10.0).abs() < 1e-12);
+        let lower = engine.layer_stats(Layer::Lower);
+        assert_eq!(lower.vertices, 400);
+        assert_eq!(lower.edges, 40);
+    }
+
+    #[test]
+    fn env_intersection_matches_degree_aware_dispatch() {
+        let g = graph();
+        let store = AdjacencyStore::new(&g);
+        let env_cached = ProtocolEnv::cached(&g, &store);
+        let env_uncached = ProtocolEnv::uncached(&g);
+        // A packed "other" set dense enough to exercise both branches.
+        let other: Vec<u32> = (0..400).step_by(2).collect();
+        let packed = PackedSet::from_sorted(&other, 400);
+        for v in 0..4u32 {
+            let a = env_cached.true_intersection_with(Layer::Upper, v, &packed);
+            let b = env_uncached.true_intersection_with(Layer::Upper, v, &packed);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn all_kinds_run_through_the_engine() {
+        let g = graph();
+        let engine = EstimationEngine::new(&g);
+        let q = Query::new(Layer::Upper, 0, 1);
+        let kinds = [
+            AlgorithmKind::Naive,
+            AlgorithmKind::OneR,
+            AlgorithmKind::MultiRSS,
+            AlgorithmKind::MultiRDSBasic,
+            AlgorithmKind::MultiRDS,
+            AlgorithmKind::MultiRDSStar,
+            AlgorithmKind::CentralDP,
+        ];
+        for kind in kinds {
+            let mut rng = StdRng::seed_from_u64(3);
+            let report = engine.estimate(&q, kind, 2.0, &mut rng).unwrap();
+            assert_eq!(report.algorithm, kind);
+            assert!(report.estimate.is_finite());
+            assert!(report.budget.consumed() <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_for_every_kind() {
+        let g = graph();
+        let engine = EstimationEngine::new(&g);
+        let q = Query::new(Layer::Upper, 0, 1);
+        let legacy: Vec<Box<dyn CommonNeighborEstimator>> = vec![
+            Box::new(Naive),
+            Box::new(OneR::default()),
+            Box::new(MultiRSS::default()),
+            Box::new(MultiRDSBasic::default()),
+            Box::new(MultiRDS::default()),
+            Box::new(MultiRDSStar),
+            Box::new(CentralDP),
+        ];
+        for est in &legacy {
+            let mut rng_a = StdRng::seed_from_u64(11);
+            let mut rng_b = StdRng::seed_from_u64(11);
+            let a = est.estimate(&g, &q, 2.0, &mut rng_a).unwrap();
+            let b = engine.estimate(&q, est.kind(), 2.0, &mut rng_b).unwrap();
+            assert_eq!(
+                a.estimate.to_bits(),
+                b.estimate.to_bits(),
+                "{}: engine must be byte-identical to the legacy path",
+                est.kind()
+            );
+            assert_eq!(a.transcript, b.transcript);
+        }
+    }
+
+    #[test]
+    fn engine_batch_matches_legacy_batch() {
+        let g = graph();
+        let engine = EstimationEngine::new(&g);
+        let algo = BatchSingleSource::default();
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let legacy = algo
+            .estimate_batch(&g, Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng_a)
+            .unwrap();
+        let cached = engine
+            .estimate_batch(Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng_b)
+            .unwrap();
+        let bits = |r: &BatchReport| -> Vec<u64> {
+            r.estimates.iter().map(|e| e.estimate.to_bits()).collect()
+        };
+        assert_eq!(bits(&legacy), bits(&cached));
+        assert_eq!(legacy.transcript, cached.transcript);
+    }
+
+    #[test]
+    fn many_targets_matches_per_target_batches() {
+        let g = graph();
+        let engine = EstimationEngine::new(&g);
+        let seed = 97u64;
+        let reports = engine
+            .estimate_many_targets(Layer::Upper, &[0, 1], &[0, 1, 2, 3], 2.0, seed)
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            // Each shard drops its own target from the candidate list.
+            assert_eq!(report.estimates.len(), 3);
+            assert!(report
+                .estimates
+                .iter()
+                .all(|e| e.candidate != report.target));
+            let mut rng = StdRng::seed_from_u64(user_stream_seed(seed, u64::from(report.target)));
+            let shard: Vec<u32> = [0u32, 1, 2, 3]
+                .into_iter()
+                .filter(|&w| w != report.target)
+                .collect();
+            let direct = engine
+                .estimate_batch(Layer::Upper, report.target, &shard, 2.0, &mut rng)
+                .unwrap();
+            let bits = |r: &BatchReport| -> Vec<u64> {
+                r.estimates.iter().map(|e| e.estimate.to_bits()).collect()
+            };
+            assert_eq!(bits(report), bits(&direct));
+        }
+    }
+
+    #[test]
+    fn many_targets_rejects_bad_target_lists() {
+        let g = graph();
+        let engine = EstimationEngine::new(&g);
+        assert!(engine
+            .estimate_many_targets(Layer::Upper, &[], &[1], 2.0, 1)
+            .is_err());
+        assert!(engine
+            .estimate_many_targets(Layer::Upper, &[0, 0], &[1], 2.0, 1)
+            .is_err());
+        // A shard left with no candidates is a per-shard protocol error.
+        assert!(engine
+            .estimate_many_targets(Layer::Upper, &[0], &[0], 2.0, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn engine_queries_populate_the_cache_only_for_dense_vertices() {
+        // In this small graph every vertex is sparse relative to the packed
+        // word count, so the probe branch runs and nothing is cached.
+        let g = graph();
+        let engine = EstimationEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        engine
+            .estimate_batch(Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
+            .unwrap();
+        assert_eq!(engine.store().cached_count(Layer::Upper), 0);
+    }
+
+    #[test]
+    fn dense_vertices_hit_the_cache() {
+        // 3 upper vertices over a 64-item layer (1 packed word): degree > 2
+        // crosses the dense threshold, so the engine packs and caches.
+        let edges = (0..40u32)
+            .map(|v| (0u32, v))
+            .chain((20..60u32).map(|v| (1u32, v)))
+            .chain((0..30u32).map(|v| (2u32, v)));
+        let g = BipartiteGraph::from_edges(3, 64, edges).unwrap();
+        let engine = EstimationEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = engine
+            .estimate_batch(Layer::Upper, 0, &[1, 2], 4.0, &mut rng)
+            .unwrap();
+        assert_eq!(report.estimates.len(), 2);
+        // Both candidates are dense, so both bitmaps are now warm.
+        assert_eq!(engine.store().cached_count(Layer::Upper), 2);
+        // And a second run reuses them (still 2, not 4).
+        let mut rng = StdRng::seed_from_u64(10);
+        engine
+            .estimate_batch(Layer::Upper, 0, &[1, 2], 4.0, &mut rng)
+            .unwrap();
+        assert_eq!(engine.store().cached_count(Layer::Upper), 2);
+    }
+}

@@ -60,6 +60,21 @@ impl fmt::Display for AlgorithmKind {
     }
 }
 
+/// Descending comparator for ranking estimates, with NaN ordered *after*
+/// every real value.
+///
+/// A plain descending [`f64::total_cmp`] would rank a (positive) NaN first —
+/// IEEE total order places it above `+∞` — silently surfacing a pathological
+/// estimate as the winner; `partial_cmp().unwrap()` would panic instead.
+/// Use this anywhere estimates or similarities are ranked best-first.
+#[must_use]
+pub fn nan_last_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.total_cmp(&a),
+        (a_nan, b_nan) => a_nan.cmp(&b_nan),
+    }
+}
+
 /// Parameters an adaptive algorithm chose at run time.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ChosenParameters {
@@ -171,6 +186,17 @@ mod tests {
             ..report
         };
         assert_eq!(report.rounded_estimate(), 0);
+    }
+
+    #[test]
+    fn nan_last_desc_orders_best_first_and_nan_last() {
+        let mut vals = [f64::NAN, 1.0, f64::INFINITY, -2.0, 0.0];
+        vals.sort_by(|a, b| nan_last_desc(*a, *b));
+        assert_eq!(vals[0], f64::INFINITY);
+        assert_eq!(vals[1], 1.0);
+        assert_eq!(vals[2], 0.0);
+        assert_eq!(vals[3], -2.0);
+        assert!(vals[4].is_nan());
     }
 
     #[test]

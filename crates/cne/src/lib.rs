@@ -23,6 +23,19 @@
 //! [`EstimateReport`] containing the estimate, the exact privacy-budget
 //! accounting, and a byte-accurate communication transcript.
 //!
+//! ## Serving repeated queries
+//!
+//! For one-off estimates call [`CommonNeighborEstimator::estimate`] directly.
+//! For anything that issues more than a handful of queries against the same
+//! graph — batch screening, experiment sweeps, a long-lived service — build
+//! an [`EstimationEngine`] once and route queries through it: every run then
+//! shares a lazily warmed cache of bit-packed adjacencies
+//! ([`AdjacencyStore`]), and sharded fan-outs
+//! ([`EstimationEngine::estimate_many_targets`]) keep the deterministic
+//! per-user RNG-stream contract at any thread count. Engine results are
+//! byte-identical to the one-shot path for the same seed; see the
+//! [`engine`] module docs for the cache lifecycle and determinism contract.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -55,6 +68,7 @@
 pub mod batch;
 pub mod central;
 pub mod double_source;
+pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod estimator;
@@ -69,6 +83,7 @@ pub mod single_source;
 pub use batch::{BatchReport, BatchSingleSource};
 pub use central::CentralDP;
 pub use double_source::{MultiRDS, MultiRDSBasic, MultiRDSStar};
+pub use engine::{AdjacencyStore, EngineEstimator, EstimationEngine, ProtocolEnv, RoundContext};
 pub use error::{CneError, Result};
 pub use estimate::{AlgorithmKind, EstimateReport};
 pub use estimator::CommonNeighborEstimator;

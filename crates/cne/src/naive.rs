@@ -1,13 +1,12 @@
 //! The `Naive` baseline (Algorithm 1): count common neighbors on the noisy graph.
 
+use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
 use crate::error::Result;
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
 use crate::protocol::{randomized_response_round, Query};
 use bigraph::BipartiteGraph;
-use ldp::budget::{BudgetAccountant, PrivacyBudget};
 use ldp::noisy_graph::NoisyGraphView;
-use ldp::transcript::Transcript;
 use serde::{Deserialize, Serialize};
 
 /// The naive estimator: both query vertices perturb their neighbor lists with
@@ -19,6 +18,46 @@ use serde::{Deserialize, Serialize};
 /// biased upwards — the motivation for every other algorithm in this crate.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Naive;
+
+impl EngineEstimator for Naive {
+    fn estimate_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        query: &Query,
+        mut ctx: RoundContext<'_>,
+    ) -> Result<EstimateReport> {
+        query.validate(env.graph)?;
+
+        // Vertex side: u and w perturb their neighbor lists with the full ε.
+        let round = randomized_response_round(
+            env.graph,
+            query.layer,
+            &[query.u, query.w],
+            ctx.total(),
+            1,
+            &mut ctx,
+        )?;
+        let mut noisy = round.noisy.into_iter();
+        let noisy_u = noisy.next().expect("two lists requested");
+        let noisy_w = noisy.next().expect("two lists requested");
+
+        // Curator side: intersect the noisy neighbor lists.
+        let view = NoisyGraphView::new(noisy_u, noisy_w);
+        let estimate = view.noisy_intersection_size() as f64;
+
+        let epsilon = ctx.epsilon();
+        let (budget, transcript) = ctx.finish();
+        Ok(EstimateReport {
+            algorithm: self.kind(),
+            estimate,
+            epsilon,
+            budget,
+            transcript,
+            rounds: 1,
+            parameters: ChosenParameters::default(),
+        })
+    }
+}
 
 impl CommonNeighborEstimator for Naive {
     fn kind(&self) -> AlgorithmKind {
@@ -32,39 +71,7 @@ impl CommonNeighborEstimator for Naive {
         epsilon: f64,
         rng: &mut dyn rand::RngCore,
     ) -> Result<EstimateReport> {
-        query.validate(g)?;
-        let total = PrivacyBudget::new(epsilon)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
-
-        // Vertex side: u and w perturb their neighbor lists with the full ε.
-        let round = randomized_response_round(
-            g,
-            query.layer,
-            &[query.u, query.w],
-            total,
-            1,
-            &mut budget,
-            &mut transcript,
-            rng,
-        )?;
-        let mut noisy = round.noisy.into_iter();
-        let noisy_u = noisy.next().expect("two lists requested");
-        let noisy_w = noisy.next().expect("two lists requested");
-
-        // Curator side: intersect the noisy neighbor lists.
-        let view = NoisyGraphView::new(noisy_u, noisy_w);
-        let estimate = view.noisy_intersection_size() as f64;
-
-        Ok(EstimateReport {
-            algorithm: self.kind(),
-            estimate,
-            epsilon,
-            budget,
-            transcript,
-            rounds: 1,
-            parameters: ChosenParameters::default(),
-        })
+        crate::engine::run_uncached(self, g, query, epsilon, rng)
     }
 }
 

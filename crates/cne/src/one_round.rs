@@ -1,13 +1,12 @@
 //! The `OneR` algorithm (Algorithm 2): a one-round unbiased estimator.
 
+use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
 use crate::error::Result;
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
 use crate::protocol::{randomized_response_round, Query};
 use bigraph::BipartiteGraph;
-use ldp::budget::{BudgetAccountant, PrivacyBudget};
 use ldp::noisy_graph::NoisyGraphView;
-use ldp::transcript::Transcript;
 use serde::{Deserialize, Serialize};
 
 /// The one-round unbiased estimator.
@@ -60,33 +59,23 @@ impl OneR {
     }
 }
 
-impl CommonNeighborEstimator for OneR {
-    fn kind(&self) -> AlgorithmKind {
-        AlgorithmKind::OneR
-    }
-
-    fn estimate(
+impl EngineEstimator for OneR {
+    fn estimate_in(
         &self,
-        g: &BipartiteGraph,
+        env: ProtocolEnv<'_>,
         query: &Query,
-        epsilon: f64,
-        rng: &mut dyn rand::RngCore,
+        mut ctx: RoundContext<'_>,
     ) -> Result<EstimateReport> {
-        query.validate(g)?;
-        let total = PrivacyBudget::new(epsilon)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
+        query.validate(env.graph)?;
 
         // Vertex side: u and w perturb their neighbor lists with the full ε.
         let round = randomized_response_round(
-            g,
+            env.graph,
             query.layer,
             &[query.u, query.w],
-            total,
+            ctx.total(),
             1,
-            &mut budget,
-            &mut transcript,
-            rng,
+            &mut ctx,
         )?;
         let p = round.flip_probability;
         let mut noisy = round.noisy.into_iter();
@@ -103,6 +92,8 @@ impl CommonNeighborEstimator for OneR {
             Self::closed_form(n1, n2, view.opposite_size(), p)
         };
 
+        let epsilon = ctx.epsilon();
+        let (budget, transcript) = ctx.finish();
         Ok(EstimateReport {
             algorithm: self.kind(),
             estimate,
@@ -112,6 +103,22 @@ impl CommonNeighborEstimator for OneR {
             rounds: 1,
             parameters: ChosenParameters::default(),
         })
+    }
+}
+
+impl CommonNeighborEstimator for OneR {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::OneR
+    }
+
+    fn estimate(
+        &self,
+        g: &BipartiteGraph,
+        query: &Query,
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<EstimateReport> {
+        crate::engine::run_uncached(self, g, query, epsilon, rng)
     }
 }
 

@@ -2,16 +2,17 @@
 //!
 //! Every estimation algorithm is phrased as a sequence of *vertex-side* and
 //! *curator-side* steps. The helpers here implement the steps that several
-//! algorithms share — validating the query, running a randomized-response
-//! round for one or both query vertices, and recording the exchanged messages
-//! in a [`Transcript`] — so the per-algorithm modules only contain the logic
-//! that distinguishes them.
+//! algorithms share — validating the query and running a randomized-response
+//! round for one or both query vertices — so the per-algorithm modules only
+//! contain the logic that distinguishes them. All run state (budget,
+//! transcript, RNG) flows through one [`RoundContext`].
 
+use crate::engine::RoundContext;
 use crate::error::Result;
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
-use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::budget::{Composition, PrivacyBudget};
 use ldp::noisy_graph::NoisyNeighbors;
-use ldp::transcript::{Direction, Transcript};
+use ldp::transcript::Direction;
 use serde::{Deserialize, Serialize};
 
 /// Size in bytes of one reported edge endpoint in a noisy-edge upload.
@@ -83,32 +84,33 @@ pub struct RrRound {
 
 /// Runs one randomized-response round: each vertex in `vertices` perturbs its
 /// neighbor list with budget `epsilon1` and uploads the noisy edges to the
-/// curator. The round is recorded in `transcript` and charged to `budget`
-/// (one sequential charge — the perturbed lists of different vertices cover
-/// disjoint edge sets *of those vertices' own lists*, but the paper accounts
-/// the RR round once at `ε₁`, which parallel composition over the reporting
-/// vertices justifies; we charge it sequentially against the total, matching
-/// Theorem 7 / Theorem 10).
-#[allow(clippy::too_many_arguments)] // protocol steps read clearest as one flat call
+/// curator. The round is recorded in the context's transcript and charged to
+/// its budget (one sequential charge — the perturbed lists of different
+/// vertices cover disjoint edge sets *of those vertices' own lists*, but the
+/// paper accounts the RR round once at `ε₁`, which parallel composition over
+/// the reporting vertices justifies; we charge it sequentially against the
+/// total, matching Theorem 7 / Theorem 10).
+///
+/// # Errors
+///
+/// Fails if the charge would exceed the run's total budget.
 pub fn randomized_response_round(
     g: &BipartiteGraph,
     layer: Layer,
     vertices: &[VertexId],
     epsilon1: PrivacyBudget,
     round: u32,
-    budget: &mut BudgetAccountant,
-    transcript: &mut Transcript,
-    rng: &mut dyn rand::RngCore,
+    ctx: &mut RoundContext<'_>,
 ) -> Result<RrRound> {
-    budget.charge(
+    ctx.charge(
         format!("round{round}:rr"),
         epsilon1,
         Composition::Sequential,
     )?;
     let mut noisy = Vec::with_capacity(vertices.len());
     for (i, &v) in vertices.iter().enumerate() {
-        let list = NoisyNeighbors::generate(g, layer, v, epsilon1, rng);
-        transcript.record(
+        let list = NoisyNeighbors::generate(g, layer, v, epsilon1, ctx.rng());
+        ctx.record(
             round,
             Direction::Upload,
             format!("noisy-edges(v{i})"),
@@ -129,25 +131,11 @@ pub fn randomized_response_round(
     })
 }
 
-/// Records the curator pushing a noisy edge list down to a query vertex
-/// (the "download" step of the multiple-round framework).
-pub fn record_download(
-    transcript: &mut Transcript,
-    round: u32,
-    label: &str,
-    list: &NoisyNeighbors,
-) {
-    transcript.record(round, Direction::Download, label, list.message_bytes());
-}
-
-/// Records a client uploading a scalar (an estimator value or noisy degree).
-pub fn record_scalar_upload(transcript: &mut Transcript, round: u32, label: &str) {
-    transcript.record(round, Direction::Upload, label, SCALAR_BYTES);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::RoundContext;
+    use ldp::transcript::Direction;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -178,56 +166,37 @@ mod tests {
     #[test]
     fn rr_round_charges_budget_once_and_records_uploads() {
         let g = toy();
-        let total = PrivacyBudget::new(2.0).unwrap();
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
         let mut rng = StdRng::seed_from_u64(3);
+        let mut ctx = RoundContext::begin(2.0, &mut rng).unwrap();
         let eps1 = PrivacyBudget::new(1.0).unwrap();
-        let round = randomized_response_round(
-            &g,
-            Layer::Upper,
-            &[0, 1],
-            eps1,
-            1,
-            &mut budget,
-            &mut transcript,
-            &mut rng,
-        )
-        .unwrap();
+        let round =
+            randomized_response_round(&g, Layer::Upper, &[0, 1], eps1, 1, &mut ctx).unwrap();
         assert_eq!(round.noisy.len(), 2);
+        assert!((round.flip_probability - 1.0 / (1.0 + 1.0f64.exp())).abs() < 1e-12);
+        let (budget, transcript) = ctx.finish();
         assert!((budget.consumed() - 1.0).abs() < 1e-12);
         assert_eq!(transcript.messages().len(), 2);
         assert_eq!(transcript.rounds(), 1);
-        assert!((round.flip_probability - 1.0 / (1.0 + 1.0f64.exp())).abs() < 1e-12);
     }
 
     #[test]
     fn rr_round_rejects_overcharge() {
         let g = toy();
-        let total = PrivacyBudget::new(0.5).unwrap();
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
         let mut rng = StdRng::seed_from_u64(3);
+        let mut ctx = RoundContext::begin(0.5, &mut rng).unwrap();
         let eps1 = PrivacyBudget::new(1.0).unwrap();
-        let err = randomized_response_round(
-            &g,
-            Layer::Upper,
-            &[0],
-            eps1,
-            1,
-            &mut budget,
-            &mut transcript,
-            &mut rng,
-        );
+        let err = randomized_response_round(&g, Layer::Upper, &[0], eps1, 1, &mut ctx);
         assert!(err.is_err());
     }
 
     #[test]
     fn download_and_scalar_records() {
-        let mut t = Transcript::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ctx = RoundContext::begin(1.0, &mut rng).unwrap();
         let list = NoisyNeighbors::from_parts(0, Layer::Upper, 10, 1.0, vec![1, 2, 3]);
-        record_download(&mut t, 2, "noisy-edges(w) -> u", &list);
-        record_scalar_upload(&mut t, 2, "estimator(f_u)");
+        ctx.record_download(2, "noisy-edges(w) -> u", &list);
+        ctx.record_scalar_upload(2, "estimator(f_u)");
+        let (_, t) = ctx.finish();
         assert_eq!(t.total_bytes(), 3 * EDGE_BYTES + SCALAR_BYTES);
         assert_eq!(t.bytes_in_direction(Direction::Download), 3 * EDGE_BYTES);
     }

@@ -1,15 +1,16 @@
 //! The `MultiR-SS` algorithm (Algorithm 3): a two-round single-source estimator.
 
+use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
 use crate::error::{CneError, Result};
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
-use crate::protocol::{randomized_response_round, record_download, record_scalar_upload, Query};
+use crate::protocol::{randomized_response_round, Query};
+use bigraph::bitset::PackedSet;
 use bigraph::{BipartiteGraph, Layer, VertexId};
-use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::budget::{Composition, PrivacyBudget};
 use ldp::laplace::LaplaceMechanism;
 use ldp::mechanism::Sensitivity;
 use ldp::noisy_graph::NoisyNeighbors;
-use ldp::transcript::Transcript;
 use serde::{Deserialize, Serialize};
 
 /// The multiple-round single-source estimator.
@@ -101,15 +102,62 @@ pub fn single_source_value_packed(
     g: &BipartiteGraph,
     layer: Layer,
     source: VertexId,
-    other_packed: &bigraph::bitset::PackedSet,
+    other_packed: &PackedSet,
+    flip_probability: f64,
+) -> f64 {
+    single_source_value_cached(
+        ProtocolEnv::uncached(g),
+        layer,
+        source,
+        other_packed,
+        flip_probability,
+    )
+}
+
+/// [`single_source_value_packed`] routed through a protocol environment.
+///
+/// When the environment carries a warm [`crate::engine::AdjacencyStore`], a
+/// dense source's packed true adjacency is fetched from the cache instead of
+/// being rebuilt per call — the win the batch engine's warm path is built on.
+/// Every dispatch branch counts the same intersection, so the value is
+/// bit-identical to [`single_source_value`] regardless of caching.
+#[must_use]
+pub fn single_source_value_cached(
+    env: ProtocolEnv<'_>,
+    layer: Layer,
+    source: VertexId,
+    other_packed: &PackedSet,
     flip_probability: f64,
 ) -> f64 {
     let p = flip_probability;
     let q = 1.0 - 2.0 * p;
-    let neighbors = g.neighbors(layer, source);
-    let s1 = bigraph::bitset::intersection_size_degree_aware(neighbors, other_packed);
-    let s2 = neighbors.len() as u64 - s1;
+    let s1 = env.true_intersection_with(layer, source, other_packed);
+    let s2 = env.graph.neighbors(layer, source).len() as u64 - s1;
     s1 as f64 * (1.0 - p) / q - s2 as f64 * p / q
+}
+
+/// [`single_source_value`] with environment-driven strategy dispatch.
+///
+/// Packing the noisy list costs `O(universe/64 + p·universe)`, which only
+/// pays off when the source is dense enough for the popcount/cached path —
+/// the same `degree > 2 · words` threshold
+/// [`ProtocolEnv::true_intersection_with`] uses. A sparse source therefore
+/// keeps the legacy `O(degree · log)` probe path even inside an engine run.
+/// Every branch counts the same intersection, so the value is bit-identical
+/// regardless of environment or density.
+pub(crate) fn single_source_value_env(
+    env: ProtocolEnv<'_>,
+    layer: Layer,
+    source: VertexId,
+    other_noisy: &NoisyNeighbors,
+    flip_probability: f64,
+) -> f64 {
+    let words = env.graph.layer_size(layer.opposite()).div_ceil(64);
+    if env.store.is_some() && env.graph.neighbors(layer, source).len() > 2 * words {
+        single_source_value_cached(env, layer, source, &other_noisy.packed(), flip_probability)
+    } else {
+        single_source_value(env.graph, layer, source, other_noisy, flip_probability)
+    }
 }
 
 /// The global sensitivity of the single-source estimator: `(1−p)/(1−2p)`.
@@ -132,48 +180,36 @@ pub fn single_source_laplace(
     Ok(LaplaceMechanism::new(epsilon2, sensitivity))
 }
 
-impl CommonNeighborEstimator for MultiRSS {
-    fn kind(&self) -> AlgorithmKind {
-        AlgorithmKind::MultiRSS
-    }
-
-    fn estimate(
+impl EngineEstimator for MultiRSS {
+    fn estimate_in(
         &self,
-        g: &BipartiteGraph,
+        env: ProtocolEnv<'_>,
         query: &Query,
-        epsilon: f64,
-        rng: &mut dyn rand::RngCore,
+        mut ctx: RoundContext<'_>,
     ) -> Result<EstimateReport> {
-        query.validate(g)?;
-        let total = PrivacyBudget::new(epsilon)?;
-        let (eps1, eps2) = total.split_fraction(self.epsilon1_fraction)?;
-        let mut budget = BudgetAccountant::new(total);
-        let mut transcript = Transcript::new();
+        query.validate(env.graph)?;
+        let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
 
         // Round 1: w applies randomized response with ε₁ and uploads.
-        let round1 = randomized_response_round(
-            g,
-            query.layer,
-            &[query.w],
-            eps1,
-            1,
-            &mut budget,
-            &mut transcript,
-            rng,
-        )?;
+        let round1 =
+            randomized_response_round(env.graph, query.layer, &[query.w], eps1, 1, &mut ctx)?;
         let p = round1.flip_probability;
         let noisy_w = round1.noisy.into_iter().next().expect("one list requested");
 
         // Round 2: u downloads the noisy edges of w ...
-        record_download(&mut transcript, 2, "noisy-edges(w) -> u", &noisy_w);
-        // ... combines them with its own neighborhood ...
-        let raw = single_source_value(g, query.layer, query.u, &noisy_w, p);
+        ctx.record_download(2, "noisy-edges(w) -> u", &noisy_w);
+        // ... combines them with its own neighborhood (through the adjacency
+        // cache when the run has one and u is dense — bit-identical either
+        // way) ...
+        let raw = single_source_value_env(env, query.layer, query.u, &noisy_w, p);
         // ... and releases the estimator through the Laplace mechanism.
-        budget.charge("round2:laplace(f_u)", eps2, Composition::Sequential)?;
+        ctx.charge("round2:laplace(f_u)", eps2, Composition::Sequential)?;
         let laplace = single_source_laplace(p, eps2)?;
-        let estimate = laplace.perturb(raw, rng);
-        record_scalar_upload(&mut transcript, 2, "estimator(f_u)");
+        let estimate = laplace.perturb(raw, ctx.rng());
+        ctx.record_scalar_upload(2, "estimator(f_u)");
 
+        let epsilon = ctx.epsilon();
+        let (budget, transcript) = ctx.finish();
         Ok(EstimateReport {
             algorithm: self.kind(),
             estimate,
@@ -187,6 +223,22 @@ impl CommonNeighborEstimator for MultiRSS {
                 ..Default::default()
             },
         })
+    }
+}
+
+impl CommonNeighborEstimator for MultiRSS {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::MultiRSS
+    }
+
+    fn estimate(
+        &self,
+        g: &BipartiteGraph,
+        query: &Query,
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<EstimateReport> {
+        crate::engine::run_uncached(self, g, query, epsilon, rng)
     }
 }
 
@@ -241,6 +293,43 @@ mod tests {
                 "packed and scalar paths must agree exactly at eps {eps}"
             );
         }
+    }
+
+    #[test]
+    fn cached_value_matches_scalar_value() {
+        use crate::engine::AdjacencyStore;
+        // A *dense* source: degree 40 over a 100-item universe (2 packed
+        // words, dense threshold 4), so the store-backed popcount branch —
+        // not just the probe path — is what gets compared.
+        let edges = (0..40u32)
+            .map(|v| (0u32, v))
+            .chain((20..70u32).map(|v| (1u32, v)));
+        let g = BipartiteGraph::from_edges(2, 100, edges).unwrap();
+        let q = Query::new(Layer::Upper, 0, 1);
+        let store = AdjacencyStore::new(&g);
+        let env = ProtocolEnv::cached(&g, &store);
+        let mut rng = StdRng::seed_from_u64(43);
+        for eps in [0.5, 1.0, 4.0] {
+            let noisy = NoisyNeighbors::generate(
+                &g,
+                q.layer,
+                q.w,
+                ldp::budget::PrivacyBudget::new(eps).unwrap(),
+                &mut rng,
+            );
+            let p = noisy.flip_probability();
+            let scalar = single_source_value(&g, q.layer, q.u, &noisy, p);
+            let cached = single_source_value_cached(env, q.layer, q.u, &noisy.packed(), p);
+            assert_eq!(
+                scalar.to_bits(),
+                cached.to_bits(),
+                "cached and scalar paths must agree exactly at eps {eps}"
+            );
+        }
+        assert!(
+            store.cached_count(q.layer) > 0,
+            "the dense source must actually have taken the store-backed branch"
+        );
     }
 
     #[test]

@@ -5,13 +5,15 @@
 //! the wall-clock time, and the communication cost. [`evaluate_on_pairs`]
 //! implements exactly that, parallelised across pairs with deterministic
 //! per-pair seeding so results are reproducible regardless of thread count.
+//! All runs go through one [`cne::EstimationEngine`] per call, so every pair
+//! shares the same warm packed-adjacency cache.
 
 use crate::metrics::{ErrorMetrics, Observation};
 use bigraph::sampling::QueryPair;
 use bigraph::BipartiteGraph;
 use cne::{
-    AlgorithmKind, CentralDP, CommonNeighborEstimator, MultiRDS, MultiRDSBasic, MultiRDSStar,
-    MultiRSS, Naive, OneR, Query,
+    AlgorithmKind, CentralDP, EngineEstimator, EstimationEngine, MultiRDS, MultiRDSBasic,
+    MultiRDSStar, MultiRSS, Naive, OneR, Query,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -92,14 +94,16 @@ impl AlgorithmSelection {
 
 /// Builds a boxed estimator for a selection.
 ///
+/// The estimator is engine-capable: it can run standalone
+/// ([`cne::CommonNeighborEstimator::estimate`]) or through an
+/// [`EstimationEngine`]'s warm cache — byte-identically.
+///
 /// # Panics
 ///
 /// Panics if a fraction parameter is outside `(0, 1)` — selections are
 /// experiment configuration, so this is a programming error.
 #[must_use]
-pub fn build_estimator(
-    selection: &AlgorithmSelection,
-) -> Box<dyn CommonNeighborEstimator + Send + Sync> {
+pub fn build_estimator(selection: &AlgorithmSelection) -> Box<dyn EngineEstimator + Send + Sync> {
     match *selection {
         AlgorithmSelection::Naive => Box::new(Naive),
         AlgorithmSelection::OneR => Box::new(OneR::default()),
@@ -177,6 +181,9 @@ pub fn evaluate_on_pairs(
     seed: u64,
 ) -> cne::Result<RunSummary> {
     let estimator = build_estimator(selection);
+    // One engine per evaluation run: every pair shares the same lazily
+    // warmed packed-adjacency cache (byte-identical to the uncached path).
+    let engine = EstimationEngine::new(graph);
     let results: Vec<cne::Result<PairEvaluation>> = pairs
         .par_iter()
         .enumerate()
@@ -186,7 +193,7 @@ pub fn evaluate_on_pairs(
             let query = Query::new(pair.layer, pair.u, pair.w);
             let truth = query.exact_count(graph)? as f64;
             let start = Instant::now();
-            let report = estimator.estimate(graph, &query, epsilon, &mut rng)?;
+            let report = engine.estimate_with(estimator.as_ref(), &query, epsilon, &mut rng)?;
             let elapsed = start.elapsed();
             Ok(PairEvaluation {
                 u: pair.u,
