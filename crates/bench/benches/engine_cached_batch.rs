@@ -120,6 +120,47 @@ fn bench_engine_cached_batch(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Lean (default) vs detailed recording on the identical warm workload:
+    // the cost of retaining the per-message log and per-charge ledger,
+    // i.e. exactly the overhead the lean transcript removes from the hot
+    // path. Both runs produce byte-identical estimates and aggregates.
+    let mut group = c.benchmark_group("micro/transcript_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(N_CANDIDATES)));
+    group.bench_function("warm_single_lean", |b| {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        b.iter(|| {
+            let report = algo
+                .estimate_batch_in(
+                    engine.env(),
+                    Layer::Upper,
+                    0,
+                    &candidates,
+                    EPSILON,
+                    &mut rng,
+                )
+                .expect("valid batch");
+            criterion::black_box(report.transcript.total_bytes())
+        });
+    });
+    group.bench_function("warm_single_detailed", |b| {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        b.iter(|| {
+            let report = algo
+                .estimate_batch_in_detailed(
+                    engine.env(),
+                    Layer::Upper,
+                    0,
+                    &candidates,
+                    EPSILON,
+                    &mut rng,
+                )
+                .expect("valid batch");
+            criterion::black_box(report.transcript.messages().len())
+        });
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_engine_cached_batch);

@@ -68,13 +68,34 @@ fn bench_packed_vs_merge_intersection(c: &mut Criterion) {
     });
     let pa = PackedSet::from_sorted(&a, n);
     let pb = PackedSet::from_sorted(&b, n);
+    // The unrolled 4×u64 kernel behind `intersection_size` ...
     group.bench_function("packed_popcount", |bench| {
         bench.iter(|| criterion::black_box(pa.intersection_size(&pb)));
+    });
+    // ... against the retained straight-line scalar reference loop.
+    group.bench_function("packed_popcount_scalar", |bench| {
+        bench.iter(|| {
+            criterion::black_box(bigraph::bitset::popcount_and_scalar(
+                pa.as_words(),
+                pb.as_words(),
+            ))
+        });
     });
     group.bench_function("pack_then_popcount", |bench| {
         bench.iter(|| {
             let pa = PackedSet::from_sorted(&a, n);
             criterion::black_box(pa.intersection_size(&pb))
+        });
+    });
+    // The allocation-free variant: pack into a reused scratch word buffer.
+    group.bench_function("pack_then_popcount_scratch", |bench| {
+        let mut scratch = bigraph::bitset::PackScratch::new();
+        bench.iter(|| {
+            criterion::black_box(bigraph::bitset::intersection_size_degree_aware_into(
+                &a,
+                &pb,
+                &mut scratch,
+            ))
         });
     });
     group.finish();

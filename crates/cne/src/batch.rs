@@ -28,15 +28,22 @@
 //! depend only on the draw of one base seed and the candidate's vertex id —
 //! never on thread scheduling — so a seeded run produces **byte-identical**
 //! results at any core count.
+//!
+//! The per-candidate loop is **allocation-free after warmup**: accounting
+//! runs in the lean mode (interned labels, fixed-size counters — see
+//! [`crate::engine`]), and any per-candidate packing goes through the
+//! worker's scratch arena ([`crate::engine::with_shard_scratch`]). Use
+//! [`BatchSingleSource::estimate_batch_detailed`] to retain the full
+//! message log and budget ledger instead.
 
-use crate::engine::{ProtocolEnv, RoundContext};
+use crate::engine::{with_shard_scratch, ProtocolEnv, RoundContext};
 use crate::error::{CneError, Result};
 use crate::estimate::AlgorithmKind;
 use crate::protocol::randomized_response_round;
-use crate::single_source::{single_source_laplace, single_source_value_cached};
+use crate::single_source::{single_source_laplace, single_source_value_scratch};
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition};
-use ldp::transcript::Transcript;
+use ldp::transcript::{Label, Transcript};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -151,6 +158,34 @@ impl BatchSingleSource {
         )
     }
 
+    /// [`BatchSingleSource::estimate_batch`] in **detailed** accounting
+    /// mode: the report retains the per-message transcript log and the
+    /// per-charge budget ledger. Estimates and every aggregate are
+    /// byte-identical to the lean run on the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSingleSource::estimate_batch`].
+    pub fn estimate_batch_detailed(
+        &self,
+        g: &BipartiteGraph,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<BatchReport> {
+        self.estimate_batch_impl(
+            ProtocolEnv::uncached(g),
+            layer,
+            target,
+            candidates,
+            epsilon,
+            rng,
+            true,
+        )
+    }
+
     /// [`BatchSingleSource::estimate_batch`] inside a protocol environment —
     /// the entry point [`crate::engine::EstimationEngine`] routes through so
     /// candidate adjacencies come from its warm
@@ -169,6 +204,38 @@ impl BatchSingleSource {
         epsilon: f64,
         rng: &mut dyn rand::RngCore,
     ) -> Result<BatchReport> {
+        self.estimate_batch_impl(env, layer, target, candidates, epsilon, rng, false)
+    }
+
+    /// [`BatchSingleSource::estimate_batch_in`] with detailed accounting
+    /// (see [`BatchSingleSource::estimate_batch_detailed`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSingleSource::estimate_batch`].
+    pub fn estimate_batch_in_detailed(
+        &self,
+        env: ProtocolEnv<'_>,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<BatchReport> {
+        self.estimate_batch_impl(env, layer, target, candidates, epsilon, rng, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_batch_impl(
+        &self,
+        env: ProtocolEnv<'_>,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+        detailed: bool,
+    ) -> Result<BatchReport> {
         let g = env.graph;
         if candidates.is_empty() {
             return Err(CneError::InvalidParameter {
@@ -184,6 +251,7 @@ impl BatchSingleSource {
         // neighbor lists are disjoint datasets, which a repeated vertex
         // violates — and per-user streams (seed + vertex id) would hand the
         // duplicate the identical Laplace draw, not an independent one.
+        // (One sorted copy per call — per-call setup, not per-candidate.)
         let mut seen = candidates.to_vec();
         seen.sort_unstable();
         if seen.windows(2).any(|w| w[0] == w[1]) {
@@ -192,7 +260,11 @@ impl BatchSingleSource {
                 reason: "candidate vertices must be distinct".into(),
             });
         }
-        let mut ctx = RoundContext::begin(epsilon, rng)?;
+        let mut ctx = if detailed {
+            RoundContext::begin_detailed(epsilon, rng)?
+        } else {
+            RoundContext::begin(epsilon, rng)?
+        };
         let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
 
         // Round 1: the target perturbs and uploads its neighbor list once.
@@ -207,8 +279,10 @@ impl BatchSingleSource {
         //
         // Compute is fanned out across cores: the target's noisy list is
         // packed once, dense candidates reuse the environment's cached
-        // bitmaps, and each candidate perturbs on its own `seed + vertex
-        // id` stream, so the output is identical at any thread count.
+        // bitmaps (or each worker's scratch word buffer when there is no
+        // cache), and each candidate perturbs on its own `seed + vertex id`
+        // stream, so the output is identical at any thread count — and the
+        // loop performs zero heap allocations per candidate after warmup.
         let laplace = single_source_laplace(p, eps2)?;
         let packed_target = noisy_target.packed();
         let base_seed = ctx.next_stream_base();
@@ -216,7 +290,9 @@ impl BatchSingleSource {
             .par_iter()
             .map(|&w| {
                 let mut stream = RoundContext::user_rng(base_seed, w);
-                let raw = single_source_value_cached(env, layer, w, &packed_target, p);
+                let raw = with_shard_scratch(|scratch| {
+                    single_source_value_scratch(env, layer, w, &packed_target, p, scratch)
+                });
                 BatchEstimate {
                     candidate: w,
                     estimate: laplace.perturb(raw, &mut stream),
@@ -225,7 +301,8 @@ impl BatchSingleSource {
             .collect();
 
         // Accounting and the message transcript are sequential bookkeeping,
-        // recorded exactly as the wire protocol would observe them.
+        // recorded exactly as the wire protocol would observe them — pure
+        // counter arithmetic in the default lean mode.
         for i in 0..candidates.len() {
             ctx.record_download(2, "noisy-edges(target) -> candidate", &noisy_target);
             let composition = if i == 0 {
@@ -233,7 +310,11 @@ impl BatchSingleSource {
             } else {
                 Composition::Parallel
             };
-            ctx.charge(format!("round2:laplace(f_w{i})"), eps2, composition)?;
+            ctx.charge(
+                Label::Indexed("round2:laplace(f_w", i as u32, ")"),
+                eps2,
+                composition,
+            )?;
             ctx.record_scalar_upload(2, "estimator(f_w)");
         }
 
@@ -360,10 +441,10 @@ mod tests {
         let algo = BatchSingleSource::default();
         let mut rng = StdRng::seed_from_u64(7);
         let small = algo
-            .estimate_batch(&g, Layer::Upper, 0, &[1], 2.0, &mut rng)
+            .estimate_batch_detailed(&g, Layer::Upper, 0, &[1], 2.0, &mut rng)
             .unwrap();
         let large = algo
-            .estimate_batch(&g, Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
+            .estimate_batch_detailed(&g, Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
             .unwrap();
         // Exactly one upload of the target's noisy edges in both runs.
         let uploads = |r: &BatchReport| {

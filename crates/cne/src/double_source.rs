@@ -23,7 +23,7 @@ use bigraph::{BipartiteGraph, VertexId};
 use ldp::budget::{Composition, PrivacyBudget};
 use ldp::laplace::LaplaceMechanism;
 use ldp::mechanism::Sensitivity;
-use ldp::transcript::Direction;
+use ldp::transcript::{Direction, Label};
 use serde::{Deserialize, Serialize};
 
 /// Fraction of the total budget MultiR-DS spends on degree estimation
@@ -142,23 +142,25 @@ fn run_double_source_rounds(
 
     let laplace = single_source_laplace(p, eps2)?;
     ctx.charge(
-        format!("round{round}:laplace(f_u)"),
+        Label::Indexed("round", round, ":laplace(f_u)"),
         eps2,
         Composition::Sequential,
     )?;
     // f_w is computed from w's own neighbor list — disjoint data from u's —
     // so its release composes in parallel with f_u's (Theorem 10).
     ctx.charge(
-        format!("round{round}:laplace(f_w)"),
+        Label::Indexed("round", round, ":laplace(f_w)"),
         eps2,
         Composition::Parallel,
     )?;
 
     // Strategy dispatch per source vertex: packed/cached only when the
-    // source is dense enough to amortize the noisy-list packing
-    // (bit-identical either way — see `single_source_value_env`).
-    let raw_u = single_source_value_env(env, query.layer, query.u, &noisy_w, p);
-    let raw_w = single_source_value_env(env, query.layer, query.w, &noisy_u, p);
+    // source is dense enough to amortize the noisy-list packing — which
+    // goes through the run's scratch arena, so both sub-estimators reuse
+    // one word buffer (bit-identical either way — see
+    // `single_source_value_env`).
+    let raw_u = single_source_value_env(env, query.layer, query.u, &noisy_w, p, ctx.scratch());
+    let raw_w = single_source_value_env(env, query.layer, query.w, &noisy_u, p, ctx.scratch());
     let f_u = laplace.perturb(raw_u, ctx.rng());
     let f_w = laplace.perturb(raw_w, ctx.rng());
     ctx.record_scalar_upload(round, "estimator(f_u)");
@@ -503,9 +505,10 @@ mod tests {
 
     #[test]
     fn ds_communication_includes_degree_round() {
+        use crate::engine::run_detailed;
         let (g, q) = imbalanced_graph();
         let mut rng = StdRng::seed_from_u64(7);
-        let ds = MultiRDS::default().estimate(&g, &q, 2.0, &mut rng).unwrap();
+        let ds = run_detailed(&MultiRDS::default(), &g, &q, 2.0, &mut rng).unwrap();
         // DS uploads one noisy degree per vertex of the query layer in round 1.
         let degree_msg = ds
             .transcript
@@ -516,10 +519,8 @@ mod tests {
         assert_eq!(degree_msg.bytes, g.layer_size(q.layer) * SCALAR_BYTES);
         assert_eq!(degree_msg.round, 1);
         // Basic and DS* skip the degree round entirely.
-        let basic = MultiRDSBasic::default()
-            .estimate(&g, &q, 2.0, &mut rng)
-            .unwrap();
-        let star = MultiRDSStar.estimate(&g, &q, 2.0, &mut rng).unwrap();
+        let basic = run_detailed(&MultiRDSBasic::default(), &g, &q, 2.0, &mut rng).unwrap();
+        let star = run_detailed(&MultiRDSStar, &g, &q, 2.0, &mut rng).unwrap();
         for report in [&basic, &star] {
             assert!(report
                 .transcript

@@ -12,15 +12,54 @@
 //!   popcount intersections in the single-source hot loop start from warm
 //!   bitmaps.
 //! * [`RoundContext`] — the unified per-run state (privacy-budget accountant,
-//!   byte-accurate message transcript, and the RNG stream) that every
-//!   protocol round reads and writes. It replaces the
-//!   `&mut BudgetAccountant, &mut Transcript, &mut dyn RngCore` parameter
-//!   trains the protocol modules used to thread through every helper.
+//!   byte-accurate message transcript, the RNG stream, and a reusable
+//!   [`ScratchArena`]) that every protocol round reads and writes. It
+//!   replaces the `&mut BudgetAccountant, &mut Transcript, &mut dyn RngCore`
+//!   parameter trains the protocol modules used to thread through every
+//!   helper.
 //! * [`EstimationEngine`] — the facade applications talk to: build it once
 //!   per graph, then call [`EstimationEngine::estimate`] /
 //!   [`EstimationEngine::estimate_batch`] /
 //!   [`EstimationEngine::estimate_many_targets`] as often as needed. Every
 //!   call shares the same warm [`AdjacencyStore`].
+//!
+//! # Lean vs detailed accounting
+//!
+//! A [`RoundContext`] opened with [`RoundContext::begin`] records **lean**
+//! accounting artifacts: the transcript keeps only the fixed-size
+//! [`ldp::transcript::TranscriptStats`] counters and the budget accountant
+//! keeps only its consumption totals, so recording a message or charging
+//! the budget is pure arithmetic — no allocation, no label rendering. All
+//! aggregate accessors (total/per-round/per-direction bytes, rounds,
+//! consumed budget) are exact in this mode; only the per-message /
+//! per-charge logs are absent. Open the context with
+//! [`RoundContext::begin_detailed`] (or run through
+//! [`run_detailed`] / `BatchSingleSource::estimate_batch_detailed`) to
+//! additionally retain those logs for tests and debugging. Estimates and
+//! aggregates are byte-identical across the two modes — the mode changes
+//! *what is retained*, never what is computed.
+//!
+//! # Scratch-arena lifecycle
+//!
+//! The per-candidate hot loops used to allocate once per candidate (packing
+//! an adjacency into a fresh bitmap, building label strings). A
+//! [`ScratchArena`] bundles the reusable buffers — randomized-response
+//! perturbation scratch, packed-word scratch for pack-then-popcount
+//! intersections, and candidate id-list staging:
+//!
+//! * every [`RoundContext`] owns one arena for the sequential protocol
+//!   steps of its run (buffers grow on first use, then are reused across
+//!   rounds of the same run);
+//! * the rayon fan-outs ([`crate::batch::BatchSingleSource`] round 2,
+//!   [`EstimationEngine::estimate_many_targets`]) use one **thread-local**
+//!   arena per worker, accessed through [`with_shard_scratch`], so each
+//!   shard's inner candidate loop performs zero heap allocations once its
+//!   buffers have grown to the working size (regression-tested with a
+//!   counting allocator in `tests/alloc_regression.rs`).
+//!
+//! Arenas hold no protocol state — only capacity — so reuse can never
+//! change a result: every scratch-based kernel counts the same set the
+//! allocating kernel counted.
 //!
 //! # Cache lifecycle
 //!
@@ -72,15 +111,16 @@ use crate::naive::Naive;
 use crate::one_round::OneR;
 use crate::protocol::Query;
 use crate::single_source::MultiRSS;
-use bigraph::bitset::PackedSet;
+use bigraph::bitset::{PackScratch, PackedSet};
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
 use ldp::noisy_graph::NoisyNeighbors;
-use ldp::transcript::{Direction, Transcript};
+use ldp::transcript::{Direction, Label, Transcript};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::sync::OnceLock;
 
 /// Aggregate degree statistics of one graph layer, computed once and cached.
@@ -264,31 +304,155 @@ impl<'a> ProtocolEnv<'a> {
         }
         bigraph::bitset::intersection_size_degree_aware(neighbors, other)
     }
+
+    /// [`ProtocolEnv::true_intersection_with`] with a reusable pack buffer:
+    /// when the dense fallback would pack `v`'s adjacency into a fresh
+    /// bitmap (no store, or the store declined), it packs into `scratch`
+    /// instead. Same strategy thresholds, same count — bit-identical.
+    #[must_use]
+    pub fn true_intersection_with_scratch(
+        &self,
+        layer: Layer,
+        v: VertexId,
+        other: &PackedSet,
+        scratch: &mut ScratchArena,
+    ) -> u64 {
+        let neighbors = self.graph.neighbors(layer, v);
+        if let Some(store) = self.store {
+            let words = other.universe().div_ceil(64);
+            if neighbors.len() > 2 * words {
+                return store.packed(self.graph, layer, v).intersection_size(other);
+            }
+        }
+        bigraph::bitset::intersection_size_degree_aware_into(neighbors, other, &mut scratch.pack)
+    }
+}
+
+/// Reusable per-run / per-shard working buffers (see the
+/// [module docs](self) for the lifecycle).
+///
+/// An arena holds only capacity, never protocol state: every kernel that
+/// borrows a buffer fully overwrites it before reading, so reuse cannot
+/// change any result.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Packed-word scratch for pack-then-popcount intersections.
+    pack: PackScratch,
+    /// Candidate id-list staging (duplicate checks, shard candidate lists).
+    ids: Vec<VertexId>,
+    /// Randomized-response perturbation scratch (kept survivors).
+    rr_kept: Vec<VertexId>,
+    /// Randomized-response perturbation scratch (0 → 1 flips).
+    rr_flipped: Vec<VertexId>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The packed-word scratch buffer.
+    pub fn pack_scratch(&mut self) -> &mut PackScratch {
+        &mut self.pack
+    }
+
+    /// Takes the id-list buffer out of the arena (cleared), so it can be
+    /// used while the arena is borrowed elsewhere — e.g. a shard candidate
+    /// list that must stay alive across a nested protocol run. Return it
+    /// with [`ScratchArena::put_ids`] to keep the capacity warm.
+    #[must_use]
+    pub fn take_ids(&mut self) -> Vec<VertexId> {
+        let mut ids = std::mem::take(&mut self.ids);
+        ids.clear();
+        ids
+    }
+
+    /// Returns a buffer taken with [`ScratchArena::take_ids`].
+    pub fn put_ids(&mut self, ids: Vec<VertexId>) {
+        // Keep whichever buffer has more capacity warm.
+        if ids.capacity() > self.ids.capacity() {
+            self.ids = ids;
+        }
+    }
+
+    /// The two randomized-response perturbation buffers.
+    pub fn rr_buffers(&mut self) -> (&mut Vec<VertexId>, &mut Vec<VertexId>) {
+        (&mut self.rr_kept, &mut self.rr_flipped)
+    }
+}
+
+thread_local! {
+    static SHARD_SCRATCH: RefCell<ScratchArena> = RefCell::new(ScratchArena::new());
+}
+
+/// Runs `f` with this worker thread's [`ScratchArena`].
+///
+/// The parallel fan-outs hold one arena per rayon worker (the "shard"
+/// granularity): each worker's inner candidate loop borrows the arena per
+/// candidate, so after the buffers reach the working size the loop
+/// performs zero heap allocations. On the main thread the arena persists
+/// across engine calls, which is what makes the *warm* single-threaded
+/// batch path allocation-free end to end.
+pub fn with_shard_scratch<R>(f: impl FnOnce(&mut ScratchArena) -> R) -> R {
+    SHARD_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// The unified mutable state of one protocol run: privacy-budget accounting,
-/// the message transcript, and the RNG stream, created with
-/// [`RoundContext::begin`] and consumed by [`RoundContext::finish`].
+/// the message transcript, the RNG stream, and the run's [`ScratchArena`],
+/// created with [`RoundContext::begin`] (lean accounting) or
+/// [`RoundContext::begin_detailed`] and consumed by
+/// [`RoundContext::finish`]. See the [module docs](self) for the two
+/// accounting modes.
 pub struct RoundContext<'r> {
     total: PrivacyBudget,
     budget: BudgetAccountant,
     transcript: Transcript,
     rng: &'r mut dyn RngCore,
+    scratch: ScratchArena,
 }
 
 impl<'r> RoundContext<'r> {
-    /// Validates `epsilon` and opens a fresh context around `rng`.
+    /// Validates `epsilon` and opens a fresh **lean** context around `rng`:
+    /// aggregate transcript counters and budget totals only, zero
+    /// allocations per recorded message or charge.
     ///
     /// # Errors
     ///
     /// Returns an error for non-positive, NaN, or infinite budgets.
     pub fn begin(epsilon: f64, rng: &'r mut dyn RngCore) -> Result<Self> {
+        Self::begin_with(epsilon, rng, false)
+    }
+
+    /// [`RoundContext::begin`] in **detailed** mode: the per-message
+    /// transcript log and the per-charge budget ledger are retained (with
+    /// labels rendered) for tests and debugging. Estimates and every
+    /// aggregate are byte-identical to a lean run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive, NaN, or infinite budgets.
+    pub fn begin_detailed(epsilon: f64, rng: &'r mut dyn RngCore) -> Result<Self> {
+        Self::begin_with(epsilon, rng, true)
+    }
+
+    fn begin_with(epsilon: f64, rng: &'r mut dyn RngCore, detailed: bool) -> Result<Self> {
         let total = PrivacyBudget::new(epsilon)?;
         Ok(Self {
             total,
-            budget: BudgetAccountant::new(total),
-            transcript: Transcript::new(),
+            budget: if detailed {
+                BudgetAccountant::new(total)
+            } else {
+                BudgetAccountant::lean(total)
+            },
+            transcript: if detailed {
+                Transcript::detailed()
+            } else {
+                Transcript::new()
+            },
             rng,
+            scratch: ScratchArena::new(),
         })
     }
 
@@ -311,7 +475,7 @@ impl<'r> RoundContext<'r> {
     /// Returns an error if the charge would exceed the total budget.
     pub fn charge(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<Label>,
         eps: PrivacyBudget,
         composition: Composition,
     ) -> Result<()> {
@@ -324,20 +488,20 @@ impl<'r> RoundContext<'r> {
         &mut self,
         round: u32,
         direction: Direction,
-        label: impl Into<String>,
+        label: impl Into<Label>,
         bytes: usize,
     ) {
         self.transcript.record(round, direction, label, bytes);
     }
 
     /// Records the curator pushing a noisy edge list down to a client.
-    pub fn record_download(&mut self, round: u32, label: &str, list: &NoisyNeighbors) {
+    pub fn record_download(&mut self, round: u32, label: impl Into<Label>, list: &NoisyNeighbors) {
         self.transcript
             .record(round, Direction::Download, label, list.message_bytes());
     }
 
     /// Records a client uploading one scalar (estimator value or noisy degree).
-    pub fn record_scalar_upload(&mut self, round: u32, label: &str) {
+    pub fn record_scalar_upload(&mut self, round: u32, label: impl Into<Label>) {
         self.transcript.record(
             round,
             Direction::Upload,
@@ -349,6 +513,17 @@ impl<'r> RoundContext<'r> {
     /// The run's RNG stream.
     pub fn rng(&mut self) -> &mut dyn RngCore {
         self.rng
+    }
+
+    /// The run's scratch arena.
+    pub fn scratch(&mut self) -> &mut ScratchArena {
+        &mut self.scratch
+    }
+
+    /// Splits the context into its RNG stream and scratch arena, for steps
+    /// that need both at once (e.g. perturbing into scratch buffers).
+    pub fn rng_and_scratch(&mut self) -> (&mut dyn RngCore, &mut ScratchArena) {
+        (self.rng, &mut self.scratch)
     }
 
     /// Draws a base seed for deterministic per-user fan-out streams.
@@ -395,7 +570,7 @@ pub trait EngineEstimator: CommonNeighborEstimator {
 }
 
 /// Runs `est` once without a cache — the body of every legacy
-/// [`CommonNeighborEstimator::estimate`] implementation.
+/// [`CommonNeighborEstimator::estimate`] implementation. Lean accounting.
 pub(crate) fn run_uncached(
     est: &dyn EngineEstimator,
     g: &BipartiteGraph,
@@ -404,6 +579,26 @@ pub(crate) fn run_uncached(
     rng: &mut dyn RngCore,
 ) -> Result<EstimateReport> {
     let ctx = RoundContext::begin(epsilon, rng)?;
+    est.estimate_in(ProtocolEnv::uncached(g), query, ctx)
+}
+
+/// Runs `est` once without a cache in **detailed** accounting mode: the
+/// returned report retains the full per-message transcript log and
+/// per-charge budget ledger. The estimate and every transcript/budget
+/// aggregate are byte-identical to [`CommonNeighborEstimator::estimate`]
+/// on the same seed.
+///
+/// # Errors
+///
+/// Same contract as [`CommonNeighborEstimator::estimate`].
+pub fn run_detailed(
+    est: &dyn EngineEstimator,
+    g: &BipartiteGraph,
+    query: &Query,
+    epsilon: f64,
+    rng: &mut dyn RngCore,
+) -> Result<EstimateReport> {
+    let ctx = RoundContext::begin_detailed(epsilon, rng)?;
     est.estimate_in(ProtocolEnv::uncached(g), query, ctx)
 }
 
@@ -624,9 +819,17 @@ impl<'g> EstimationEngine<'g> {
         let results: Vec<Result<BatchReport>> = targets
             .par_iter()
             .map(|&t| {
-                let shard: Vec<VertexId> = candidates.iter().copied().filter(|&w| w != t).collect();
+                // Stage the shard's candidate list in the worker's scratch
+                // arena; `take`/`put` keeps the buffer alive across the
+                // nested batch run (which borrows the same arena per
+                // candidate) without cloning or re-allocating per target.
+                let mut shard = with_shard_scratch(ScratchArena::take_ids);
+                shard.extend(candidates.iter().copied().filter(|&w| w != t));
                 let mut rng = RoundContext::user_rng(seed, t);
-                algo.estimate_batch_in(self.env(), layer, t, &shard, epsilon, &mut rng)
+                let report =
+                    algo.estimate_batch_in(self.env(), layer, t, &shard, epsilon, &mut rng);
+                with_shard_scratch(|arena| arena.put_ids(shard));
+                report
             })
             .collect();
         results.into_iter().collect()

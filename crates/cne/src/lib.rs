@@ -83,7 +83,10 @@ pub mod single_source;
 pub use batch::{BatchReport, BatchSingleSource};
 pub use central::CentralDP;
 pub use double_source::{MultiRDS, MultiRDSBasic, MultiRDSStar};
-pub use engine::{AdjacencyStore, EngineEstimator, EstimationEngine, ProtocolEnv, RoundContext};
+pub use engine::{
+    run_detailed, AdjacencyStore, EngineEstimator, EstimationEngine, ProtocolEnv, RoundContext,
+    ScratchArena,
+};
 pub use error::{CneError, Result};
 pub use estimate::{AlgorithmKind, EstimateReport};
 pub use estimator::CommonNeighborEstimator;

@@ -121,7 +121,7 @@ mod tests {
         assert!(report.estimate >= 0.0);
         assert!((report.budget.consumed() - 2.0).abs() < 1e-9);
         // Both query vertices uploaded noisy edges.
-        assert_eq!(report.transcript.messages().len(), 2);
+        assert_eq!(report.transcript.message_count(), 2);
         assert!(report.communication_bytes() > 0);
         assert_eq!(report.parameters, ChosenParameters::default());
     }

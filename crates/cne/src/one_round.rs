@@ -243,7 +243,7 @@ mod tests {
         assert_eq!(report.algorithm, AlgorithmKind::OneR);
         assert_eq!(report.rounds, 1);
         assert!((report.budget.consumed() - 2.0).abs() < 1e-9);
-        assert_eq!(report.transcript.messages().len(), 2);
+        assert_eq!(report.transcript.message_count(), 2);
     }
 
     #[test]

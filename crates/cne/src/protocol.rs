@@ -12,7 +12,7 @@ use crate::error::Result;
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
 use ldp::budget::{Composition, PrivacyBudget};
 use ldp::noisy_graph::NoisyNeighbors;
-use ldp::transcript::Direction;
+use ldp::transcript::{Direction, Label};
 use serde::{Deserialize, Serialize};
 
 /// Size in bytes of one reported edge endpoint in a noisy-edge upload.
@@ -103,17 +103,21 @@ pub fn randomized_response_round(
     ctx: &mut RoundContext<'_>,
 ) -> Result<RrRound> {
     ctx.charge(
-        format!("round{round}:rr"),
+        Label::Indexed("round", round, ":rr"),
         epsilon1,
         Composition::Sequential,
     )?;
     let mut noisy = Vec::with_capacity(vertices.len());
     for (i, &v) in vertices.iter().enumerate() {
-        let list = NoisyNeighbors::generate(g, layer, v, epsilon1, ctx.rng());
+        let list = {
+            let (rng, scratch) = ctx.rng_and_scratch();
+            let (kept, flipped) = scratch.rr_buffers();
+            NoisyNeighbors::generate_with(g, layer, v, epsilon1, rng, kept, flipped)
+        };
         ctx.record(
             round,
             Direction::Upload,
-            format!("noisy-edges(v{i})"),
+            Label::Indexed("noisy-edges(v", i as u32, ")"),
             list.message_bytes(),
         );
         if i > 0 {
@@ -167,7 +171,7 @@ mod tests {
     fn rr_round_charges_budget_once_and_records_uploads() {
         let g = toy();
         let mut rng = StdRng::seed_from_u64(3);
-        let mut ctx = RoundContext::begin(2.0, &mut rng).unwrap();
+        let mut ctx = RoundContext::begin_detailed(2.0, &mut rng).unwrap();
         let eps1 = PrivacyBudget::new(1.0).unwrap();
         let round =
             randomized_response_round(&g, Layer::Upper, &[0, 1], eps1, 1, &mut ctx).unwrap();
@@ -176,6 +180,9 @@ mod tests {
         let (budget, transcript) = ctx.finish();
         assert!((budget.consumed() - 1.0).abs() < 1e-12);
         assert_eq!(transcript.messages().len(), 2);
+        assert_eq!(transcript.messages()[0].label, "noisy-edges(v0)");
+        assert_eq!(transcript.messages()[1].label, "noisy-edges(v1)");
+        assert_eq!(budget.charges()[0].label, "round1:rr");
         assert_eq!(transcript.rounds(), 1);
     }
 

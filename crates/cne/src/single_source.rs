@@ -1,6 +1,6 @@
 //! The `MultiR-SS` algorithm (Algorithm 3): a two-round single-source estimator.
 
-use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
+use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext, ScratchArena};
 use crate::error::{CneError, Result};
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
@@ -64,6 +64,16 @@ impl MultiRSS {
     }
 }
 
+/// The unbiasing combination `S₁(1−p)/(1−2p) − S₂·p/(1−2p)` every
+/// single-source variant applies to its hit/miss counts. One definition so
+/// the bit-identical-across-variants contract cannot drift: each variant
+/// differs only in *how* `S₁` is counted, never in this arithmetic.
+#[inline]
+fn unbias_counts(s1: u64, s2: u64, p: f64) -> f64 {
+    let q = 1.0 - 2.0 * p;
+    s1 as f64 * (1.0 - p) / q - s2 as f64 * p / q
+}
+
 /// The un-noised single-source value `f_source` computed from the true
 /// neighborhood of `source` and the noisy neighbor list of the other query
 /// vertex. Shared by MultiR-SS and both MultiR-DS variants.
@@ -75,8 +85,6 @@ pub fn single_source_value(
     other_noisy: &NoisyNeighbors,
     flip_probability: f64,
 ) -> f64 {
-    let p = flip_probability;
-    let q = 1.0 - 2.0 * p;
     let mut s1 = 0u64;
     let mut s2 = 0u64;
     for &v in g.neighbors(layer, source) {
@@ -86,7 +94,7 @@ pub fn single_source_value(
             s2 += 1;
         }
     }
-    s1 as f64 * (1.0 - p) / q - s2 as f64 * p / q
+    unbias_counts(s1, s2, flip_probability)
 }
 
 /// [`single_source_value`] against a pre-packed noisy list.
@@ -129,35 +137,63 @@ pub fn single_source_value_cached(
     other_packed: &PackedSet,
     flip_probability: f64,
 ) -> f64 {
-    let p = flip_probability;
-    let q = 1.0 - 2.0 * p;
     let s1 = env.true_intersection_with(layer, source, other_packed);
     let s2 = env.graph.neighbors(layer, source).len() as u64 - s1;
-    s1 as f64 * (1.0 - p) / q - s2 as f64 * p / q
+    unbias_counts(s1, s2, flip_probability)
 }
 
-/// [`single_source_value`] with environment-driven strategy dispatch.
+/// [`single_source_value_cached`] with a reusable pack buffer: when the
+/// dense dispatch has no cached bitmap to fall back on, the source's
+/// adjacency is packed into `scratch` instead of a fresh allocation — the
+/// kernel of the allocation-free batch candidate loop. Bit-identical to
+/// every other variant.
+#[must_use]
+pub fn single_source_value_scratch(
+    env: ProtocolEnv<'_>,
+    layer: Layer,
+    source: VertexId,
+    other_packed: &PackedSet,
+    flip_probability: f64,
+    scratch: &mut ScratchArena,
+) -> f64 {
+    let s1 = env.true_intersection_with_scratch(layer, source, other_packed, scratch);
+    let s2 = env.graph.neighbors(layer, source).len() as u64 - s1;
+    unbias_counts(s1, s2, flip_probability)
+}
+
+/// [`single_source_value`] with environment-driven strategy dispatch and a
+/// scratch arena for the noisy-list packing.
 ///
 /// Packing the noisy list costs `O(universe/64 + p·universe)`, which only
 /// pays off when the source is dense enough for the popcount/cached path —
 /// the same `degree > 2 · words` threshold
 /// [`ProtocolEnv::true_intersection_with`] uses. A sparse source therefore
-/// keeps the legacy `O(degree · log)` probe path even inside an engine run.
+/// keeps the legacy `O(degree · log)` probe path even inside an engine run;
+/// a dense source packs the noisy list into the arena's word buffer (no
+/// allocation after warmup) and popcounts it against the cached adjacency.
 /// Every branch counts the same intersection, so the value is bit-identical
-/// regardless of environment or density.
+/// regardless of environment, density, or scratch reuse.
 pub(crate) fn single_source_value_env(
     env: ProtocolEnv<'_>,
     layer: Layer,
     source: VertexId,
     other_noisy: &NoisyNeighbors,
     flip_probability: f64,
+    scratch: &mut ScratchArena,
 ) -> f64 {
     let words = env.graph.layer_size(layer.opposite()).div_ceil(64);
-    if env.store.is_some() && env.graph.neighbors(layer, source).len() > 2 * words {
-        single_source_value_cached(env, layer, source, &other_noisy.packed(), flip_probability)
-    } else {
-        single_source_value(env.graph, layer, source, other_noisy, flip_probability)
+    if let Some(store) = env.store {
+        if env.graph.neighbors(layer, source).len() > 2 * words {
+            let source_packed = store.packed(env.graph, layer, source);
+            let noisy_words = scratch
+                .pack_scratch()
+                .pack(other_noisy.neighbors(), other_noisy.opposite_size);
+            let s1 = bigraph::bitset::popcount_and(source_packed.as_words(), noisy_words);
+            let s2 = env.graph.neighbors(layer, source).len() as u64 - s1;
+            return unbias_counts(s1, s2, flip_probability);
+        }
     }
+    single_source_value(env.graph, layer, source, other_noisy, flip_probability)
 }
 
 /// The global sensitivity of the single-source estimator: `(1−p)/(1−2p)`.
@@ -201,7 +237,7 @@ impl EngineEstimator for MultiRSS {
         // ... combines them with its own neighborhood (through the adjacency
         // cache when the run has one and u is dense — bit-identical either
         // way) ...
-        let raw = single_source_value_env(env, query.layer, query.u, &noisy_w, p);
+        let raw = single_source_value_env(env, query.layer, query.u, &noisy_w, p, ctx.scratch());
         // ... and releases the estimator through the Laplace mechanism.
         ctx.charge("round2:laplace(f_u)", eps2, Composition::Sequential)?;
         let laplace = single_source_laplace(p, eps2)?;
@@ -417,8 +453,10 @@ mod tests {
         assert_eq!(report.parameters.epsilon1, Some(1.0));
         assert_eq!(report.parameters.epsilon2, Some(1.0));
         assert!((report.budget.consumed() - 2.0).abs() < 1e-9);
-        // Round 1 upload, round 2 download + scalar upload.
-        assert_eq!(report.transcript.messages().len(), 3);
+        // Round 1 upload, round 2 download + scalar upload. The default run
+        // is lean, so the count comes from the always-on stats.
+        assert_eq!(report.transcript.message_count(), 3);
+        assert!(report.transcript.messages().is_empty());
         assert_eq!(report.transcript.rounds(), 2);
     }
 

@@ -1,0 +1,161 @@
+//! Allocation-count regression test for the warm batch hot path.
+//!
+//! The contract (ISSUE 3 tentpole, `cne::engine` module docs): after
+//! warmup, the inner candidate loop of `estimate_batch` performs **zero
+//! heap allocations per candidate** — lean transcript/ledger accounting is
+//! pure counter arithmetic, interned labels are never rendered, and any
+//! per-candidate packing reuses the worker's scratch arena. The test pins
+//! that down with a counting global allocator: the total allocation count
+//! of a warm batch call must not depend on the number of candidates.
+//!
+//! Run in release mode in CI (`cargo test --release -p cne --test
+//! alloc_regression`) so the count reflects the optimized hot path.
+
+use bigraph::{BipartiteGraph, Layer};
+use cne::batch::BatchSingleSource;
+use cne::EstimationEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+/// 120 upper vertices over 4 096 items (64 packed words): every candidate
+/// has degree 400 > 2·64 = 128, i.e. all of them take the dense packed
+/// dispatch — the branch that used to allocate a fresh bitmap per
+/// candidate on the uncached path.
+fn dense_screening_graph() -> BipartiteGraph {
+    const N_ITEMS: u32 = 4_096;
+    const DEGREE: u32 = 400;
+    let n_upper = 121u32;
+    let mut edges = Vec::with_capacity((n_upper * DEGREE) as usize);
+    for u in 0..n_upper {
+        for k in 0..DEGREE {
+            edges.push((u, (u.wrapping_mul(389).wrapping_add(k * 7)) % N_ITEMS));
+        }
+    }
+    BipartiteGraph::from_edges(n_upper as usize, N_ITEMS as usize, edges).expect("valid edges")
+}
+
+/// One test function (not several) so no concurrent test thread can
+/// perturb the global allocation counter mid-measurement.
+#[test]
+fn warm_batch_inner_loop_is_allocation_free_per_candidate() {
+    // Pin the fan-out to the calling thread: worker threads spawned per
+    // call would (legitimately) allocate their stacks, and the thread-local
+    // scratch arenas of short-lived workers cannot stay warm. On one
+    // thread the arena persists across calls, which is the steady state a
+    // long-lived single-shard service sees.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let g = dense_screening_graph();
+    let small: Vec<u32> = (1..=30).collect();
+    let large: Vec<u32> = (1..=120).collect();
+    let algo = BatchSingleSource::default();
+
+    // --- Warm engine path: candidates come from the adjacency cache. ----
+    let engine = EstimationEngine::new(&g);
+    engine.warm(Layer::Upper);
+    // Warmup: grow the thread-local scratch and any lazy cache slots.
+    for _ in 0..2 {
+        engine
+            .estimate_batch(Layer::Upper, 0, &large, 2.0, &mut StdRng::seed_from_u64(7))
+            .expect("valid batch");
+    }
+
+    // Identical seeds: round 1 (the only RNG-dependent allocation site)
+    // draws the same noisy target list in both runs, so any difference in
+    // allocation count is attributable to the per-candidate loop.
+    let (allocs_small, report_small) = allocations_during(|| {
+        engine
+            .estimate_batch(Layer::Upper, 0, &small, 2.0, &mut StdRng::seed_from_u64(7))
+            .expect("valid batch")
+    });
+    let (allocs_large, report_large) = allocations_during(|| {
+        engine
+            .estimate_batch(Layer::Upper, 0, &large, 2.0, &mut StdRng::seed_from_u64(7))
+            .expect("valid batch")
+    });
+    assert_eq!(report_small.estimates.len(), 30);
+    assert_eq!(report_large.estimates.len(), 120);
+    assert_eq!(
+        allocs_small, allocs_large,
+        "warm estimate_batch allocated per candidate: {allocs_small} allocations for 30 \
+         candidates vs {allocs_large} for 120"
+    );
+    // The per-call constant stays a handful of buffers (noisy list, packed
+    // target, report vectors) — catch regressions that stay O(1) but balloon.
+    assert!(
+        allocs_large < 40,
+        "warm estimate_batch should allocate only a few per-call buffers, got {allocs_large}"
+    );
+
+    // --- Uncached path: packing reuses the worker's scratch arena. ------
+    for _ in 0..2 {
+        algo.estimate_batch(
+            &g,
+            Layer::Upper,
+            0,
+            &large,
+            2.0,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .expect("valid batch");
+    }
+    let (allocs_small, _) = allocations_during(|| {
+        algo.estimate_batch(
+            &g,
+            Layer::Upper,
+            0,
+            &small,
+            2.0,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .expect("valid batch")
+    });
+    let (allocs_large, _) = allocations_during(|| {
+        algo.estimate_batch(
+            &g,
+            Layer::Upper,
+            0,
+            &large,
+            2.0,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .expect("valid batch")
+    });
+    assert_eq!(
+        allocs_small, allocs_large,
+        "uncached estimate_batch allocated per candidate: {allocs_small} for 30 vs \
+         {allocs_large} for 120"
+    );
+
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

@@ -14,6 +14,7 @@
 //! that implementations cannot silently exceed their allowance.
 
 use crate::error::{LdpError, Result};
+use crate::transcript::Label;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -138,20 +139,56 @@ pub struct BudgetCharge {
 /// consumption with [`BudgetAccountant::charge`]. Attempting to exceed the
 /// allowance is an error, which turns silent privacy overruns into test
 /// failures.
+///
+/// Consumption is tracked **incrementally** (a committed sum plus the
+/// running maximum of the open parallel group), so [`consumed`] is `O(1)`
+/// and charging allocates nothing. The per-charge ledger
+/// ([`BudgetAccountant::charges`]) is retained by default
+/// ([`BudgetAccountant::new`]) but can be turned off for hot paths with
+/// [`BudgetAccountant::lean`], where every charge is pure arithmetic —
+/// the label (an interned [`Label`]) is never rendered. Both modes compute
+/// identical consumption, in the identical floating-point order.
+///
+/// [`consumed`]: BudgetAccountant::consumed
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BudgetAccountant {
     total: PrivacyBudget,
     charges: Vec<BudgetCharge>,
+    detailed: bool,
+    /// Sum of all closed sequential groups.
+    committed: f64,
+    /// Running maximum of the currently open parallel group.
+    group: f64,
 }
 
 impl BudgetAccountant {
-    /// Creates an accountant with a total allowance of `total`.
+    /// Creates an accountant with a total allowance of `total` that retains
+    /// the full per-charge ledger.
     #[must_use]
     pub fn new(total: PrivacyBudget) -> Self {
         Self {
             total,
             charges: Vec::new(),
+            detailed: true,
+            committed: 0.0,
+            group: 0.0,
         }
+    }
+
+    /// Creates a **lean** accountant: consumption totals only, no retained
+    /// ledger, no allocation per charge. Used by the estimation hot paths.
+    #[must_use]
+    pub fn lean(total: PrivacyBudget) -> Self {
+        Self {
+            detailed: false,
+            ..Self::new(total)
+        }
+    }
+
+    /// Whether this accountant retains the per-charge ledger.
+    #[must_use]
+    pub fn is_detailed(&self) -> bool {
+        self.detailed
     }
 
     /// The total allowance.
@@ -162,25 +199,10 @@ impl BudgetAccountant {
 
     /// The overall budget consumed so far, honouring each charge's composition
     /// rule: sequential charges add, parallel charges take the running maximum
-    /// of the parallel group they extend.
+    /// of the parallel group they extend. `O(1)`.
     #[must_use]
     pub fn consumed(&self) -> f64 {
-        // Group consecutive parallel charges: a Parallel charge merges into the
-        // previous charge by max instead of sum.
-        let mut total = 0.0f64;
-        let mut current_group = 0.0f64;
-        for charge in &self.charges {
-            match charge.composition {
-                Composition::Sequential => {
-                    total += current_group;
-                    current_group = charge.epsilon;
-                }
-                Composition::Parallel => {
-                    current_group = current_group.max(charge.epsilon);
-                }
-            }
-        }
-        total + current_group
+        self.committed + self.group
     }
 
     /// Remaining budget (total − consumed), never negative.
@@ -196,30 +218,38 @@ impl BudgetAccountant {
     /// * [`LdpError::InvalidBudget`] if `epsilon` is not positive and finite.
     /// * [`LdpError::BudgetExceeded`] if the charge would push consumption
     ///   above the total allowance (beyond a small floating-point tolerance).
+    ///   A rejected charge leaves the accountant untouched.
     pub fn charge(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<Label>,
         epsilon: PrivacyBudget,
         composition: Composition,
     ) -> Result<()> {
-        let proposed = BudgetCharge {
-            label: label.into(),
-            epsilon: epsilon.value(),
-            composition,
+        let (committed, group) = match composition {
+            Composition::Sequential => (self.committed + self.group, epsilon.value()),
+            Composition::Parallel => (self.committed, self.group.max(epsilon.value())),
         };
-        self.charges.push(proposed);
         const TOL: f64 = 1e-9;
-        if self.consumed() > self.total.value() * (1.0 + TOL) + TOL {
-            let charge = self.charges.pop().expect("just pushed");
+        if committed + group > self.total.value() * (1.0 + TOL) + TOL {
             return Err(LdpError::BudgetExceeded {
                 available: self.remaining(),
-                requested: charge.epsilon,
+                requested: epsilon.value(),
+            });
+        }
+        self.committed = committed;
+        self.group = group;
+        if self.detailed {
+            self.charges.push(BudgetCharge {
+                label: label.into().render(),
+                epsilon: epsilon.value(),
+                composition,
             });
         }
         Ok(())
     }
 
-    /// The recorded charges, in order.
+    /// The recorded charges, in order. Empty for lean accountants — the
+    /// consumption totals are maintained either way.
     #[must_use]
     pub fn charges(&self) -> &[BudgetCharge] {
         &self.charges
@@ -323,6 +353,51 @@ mod tests {
             .unwrap();
         acc.charge("laplace-fw", e2, Composition::Parallel).unwrap();
         assert!((acc.consumed() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lean_accountant_matches_detailed_totals_without_ledger() {
+        let total = PrivacyBudget::new(2.0).unwrap();
+        let mut detailed = BudgetAccountant::new(total);
+        let mut lean = BudgetAccountant::lean(total);
+        assert!(detailed.is_detailed());
+        assert!(!lean.is_detailed());
+        let steps = [
+            ("a", 0.3, Composition::Sequential),
+            ("b", 0.5, Composition::Parallel),
+            ("c", 0.9, Composition::Sequential),
+            ("d", 0.2, Composition::Parallel),
+        ];
+        for (label, eps, comp) in steps {
+            let eps = PrivacyBudget::new(eps).unwrap();
+            detailed.charge(label, eps, comp).unwrap();
+            lean.charge(label, eps, comp).unwrap();
+            // Bit-identical, not just approximately equal: both modes apply
+            // the same float operations in the same order.
+            assert_eq!(detailed.consumed().to_bits(), lean.consumed().to_bits());
+        }
+        assert_eq!(detailed.charges().len(), 4);
+        assert!(lean.charges().is_empty());
+        // Overruns are rejected identically, leaving both untouched.
+        let big = PrivacyBudget::new(3.0).unwrap();
+        assert!(detailed.charge("x", big, Composition::Sequential).is_err());
+        assert!(lean.charge("x", big, Composition::Sequential).is_err());
+        assert_eq!(detailed.consumed().to_bits(), lean.consumed().to_bits());
+        assert_eq!(detailed.charges().len(), 4);
+    }
+
+    #[test]
+    fn interned_labels_render_in_the_ledger() {
+        use crate::transcript::Label;
+        let total = PrivacyBudget::new(2.0).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        acc.charge(
+            Label::Indexed("round", 2, ":rr"),
+            PrivacyBudget::new(1.0).unwrap(),
+            Composition::Sequential,
+        )
+        .unwrap();
+        assert_eq!(acc.charges()[0].label, "round2:rr");
     }
 
     #[test]

@@ -11,9 +11,24 @@
 //! * [`noisy_graph`] — the per-query-vertex noisy neighbor sets produced by
 //!   randomized response, with membership queries, bit-packed views, and
 //!   size accounting,
-//! * [`transcript`] — a record of every message exchanged between clients
-//!   (vertices) and the data curator, with byte-level communication-cost
-//!   accounting used by the paper's Fig. 10 experiment.
+//! * [`transcript`] — byte-level communication-cost accounting for the
+//!   messages exchanged between clients (vertices) and the data curator,
+//!   used by the paper's Fig. 10 experiment.
+//!
+//! # Lean vs detailed accounting
+//!
+//! Both the message transcript and the budget ledger come in two modes.
+//! The **lean** mode (the default on every estimation hot path) maintains
+//! only fixed-size aggregate counters — per-round × per-direction bytes and
+//! message counts ([`transcript::TranscriptStats`]) and `O(1)` incremental
+//! budget-consumption totals — so recording a message or charging the
+//! budget performs zero heap allocations; labels are interned
+//! [`transcript::Label`] values that are never rendered. The **detailed**
+//! mode ([`Transcript::detailed`], [`budget::BudgetAccountant::new`])
+//! additionally retains every [`transcript::Message`] and
+//! [`budget::BudgetCharge`] with rendered labels for tests and debugging.
+//! Every aggregate accessor returns identical values in either mode
+//! (property-tested against random protocol runs in the `cne` crate).
 //!
 //! # Performance: skip sampling and bit packing
 //!
@@ -28,6 +43,10 @@
 //! reference, [`RandomizedResponse::perturb_neighbor_list_dense`]). On
 //! sparse rows (`d ≪ n`) with moderate budgets this is 10–25× faster; see
 //! `BENCH_micro.json` at the workspace root for the recorded baseline.
+//! Long perturbations additionally resolve the common small gaps through
+//! an exact threshold table (branchless compares instead of one `ln` per
+//! draw) — the draw sequence, and therefore every noisy list and estimate,
+//! is bit-identical to the plain inverse-CDF form.
 //!
 //! Curator-side, noisy lists are *dense* (expected degree `d + p·n`), so
 //! [`noisy_graph::NoisyNeighbors::packed`] exposes them as
@@ -77,4 +96,4 @@ pub use laplace::LaplaceMechanism;
 pub use mechanism::Sensitivity;
 pub use noisy_graph::NoisyNeighbors;
 pub use randomized_response::RandomizedResponse;
-pub use transcript::{Direction, Transcript};
+pub use transcript::{Direction, Label, Transcript, TranscriptStats};

@@ -37,9 +37,33 @@ impl NoisyNeighbors {
         epsilon: PrivacyBudget,
         rng: &mut R,
     ) -> Self {
+        let mut kept = Vec::new();
+        let mut flipped = Vec::new();
+        Self::generate_with(g, layer, owner, epsilon, rng, &mut kept, &mut flipped)
+    }
+
+    /// [`NoisyNeighbors::generate`] with caller-provided perturbation scratch
+    /// buffers (see
+    /// [`RandomizedResponse::perturb_neighbor_list_with`]). Identical output
+    /// and RNG consumption; only the intermediate allocations are reused.
+    pub fn generate_with<R: Rng + ?Sized>(
+        g: &BipartiteGraph,
+        layer: Layer,
+        owner: VertexId,
+        epsilon: PrivacyBudget,
+        rng: &mut R,
+        kept: &mut Vec<VertexId>,
+        flipped: &mut Vec<VertexId>,
+    ) -> Self {
         let rr = RandomizedResponse::new(epsilon);
         let opposite_size = g.layer_size(layer.opposite());
-        let neighbors = rr.perturb_neighbor_list(g.neighbors(layer, owner), opposite_size, rng);
+        let neighbors = rr.perturb_neighbor_list_with(
+            g.neighbors(layer, owner),
+            opposite_size,
+            rng,
+            kept,
+            flipped,
+        );
         Self {
             owner,
             owner_layer: layer,

@@ -87,6 +87,27 @@ impl RandomizedResponse {
         opposite_size: usize,
         rng: &mut R,
     ) -> Vec<VertexId> {
+        let mut kept = Vec::new();
+        let mut flipped = Vec::new();
+        self.perturb_neighbor_list_with(true_neighbors, opposite_size, rng, &mut kept, &mut flipped)
+    }
+
+    /// [`Self::perturb_neighbor_list`] with caller-provided scratch buffers
+    /// for the two intermediate sequences (kept survivors and 0 → 1 flips).
+    ///
+    /// The output — and the RNG stream consumed — is identical to
+    /// [`Self::perturb_neighbor_list`]; only the intermediate allocations
+    /// are replaced by reuse of `kept` / `flipped` (cleared on entry), so a
+    /// caller perturbing many lists (a batch round, the `cne` engines) can
+    /// hold the buffers in a scratch arena.
+    pub fn perturb_neighbor_list_with<R: Rng + ?Sized>(
+        &self,
+        true_neighbors: &[VertexId],
+        opposite_size: usize,
+        rng: &mut R,
+        kept: &mut Vec<VertexId>,
+        flipped: &mut Vec<VertexId>,
+    ) -> Vec<VertexId> {
         debug_assert!(true_neighbors.windows(2).all(|w| w[0] < w[1]));
         let p = self.flip_probability;
         // ε large enough that p underflowed to exactly 0 (ε ≳ 710): no bit
@@ -97,42 +118,86 @@ impl RandomizedResponse {
         }
         let d = true_neighbors.len();
         let zeros = opposite_size.saturating_sub(d);
+        // The gap distribution's log-denominator depends only on `p`:
+        // computing it once here instead of inside every draw removes one
+        // math-library call per flip — a large share of the whole
+        // perturbation cost at RR densities (tens of thousands of flips per
+        // list). The per-draw arithmetic (`ln(u) / denom`) is unchanged, so
+        // every gap — and therefore every noisy list — is bit-identical to
+        // the per-draw-recomputed form.
+        let denom = gap_denominator(p);
+        // For long draw sequences at non-trivial flip rates, resolve the
+        // common small gaps by comparing `u` against exact thresholds
+        // instead of evaluating `ln` per draw (see [`GapTable`] — the
+        // thresholds are derived from the reference formula itself, so the
+        // gaps are bit-identical). Small lists skip the table: building it
+        // costs a few hundred `ln` evaluations.
+        let expected_draws = p * (d + zeros) as f64;
+        let table = if p >= 0.05 && expected_draws >= 4096.0 {
+            Some(gap_table_for(denom))
+        } else {
+            None
+        };
+        let table = table.as_ref();
+
+        // Each sampling loop is split into two passes: a tight draw loop
+        // that only advances the skip-sampled positions, and a separate
+        // data pass that materializes the lists. Interleaving them (the
+        // obvious one-pass form) chains every `ln` behind the previous
+        // iteration's list bookkeeping, which measurably stalls the loop;
+        // the draw order, the draw count, and the produced lists are
+        // identical either way.
 
         // 1 → 0 flips: skip-sample positions *within the true list* that get
         // dropped; every position not dropped is kept. Gap arithmetic
         // saturates so the `usize::MAX` "no further event" sentinel can never
-        // wrap back into range.
-        let mut kept: Vec<VertexId> = Vec::with_capacity(d);
+        // wrap back into range. The drop positions are staged in `flipped`
+        // (free at this point) to avoid a third scratch buffer.
+        kept.clear();
+        kept.reserve(d);
+        flipped.clear();
         {
-            let mut pos = geometric_gap(p, rng);
-            let mut prev = 0usize;
+            let mut pos = draw_gap(table, denom, rng);
             while pos < d {
-                kept.extend_from_slice(&true_neighbors[prev..pos]);
-                prev = pos + 1;
-                pos = pos.saturating_add(1).saturating_add(geometric_gap(p, rng));
+                flipped.push(pos as VertexId);
+                pos = pos
+                    .saturating_add(1)
+                    .saturating_add(draw_gap(table, denom, rng));
+            }
+            let mut prev = 0usize;
+            for &drop in flipped.iter() {
+                kept.extend_from_slice(&true_neighbors[prev..drop as usize]);
+                prev = drop as usize + 1;
             }
             kept.extend_from_slice(&true_neighbors[prev..]);
         }
 
         // 0 → 1 flips: skip-sample ranks within the `zeros` non-neighbor
         // slots, then translate each rank to a vertex id by sliding past the
-        // true neighbors (both sequences ascend, so one merge pass suffices).
-        let mut flipped: Vec<VertexId> = Vec::new();
+        // true neighbors (both sequences ascend, so one in-place merge pass
+        // suffices — ranks only grow under translation, and they are
+        // processed in order, so overwriting is safe).
+        flipped.clear();
         {
-            let mut rank = geometric_gap(p, rng);
-            let mut ti = 0usize;
+            let mut rank = draw_gap(table, denom, rng);
             while rank < zeros {
-                let mut id = rank + ti;
+                flipped.push(rank as VertexId);
+                rank = rank
+                    .saturating_add(1)
+                    .saturating_add(draw_gap(table, denom, rng));
+            }
+            let mut ti = 0usize;
+            for slot in flipped.iter_mut() {
+                let mut id = *slot as usize + ti;
                 while ti < d && (true_neighbors[ti] as usize) <= id {
                     ti += 1;
-                    id = rank + ti;
+                    id += 1;
                 }
-                flipped.push(id as VertexId);
-                rank = rank.saturating_add(1).saturating_add(geometric_gap(p, rng));
+                *slot = id as VertexId;
             }
         }
 
-        merge_sorted_disjoint(&kept, &flipped)
+        merge_sorted_disjoint(kept, flipped)
     }
 
     /// The reference per-bit implementation of [`Self::perturb_neighbor_list`]:
@@ -192,25 +257,130 @@ impl RandomizedResponse {
     }
 }
 
-/// Draws the number of Bernoulli(`p`) failures before the next success:
-/// `⌊ln U / ln(1 − p)⌋` for `U ~ Uniform(0, 1)`, saturating at `usize::MAX`
-/// for the (probability-zero) draws where the float math overflows.
-fn geometric_gap<R: Rng + ?Sized>(p: f64, rng: &mut R) -> usize {
+/// The gap distribution's log-denominator `ln(1 − p)`.
+///
+/// Via `ln_1p`: for tiny p (large ε), `1.0 - p` would round to exactly 1.0
+/// and the naive log would be 0, collapsing every gap to 0 (i.e. flipping
+/// *every* bit — the exact opposite of the distribution). `ln_1p` keeps
+/// full precision down to the smallest subnormal p. Hoisted out of the
+/// per-draw path ([`draw_gap`]) because it depends only on `p`.
+fn gap_denominator(p: f64) -> f64 {
     debug_assert!(p > 0.0 && p < 1.0);
-    let u: f64 = rng.gen::<f64>();
-    if u <= 0.0 {
-        return usize::MAX;
-    }
-    // ln(1 − p) via ln_1p: for tiny p (large ε), `1.0 - p` would round to
-    // exactly 1.0 and the naive log would be 0, collapsing every gap to 0
-    // (i.e. flipping *every* bit — the exact opposite of the distribution).
-    // ln_1p keeps full precision down to the smallest subnormal p.
-    let denom = (-p).ln_1p();
+    (-p).ln_1p()
+}
+
+/// The reference gap evaluation — the number of Bernoulli(`p`) failures
+/// before the next success, `⌊ln u / denom⌋` for one uniform sample
+/// `u > 0` and `denom =` [`gap_denominator`]`(p)` — saturating at
+/// `usize::MAX` where the float math overflows.
+#[inline]
+fn gap_formula(u: f64, denom: f64) -> usize {
     let gap = (u.ln() / denom).floor();
     if gap >= usize::MAX as f64 {
         usize::MAX
     } else {
         gap as usize
+    }
+}
+
+/// Number of small gaps [`GapTable`] resolves by threshold comparison.
+const GAP_TABLE_SIZE: usize = 16;
+
+/// Exact threshold table for the common small geometric gaps.
+///
+/// `thresholds[k]` is the smallest sample on the uniform grid the RNG can
+/// produce (`u = m · 2⁻⁵³`) whose gap is `≤ k`, found by binary-searching
+/// `m` with [`gap_formula`] itself as the oracle (the gap is a
+/// non-increasing step function of `u`). A draw then resolves to the first
+/// `k` with `u ≥ thresholds[k]` — by construction *exactly* the value the
+/// reference formula would compute — and only the rare gap
+/// `≥ GAP_TABLE_SIZE` (probability `(1−p)^16`) falls back to `ln`. This
+/// trades one `ln` per draw for an expected `1/p`-ish comparisons, which
+/// is what makes long perturbations cheap at the dense-noise budgets where
+/// skip sampling draws tens of thousands of gaps per list.
+#[derive(Clone, Copy)]
+struct GapTable {
+    thresholds: [f64; GAP_TABLE_SIZE],
+}
+
+impl GapTable {
+    /// Grid scale of the RNG's `f64` samples: `u = m · 2⁻⁵³`.
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+    fn new(denom: f64) -> Self {
+        let mut thresholds = [0.0f64; GAP_TABLE_SIZE];
+        for (k, slot) in thresholds.iter_mut().enumerate() {
+            // Smallest m in [1, 2^53] with gap(m · 2⁻⁵³) ≤ k. The upper
+            // bound is valid: gap(1.0) = ⌊0 / denom⌋ = 0 ≤ k.
+            let mut lo = 1u64;
+            let mut hi = 1u64 << 53;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if gap_formula(mid as f64 * Self::SCALE, denom) <= k {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            *slot = hi as f64 * Self::SCALE;
+        }
+        Self { thresholds }
+    }
+
+    /// Resolves one sample, falling back to the formula for large gaps.
+    ///
+    /// Branchless: `u < thresholds[k] ⟺ gap(u) > k` (the thresholds
+    /// decrease with `k`), so counting the thresholds above `u` yields
+    /// `min(gap, GAP_TABLE_SIZE)` in 16 autovectorizable comparisons with
+    /// no data-dependent branches — an early-exit scan mispredicts once
+    /// per draw on the geometric tail and measures ~3× slower.
+    #[inline]
+    fn gap(&self, u: f64, denom: f64) -> usize {
+        let mut count = 0usize;
+        for &threshold in &self.thresholds {
+            count += usize::from(u < threshold);
+        }
+        if count == GAP_TABLE_SIZE {
+            gap_formula(u, denom)
+        } else {
+            count
+        }
+    }
+}
+
+thread_local! {
+    /// One-entry per-thread cache of the last [`GapTable`], keyed by the
+    /// denominator's bits. Building a table costs ~16 × 53 `ln`
+    /// evaluations; rounds perturb many lists at the same ε (and batch
+    /// engines many rounds at the same ε), so rebuilding per list would
+    /// hand back a chunk of the savings the table exists for.
+    static GAP_TABLE_CACHE: std::cell::Cell<Option<(u64, GapTable)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The threshold table for `denom`, from the per-thread cache when the
+/// last request used the same denominator.
+fn gap_table_for(denom: f64) -> GapTable {
+    GAP_TABLE_CACHE.with(|cache| match cache.get() {
+        Some((bits, table)) if bits == denom.to_bits() => table,
+        _ => {
+            let table = GapTable::new(denom);
+            cache.set(Some((denom.to_bits(), table)));
+            table
+        }
+    })
+}
+
+/// One gap draw, through the threshold table when one was built.
+#[inline]
+fn draw_gap<R: Rng + ?Sized>(table: Option<&GapTable>, denom: f64, rng: &mut R) -> usize {
+    let u: f64 = rng.gen::<f64>();
+    if u <= 0.0 {
+        return usize::MAX;
+    }
+    match table {
+        Some(t) => t.gap(u, denom),
+        None => gap_formula(u, denom),
     }
 }
 
@@ -297,6 +467,38 @@ mod tests {
             .count();
         let keep_rate = kept as f64 / trials as f64;
         assert!((keep_rate - r.keep_probability()).abs() < 0.005);
+    }
+
+    #[test]
+    fn gap_table_matches_formula_exactly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for eps in [0.5f64, 1.0, 2.0, 3.0] {
+            let p = 1.0 / (1.0 + eps.exp());
+            let denom = gap_denominator(p);
+            let table = GapTable::new(denom);
+            // The table must agree with the reference formula on every
+            // sample, including the rare small-u fallback region.
+            for _ in 0..200_000 {
+                let u: f64 = rng.gen();
+                if u <= 0.0 {
+                    continue;
+                }
+                assert_eq!(
+                    table.gap(u, denom),
+                    gap_formula(u, denom),
+                    "table and formula disagree at u={u} eps={eps}"
+                );
+            }
+            // Thresholds sit exactly on the step boundaries of the grid the
+            // RNG samples from: t_k maps to ≤ k, its grid predecessor to > k.
+            for (k, &t) in table.thresholds.iter().enumerate() {
+                let m = (t / GapTable::SCALE).round() as u64;
+                assert!(gap_formula(m as f64 * GapTable::SCALE, denom) <= k);
+                if m > 1 {
+                    assert!(gap_formula((m - 1) as f64 * GapTable::SCALE, denom) > k);
+                }
+            }
+        }
     }
 
     #[test]

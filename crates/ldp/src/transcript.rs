@@ -5,6 +5,26 @@
 //! communication cost of each algorithm; recording actual message sizes (as
 //! opposed to plugging degrees into formulas) lets the experiment harness
 //! measure it, and lets tests check the analytic expectations.
+//!
+//! # Lean vs detailed recording
+//!
+//! Everything Fig. 10 (and every aggregate accessor on [`Transcript`]) needs
+//! is a handful of counters: bytes and message counts per round and
+//! direction. [`TranscriptStats`] keeps exactly those in fixed-size arrays,
+//! so recording a message is a few integer adds — no allocation, no growing
+//! message log. That is the **lean** mode every hot path
+//! ([`Transcript::new`]) runs in.
+//!
+//! The full per-message log ([`Transcript::messages`]) still exists for
+//! tests and debugging, but it is **opt-in**: construct the transcript with
+//! [`Transcript::detailed`] and each recorded message is additionally
+//! retained as a [`Message`] with its label rendered to a string. Both modes
+//! update the same [`TranscriptStats`], so every aggregate accessor returns
+//! identical values either way (property-tested in the `cne` crate).
+//!
+//! Labels are interned as [`Label`] — a static string plus at most one small
+//! numeric parameter — so describing a message costs nothing unless a
+//! detailed log actually retains it.
 
 use serde::{Deserialize, Serialize};
 
@@ -17,7 +37,59 @@ pub enum Direction {
     Download,
 }
 
-/// A single recorded message.
+impl Direction {
+    fn index(self) -> usize {
+        match self {
+            Direction::Upload => 0,
+            Direction::Download => 1,
+        }
+    }
+}
+
+/// An interned message or budget-charge label: static text plus at most one
+/// small numeric parameter.
+///
+/// Protocols describe every message they record; with string labels that
+/// description allocated on every call, which dominated the warm batch
+/// profile once adjacency packing was cached. A `Label` is `Copy` and is
+/// only rendered to a string when a detailed log ([`Transcript::detailed`])
+/// or ledger actually retains the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// A fixed label, e.g. `"estimator(f_u)"`.
+    Static(&'static str),
+    /// A parameterized label rendered as `{prefix}{index}{suffix}`, e.g.
+    /// `Label::Indexed("noisy-edges(v", 3, ")")` → `"noisy-edges(v3)"`.
+    Indexed(&'static str, u32, &'static str),
+}
+
+impl Label {
+    /// Renders the label to its string form (allocates — detailed mode only).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Label::Static(s) => (*s).to_string(),
+            Label::Indexed(prefix, index, suffix) => format!("{prefix}{index}{suffix}"),
+        }
+    }
+}
+
+impl From<&'static str> for Label {
+    fn from(s: &'static str) -> Self {
+        Label::Static(s)
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Label::Static(s) => f.write_str(s),
+            Label::Indexed(prefix, index, suffix) => write!(f, "{prefix}{index}{suffix}"),
+        }
+    }
+}
+
+/// A single recorded message (retained only by detailed transcripts).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Message {
     /// Protocol round the message belongs to (1-based).
@@ -30,71 +102,260 @@ pub struct Message {
     pub bytes: usize,
 }
 
-/// An append-only log of protocol messages with aggregate accounting.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct Transcript {
-    messages: Vec<Message>,
+/// The highest protocol round [`TranscriptStats`] tracks individually.
+///
+/// Every protocol in this workspace uses at most 3 rounds; 16 leaves ample
+/// headroom while keeping the counters in two fixed 256-byte arrays.
+pub const MAX_TRACKED_ROUNDS: usize = 16;
+
+/// Byte and message counters for one (round, direction) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelCounters {
+    /// Total payload bytes recorded in the cell.
+    pub bytes: u64,
+    /// Number of messages recorded in the cell.
+    pub messages: u64,
 }
 
-impl Transcript {
-    /// Creates an empty transcript.
+const ZERO_CELL: ChannelCounters = ChannelCounters {
+    bytes: 0,
+    messages: 0,
+};
+
+/// Always-on aggregate accounting of a protocol transcript.
+///
+/// Fixed-size per-round × per-direction counters covering everything the
+/// aggregate [`Transcript`] accessors (and the paper's Fig. 10 reporting)
+/// need: total/per-round/per-direction bytes, message counts, and the
+/// number of rounds. Recording is a few integer adds — no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranscriptStats {
+    /// `cells[round - 1][direction]` for rounds `1..=MAX_TRACKED_ROUNDS`.
+    cells: [[ChannelCounters; 2]; MAX_TRACKED_ROUNDS],
+    /// Highest round recorded so far (0 while empty), tracked incrementally
+    /// so [`TranscriptStats::rounds`] is `O(1)` instead of a log scan.
+    max_round: u32,
+}
+
+impl Default for TranscriptStats {
+    fn default() -> Self {
+        Self {
+            cells: [[ZERO_CELL; 2]; MAX_TRACKED_ROUNDS],
+            max_round: 0,
+        }
+    }
+}
+
+impl TranscriptStats {
+    /// Creates empty counters.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records a message.
-    pub fn record(
-        &mut self,
-        round: u32,
-        direction: Direction,
-        label: impl Into<String>,
-        bytes: usize,
-    ) {
-        self.messages.push(Message {
-            round,
-            direction,
-            label: label.into(),
-            bytes,
-        });
+    /// Records one message of `bytes` bytes in `round` going `direction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is 0 or exceeds [`MAX_TRACKED_ROUNDS`] — rounds are
+    /// 1-based, and a round that high indicates a protocol implementation
+    /// bug, not bad user input.
+    pub fn record(&mut self, round: u32, direction: Direction, bytes: usize) {
+        assert!(
+            round >= 1 && round as usize <= MAX_TRACKED_ROUNDS,
+            "round {round} outside the tracked range 1..={MAX_TRACKED_ROUNDS}"
+        );
+        let cell = &mut self.cells[round as usize - 1][direction.index()];
+        cell.bytes += bytes as u64;
+        cell.messages += 1;
+        self.max_round = self.max_round.max(round);
     }
 
-    /// All recorded messages in order.
-    #[must_use]
-    pub fn messages(&self) -> &[Message] {
-        &self.messages
-    }
-
-    /// Total bytes across all messages (upload + download).
+    /// Total bytes across all rounds and directions.
     #[must_use]
     pub fn total_bytes(&self) -> usize {
-        self.messages.iter().map(|m| m.bytes).sum()
+        self.fold(|c| c.bytes) as usize
+    }
+
+    /// Total number of recorded messages.
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.fold(|c| c.messages) as usize
     }
 
     /// Total bytes in one direction.
     #[must_use]
     pub fn bytes_in_direction(&self, direction: Direction) -> usize {
-        self.messages
+        self.tracked_rows()
             .iter()
-            .filter(|m| m.direction == direction)
-            .map(|m| m.bytes)
+            .map(|row| row[direction.index()].bytes)
+            .sum::<u64>() as usize
+    }
+
+    /// The row for `round`, if it is a tracked 1-based round number.
+    fn row(&self, round: u32) -> Option<&[ChannelCounters; 2]> {
+        if round >= 1 && round as usize <= MAX_TRACKED_ROUNDS {
+            Some(&self.cells[round as usize - 1])
+        } else {
+            None
+        }
+    }
+
+    /// The rows of every round recorded so far. Clamped, so a
+    /// `TranscriptStats` deserialized from corrupted data (an out-of-range
+    /// `max_round`) degrades to reading every tracked row instead of
+    /// panicking on a slice bound.
+    fn tracked_rows(&self) -> &[[ChannelCounters; 2]] {
+        &self.cells[..(self.max_round as usize).min(MAX_TRACKED_ROUNDS)]
+    }
+
+    /// Total bytes exchanged in a given round (0 for rounds never recorded).
+    #[must_use]
+    pub fn bytes_in_round(&self, round: u32) -> usize {
+        self.row(round)
+            .map_or(0, |row| (row[0].bytes + row[1].bytes) as usize)
+    }
+
+    /// Number of messages exchanged in a given round.
+    #[must_use]
+    pub fn messages_in_round(&self, round: u32) -> usize {
+        self.row(round)
+            .map_or(0, |row| (row[0].messages + row[1].messages) as usize)
+    }
+
+    /// Highest round that exchanged at least one message (0 while empty).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.max_round
+    }
+
+    /// The counters of one (round, direction) cell.
+    #[must_use]
+    pub fn cell(&self, round: u32, direction: Direction) -> ChannelCounters {
+        self.row(round)
+            .map_or(ZERO_CELL, |row| row[direction.index()])
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &TranscriptStats) {
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            for d in 0..2 {
+                mine[d].bytes += theirs[d].bytes;
+                mine[d].messages += theirs[d].messages;
+            }
+        }
+        self.max_round = self.max_round.max(other.max_round);
+    }
+
+    fn fold(&self, f: impl Fn(&ChannelCounters) -> u64) -> u64 {
+        self.tracked_rows()
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(f)
             .sum()
+    }
+}
+
+/// A protocol message record with aggregate accounting.
+///
+/// Always maintains [`TranscriptStats`]; retains the per-message log only in
+/// detailed mode (see the [module docs](self)).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    stats: TranscriptStats,
+    detail: Option<Vec<Message>>,
+}
+
+impl Transcript {
+    /// Creates an empty **lean** transcript: aggregate counters only, no
+    /// per-message log, no allocation per recorded message.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty **detailed** transcript that additionally retains
+    /// every message (with its label rendered) for inspection.
+    #[must_use]
+    pub fn detailed() -> Self {
+        Self {
+            stats: TranscriptStats::default(),
+            detail: Some(Vec::new()),
+        }
+    }
+
+    /// Whether this transcript retains a per-message log.
+    #[must_use]
+    pub fn is_detailed(&self) -> bool {
+        self.detail.is_some()
+    }
+
+    /// Records a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics for rounds outside `1..=`[`MAX_TRACKED_ROUNDS`] (see
+    /// [`TranscriptStats::record`]).
+    pub fn record(
+        &mut self,
+        round: u32,
+        direction: Direction,
+        label: impl Into<Label>,
+        bytes: usize,
+    ) {
+        self.stats.record(round, direction, bytes);
+        if let Some(log) = &mut self.detail {
+            log.push(Message {
+                round,
+                direction,
+                label: label.into().render(),
+                bytes,
+            });
+        }
+    }
+
+    /// The always-on aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> &TranscriptStats {
+        &self.stats
+    }
+
+    /// The retained messages, in order. Empty for lean transcripts — use
+    /// [`Transcript::message_count`] for the (always correct) count.
+    #[must_use]
+    pub fn messages(&self) -> &[Message] {
+        self.detail.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of recorded messages (maintained in both modes).
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.stats.message_count()
+    }
+
+    /// Total bytes across all messages (upload + download).
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.stats.total_bytes()
+    }
+
+    /// Total bytes in one direction.
+    #[must_use]
+    pub fn bytes_in_direction(&self, direction: Direction) -> usize {
+        self.stats.bytes_in_direction(direction)
     }
 
     /// Total bytes exchanged in a given round.
     #[must_use]
     pub fn bytes_in_round(&self, round: u32) -> usize {
-        self.messages
-            .iter()
-            .filter(|m| m.round == round)
-            .map(|m| m.bytes)
-            .sum()
+        self.stats.bytes_in_round(round)
     }
 
     /// Number of protocol rounds that exchanged at least one message.
+    /// `O(1)` — the maximum is tracked incrementally while recording.
     #[must_use]
     pub fn rounds(&self) -> u32 {
-        self.messages.iter().map(|m| m.round).max().unwrap_or(0)
+        self.stats.rounds()
     }
 
     /// Total bytes expressed in megabytes (the unit of the paper's Fig. 10).
@@ -103,10 +364,36 @@ impl Transcript {
         self.total_bytes() as f64 / (1024.0 * 1024.0)
     }
 
-    /// Merges another transcript into this one (used when a protocol runs
-    /// sub-protocols, e.g. MultiR-DS running two single-source estimators).
-    pub fn absorb(&mut self, other: Transcript) {
-        self.messages.extend(other.messages);
+    /// Merges another transcript into this one by draining it (used when a
+    /// protocol runs sub-protocols, e.g. MultiR-DS running two single-source
+    /// estimators): `other` is left empty but keeps its mode, and its
+    /// message log (if both sides are detailed) is moved, not cloned.
+    ///
+    /// Mode mixing keeps the detailed invariant (`messages()` always agrees
+    /// with the aggregate counters) rather than the mode: a detailed
+    /// transcript absorbing a *non-empty lean* one has no messages to take
+    /// over, so it downgrades itself to lean instead of retaining a log
+    /// that disagrees with its stats; a lean transcript absorbing a
+    /// detailed one drops (clears) the other's log.
+    pub fn absorb(&mut self, other: &mut Transcript) {
+        if self.detail.is_some() && other.detail.is_none() && other.stats.message_count() > 0 {
+            self.detail = None;
+        }
+        self.stats.merge(&other.stats);
+        other.stats = TranscriptStats::default();
+        if let Some(theirs) = &mut other.detail {
+            if let Some(mine) = &mut self.detail {
+                mine.append(theirs);
+            } else {
+                theirs.clear();
+            }
+        }
+    }
+
+    /// Merges a transcript by value.
+    #[deprecated(note = "use `absorb(&mut other)`, which drains instead of consuming")]
+    pub fn absorb_owned(&mut self, mut other: Transcript) {
+        self.absorb(&mut other);
     }
 }
 
@@ -120,7 +407,10 @@ mod tests {
         assert_eq!(t.total_bytes(), 0);
         assert_eq!(t.rounds(), 0);
         assert_eq!(t.messages().len(), 0);
+        assert_eq!(t.message_count(), 0);
         assert_eq!(t.total_megabytes(), 0.0);
+        assert!(!t.is_detailed());
+        assert!(Transcript::detailed().is_detailed());
     }
 
     #[test]
@@ -136,20 +426,162 @@ mod tests {
         assert_eq!(t.bytes_in_direction(Direction::Download), 600);
         assert_eq!(t.bytes_in_round(1), 1000);
         assert_eq!(t.bytes_in_round(2), 608);
+        assert_eq!(t.bytes_in_round(7), 0);
         assert_eq!(t.rounds(), 2);
+        assert_eq!(t.message_count(), 4);
         assert!((t.total_megabytes() - 1608.0 / (1024.0 * 1024.0)).abs() < 1e-15);
+        // Lean mode retains no per-message log.
+        assert!(t.messages().is_empty());
     }
 
     #[test]
-    fn absorb_merges_messages() {
+    fn detailed_mode_retains_rendered_messages() {
+        let mut t = Transcript::detailed();
+        t.record(
+            1,
+            Direction::Upload,
+            Label::Indexed("noisy-edges(v", 0, ")"),
+            40,
+        );
+        t.record(2, Direction::Upload, "estimator(f_u)", 8);
+        assert_eq!(t.messages().len(), 2);
+        assert_eq!(t.messages()[0].label, "noisy-edges(v0)");
+        assert_eq!(t.messages()[1].label, "estimator(f_u)");
+        // Aggregates agree with the retained log.
+        assert_eq!(
+            t.total_bytes(),
+            t.messages().iter().map(|m| m.bytes).sum::<usize>()
+        );
+        assert_eq!(t.message_count(), t.messages().len());
+        assert_eq!(t.rounds(), 2);
+    }
+
+    #[test]
+    fn stats_cells_and_per_round_messages() {
+        let mut t = Transcript::new();
+        t.record(1, Direction::Upload, "a", 10);
+        t.record(1, Direction::Download, "b", 20);
+        t.record(3, Direction::Upload, "c", 5);
+        let s = t.stats();
+        assert_eq!(s.cell(1, Direction::Upload).bytes, 10);
+        assert_eq!(s.cell(1, Direction::Download).messages, 1);
+        assert_eq!(s.cell(2, Direction::Upload), super::ZERO_CELL);
+        assert_eq!(s.cell(99, Direction::Upload).bytes, 0);
+        assert_eq!(s.messages_in_round(1), 2);
+        assert_eq!(s.messages_in_round(2), 0);
+        assert_eq!(s.messages_in_round(3), 1);
+        assert_eq!(s.rounds(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the tracked range")]
+    fn round_zero_rejected() {
+        let mut t = Transcript::new();
+        t.record(0, Direction::Upload, "x", 1);
+    }
+
+    #[test]
+    fn absorb_drains_the_other_transcript() {
+        let mut a = Transcript::detailed();
+        a.record(1, Direction::Upload, "x", 10);
+        let mut b = Transcript::detailed();
+        b.record(2, Direction::Download, "y", 20);
+        a.absorb(&mut b);
+        assert_eq!(a.messages().len(), 2);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.rounds(), 2);
+        // b is drained but keeps its mode.
+        assert_eq!(b.total_bytes(), 0);
+        assert_eq!(b.rounds(), 0);
+        assert!(b.messages().is_empty());
+        assert!(b.is_detailed());
+    }
+
+    #[test]
+    fn absorb_lean_sides_merge_counters() {
         let mut a = Transcript::new();
         a.record(1, Direction::Upload, "x", 10);
         let mut b = Transcript::new();
         b.record(2, Direction::Download, "y", 20);
-        a.absorb(b);
-        assert_eq!(a.messages().len(), 2);
+        a.absorb(&mut b);
         assert_eq!(a.total_bytes(), 30);
         assert_eq!(a.rounds(), 2);
+        assert_eq!(a.message_count(), 2);
+        assert_eq!(b.total_bytes(), 0);
+        // Lean absorbing detailed drops (clears) the other's log rather
+        // than cloning it.
+        let mut c = Transcript::new();
+        let mut d = Transcript::detailed();
+        d.record(1, Direction::Upload, "z", 7);
+        c.absorb(&mut d);
+        assert_eq!(c.total_bytes(), 7);
+        assert!(d.messages().is_empty());
+    }
+
+    #[test]
+    fn detailed_absorbing_nonempty_lean_downgrades_to_lean() {
+        // The absorbed side's messages were never retained, so keeping the
+        // detailed log would leave messages() disagreeing with the stats;
+        // the invariant wins over the mode.
+        let mut a = Transcript::detailed();
+        a.record(1, Direction::Upload, "x", 10);
+        let mut b = Transcript::new();
+        b.record(2, Direction::Download, "y", 20);
+        a.absorb(&mut b);
+        assert!(!a.is_detailed());
+        assert!(a.messages().is_empty());
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.message_count(), 2);
+        // Absorbing an *empty* lean transcript keeps the detailed log.
+        let mut c = Transcript::detailed();
+        c.record(1, Direction::Upload, "x", 10);
+        let mut empty = Transcript::new();
+        c.absorb(&mut empty);
+        assert!(c.is_detailed());
+        assert_eq!(c.messages().len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn absorb_owned_still_merges() {
+        let mut a = Transcript::new();
+        a.record(1, Direction::Upload, "x", 10);
+        let mut b = Transcript::new();
+        b.record(2, Direction::Download, "y", 20);
+        a.absorb_owned(b);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.rounds(), 2);
+    }
+
+    #[test]
+    fn label_rendering() {
+        assert_eq!(Label::Static("rr").render(), "rr");
+        assert_eq!(Label::Indexed("round", 2, ":rr").render(), "round2:rr");
+        assert_eq!(Label::from("x").to_string(), "x");
+        assert_eq!(
+            Label::Indexed("round2:laplace(f_w", 17, ")").to_string(),
+            "round2:laplace(f_w17)"
+        );
+    }
+
+    #[test]
+    fn corrupted_max_round_degrades_instead_of_panicking() {
+        // A hand-edited or corrupted saved transcript can carry an
+        // out-of-range max_round; accessors must clamp, not slice-panic.
+        let mut t = Transcript::new();
+        t.record(2, Direction::Upload, "m", 5);
+        let clean = serde_json::to_string(&t).unwrap();
+        let json = clean.replace(
+            "\"max_round\":2",
+            &format!("\"max_round\":{}", MAX_TRACKED_ROUNDS + 83),
+        );
+        assert_ne!(json, clean, "corruption must actually apply");
+        let back: Transcript = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_bytes(), 5);
+        assert_eq!(back.message_count(), 1);
+        assert_eq!(back.bytes_in_direction(Direction::Upload), 5);
+        assert_eq!(back.bytes_in_round(2), 5);
+        assert_eq!(back.bytes_in_round(99), 0);
     }
 
     #[test]
@@ -159,5 +591,17 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Transcript = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+
+        let mut d = Transcript::detailed();
+        d.record(
+            2,
+            Direction::Download,
+            Label::Indexed("noisy-edges(v", 1, ")"),
+            9,
+        );
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Transcript = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.messages()[0].label, "noisy-edges(v1)");
     }
 }

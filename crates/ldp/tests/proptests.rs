@@ -111,7 +111,8 @@ proptest! {
         let mut acc = BudgetAccountant::new(total);
         for (i, (amount, parallel)) in charges.into_iter().enumerate() {
             let comp = if parallel { Composition::Parallel } else { Composition::Sequential };
-            let _ = acc.charge(format!("c{i}"), PrivacyBudget::new(amount).unwrap(), comp);
+            let label = ldp::Label::Indexed("c", i as u32, "");
+            let _ = acc.charge(label, PrivacyBudget::new(amount).unwrap(), comp);
             prop_assert!(acc.consumed() <= eps * (1.0 + 1e-9) + 1e-9);
         }
         prop_assert!(acc.remaining() >= 0.0);
@@ -128,7 +129,11 @@ proptest! {
         let mut accepted = 0.0;
         for (i, a) in amounts.into_iter().enumerate() {
             if acc
-                .charge(format!("c{i}"), PrivacyBudget::new(a).unwrap(), Composition::Sequential)
+                .charge(
+                    ldp::Label::Indexed("c", i as u32, ""),
+                    PrivacyBudget::new(a).unwrap(),
+                    Composition::Sequential,
+                )
                 .is_ok()
             {
                 accepted += a;

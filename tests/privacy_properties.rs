@@ -4,8 +4,8 @@
 
 use bigraph::{BipartiteGraph, Layer};
 use cne::{
-    CentralDP, CommonNeighborEstimator, MultiRDS, MultiRDSBasic, MultiRDSStar, MultiRSS, Naive,
-    OneR, Query,
+    run_detailed, CentralDP, CommonNeighborEstimator, EngineEstimator, MultiRDS, MultiRDSBasic,
+    MultiRDSStar, MultiRSS, Naive, OneR, Query,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -45,7 +45,7 @@ proptest! {
         fraction in 0.1f64..0.9,
         seed in any::<u64>(),
     ) {
-        let algorithms: Vec<Box<dyn CommonNeighborEstimator>> = vec![
+        let algorithms: Vec<Box<dyn EngineEstimator>> = vec![
             Box::new(Naive),
             Box::new(OneR::default()),
             Box::new(MultiRSS::with_fraction(fraction).unwrap()),
@@ -56,10 +56,13 @@ proptest! {
         ];
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         for algo in &algorithms {
-            let report = algo.estimate(&g, &query, epsilon, &mut rng).unwrap();
+            // Detailed mode so the per-charge ledger is retained; the
+            // default lean mode keeps only the (identical) totals.
+            let report = run_detailed(algo.as_ref(), &g, &query, epsilon, &mut rng).unwrap();
             prop_assert!(report.budget.consumed() <= epsilon * (1.0 + 1e-9) + 1e-9);
             prop_assert!(report.estimate.is_finite());
             // Every charge in the accounting is positive and labelled.
+            prop_assert!(!report.budget.charges().is_empty());
             for charge in report.budget.charges() {
                 prop_assert!(charge.epsilon > 0.0);
                 prop_assert!(!charge.label.is_empty());
