@@ -1,0 +1,275 @@
+//! The CI perf-regression gate (`bench-check` job).
+//!
+//! Reads the recorded baseline (`BENCH_micro.json`) and a log produced by
+//! running the criterion stub (`cargo bench -p bench --bench
+//! engine_cached_batch --bench micro_primitives`), and fails — exit code
+//! 1 — when a gated speedup ratio regressed by more than the tolerance.
+//!
+//! Gates compare **ratios of benchmarks from the same run** (warm engine
+//! vs uncached path, skip sampling vs dense perturbation) against the same
+//! ratios in the baseline, not absolute nanoseconds: CI hardware differs
+//! from the recording machine, but a ratio like "warm multi-target is
+//! 3.8× the uncached path" is a property of the code, so a warm
+//! multi-target run that regresses > 1.5× relative to the baseline ratio
+//! fails the gate on any machine.
+//!
+//! Usage: `bench-check <BENCH_micro.json> <bench.log>`
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Regression tolerance: a gated ratio may be up to this factor worse than
+/// the recorded baseline ratio before the gate fails.
+const TOLERANCE: f64 = 1.5;
+
+/// One gate: `numerator / denominator` (both benchmark ids, mean ns) must
+/// not exceed the baseline's ratio by more than [`TOLERANCE`].
+struct Gate {
+    name: &'static str,
+    numerator: &'static str,
+    denominator: &'static str,
+}
+
+/// The gated invariants of the warm engine and the perturbation kernels.
+const GATES: &[Gate] = &[
+    Gate {
+        name: "engine warm multi-target vs uncached",
+        numerator: "micro/engine_cached_batch/warm_multi_target",
+        denominator: "micro/engine_cached_batch/uncached_multi_target",
+    },
+    Gate {
+        name: "engine warm single-target vs uncached",
+        numerator: "micro/engine_cached_batch/warm_single_target",
+        denominator: "micro/engine_cached_batch/uncached_single_target",
+    },
+    Gate {
+        name: "perturb skip-sampling vs dense (eps=1)",
+        numerator: "micro/perturb_sparse_large/skip/1",
+        denominator: "micro/perturb_sparse_large/dense/1",
+    },
+    Gate {
+        name: "perturb skip-sampling vs dense (eps=4)",
+        numerator: "micro/perturb_sparse_large/skip/4",
+        denominator: "micro/perturb_sparse_large/dense/4",
+    },
+];
+
+/// Parses the baseline JSON's `results` array into `id -> mean_ns`.
+fn parse_baseline(json: &str) -> Result<HashMap<String, f64>, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let results = value
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or("baseline has no `results` array")?;
+    let mut out = HashMap::new();
+    for entry in results {
+        let (Some(id), Some(mean)) = (
+            entry.get("id").and_then(|v| v.as_str()),
+            entry.get("mean_ns").and_then(serde_json::Value::as_f64),
+        ) else {
+            return Err("baseline entry without `id` + numeric `mean_ns`".into());
+        };
+        out.insert(id.to_string(), mean);
+    }
+    Ok(out)
+}
+
+/// Parses the criterion stub's stdout (`bench: <id>  <t> <unit>/iter ...`)
+/// into `id -> mean_ns`.
+fn parse_bench_log(log: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for line in log.lines() {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("bench:") {
+            continue;
+        }
+        let (Some(id), Some(value), Some(unit)) = (tokens.next(), tokens.next(), tokens.next())
+        else {
+            continue;
+        };
+        let Ok(t) = value.parse::<f64>() else {
+            continue;
+        };
+        let ns = match unit.split('/').next() {
+            Some("ns") => t,
+            Some("µs") | Some("us") => t * 1e3,
+            Some("ms") => t * 1e6,
+            Some("s") => t * 1e9,
+            _ => continue,
+        };
+        out.insert(id.to_string(), ns);
+    }
+    out
+}
+
+/// Evaluates every gate; returns human-readable failures.
+fn check(
+    baseline: &HashMap<String, f64>,
+    measured: &HashMap<String, f64>,
+) -> Result<Vec<String>, String> {
+    let lookup = |map: &HashMap<String, f64>, id: &str, what: &str| -> Result<f64, String> {
+        map.get(id)
+            .copied()
+            .filter(|&v| v > 0.0)
+            .ok_or_else(|| format!("{what} is missing benchmark `{id}`"))
+    };
+    let mut failures = Vec::new();
+    for gate in GATES {
+        let base_ratio = lookup(baseline, gate.numerator, "baseline")?
+            / lookup(baseline, gate.denominator, "baseline")?;
+        let now_ratio = lookup(measured, gate.numerator, "bench log")?
+            / lookup(measured, gate.denominator, "bench log")?;
+        let regression = now_ratio / base_ratio;
+        let verdict = if regression > TOLERANCE { "FAIL" } else { "ok" };
+        println!(
+            "bench-check [{verdict:>4}] {}: ratio {:.3} vs baseline {:.3} ({}{:.2}x)",
+            gate.name,
+            now_ratio,
+            base_ratio,
+            if regression >= 1.0 { "+" } else { "" },
+            regression,
+        );
+        if regression > TOLERANCE {
+            failures.push(format!(
+                "{}: measured ratio {:.3} regressed {:.2}x past baseline {:.3} (tolerance {}x)",
+                gate.name, now_ratio, regression, base_ratio, TOLERANCE
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, log_path] = args.as_slice() else {
+        eprintln!("usage: bench-check <BENCH_micro.json> <bench.log>");
+        return ExitCode::from(2);
+    };
+    let run = || -> Result<Vec<String>, String> {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+        let log = std::fs::read_to_string(log_path)
+            .map_err(|e| format!("cannot read {log_path}: {e}"))?;
+        check(&parse_baseline(&baseline)?, &parse_bench_log(&log))
+    };
+    match run() {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench-check: all {} gates within {TOLERANCE}x", GATES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("bench-check FAILURE: {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-check error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> HashMap<String, f64> {
+        let mut m = HashMap::new();
+        m.insert("micro/engine_cached_batch/warm_multi_target".into(), 3.68e6);
+        m.insert(
+            "micro/engine_cached_batch/uncached_multi_target".into(),
+            13.91e6,
+        );
+        m.insert(
+            "micro/engine_cached_batch/warm_single_target".into(),
+            0.89e6,
+        );
+        m.insert(
+            "micro/engine_cached_batch/uncached_single_target".into(),
+            3.47e6,
+        );
+        m.insert("micro/perturb_sparse_large/skip/1".into(), 0.61e6);
+        m.insert("micro/perturb_sparse_large/dense/1".into(), 1.85e6);
+        m.insert("micro/perturb_sparse_large/skip/4".into(), 0.057e6);
+        m.insert("micro/perturb_sparse_large/dense/4".into(), 1.27e6);
+        m
+    }
+
+    #[test]
+    fn log_parser_reads_stub_output_in_every_unit() {
+        let log = "\
+bench: micro/perturb_sparse_large/skip/4                     56.74 µs/iter (1762.3 Melem/s)
+bench: micro/noisy_intersection/packed_popcount             1130.0 ns/iter
+noise line that is ignored
+bench: micro/engine_cached_batch/warm_multi_target              3.68 ms/iter (0.2 Melem/s)
+bench: micro/slow_thing                                         1.20 s/iter
+";
+        let parsed = parse_bench_log(log);
+        assert_eq!(parsed["micro/perturb_sparse_large/skip/4"], 56_740.0);
+        assert_eq!(parsed["micro/noisy_intersection/packed_popcount"], 1130.0);
+        assert_eq!(
+            parsed["micro/engine_cached_batch/warm_multi_target"],
+            3_680_000.0
+        );
+        assert_eq!(parsed["micro/slow_thing"], 1_200_000_000.0);
+        assert_eq!(parsed.len(), 4);
+    }
+
+    #[test]
+    fn baseline_parser_reads_bench_micro_schema() {
+        let json = r#"{
+            "schema": "ldp-cne/bench-baseline/v1",
+            "results": [
+                {"id": "a/b", "mean_ns": 123.5, "throughput": "x"},
+                {"id": "c/d", "mean_ns": 4.0}
+            ]
+        }"#;
+        let parsed = parse_baseline(json).unwrap();
+        assert_eq!(parsed["a/b"], 123.5);
+        assert_eq!(parsed["c/d"], 4.0);
+    }
+
+    #[test]
+    fn repo_baseline_contains_every_gated_id() {
+        // The gate must stay in sync with BENCH_micro.json at the repo root.
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_micro.json"
+        ))
+        .expect("BENCH_micro.json at repo root");
+        let parsed = parse_baseline(&json).unwrap();
+        for gate in GATES {
+            assert!(parsed.contains_key(gate.numerator), "{}", gate.numerator);
+            assert!(
+                parsed.contains_key(gate.denominator),
+                "{}",
+                gate.denominator
+            );
+        }
+    }
+
+    #[test]
+    fn matching_ratios_pass_and_regressions_fail() {
+        let base = baseline();
+        // Different hardware, same ratios (everything 3x slower): pass.
+        let mut measured: HashMap<String, f64> =
+            base.iter().map(|(k, v)| (k.clone(), v * 3.0)).collect();
+        assert!(check(&base, &measured).unwrap().is_empty());
+        // Warm multi-target loses its edge (2x past tolerance): fail.
+        *measured
+            .get_mut("micro/engine_cached_batch/warm_multi_target")
+            .unwrap() *= 2.0;
+        let failures = check(&base, &measured).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("warm multi-target"));
+    }
+
+    #[test]
+    fn missing_benchmarks_are_errors_not_passes() {
+        let base = baseline();
+        let measured = HashMap::new();
+        assert!(check(&base, &measured).is_err());
+    }
+}

@@ -1,0 +1,528 @@
+//! Streaming mutations: edge/vertex deltas, update batches, and the
+//! ingestion log.
+//!
+//! The serving story in `ROADMAP.md` assumes edges arrive and retire while
+//! the curator keeps answering common-neighbor queries. This module is the
+//! graph-side half of that story:
+//!
+//! * [`GraphDelta`] — one atomic mutation (add/remove an edge, append a
+//!   vertex to a layer);
+//! * [`UpdateBatch`] — an ordered sequence of deltas applied transactionally
+//!   by [`BipartiteGraph::apply_update_batch`](crate::BipartiteGraph::apply_update_batch):
+//!   either every delta validates and the whole batch lands, or the graph is
+//!   left untouched;
+//! * [`AppliedBatch`] — the receipt: the graph's new epoch, net edge/vertex
+//!   counts, and the **touched vertex sets** downstream caches (the
+//!   `cne::engine` adjacency store) use for precise invalidation;
+//! * [`UpdateLog`] — a thread-safe append log decoupling producers (edges
+//!   arriving from live traffic) from the single writer that drains the log
+//!   into batches and applies them between query rounds.
+//!
+//! # Batch semantics
+//!
+//! Deltas apply in order within a batch, and the batch is *idempotent at the
+//! edge level*: adding an edge that already exists and removing one that
+//! does not are no-ops (streams routinely replay events), so the net effect
+//! of a batch on an edge is decided by the **last** delta naming it. Vertex
+//! additions grow a layer by one id each and take effect immediately — a
+//! later delta in the same batch may reference the new vertex.
+//!
+//! Application cost is `O(n + m + b log b)` for a batch of `b` deltas — one
+//! merge pass over the CSR arrays (untouched vertex ranges are copied
+//! wholesale) instead of the `O(m log m)` sort of a full
+//! [`GraphBuilder`](crate::GraphBuilder) rebuild, and no re-validation of
+//! untouched adjacency.
+//!
+//! # Epochs
+//!
+//! Every applied batch that changes anything bumps the graph's
+//! [`epoch`](crate::BipartiteGraph::epoch) by one. The epoch is a mutation
+//! counter, not part of graph identity: two structurally equal graphs
+//! compare equal regardless of how many batches produced them. Downstream
+//! caches tag entries with the epoch they were built at and use the
+//! [`AppliedBatch`] receipt to invalidate precisely.
+
+use crate::error::{GraphError, Result};
+use crate::graph::BipartiteGraph;
+use crate::vertex::{Layer, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One atomic graph mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphDelta {
+    /// Insert the edge `(upper, lower)`. A no-op if the edge already exists.
+    AddEdge {
+        /// The upper-layer endpoint.
+        upper: VertexId,
+        /// The lower-layer endpoint.
+        lower: VertexId,
+    },
+    /// Delete the edge `(upper, lower)`. A no-op if the edge is absent.
+    RemoveEdge {
+        /// The upper-layer endpoint.
+        upper: VertexId,
+        /// The lower-layer endpoint.
+        lower: VertexId,
+    },
+    /// Append one isolated vertex to `layer` (its id is the layer's current
+    /// size). Later deltas in the same batch may reference it.
+    AddVertex {
+        /// The layer that grows.
+        layer: Layer,
+    },
+}
+
+/// An ordered sequence of [`GraphDelta`]s applied as one transaction.
+///
+/// ```
+/// use bigraph::{BipartiteGraph, Layer, UpdateBatch};
+///
+/// let mut g = BipartiteGraph::from_edges(2, 3, [(0, 0), (1, 2)]).unwrap();
+/// let mut batch = UpdateBatch::new();
+/// batch.add_edge(0, 1).remove_edge(1, 2).add_vertex(Layer::Lower);
+/// let applied = g.apply_update_batch(&batch).unwrap();
+/// assert_eq!(applied.edges_added, 1);
+/// assert_eq!(applied.edges_removed, 1);
+/// assert_eq!(g.n_lower(), 4);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(1, 2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateBatch {
+    deltas: Vec<GraphDelta>,
+}
+
+impl UpdateBatch {
+    /// Creates an empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `n` deltas.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            deltas: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends an arbitrary delta.
+    pub fn push(&mut self, delta: GraphDelta) -> &mut Self {
+        self.deltas.push(delta);
+        self
+    }
+
+    /// Appends an edge insertion.
+    pub fn add_edge(&mut self, upper: VertexId, lower: VertexId) -> &mut Self {
+        self.push(GraphDelta::AddEdge { upper, lower })
+    }
+
+    /// Appends an edge deletion.
+    pub fn remove_edge(&mut self, upper: VertexId, lower: VertexId) -> &mut Self {
+        self.push(GraphDelta::RemoveEdge { upper, lower })
+    }
+
+    /// Appends a vertex addition on `layer`.
+    pub fn add_vertex(&mut self, layer: Layer) -> &mut Self {
+        self.push(GraphDelta::AddVertex { layer })
+    }
+
+    /// The deltas in application order.
+    #[must_use]
+    pub fn deltas(&self) -> &[GraphDelta] {
+        &self.deltas
+    }
+
+    /// Validates every delta against `g` without applying anything: edge
+    /// endpoints must be in range at their point in the sequence (vertices
+    /// added earlier in the batch count). Exactly the check
+    /// [`BipartiteGraph::apply_update_batch`](crate::BipartiteGraph::apply_update_batch)
+    /// performs before touching the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] for the first out-of-range
+    /// edge delta.
+    pub fn validate(&self, g: &BipartiteGraph) -> Result<()> {
+        NetEffect::compute(g, self).map(|_| ())
+    }
+
+    /// Number of deltas in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the batch holds no deltas.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+}
+
+impl FromIterator<GraphDelta> for UpdateBatch {
+    fn from_iter<I: IntoIterator<Item = GraphDelta>>(iter: I) -> Self {
+        Self {
+            deltas: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<GraphDelta> for UpdateBatch {
+    fn extend<I: IntoIterator<Item = GraphDelta>>(&mut self, iter: I) {
+        self.deltas.extend(iter);
+    }
+}
+
+/// The receipt of one applied [`UpdateBatch`]: what actually changed, and
+/// which vertices downstream caches must invalidate.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppliedBatch {
+    /// The graph's epoch after application (unchanged for a no-op batch).
+    pub epoch: u64,
+    /// Edges that were actually inserted (idempotent re-adds excluded).
+    pub edges_added: usize,
+    /// Edges that were actually deleted (removals of absent edges excluded).
+    pub edges_removed: usize,
+    /// Vertices appended to the upper layer.
+    pub vertices_added_upper: usize,
+    /// Vertices appended to the lower layer.
+    pub vertices_added_lower: usize,
+    /// Upper vertices whose adjacency changed (sorted, deduplicated).
+    pub touched_upper: Vec<VertexId>,
+    /// Lower vertices whose adjacency changed (sorted, deduplicated).
+    pub touched_lower: Vec<VertexId>,
+}
+
+impl AppliedBatch {
+    /// Whether the batch changed nothing (every delta was a no-op).
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.edges_added == 0
+            && self.edges_removed == 0
+            && self.vertices_added_upper == 0
+            && self.vertices_added_lower == 0
+    }
+
+    /// The touched vertices of `layer`.
+    #[must_use]
+    pub fn touched(&self, layer: Layer) -> &[VertexId] {
+        match layer {
+            Layer::Upper => &self.touched_upper,
+            Layer::Lower => &self.touched_lower,
+        }
+    }
+
+    /// Vertices appended to `layer`.
+    #[must_use]
+    pub fn vertices_added(&self, layer: Layer) -> usize {
+        match layer {
+            Layer::Upper => self.vertices_added_upper,
+            Layer::Lower => self.vertices_added_lower,
+        }
+    }
+}
+
+/// A thread-safe append log decoupling edge producers from the single
+/// writer that applies batches.
+///
+/// Producers [`append`](UpdateLog::append) deltas from any thread; the
+/// writer periodically [`drain`](UpdateLog::drain_batch)s up to a batch
+/// budget and applies the result between query rounds. Sequence numbers
+/// (`appended` / `drained`) let operators observe ingestion lag.
+///
+/// ```
+/// use bigraph::{GraphDelta, UpdateLog};
+///
+/// let log = UpdateLog::new();
+/// log.append(GraphDelta::AddEdge { upper: 0, lower: 1 });
+/// log.append(GraphDelta::AddEdge { upper: 0, lower: 2 });
+/// assert_eq!(log.pending(), 2);
+/// let batch = log.drain_batch(10).unwrap();
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(log.pending(), 0);
+/// assert_eq!(log.drained(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct UpdateLog {
+    inner: Mutex<LogInner>,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    pending: VecDeque<GraphDelta>,
+    appended: u64,
+    drained: u64,
+}
+
+impl UpdateLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one delta, returning its sequence number (1-based).
+    pub fn append(&self, delta: GraphDelta) -> u64 {
+        let mut inner = self.inner.lock().expect("update log poisoned");
+        inner.pending.push_back(delta);
+        inner.appended += 1;
+        inner.appended
+    }
+
+    /// Appends many deltas, returning the last sequence number assigned.
+    pub fn extend<I: IntoIterator<Item = GraphDelta>>(&self, deltas: I) -> u64 {
+        let mut inner = self.inner.lock().expect("update log poisoned");
+        for d in deltas {
+            inner.pending.push_back(d);
+            inner.appended += 1;
+        }
+        inner.appended
+    }
+
+    /// Number of deltas waiting to be drained.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("update log poisoned")
+            .pending
+            .len()
+    }
+
+    /// Total deltas ever appended.
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.inner.lock().expect("update log poisoned").appended
+    }
+
+    /// Total deltas ever drained into batches.
+    #[must_use]
+    pub fn drained(&self) -> u64 {
+        self.inner.lock().expect("update log poisoned").drained
+    }
+
+    /// Drains up to `max` pending deltas (in arrival order) into a batch.
+    /// Returns `None` when nothing is pending.
+    #[must_use]
+    pub fn drain_batch(&self, max: usize) -> Option<UpdateBatch> {
+        let mut inner = self.inner.lock().expect("update log poisoned");
+        if inner.pending.is_empty() || max == 0 {
+            return None;
+        }
+        let take = max.min(inner.pending.len());
+        let mut batch = UpdateBatch::with_capacity(take);
+        for _ in 0..take {
+            batch.push(inner.pending.pop_front().expect("counted above"));
+        }
+        inner.drained += take as u64;
+        Some(batch)
+    }
+}
+
+/// The per-batch working state of [`BipartiteGraph::apply_update_batch`]
+/// (crate-internal; constructed by the validation pass in `graph.rs`).
+pub(crate) struct NetEffect {
+    /// Final upper-layer size after vertex additions.
+    pub n_upper: usize,
+    /// Final lower-layer size after vertex additions.
+    pub n_lower: usize,
+    /// Vertices appended per layer.
+    pub added_upper: usize,
+    /// Vertices appended per layer.
+    pub added_lower: usize,
+    /// Net edge insertions, sorted by `(upper, lower)`.
+    pub adds: Vec<(VertexId, VertexId)>,
+    /// Net edge deletions, sorted by `(upper, lower)`.
+    pub removes: Vec<(VertexId, VertexId)>,
+}
+
+impl NetEffect {
+    /// Validates `batch` against `g` and reduces it to its net effect.
+    ///
+    /// Walks the deltas in order, growing the layer-size bounds as
+    /// `AddVertex` deltas appear, and records the **last** operation per
+    /// edge pair. The net lists then compare that desired final state with
+    /// the current membership, so replayed adds/removes drop out.
+    pub(crate) fn compute(g: &BipartiteGraph, batch: &UpdateBatch) -> Result<Self> {
+        let mut n_upper = g.n_upper();
+        let mut n_lower = g.n_lower();
+        let mut added_upper = 0usize;
+        let mut added_lower = 0usize;
+        // Last-delta-wins per pair: `true` means the edge must exist after
+        // the batch. A BTreeMap keeps pairs sorted for the splice pass.
+        let mut desired = std::collections::BTreeMap::new();
+        for delta in batch.deltas() {
+            match *delta {
+                GraphDelta::AddVertex { layer } => match layer {
+                    Layer::Upper => {
+                        n_upper += 1;
+                        added_upper += 1;
+                    }
+                    Layer::Lower => {
+                        n_lower += 1;
+                        added_lower += 1;
+                    }
+                },
+                GraphDelta::AddEdge { upper, lower } | GraphDelta::RemoveEdge { upper, lower } => {
+                    if upper as usize >= n_upper {
+                        return Err(GraphError::VertexOutOfRange {
+                            layer: Layer::Upper,
+                            id: upper,
+                            layer_size: n_upper,
+                        });
+                    }
+                    if lower as usize >= n_lower {
+                        return Err(GraphError::VertexOutOfRange {
+                            layer: Layer::Lower,
+                            id: lower,
+                            layer_size: n_lower,
+                        });
+                    }
+                    let present = matches!(delta, GraphDelta::AddEdge { .. });
+                    desired.insert((upper, lower), present);
+                }
+            }
+        }
+        let mut adds = Vec::new();
+        let mut removes = Vec::new();
+        for (&(u, v), &present) in &desired {
+            // `has_edge` answers `false` for ids beyond the *current* layer
+            // sizes, which is exactly right for edges on just-added vertices.
+            let has = g.has_edge(u, v);
+            if present && !has {
+                adds.push((u, v));
+            } else if !present && has {
+                removes.push((u, v));
+            }
+        }
+        Ok(Self {
+            n_upper,
+            n_lower,
+            added_upper,
+            added_lower,
+            adds,
+            removes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_edges(2, 4, [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (1, 3)]).unwrap()
+    }
+
+    #[test]
+    fn batch_builder_collects_in_order() {
+        let mut b = UpdateBatch::new();
+        b.add_edge(0, 1).remove_edge(2, 3).add_vertex(Layer::Upper);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.deltas()[0], GraphDelta::AddEdge { upper: 0, lower: 1 });
+        assert_eq!(b.deltas()[1], GraphDelta::RemoveEdge { upper: 2, lower: 3 });
+        assert_eq!(
+            b.deltas()[2],
+            GraphDelta::AddVertex {
+                layer: Layer::Upper
+            }
+        );
+    }
+
+    #[test]
+    fn net_effect_applies_last_delta_per_pair() {
+        let g = toy();
+        let mut b = UpdateBatch::new();
+        // Edge (0,3): absent, add→remove→add ⇒ net add.
+        b.add_edge(0, 3).remove_edge(0, 3).add_edge(0, 3);
+        // Edge (0,0): present, remove→add ⇒ net nothing.
+        b.remove_edge(0, 0).add_edge(0, 0);
+        // Edge (1,1): present, add (replay) ⇒ net nothing.
+        b.add_edge(1, 1);
+        let net = NetEffect::compute(&g, &b).unwrap();
+        assert_eq!(net.adds, vec![(0, 3)]);
+        assert!(net.removes.is_empty());
+    }
+
+    #[test]
+    fn net_effect_validates_against_growing_sizes() {
+        let g = toy();
+        // Vertex u2 does not exist yet...
+        let mut early = UpdateBatch::new();
+        early.add_edge(2, 0).add_vertex(Layer::Upper);
+        assert!(matches!(
+            NetEffect::compute(&g, &early),
+            Err(GraphError::VertexOutOfRange {
+                layer: Layer::Upper,
+                id: 2,
+                ..
+            })
+        ));
+        // ...but referencing it after its AddVertex delta is fine.
+        let mut late = UpdateBatch::new();
+        late.add_vertex(Layer::Upper).add_edge(2, 0);
+        let net = NetEffect::compute(&g, &late).unwrap();
+        assert_eq!(net.n_upper, 3);
+        assert_eq!(net.adds, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn update_log_drains_in_arrival_order() {
+        let log = UpdateLog::new();
+        assert!(log.drain_batch(8).is_none());
+        assert_eq!(log.append(GraphDelta::AddEdge { upper: 0, lower: 0 }), 1);
+        let last = log.extend([
+            GraphDelta::AddEdge { upper: 0, lower: 1 },
+            GraphDelta::RemoveEdge { upper: 0, lower: 0 },
+        ]);
+        assert_eq!(last, 3);
+        assert_eq!(log.pending(), 3);
+        let batch = log.drain_batch(2).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.deltas()[0],
+            GraphDelta::AddEdge { upper: 0, lower: 0 }
+        );
+        assert_eq!(log.pending(), 1);
+        assert_eq!(log.appended(), 3);
+        assert_eq!(log.drained(), 2);
+        assert!(log.drain_batch(0).is_none());
+        let rest = log.drain_batch(99).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(log.drained(), 3);
+    }
+
+    #[test]
+    fn update_log_is_shareable_across_threads() {
+        let log = std::sync::Arc::new(UpdateLog::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for k in 0..25u32 {
+                        log.append(GraphDelta::AddEdge { upper: t, lower: k });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.pending(), 100);
+        assert_eq!(log.appended(), 100);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut b = UpdateBatch::new();
+        b.add_edge(1, 2).add_vertex(Layer::Lower).remove_edge(0, 0);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: UpdateBatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

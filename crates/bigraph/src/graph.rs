@@ -1,20 +1,31 @@
-//! The immutable CSR bipartite graph.
+//! The CSR bipartite graph.
 //!
 //! [`BipartiteGraph`] stores both layers' adjacency in compressed sparse row
 //! form with sorted neighbor slices. Neighbor iteration is `O(deg)`, edge
 //! membership is `O(log deg)`, and memory is `O(n + m)` with two `u32` entries
 //! per edge (one per direction).
+//!
+//! The graph is immutable under queries, but supports transactional
+//! streaming mutation through [`BipartiteGraph::apply_update_batch`]: an
+//! [`UpdateBatch`] of edge/vertex deltas lands in
+//! one `O(n + m + b log b)` splice pass over the CSR arrays — no full
+//! rebuild, no re-sort — and bumps the graph's [`epoch`](BipartiteGraph::epoch).
 
+use crate::delta::{AppliedBatch, NetEffect, UpdateBatch};
 use crate::error::{GraphError, Result};
 use crate::vertex::{Layer, VertexId};
 use serde::{Deserialize, Serialize};
 
-/// An immutable, unweighted bipartite graph in CSR form.
+/// An unweighted bipartite graph in CSR form.
 ///
 /// Construct one with [`crate::GraphBuilder`] or [`BipartiteGraph::from_edges`].
 /// The graph keeps adjacency for both directions (upper→lower and lower→upper)
 /// so that degree and neighborhood queries are symmetric and `O(deg)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality is **structural**: the [`epoch`](BipartiteGraph::epoch) mutation
+/// counter is excluded, so a graph reached through update batches compares
+/// equal to the same graph rebuilt from scratch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BipartiteGraph {
     /// CSR offsets for the upper layer; length `n_upper + 1`.
     upper_offsets: Vec<usize>,
@@ -24,7 +35,21 @@ pub struct BipartiteGraph {
     lower_offsets: Vec<usize>,
     /// Concatenated, per-vertex-sorted upper-neighbor lists of lower vertices.
     lower_adj: Vec<VertexId>,
+    /// Mutation counter: number of non-empty update batches applied.
+    epoch: u64,
 }
+
+impl PartialEq for BipartiteGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality only — the epoch records history, not identity.
+        self.upper_offsets == other.upper_offsets
+            && self.upper_adj == other.upper_adj
+            && self.lower_offsets == other.lower_offsets
+            && self.lower_adj == other.lower_adj
+    }
+}
+
+impl Eq for BipartiteGraph {}
 
 impl BipartiteGraph {
     /// Builds a graph directly from an iterator of `(upper, lower)` edges.
@@ -63,7 +88,16 @@ impl BipartiteGraph {
             upper_adj,
             lower_offsets,
             lower_adj,
+            epoch: 0,
         }
+    }
+
+    /// The mutation counter: how many effective (non-no-op) update batches
+    /// have been applied since construction. Builders and deserialization
+    /// preserve it; structural equality ignores it.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of vertices in the upper layer (`n₁ = |U(G)|`).
@@ -211,6 +245,77 @@ impl BipartiteGraph {
         }
     }
 
+    /// Applies an [`UpdateBatch`] transactionally: either every delta
+    /// validates and the whole batch lands, or the graph is left untouched.
+    ///
+    /// Deltas apply in order; edge operations are idempotent (re-adding an
+    /// existing edge or removing an absent one is a no-op), so the net
+    /// effect on each edge is decided by the last delta naming it. Cost is
+    /// one `O(n + m + b log b)` merge pass over the CSR arrays — untouched
+    /// vertex ranges are copied wholesale, touched vertices get a sorted
+    /// merge of their old slice with the batch's per-vertex changes — with
+    /// no re-sort and no full rebuild.
+    ///
+    /// A batch that changes anything bumps [`BipartiteGraph::epoch`] by one.
+    /// The returned [`AppliedBatch`] lists the touched vertices per layer so
+    /// downstream adjacency caches can invalidate precisely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an edge delta references
+    /// a vertex outside the layer sizes *at its point in the sequence*
+    /// (vertices added earlier in the batch are in range).
+    pub fn apply_update_batch(&mut self, batch: &UpdateBatch) -> Result<AppliedBatch> {
+        let net = NetEffect::compute(self, batch)?;
+        let mut applied = AppliedBatch {
+            epoch: self.epoch,
+            edges_added: net.adds.len(),
+            edges_removed: net.removes.len(),
+            vertices_added_upper: net.added_upper,
+            vertices_added_lower: net.added_lower,
+            touched_upper: Vec::new(),
+            touched_lower: Vec::new(),
+        };
+        if applied.is_noop() {
+            return Ok(applied);
+        }
+
+        // Grow the offset arrays for appended (isolated) vertices: each new
+        // vertex starts with an empty slice at the end of the adjacency.
+        let upper_end = *self.upper_offsets.last().expect("offsets non-empty");
+        self.upper_offsets.resize(net.n_upper + 1, upper_end);
+        let lower_end = *self.lower_offsets.last().expect("offsets non-empty");
+        self.lower_offsets.resize(net.n_lower + 1, lower_end);
+
+        // Upper direction: `net.adds`/`net.removes` are already sorted by
+        // `(upper, lower)`.
+        splice_direction(
+            &mut self.upper_offsets,
+            &mut self.upper_adj,
+            &net.adds,
+            &net.removes,
+            &mut applied.touched_upper,
+        );
+        // Lower direction: mirror the pairs and re-sort by `(lower, upper)`.
+        let mirror = |pairs: &[(VertexId, VertexId)]| -> Vec<(VertexId, VertexId)> {
+            let mut m: Vec<_> = pairs.iter().map(|&(u, v)| (v, u)).collect();
+            m.sort_unstable();
+            m
+        };
+        splice_direction(
+            &mut self.lower_offsets,
+            &mut self.lower_adj,
+            &mirror(&net.adds),
+            &mirror(&net.removes),
+            &mut applied.touched_lower,
+        );
+
+        self.epoch += 1;
+        applied.epoch = self.epoch;
+        debug_assert!(self.validate().is_ok(), "splice broke a CSR invariant");
+        Ok(applied)
+    }
+
     /// Verifies internal CSR invariants. Intended for tests and debugging.
     ///
     /// # Errors
@@ -273,9 +378,71 @@ impl BipartiteGraph {
     }
 }
 
+/// Splices per-vertex sorted change lists into one CSR direction.
+///
+/// `adds`/`removes` are `(src, dst)` pairs sorted by `(src, dst)`; `adds`
+/// must be absent from and `removes` present in the current adjacency
+/// (guaranteed by [`NetEffect::compute`]). Untouched vertex ranges are
+/// copied wholesale; each touched vertex gets a linear merge of its old
+/// slice with its change lists. Touched source vertices are appended to
+/// `touched` in increasing order.
+fn splice_direction(
+    offsets: &mut Vec<usize>,
+    adj: &mut Vec<VertexId>,
+    adds: &[(VertexId, VertexId)],
+    removes: &[(VertexId, VertexId)],
+    touched: &mut Vec<VertexId>,
+) {
+    if adds.is_empty() && removes.is_empty() {
+        return;
+    }
+    let n = offsets.len() - 1;
+    let mut new_adj = Vec::with_capacity(adj.len() + adds.len() - removes.len());
+    let mut new_offsets = Vec::with_capacity(n + 1);
+    new_offsets.push(0usize);
+    let (mut ai, mut ri) = (0usize, 0usize);
+    for src in 0..n as VertexId {
+        let old = &adj[offsets[src as usize]..offsets[src as usize + 1]];
+        let a_start = ai;
+        while ai < adds.len() && adds[ai].0 == src {
+            ai += 1;
+        }
+        let r_start = ri;
+        while ri < removes.len() && removes[ri].0 == src {
+            ri += 1;
+        }
+        if a_start == ai && r_start == ri {
+            new_adj.extend_from_slice(old);
+        } else {
+            touched.push(src);
+            let mut add_iter = adds[a_start..ai].iter().map(|&(_, dst)| dst).peekable();
+            let mut rem_iter = removes[r_start..ri].iter().map(|&(_, dst)| dst).peekable();
+            for &dst in old {
+                // Emit pending insertions that sort before the old entry.
+                while add_iter.peek().is_some_and(|&a| a < dst) {
+                    new_adj.push(add_iter.next().expect("peeked"));
+                }
+                if rem_iter.peek() == Some(&dst) {
+                    rem_iter.next();
+                } else {
+                    new_adj.push(dst);
+                }
+            }
+            new_adj.extend(add_iter);
+            debug_assert!(rem_iter.peek().is_none(), "removal of an absent edge");
+        }
+        new_offsets.push(new_adj.len());
+    }
+    debug_assert_eq!(ai, adds.len());
+    debug_assert_eq!(ri, removes.len());
+    *offsets = new_offsets;
+    *adj = new_adj;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delta::GraphDelta;
 
     fn toy() -> BipartiteGraph {
         // Figure 1-like toy graph: 2 upper vertices, 4 lower vertices.
@@ -387,5 +554,110 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let back: BipartiteGraph = serde_json::from_str(&json).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn apply_batch_adds_and_removes_edges() {
+        let mut g = toy();
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(0, 3).remove_edge(1, 1).add_edge(1, 0);
+        let applied = g.apply_update_batch(&batch).unwrap();
+        assert_eq!(applied.edges_added, 2);
+        assert_eq!(applied.edges_removed, 1);
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(g.epoch(), 1);
+        assert_eq!(applied.touched_upper, vec![0, 1]);
+        assert_eq!(applied.touched_lower, vec![0, 1, 3]);
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 1));
+        g.validate().unwrap();
+        // The spliced graph equals a from-scratch rebuild of the same edges.
+        let rebuilt = BipartiteGraph::from_edges(2, 4, g.edges().collect::<Vec<_>>()).unwrap();
+        assert_eq!(g, rebuilt);
+        // ...even though their epochs differ (equality is structural).
+        assert_ne!(g.epoch(), rebuilt.epoch());
+    }
+
+    #[test]
+    fn apply_batch_is_idempotent_at_the_edge_level() {
+        let mut g = toy();
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(0, 0).remove_edge(0, 3).remove_edge(0, 3);
+        let applied = g.apply_update_batch(&batch).unwrap();
+        assert!(applied.is_noop(), "replayed ops must not dirty the graph");
+        assert_eq!(g.epoch(), 0, "a no-op batch must not bump the epoch");
+        assert_eq!(g, toy());
+    }
+
+    #[test]
+    fn apply_batch_add_vertex_grows_layers() {
+        let mut g = toy();
+        let mut batch = UpdateBatch::new();
+        batch
+            .add_vertex(Layer::Upper)
+            .add_vertex(Layer::Lower)
+            .add_edge(2, 4)
+            .add_edge(2, 0);
+        let applied = g.apply_update_batch(&batch).unwrap();
+        assert_eq!(applied.vertices_added_upper, 1);
+        assert_eq!(applied.vertices_added_lower, 1);
+        assert_eq!(g.n_upper(), 3);
+        assert_eq!(g.n_lower(), 5);
+        assert_eq!(g.neighbors(Layer::Upper, 2), &[0, 4]);
+        assert_eq!(g.neighbors(Layer::Lower, 4), &[2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_batch_rejects_out_of_range_atomically() {
+        let mut g = toy();
+        let before = g.clone();
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(0, 3).add_edge(9, 0);
+        let err = g.apply_update_batch(&batch).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+        assert_eq!(g, before, "a failed batch must leave the graph untouched");
+        assert_eq!(g.epoch(), 0);
+        assert!(!g.has_edge(0, 3), "no partial application");
+    }
+
+    #[test]
+    fn apply_batch_last_delta_wins_within_a_batch() {
+        let mut g = toy();
+        let mut batch = UpdateBatch::new();
+        batch.push(GraphDelta::AddEdge { upper: 0, lower: 3 });
+        batch.push(GraphDelta::RemoveEdge { upper: 0, lower: 3 });
+        let applied = g.apply_update_batch(&batch).unwrap();
+        assert!(applied.is_noop());
+        assert!(!g.has_edge(0, 3));
+
+        let mut batch = UpdateBatch::new();
+        batch.remove_edge(0, 0).add_edge(0, 0);
+        let applied = g.apply_update_batch(&batch).unwrap();
+        assert!(applied.is_noop());
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn apply_batch_sequence_matches_rebuild() {
+        // A handful of sequential batches lands on the same structure as a
+        // single from-scratch build of the surviving edge set.
+        let mut g = BipartiteGraph::from_edges(3, 3, [(0, 0), (1, 1), (2, 2)]).unwrap();
+        let mut b1 = UpdateBatch::new();
+        b1.add_edge(0, 1).add_edge(0, 2).remove_edge(2, 2);
+        g.apply_update_batch(&b1).unwrap();
+        let mut b2 = UpdateBatch::new();
+        b2.add_vertex(Layer::Upper).add_edge(3, 0).add_edge(3, 2);
+        g.apply_update_batch(&b2).unwrap();
+        let mut b3 = UpdateBatch::new();
+        b3.remove_edge(0, 0).add_edge(2, 1);
+        g.apply_update_batch(&b3).unwrap();
+        assert_eq!(g.epoch(), 3);
+        let rebuilt =
+            BipartiteGraph::from_edges(4, 3, [(0, 1), (0, 2), (1, 1), (2, 1), (3, 0), (3, 2)])
+                .unwrap();
+        assert_eq!(g, rebuilt);
+        g.validate().unwrap();
     }
 }

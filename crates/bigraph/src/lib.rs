@@ -4,9 +4,12 @@
 //! graph algorithms that the privacy-preserving common-neighborhood estimators in
 //! the [`cne`] crate are built upon.
 //!
-//! The central type is [`BipartiteGraph`], an immutable CSR-style adjacency
-//! structure over two vertex layers (*upper* and *lower*). Graphs are assembled
-//! with [`GraphBuilder`], which deduplicates edges and validates layer membership.
+//! The central type is [`BipartiteGraph`], a CSR-style adjacency structure
+//! over two vertex layers (*upper* and *lower*). Graphs are assembled with
+//! [`GraphBuilder`], which deduplicates edges and validates layer membership,
+//! and mutate under live traffic through epoch-counted
+//! [`UpdateBatch`]es of edge/vertex deltas that are spliced into the CSR
+//! arrays without a full rebuild ([`delta`]).
 //!
 //! Beyond storage, the crate implements the exact operators that the paper's
 //! evaluation needs as ground truth and as downstream applications:
@@ -46,6 +49,7 @@ pub mod bicliques;
 pub mod bitset;
 pub mod builder;
 pub mod common_neighbors;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod motifs;
@@ -56,6 +60,7 @@ pub mod vertex;
 
 pub use bitset::PackedSet;
 pub use builder::GraphBuilder;
+pub use delta::{AppliedBatch, GraphDelta, UpdateBatch, UpdateLog};
 pub use error::{GraphError, Result};
 pub use graph::BipartiteGraph;
 pub use vertex::{Layer, VertexId};

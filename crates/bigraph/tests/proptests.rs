@@ -1,7 +1,8 @@
 //! Property-based tests for the bipartite graph substrate.
 
 use bigraph::{
-    bitset, common_neighbors, motifs, projection, stats, BipartiteGraph, GraphBuilder, Layer,
+    bitset, common_neighbors, motifs, projection, stats, BipartiteGraph, GraphBuilder, GraphDelta,
+    Layer, UpdateBatch,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -141,6 +142,130 @@ proptest! {
         g.validate().unwrap();
         for (u, v) in edges {
             prop_assert!(g.has_edge(u, v));
+        }
+    }
+}
+
+/// Strategy producing raw delta descriptors over a vertex-id space that may
+/// exceed the base layer sizes: `(kind, a, b)` where kind 0/1 are edge
+/// add/remove and 2/3 are vertex additions. Out-of-range edge deltas are
+/// filtered against the sizes *at their point in the sequence* when the
+/// batches are materialized, mirroring a producer that only emits valid ids.
+fn arb_deltas() -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    prop::collection::vec((0u8..4, 0u32..24, 0u32..24), 0..80)
+}
+
+/// Materializes raw delta descriptors into batches of at most `chunk`
+/// deltas, tracking the growing layer sizes so every emitted edge delta is
+/// in range, and maintaining the expected surviving edge set alongside.
+fn materialize(
+    nu: usize,
+    nl: usize,
+    raw: &[(u8, u32, u32)],
+    chunk: usize,
+    initial: &HashSet<(u32, u32)>,
+) -> (Vec<UpdateBatch>, usize, usize, HashSet<(u32, u32)>) {
+    let (mut n_upper, mut n_lower) = (nu, nl);
+    let mut expected = initial.clone();
+    let mut batches = Vec::new();
+    let mut current = UpdateBatch::new();
+    for &(kind, a, b) in raw {
+        let delta = match kind {
+            0 | 1 => {
+                let (u, v) = (a % n_upper as u32, b % n_lower as u32);
+                if kind == 0 {
+                    expected.insert((u, v));
+                    GraphDelta::AddEdge { upper: u, lower: v }
+                } else {
+                    expected.remove(&(u, v));
+                    GraphDelta::RemoveEdge { upper: u, lower: v }
+                }
+            }
+            2 => {
+                n_upper += 1;
+                GraphDelta::AddVertex {
+                    layer: Layer::Upper,
+                }
+            }
+            _ => {
+                n_lower += 1;
+                GraphDelta::AddVertex {
+                    layer: Layer::Lower,
+                }
+            }
+        };
+        current.push(delta);
+        if current.len() >= chunk {
+            batches.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    (batches, n_upper, n_lower, expected)
+}
+
+proptest! {
+    /// Any interleaving of update batches lands on exactly the graph built
+    /// from scratch over the surviving edge set — regardless of how the
+    /// delta stream is chunked into batches.
+    #[test]
+    fn update_batches_equal_rebuild(
+        (nu, nl, edges) in arb_graph(),
+        raw in arb_deltas(),
+        chunk in 1usize..12,
+    ) {
+        let initial: HashSet<(u32, u32)> = edges.iter().copied().collect();
+        let mut g = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        let (batches, n_upper, n_lower, expected) =
+            materialize(nu, nl, &raw, chunk, &initial);
+        for batch in &batches {
+            let applied = g.apply_update_batch(batch).unwrap();
+            g.validate().unwrap();
+            prop_assert_eq!(applied.epoch, g.epoch());
+        }
+        prop_assert_eq!(g.n_upper(), n_upper);
+        prop_assert_eq!(g.n_lower(), n_lower);
+        let mut survivors: Vec<_> = expected.iter().copied().collect();
+        survivors.sort_unstable();
+        let rebuilt = BipartiteGraph::from_edges(n_upper, n_lower, survivors).unwrap();
+        prop_assert_eq!(&g, &rebuilt);
+
+        // Chunking the same stream differently must not change the result.
+        let mut g2 =
+            BipartiteGraph::from_edges(nu, nl, initial.iter().copied().collect::<Vec<_>>())
+                .unwrap();
+        let (batches2, ..) = materialize(nu, nl, &raw, usize::MAX, &initial);
+        for batch in &batches2 {
+            g2.apply_update_batch(batch).unwrap();
+        }
+        prop_assert_eq!(&g2, &rebuilt);
+    }
+
+    /// The touched sets of an applied batch cover exactly the vertices whose
+    /// adjacency changed.
+    #[test]
+    fn touched_sets_are_precise(
+        (nu, nl, edges) in arb_graph(),
+        raw in arb_deltas(),
+    ) {
+        let initial: HashSet<(u32, u32)> = edges.iter().copied().collect();
+        let before = BipartiteGraph::from_edges(nu, nl, edges).unwrap();
+        let mut g = before.clone();
+        let (batches, ..) = materialize(nu, nl, &raw, usize::MAX, &initial);
+        let Some(batch) = batches.first() else { return Ok(()); };
+        let applied = g.apply_update_batch(batch).unwrap();
+        for layer in [Layer::Upper, Layer::Lower] {
+            let touched = applied.touched(layer);
+            prop_assert!(touched.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+            for v in 0..before.layer_size(layer) as u32 {
+                let changed = before.neighbors(layer, v) != g.neighbors(layer, v);
+                prop_assert_eq!(
+                    touched.binary_search(&v).is_ok(),
+                    changed,
+                    "layer {} vertex {}", layer, v
+                );
+            }
         }
     }
 }

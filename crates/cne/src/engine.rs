@@ -63,10 +63,10 @@
 //!
 //! # Cache lifecycle
 //!
-//! The store is immutable-after-init per slot: each vertex's bitmap is built
-//! on first use (from any thread — slots are [`std::sync::OnceLock`]s) and
-//! never invalidated, which is sound because [`bigraph::BipartiteGraph`] is
-//! immutable. A store must only ever be used with the graph it was created
+//! The store is immutable-after-init per slot *between update batches*:
+//! each vertex's bitmap is built on first use (from any thread — slots are
+//! [`std::sync::OnceLock`]s) and only dropped when an update batch touches
+//! its vertex. A store must only ever be used with the graph it was created
 //! for; [`EstimationEngine`] enforces that pairing by construction. Sparse
 //! vertices never get packed at all — the degree-aware dispatch only consults
 //! the cache for vertices dense enough that popcount beats per-id probing —
@@ -75,6 +75,59 @@
 //! pre-build a layer's *dense* vertices up front (sparse ones are skipped —
 //! no query path ever reads their bitmaps), e.g. before latency-sensitive
 //! serving.
+//!
+//! # Mutation & invalidation lifecycle
+//!
+//! Edges arrive and retire while the curator keeps serving: the graph side
+//! is an epoch-counted [`bigraph::delta::UpdateBatch`] spliced in place by
+//! [`bigraph::BipartiteGraph::apply_update_batch`], and
+//! [`EstimationEngine::apply_updates`] is the engine-side transaction that
+//! keeps the cache coherent with it. The lifecycle per applied batch:
+//!
+//! 1. **Validate, then splice.** The batch is validated against the current
+//!    graph first; a rejected batch leaves graph, cache, and generation
+//!    untouched. A valid batch lands in one merge pass over the CSR arrays.
+//! 2. **Precise invalidation.** Only the *touched* vertices' cached
+//!    [`PackedSet`]s are dropped ([`AdjacencyStore::invalidate_applied`]);
+//!    every other entry stays warm. Cached [`LayerStats`] are cleared (any
+//!    edge moves both layers' degree distributions). The one coarse case is
+//!    vertex addition: growing a layer grows the bitmap universe of the
+//!    *opposite* layer, so that layer's entries are all dropped — their
+//!    word counts no longer match a fresh pack.
+//! 3. **Epochs.** Every slot is tagged with the store epoch it was built
+//!    at ([`AdjacencyStore::entry_epoch`]); invalidation advances the store
+//!    epoch to the graph's. Because every touched entry is dropped, a
+//!    cached entry is always bit-identical to a fresh pack of the current
+//!    adjacency — the **determinism contract survives mutation**: after any
+//!    update sequence, engine estimates are byte-identical to a cold engine
+//!    built on the post-update graph (property-tested in
+//!    `tests/streaming_updates.rs`).
+//! 4. **Generations.** Effective batches bump
+//!    [`EstimationEngine::generation`]. Readers that derive state from
+//!    query results (candidate sets, rankings) snapshot the generation and
+//!    re-check it via [`EstimationEngine::check_generation`] or the
+//!    [`EstimationEngine::estimate_at`] /
+//!    [`EstimationEngine::estimate_batch_at`] guards, turning
+//!    read-your-stale-writes races into explicit
+//!    [`CneError::StaleGeneration`] retries.
+//!
+//! # Bounded caches (LRU eviction)
+//!
+//! Graphs too large to cache every dense vertex use
+//! [`AdjacencyStore::with_byte_cap`] (engine:
+//! [`EstimationEngine::with_cache_budget`]): built bitmaps are byte-
+//! accounted, and an insertion that would exceed the cap is *declined* —
+//! the query falls back to scratch packing, so results never depend on
+//! admission decisions, and the accounting compare-exchange guarantees the
+//! budget is never exceeded, not even transiently. Every read stamps its
+//! slot with a monotonic recency tick; [`AdjacencyStore::maintain`] (run
+//! automatically at the end of every `apply_updates`, or manually via
+//! [`EstimationEngine::maintain_cache`]) reacts to declined admissions by
+//! evicting least-recently-stamped entries until a quarter of the budget is
+//! free, letting the current hot set in. Eviction, like invalidation,
+//! cannot change any estimate — only where the bits are counted from. The
+//! warm path stays allocation-free: recency stamps are relaxed atomic
+//! stores, and declined vertices pack into the worker's scratch arena.
 //!
 //! # Determinism contract
 //!
@@ -112,6 +165,7 @@ use crate::one_round::OneR;
 use crate::protocol::Query;
 use crate::single_source::MultiRSS;
 use bigraph::bitset::{PackScratch, PackedSet};
+use bigraph::delta::{AppliedBatch, UpdateBatch};
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
 use ldp::noisy_graph::NoisyNeighbors;
@@ -120,7 +174,9 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Aggregate degree statistics of one graph layer, computed once and cached.
@@ -136,68 +192,198 @@ pub struct LayerStats {
     pub mean_degree: f64,
 }
 
+/// One cache slot: the lazily built bitmap plus its bookkeeping tags.
+///
+/// `set` is initialized at most once between invalidations; `stamp` is a
+/// recency tick (updated relaxed on every read — the eviction policy's
+/// LRU signal) and `built_epoch` records the store epoch the bitmap was
+/// built at, so tests and debug assertions can prove an entry is fresh.
+#[derive(Debug, Default)]
+struct Slot {
+    set: OnceLock<PackedSet>,
+    stamp: AtomicU64,
+    built_epoch: AtomicU64,
+}
+
+/// Heap bytes of one packed bitmap over `universe` opposite-layer slots.
+fn slot_bytes(universe: usize) -> usize {
+    universe.div_ceil(64) * std::mem::size_of::<u64>()
+}
+
 /// A lazily built, shareable cache of bit-packed true adjacencies.
 ///
-/// One slot per vertex and layer; each slot is initialized at most once (on
-/// first use, from whichever thread gets there first) and then shared
-/// read-only. See the [module docs](self) for the cache lifecycle.
+/// One slot per vertex and layer; each slot is initialized at most once
+/// between invalidations (on first use, from whichever thread gets there
+/// first) and then shared read-only until the next update batch touches its
+/// vertex. Stores created with [`AdjacencyStore::with_byte_cap`] additionally
+/// enforce a hard byte budget: insertions past the cap are declined (the
+/// query falls back to scratch packing, bit-identically) and recorded as
+/// cache pressure, which the next [`AdjacencyStore::maintain`] call relieves
+/// by evicting the least-recently-used entries. See the
+/// [module docs](self) for the full mutation & invalidation lifecycle.
 #[derive(Debug)]
 pub struct AdjacencyStore {
-    upper: Vec<OnceLock<PackedSet>>,
-    lower: Vec<OnceLock<PackedSet>>,
+    upper: Vec<Slot>,
+    lower: Vec<Slot>,
     upper_stats: OnceLock<LayerStats>,
     lower_stats: OnceLock<LayerStats>,
+    /// Hard byte budget for built bitmaps (`None` = unbounded).
+    cap_bytes: Option<usize>,
+    /// Bytes currently accounted to built bitmaps. Never exceeds `cap_bytes`.
+    bytes_used: AtomicUsize,
+    /// Monotonic recency clock; every read stamps its slot with a fresh tick.
+    tick: AtomicU64,
+    /// Admissions declined since the last [`AdjacencyStore::maintain`].
+    declined: AtomicU64,
+    /// The store's view of the graph epoch (bumped by invalidation).
+    epoch: AtomicU64,
 }
 
 impl AdjacencyStore {
-    /// Creates an empty store sized for `g`. No bitmaps are built yet.
+    /// Creates an unbounded store sized for `g`. No bitmaps are built yet.
     #[must_use]
     pub fn new(g: &BipartiteGraph) -> Self {
+        Self::build(g, None)
+    }
+
+    /// Creates a store whose built bitmaps may never exceed `max_bytes` of
+    /// heap. Queries against vertices that cannot be admitted fall back to
+    /// scratch packing (bit-identical results); [`AdjacencyStore::maintain`]
+    /// evicts cold entries when admissions were declined.
+    #[must_use]
+    pub fn with_byte_cap(g: &BipartiteGraph, max_bytes: usize) -> Self {
+        Self::build(g, Some(max_bytes))
+    }
+
+    fn build(g: &BipartiteGraph, cap_bytes: Option<usize>) -> Self {
         let mut upper = Vec::new();
         let mut lower = Vec::new();
-        upper.resize_with(g.n_upper(), OnceLock::new);
-        lower.resize_with(g.n_lower(), OnceLock::new);
+        upper.resize_with(g.n_upper(), Slot::default);
+        lower.resize_with(g.n_lower(), Slot::default);
         Self {
             upper,
             lower,
             upper_stats: OnceLock::new(),
             lower_stats: OnceLock::new(),
+            cap_bytes,
+            bytes_used: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
+            declined: AtomicU64::new(0),
+            epoch: AtomicU64::new(g.epoch()),
         }
     }
 
-    fn slots(&self, layer: Layer) -> &[OnceLock<PackedSet>] {
+    fn slots(&self, layer: Layer) -> &[Slot] {
         match layer {
             Layer::Upper => &self.upper,
             Layer::Lower => &self.lower,
         }
     }
 
-    /// The packed true adjacency of vertex `v` on `layer`, built on first use.
-    ///
-    /// The bitmap ranges over the opposite layer (`universe =
-    /// g.layer_size(layer.opposite())`).
+    fn slots_mut(&mut self, layer: Layer) -> &mut Vec<Slot> {
+        match layer {
+            Layer::Upper => &mut self.upper,
+            Layer::Lower => &mut self.lower,
+        }
+    }
+
+    /// Reserves `cost` bytes against the cap. With a cap, the running total
+    /// is only ever advanced through a compare-exchange that re-checks the
+    /// budget, so `bytes_used` can never exceed `cap_bytes` — not even
+    /// transiently under concurrent admission races.
+    fn try_admit(&self, cost: usize) -> bool {
+        match self.cap_bytes {
+            None => {
+                self.bytes_used.fetch_add(cost, Ordering::Relaxed);
+                true
+            }
+            Some(cap) => {
+                let mut cur = self.bytes_used.load(Ordering::Relaxed);
+                loop {
+                    let Some(next) = cur.checked_add(cost).filter(|&n| n <= cap) else {
+                        self.declined.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    };
+                    match self.bytes_used.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return true,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The packed true adjacency of vertex `v` on `layer`, built on first
+    /// use — or `None` when the store is byte-capped and admitting this
+    /// bitmap would exceed the budget (the caller packs into scratch
+    /// instead; the count is identical either way). Reads stamp the slot's
+    /// recency tick for the LRU eviction policy.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range for `layer`, or if `g` is not the graph
     /// this store was created for (detected via a layer-size mismatch).
     #[must_use]
-    pub fn packed(&self, g: &BipartiteGraph, layer: Layer, v: VertexId) -> &PackedSet {
+    pub fn try_packed(&self, g: &BipartiteGraph, layer: Layer, v: VertexId) -> Option<&PackedSet> {
         let slots = self.slots(layer);
         assert_eq!(
             slots.len(),
             g.layer_size(layer),
             "AdjacencyStore used with a graph it was not built for"
         );
-        slots[v as usize].get_or_init(|| {
-            PackedSet::from_sorted(g.neighbors(layer, v), g.layer_size(layer.opposite()))
-        })
+        let slot = &slots[v as usize];
+        if let Some(set) = slot.set.get() {
+            slot.stamp.store(self.next_tick(), Ordering::Relaxed);
+            return Some(set);
+        }
+        let universe = g.layer_size(layer.opposite());
+        let cost = slot_bytes(universe);
+        if !self.try_admit(cost) {
+            return None;
+        }
+        let mut installed = false;
+        let set = slot.set.get_or_init(|| {
+            installed = true;
+            slot.built_epoch
+                .store(self.epoch.load(Ordering::Relaxed), Ordering::Relaxed);
+            PackedSet::from_sorted(g.neighbors(layer, v), universe)
+        });
+        if !installed {
+            // Lost the init race: the winner accounted the identical cost.
+            self.bytes_used.fetch_sub(cost, Ordering::Relaxed);
+        }
+        slot.stamp.store(self.next_tick(), Ordering::Relaxed);
+        Some(set)
     }
 
-    /// The bitmap for `v` if it has already been built, without building it.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// [`AdjacencyStore::try_packed`] for unbounded stores, where admission
+    /// never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the contract of [`AdjacencyStore::try_packed`], and
+    /// additionally if this store is byte-capped and the budget is
+    /// exhausted — capped callers should use `try_packed`.
+    #[must_use]
+    pub fn packed(&self, g: &BipartiteGraph, layer: Layer, v: VertexId) -> &PackedSet {
+        self.try_packed(g, layer, v)
+            .expect("adjacency store byte budget exhausted — use try_packed on capped stores")
+    }
+
+    /// The bitmap for `v` if it has already been built, without building it
+    /// (and without touching the recency stamp).
     #[must_use]
     pub fn cached(&self, layer: Layer, v: VertexId) -> Option<&PackedSet> {
-        self.slots(layer).get(v as usize).and_then(OnceLock::get)
+        self.slots(layer).get(v as usize).and_then(|s| s.set.get())
     }
 
     /// How many vertices of `layer` currently have a built bitmap.
@@ -205,20 +391,152 @@ impl AdjacencyStore {
     pub fn cached_count(&self, layer: Layer) -> usize {
         self.slots(layer)
             .iter()
-            .filter(|slot| slot.get().is_some())
+            .filter(|slot| slot.set.get().is_some())
             .count()
+    }
+
+    /// Heap bytes currently held by built bitmaps. With a byte cap this
+    /// never exceeds [`AdjacencyStore::byte_cap`].
+    #[must_use]
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used.load(Ordering::Relaxed)
+    }
+
+    /// The configured byte budget, if any.
+    #[must_use]
+    pub fn byte_cap(&self) -> Option<usize> {
+        self.cap_bytes
+    }
+
+    /// The store's epoch: its view of the graph mutation counter, advanced
+    /// by [`AdjacencyStore::invalidate_applied`].
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The store epoch the cached bitmap of `v` was built at, if one is
+    /// currently built. An entry's epoch always equals the epoch of some
+    /// state in which its vertex's adjacency was identical to now —
+    /// invalidation drops every touched entry, so stale tags cannot occur.
+    #[must_use]
+    pub fn entry_epoch(&self, layer: Layer, v: VertexId) -> Option<u64> {
+        let slot = self.slots(layer).get(v as usize)?;
+        slot.set
+            .get()
+            .map(|_| slot.built_epoch.load(Ordering::Relaxed))
     }
 
     /// Pre-builds the bitmaps of every *dense* vertex on `layer` — those the
     /// degree-aware dispatch ([`ProtocolEnv::true_intersection_with`]) will
     /// actually read. Sparse vertices are skipped: their queries take the
     /// probe path, so packing them would only burn memory
-    /// (`⌈universe/64⌉ · 8` bytes each) that no query ever touches.
+    /// (`⌈universe/64⌉ · 8` bytes each) that no query ever touches. On a
+    /// byte-capped store, warming stops admitting once the budget is full
+    /// (highest-degree vertices are *not* prioritized — warm order is id
+    /// order).
     pub fn warm(&self, g: &BipartiteGraph, layer: Layer) {
         let words = g.layer_size(layer.opposite()).div_ceil(64);
         for v in 0..g.layer_size(layer) as VertexId {
             if g.degree(layer, v) > 2 * words {
-                let _ = self.packed(g, layer, v);
+                let _ = self.try_packed(g, layer, v);
+            }
+        }
+    }
+
+    /// Applies the receipt of an update batch: grows the slot tables for
+    /// appended vertices, drops exactly the cached bitmaps the batch
+    /// invalidated, refreshes the epoch, and clears the cached layer stats.
+    ///
+    /// Invalidation is *precise* for edge updates — only the touched
+    /// vertices' entries are dropped; everything else stays warm. The one
+    /// coarse case is vertex addition: appending a vertex to a layer grows
+    /// the universe every *opposite*-layer bitmap ranges over, so those
+    /// entries are all dropped (their word counts no longer match a
+    /// fresh pack). Ends with [`AdjacencyStore::maintain`] so a capped
+    /// store under pressure frees headroom in the same step.
+    pub fn invalidate_applied(&mut self, g: &BipartiteGraph, applied: &AppliedBatch) {
+        if applied.is_noop() {
+            return;
+        }
+        for layer in [Layer::Upper, Layer::Lower] {
+            let n = g.layer_size(layer);
+            let slots = self.slots_mut(layer);
+            assert!(
+                slots.len() <= n,
+                "AdjacencyStore invalidated against a graph it was not built for"
+            );
+            slots.resize_with(n, Slot::default);
+        }
+        for layer in [Layer::Upper, Layer::Lower] {
+            let mut freed = 0usize;
+            if applied.vertices_added(layer.opposite()) > 0 {
+                // This layer's bitmaps range over the opposite layer, which
+                // just grew: none of them match a fresh pack any more, so
+                // the whole layer drops (touched or not).
+                for slot in self.slots_mut(layer).iter_mut() {
+                    if let Some(set) = slot.set.take() {
+                        freed += std::mem::size_of_val(set.as_words());
+                        *slot.stamp.get_mut() = 0;
+                    }
+                }
+            } else {
+                // Universe unchanged: drop exactly the touched vertices.
+                let touched = applied.touched(layer);
+                let slots = self.slots_mut(layer);
+                for &v in touched {
+                    if let Some(set) = slots[v as usize].set.take() {
+                        freed += std::mem::size_of_val(set.as_words());
+                        *slots[v as usize].stamp.get_mut() = 0;
+                    }
+                }
+            }
+            *self.bytes_used.get_mut() -= freed;
+        }
+        // Degree distributions shifted on both layers (every edge has one
+        // endpoint in each), so both stat caches are stale.
+        self.upper_stats = OnceLock::new();
+        self.lower_stats = OnceLock::new();
+        *self.epoch.get_mut() = g.epoch();
+        self.maintain();
+    }
+
+    /// Relieves cache pressure on a byte-capped store: if any admission was
+    /// declined since the last call, evicts least-recently-stamped entries
+    /// until a quarter of the budget is free, so the current hot set can be
+    /// admitted on its next read. A no-op on unbounded stores and when no
+    /// admission was declined. Never exceeds — only lowers — `bytes_used`.
+    pub fn maintain(&mut self) {
+        let Some(cap) = self.cap_bytes else {
+            return;
+        };
+        if *self.declined.get_mut() == 0 {
+            return;
+        }
+        *self.declined.get_mut() = 0;
+        let target = cap - cap / 4;
+        if *self.bytes_used.get_mut() <= target {
+            return;
+        }
+        // Coldest-first eviction order over every built entry.
+        let mut entries: Vec<(u64, Layer, usize)> = Vec::new();
+        for layer in [Layer::Upper, Layer::Lower] {
+            for (i, slot) in self.slots_mut(layer).iter_mut().enumerate() {
+                if slot.set.get().is_some() {
+                    entries.push((*slot.stamp.get_mut(), layer, i));
+                }
+            }
+        }
+        entries.sort_unstable();
+        for (_, layer, i) in entries {
+            if *self.bytes_used.get_mut() <= target {
+                break;
+            }
+            let slot = &mut self.slots_mut(layer)[i];
+            if let Some(set) = slot.set.take() {
+                let freed = std::mem::size_of_val(set.as_words());
+                *slot.stamp.get_mut() = 0;
+                *self.bytes_used.get_mut() -= freed;
             }
         }
     }
@@ -299,7 +617,11 @@ impl<'a> ProtocolEnv<'a> {
         if let Some(store) = self.store {
             let words = other.universe().div_ceil(64);
             if neighbors.len() > 2 * words {
-                return store.packed(self.graph, layer, v).intersection_size(other);
+                // A byte-capped store may decline to cache; the fall-through
+                // packs on the fly and counts the identical set.
+                if let Some(packed) = store.try_packed(self.graph, layer, v) {
+                    return packed.intersection_size(other);
+                }
             }
         }
         bigraph::bitset::intersection_size_degree_aware(neighbors, other)
@@ -321,7 +643,9 @@ impl<'a> ProtocolEnv<'a> {
         if let Some(store) = self.store {
             let words = other.universe().div_ceil(64);
             if neighbors.len() > 2 * words {
-                return store.packed(self.graph, layer, v).intersection_size(other);
+                if let Some(packed) = store.try_packed(self.graph, layer, v) {
+                    return packed.intersection_size(other);
+                }
             }
         }
         bigraph::bitset::intersection_size_degree_aware_into(neighbors, other, &mut scratch.pack)
@@ -603,29 +927,73 @@ pub fn run_detailed(
 }
 
 /// The persistent curator-side service facade: one graph, one warm
-/// [`AdjacencyStore`], any number of queries.
+/// [`AdjacencyStore`], any number of queries — and, for engines that own
+/// their graph, streaming mutation through
+/// [`EstimationEngine::apply_updates`].
 ///
-/// See the [module docs](self) for the cache lifecycle, the determinism
-/// contract, and the sharding story.
+/// See the [module docs](self) for the cache lifecycle, the mutation &
+/// invalidation lifecycle, the determinism contract, and the sharding
+/// story.
 pub struct EstimationEngine<'g> {
-    graph: &'g BipartiteGraph,
+    graph: Cow<'g, BipartiteGraph>,
     store: AdjacencyStore,
+    generation: u64,
 }
 
 impl<'g> EstimationEngine<'g> {
-    /// Creates an engine for `graph` with a cold (empty) adjacency cache.
+    /// Creates an engine borrowing `graph`, with a cold (empty, unbounded)
+    /// adjacency cache.
+    ///
+    /// A borrowed engine can still [`apply_updates`](Self::apply_updates),
+    /// but the first update clones the graph (copy-on-write); streaming
+    /// services should construct with [`EstimationEngine::from_graph`]
+    /// instead, which owns the graph and mutates it in place.
     #[must_use]
     pub fn new(graph: &'g BipartiteGraph) -> Self {
+        Self::build(Cow::Borrowed(graph), None)
+    }
+
+    /// [`EstimationEngine::new`] with a hard byte budget on the adjacency
+    /// cache (see [`AdjacencyStore::with_byte_cap`]): for graphs too large
+    /// to cache every dense vertex, the store stays within `max_bytes` and
+    /// serves the rest via scratch packing, bit-identically.
+    #[must_use]
+    pub fn with_cache_budget(graph: &'g BipartiteGraph, max_bytes: usize) -> Self {
+        Self::build(Cow::Borrowed(graph), Some(max_bytes))
+    }
+
+    /// Creates an engine that owns `graph`, so update batches splice the
+    /// CSR arrays in place with no copy.
+    #[must_use]
+    pub fn from_graph(graph: BipartiteGraph) -> EstimationEngine<'static> {
+        EstimationEngine::build(Cow::Owned(graph), None)
+    }
+
+    /// [`EstimationEngine::from_graph`] with a byte-capped adjacency cache.
+    #[must_use]
+    pub fn from_graph_with_cache_budget(
+        graph: BipartiteGraph,
+        max_bytes: usize,
+    ) -> EstimationEngine<'static> {
+        EstimationEngine::build(Cow::Owned(graph), Some(max_bytes))
+    }
+
+    fn build(graph: Cow<'g, BipartiteGraph>, cap: Option<usize>) -> Self {
+        let store = match cap {
+            None => AdjacencyStore::new(graph.as_ref()),
+            Some(max_bytes) => AdjacencyStore::with_byte_cap(graph.as_ref(), max_bytes),
+        };
         Self {
             graph,
-            store: AdjacencyStore::new(graph),
+            store,
+            generation: 0,
         }
     }
 
-    /// The graph this engine serves.
+    /// The graph this engine serves (in its current generation).
     #[must_use]
-    pub fn graph(&self) -> &'g BipartiteGraph {
-        self.graph
+    pub fn graph(&self) -> &BipartiteGraph {
+        self.graph.as_ref()
     }
 
     /// The engine's adjacency cache.
@@ -634,24 +1002,89 @@ impl<'g> EstimationEngine<'g> {
         &self.store
     }
 
+    /// The engine's generation: how many effective update batches have been
+    /// applied since construction. Readers snapshot this before deriving
+    /// state from query results (candidate sets, rankings) and re-check it
+    /// with [`EstimationEngine::check_generation`] — or query through the
+    /// `*_at` variants — to detect that updates intervened.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Verifies that a reader's generation snapshot is still current.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CneError::StaleGeneration`] when update batches have been
+    /// applied since the snapshot was taken.
+    pub fn check_generation(&self, observed: u64) -> Result<()> {
+        if observed == self.generation {
+            Ok(())
+        } else {
+            Err(CneError::StaleGeneration {
+                observed,
+                current: self.generation,
+            })
+        }
+    }
+
+    /// Applies a batch of streaming edge/vertex updates: splices the graph
+    /// CSR in place ([`BipartiteGraph::apply_update_batch`]), precisely
+    /// invalidates the touched vertices' cached bitmaps and the layer
+    /// stats ([`AdjacencyStore::invalidate_applied`]), and — if anything
+    /// changed — advances the engine generation.
+    ///
+    /// Validation is transactional: a rejected batch leaves graph, cache,
+    /// and generation untouched. On an engine built over a *borrowed* graph
+    /// the first effective update copies the graph (copy-on-write); build
+    /// with [`EstimationEngine::from_graph`] to stream without copies.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BipartiteGraph::apply_update_batch`].
+    pub fn apply_updates(&mut self, batch: &UpdateBatch) -> Result<AppliedBatch> {
+        // On a borrowed engine, validate *before* to_mut so a rejected
+        // batch doesn't clone the graph just to fail. Owned engines skip
+        // this — apply_update_batch performs the same check transactionally.
+        if matches!(self.graph, Cow::Borrowed(_)) {
+            batch.validate(self.graph.as_ref())?;
+        }
+        let graph = self.graph.to_mut();
+        let applied = graph.apply_update_batch(batch)?;
+        self.store.invalidate_applied(graph, &applied);
+        if !applied.is_noop() {
+            self.generation += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Relieves adjacency-cache pressure on a byte-capped engine by
+    /// evicting least-recently-used bitmaps (see
+    /// [`AdjacencyStore::maintain`]). Also runs automatically at the end of
+    /// every [`EstimationEngine::apply_updates`].
+    pub fn maintain_cache(&mut self) {
+        self.store.maintain();
+    }
+
     /// Pre-builds the packed adjacency of every dense vertex on `layer`
     /// (the only bitmaps queries read — see [`AdjacencyStore::warm`]), so
     /// the first query is as fast as the thousandth. Returns `&self` so
     /// warming chains off construction.
     pub fn warm(&self, layer: Layer) -> &Self {
-        self.store.warm(self.graph, layer);
+        self.store.warm(self.graph.as_ref(), layer);
         self
     }
 
     /// Degree statistics of `layer` (computed once, then cached).
     pub fn layer_stats(&self, layer: Layer) -> LayerStats {
-        self.store.stats(self.graph, layer)
+        self.store.stats(self.graph.as_ref(), layer)
     }
 
     /// The cached environment engine-routed protocol runs execute in.
     #[must_use]
     pub fn env(&self) -> ProtocolEnv<'_> {
-        ProtocolEnv::cached(self.graph, &self.store)
+        ProtocolEnv::cached(self.graph.as_ref(), &self.store)
     }
 
     /// Runs `kind` with its default parameters on one query pair.
@@ -738,6 +1171,47 @@ impl<'g> EstimationEngine<'g> {
         rng: &mut dyn RngCore,
     ) -> Result<BatchReport> {
         algo.estimate_batch_in(self.env(), layer, target, candidates, epsilon, rng)
+    }
+
+    /// [`EstimationEngine::estimate`] guarded by a generation snapshot: the
+    /// query only runs if no update batch has landed since the reader
+    /// observed `generation` (typically when it picked the query pair).
+    ///
+    /// # Errors
+    ///
+    /// [`CneError::StaleGeneration`] when updates intervened; otherwise the
+    /// contract of [`EstimationEngine::estimate`].
+    pub fn estimate_at(
+        &self,
+        generation: u64,
+        query: &Query,
+        kind: AlgorithmKind,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<EstimateReport> {
+        self.check_generation(generation)?;
+        self.estimate(query, kind, epsilon, rng)
+    }
+
+    /// [`EstimationEngine::estimate_batch`] guarded by a generation
+    /// snapshot (see [`EstimationEngine::estimate_at`]): the batch only
+    /// runs if the candidate list was derived from the current graph.
+    ///
+    /// # Errors
+    ///
+    /// [`CneError::StaleGeneration`] when updates intervened; otherwise the
+    /// contract of [`EstimationEngine::estimate_batch`].
+    pub fn estimate_batch_at(
+        &self,
+        generation: u64,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<BatchReport> {
+        self.check_generation(generation)?;
+        self.estimate_batch(layer, target, candidates, epsilon, rng)
     }
 
     /// Sharded batch estimation: every target in `targets` is estimated
@@ -1058,6 +1532,212 @@ mod tests {
             .estimate_batch(Layer::Upper, 0, &[1, 2, 3], 2.0, &mut rng)
             .unwrap();
         assert_eq!(engine.store().cached_count(Layer::Upper), 0);
+    }
+
+    /// Universe 64 → 1 packed word (8 bytes) per upper bitmap; all three
+    /// upper vertices are dense (degree > 2).
+    fn dense_small_graph() -> BipartiteGraph {
+        let edges = (0..40u32)
+            .map(|v| (0u32, v))
+            .chain((20..60u32).map(|v| (1u32, v)))
+            .chain((0..30u32).map(|v| (2u32, v)));
+        BipartiteGraph::from_edges(3, 64, edges).unwrap()
+    }
+
+    #[test]
+    fn byte_capped_store_declines_and_falls_back() {
+        let g = dense_small_graph();
+        // Room for exactly two 8-byte upper bitmaps.
+        let store = AdjacencyStore::with_byte_cap(&g, 16);
+        assert_eq!(store.byte_cap(), Some(16));
+        assert!(store.try_packed(&g, Layer::Upper, 0).is_some());
+        assert!(store.try_packed(&g, Layer::Upper, 1).is_some());
+        assert_eq!(store.bytes_used(), 16);
+        // The third admission is declined, and the budget holds.
+        assert!(store.try_packed(&g, Layer::Upper, 2).is_none());
+        assert_eq!(store.bytes_used(), 16);
+        assert_eq!(store.cached_count(Layer::Upper), 2);
+        // Declined vertices still answer correctly through the env fallback.
+        let env = ProtocolEnv::cached(&g, &store);
+        let other = PackedSet::from_sorted(&(0..64).collect::<Vec<u32>>(), 64);
+        assert_eq!(env.true_intersection_with(Layer::Upper, 2, &other), 30);
+        assert!(
+            store.packed(&g, Layer::Upper, 0).len() == 40,
+            "packed() still works for admitted slots"
+        );
+    }
+
+    #[test]
+    fn maintain_evicts_cold_entries_after_pressure() {
+        let g = dense_small_graph();
+        let mut store = AdjacencyStore::with_byte_cap(&g, 16);
+        let _ = store.try_packed(&g, Layer::Upper, 0);
+        let _ = store.try_packed(&g, Layer::Upper, 1);
+        // Touch 1 again so vertex 0 is the cold one.
+        let _ = store.try_packed(&g, Layer::Upper, 1);
+        assert!(store.try_packed(&g, Layer::Upper, 2).is_none());
+        store.maintain();
+        // A quarter of the 16-byte budget must be free: the coldest entry
+        // (vertex 0) was evicted, the hot one kept.
+        assert!(store.bytes_used() <= 12);
+        assert!(store.cached(Layer::Upper, 0).is_none());
+        assert!(store.cached(Layer::Upper, 1).is_some());
+        // The pressured vertex can now be admitted.
+        assert!(store.try_packed(&g, Layer::Upper, 2).is_some());
+        assert!(store.bytes_used() <= 16);
+        // Without new pressure, maintain is a no-op.
+        let before = store.bytes_used();
+        store.maintain();
+        assert_eq!(store.bytes_used(), before);
+    }
+
+    #[test]
+    fn invalidation_is_precise_for_edge_updates() {
+        let g0 = dense_small_graph();
+        let mut engine = EstimationEngine::from_graph(g0);
+        engine.warm(Layer::Upper);
+        assert_eq!(engine.store().cached_count(Layer::Upper), 3);
+        assert_eq!(engine.store().entry_epoch(Layer::Upper, 0), Some(0));
+        let mut batch = bigraph::UpdateBatch::new();
+        batch.add_edge(1, 0).remove_edge(2, 0);
+        let applied = engine.apply_updates(&batch).unwrap();
+        assert_eq!(applied.touched_upper, vec![1, 2]);
+        // Vertex 0's bitmap survived; 1 and 2 were dropped.
+        assert!(engine.store().cached(Layer::Upper, 0).is_some());
+        assert!(engine.store().cached(Layer::Upper, 1).is_none());
+        assert!(engine.store().cached(Layer::Upper, 2).is_none());
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.store().epoch(), engine.graph().epoch());
+        // Rebuilt entries carry the new epoch tag.
+        engine.warm(Layer::Upper);
+        assert_eq!(engine.store().entry_epoch(Layer::Upper, 0), Some(0));
+        assert_eq!(engine.store().entry_epoch(Layer::Upper, 1), Some(1));
+        // And the rebuilt bitmap reflects the update.
+        assert!(engine.store().cached(Layer::Upper, 1).unwrap().contains(0));
+        assert!(!engine.store().cached(Layer::Upper, 2).unwrap().contains(0));
+    }
+
+    #[test]
+    fn vertex_addition_drops_opposite_layer_bitmaps() {
+        let mut engine = EstimationEngine::from_graph(dense_small_graph());
+        engine.warm(Layer::Upper);
+        assert_eq!(engine.store().cached_count(Layer::Upper), 3);
+        let mut batch = bigraph::UpdateBatch::new();
+        // Growing the lower layer grows every upper bitmap's universe.
+        batch.add_vertex(Layer::Lower).add_edge(0, 64);
+        engine.apply_updates(&batch).unwrap();
+        assert_eq!(engine.store().cached_count(Layer::Upper), 0);
+        assert_eq!(engine.store().bytes_used(), 0);
+        assert_eq!(engine.graph().n_lower(), 65);
+        // Rebuilt bitmaps range over the new universe.
+        engine.warm(Layer::Upper);
+        assert_eq!(
+            engine.store().cached(Layer::Upper, 0).unwrap().universe(),
+            65
+        );
+    }
+
+    #[test]
+    fn same_layer_touched_entries_drop_even_when_that_layer_grew() {
+        // Regression: a batch that both adds a vertex on a layer *and*
+        // touches edges of that layer's existing vertices must drop the
+        // touched entries — the coarse opposite-layer drop for the grown
+        // universe must not swallow the same-layer precise invalidation.
+        let mut engine = EstimationEngine::from_graph(dense_small_graph());
+        engine.warm(Layer::Upper);
+        assert_eq!(engine.store().cached_count(Layer::Upper), 3);
+        let mut batch = bigraph::UpdateBatch::new();
+        batch.add_vertex(Layer::Upper).add_edge(0, 63);
+        engine.apply_updates(&batch).unwrap();
+        assert!(
+            engine.store().cached(Layer::Upper, 0).is_none(),
+            "touched upper vertex must be invalidated despite the upper-layer growth"
+        );
+        // And the rebuilt bitmap sees the new edge.
+        engine.warm(Layer::Upper);
+        assert!(engine.store().cached(Layer::Upper, 0).unwrap().contains(63));
+        // Lower bitmaps (universe grew: 3 -> 4 upper vertices) were dropped.
+        assert_eq!(engine.store().cached_count(Layer::Lower), 0);
+    }
+
+    #[test]
+    fn capped_store_serves_single_source_queries_without_panicking() {
+        // Regression: MultiR-SS/DS route dense sources through
+        // single_source_value_env, which must fall back (not panic) when a
+        // byte-capped store declines to cache the source.
+        let g = dense_small_graph();
+        let capped = EstimationEngine::with_cache_budget(&g, 8); // one bitmap
+        let unbounded = EstimationEngine::new(&g);
+        capped.warm(Layer::Upper); // fills the budget with vertex 0
+        assert_eq!(capped.store().cached_count(Layer::Upper), 1);
+        let q = Query::new(Layer::Upper, 1, 2); // both dense, both declined
+        for kind in [
+            AlgorithmKind::MultiRSS,
+            AlgorithmKind::MultiRDS,
+            AlgorithmKind::MultiRDSBasic,
+        ] {
+            let mut rng_a = StdRng::seed_from_u64(17);
+            let mut rng_b = StdRng::seed_from_u64(17);
+            let a = capped.estimate(&q, kind, 2.0, &mut rng_a).unwrap();
+            let b = unbounded.estimate(&q, kind, 2.0, &mut rng_b).unwrap();
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "{kind}");
+        }
+        assert!(capped.store().bytes_used() <= 8);
+    }
+
+    #[test]
+    fn apply_updates_checks_generation_and_rejects_atomically() {
+        let mut engine = EstimationEngine::from_graph(dense_small_graph());
+        let gen0 = engine.generation();
+        engine.check_generation(gen0).unwrap();
+        // A rejected batch changes nothing.
+        let mut bad = bigraph::UpdateBatch::new();
+        bad.add_edge(0, 1).add_edge(99, 0);
+        assert!(engine.apply_updates(&bad).is_err());
+        assert_eq!(engine.generation(), gen0);
+        engine.check_generation(gen0).unwrap();
+        // A no-op batch does not bump the generation either.
+        let mut noop = bigraph::UpdateBatch::new();
+        noop.add_edge(0, 1); // already present
+        assert!(engine.apply_updates(&noop).unwrap().is_noop());
+        assert_eq!(engine.generation(), gen0);
+        // An effective batch does, and stale readers get told.
+        let mut good = bigraph::UpdateBatch::new();
+        good.add_edge(0, 63);
+        engine.apply_updates(&good).unwrap();
+        assert_eq!(engine.generation(), gen0 + 1);
+        let err = engine.check_generation(gen0).unwrap_err();
+        assert!(matches!(
+            err,
+            CneError::StaleGeneration {
+                observed: 0,
+                current: 1
+            }
+        ));
+        let q = Query::new(Layer::Upper, 0, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(engine
+            .estimate_at(gen0, &q, AlgorithmKind::OneR, 2.0, &mut rng)
+            .is_err());
+        assert!(engine
+            .estimate_at(gen0 + 1, &q, AlgorithmKind::OneR, 2.0, &mut rng)
+            .is_ok());
+        assert!(engine
+            .estimate_batch_at(gen0, Layer::Upper, 0, &[1, 2], 2.0, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn borrowed_engine_updates_copy_on_write() {
+        let g = dense_small_graph();
+        let mut engine = EstimationEngine::new(&g);
+        let mut batch = bigraph::UpdateBatch::new();
+        batch.add_edge(0, 63);
+        engine.apply_updates(&batch).unwrap();
+        // The engine's copy moved on; the caller's graph is untouched.
+        assert!(engine.graph().has_edge(0, 63));
+        assert!(!g.has_edge(0, 63));
+        assert_eq!(engine.generation(), 1);
     }
 
     #[test]

@@ -21,6 +21,16 @@ pub enum CneError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A generation-checked read observed an engine that has applied update
+    /// batches since the reader's snapshot (see
+    /// [`crate::EstimationEngine::check_generation`]). The reader should
+    /// re-derive its state from the current graph and retry.
+    StaleGeneration {
+        /// The generation the reader snapshotted.
+        observed: u64,
+        /// The engine's current generation.
+        current: u64,
+    },
 }
 
 impl fmt::Display for CneError {
@@ -31,6 +41,10 @@ impl fmt::Display for CneError {
             CneError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
+            CneError::StaleGeneration { observed, current } => write!(
+                f,
+                "stale generation: reader snapshotted {observed} but the engine is at {current}"
+            ),
         }
     }
 }
@@ -40,7 +54,7 @@ impl std::error::Error for CneError {
         match self {
             CneError::Graph(e) => Some(e),
             CneError::Ldp(e) => Some(e),
-            CneError::InvalidParameter { .. } => None,
+            CneError::InvalidParameter { .. } | CneError::StaleGeneration { .. } => None,
         }
     }
 }

@@ -33,8 +33,17 @@
 //! ([`AdjacencyStore`]), and sharded fan-outs
 //! ([`EstimationEngine::estimate_many_targets`]) keep the deterministic
 //! per-user RNG-stream contract at any thread count. Engine results are
-//! byte-identical to the one-shot path for the same seed; see the
-//! [`engine`] module docs for the cache lifecycle and determinism contract.
+//! byte-identical to the one-shot path for the same seed.
+//!
+//! The graph need not be static: [`EstimationEngine::apply_updates`]
+//! ingests epoch-counted [`bigraph::UpdateBatch`]es of streaming edge
+//! updates, precisely invalidating only the touched vertices' cached
+//! bitmaps, and generation-checked readers
+//! ([`EstimationEngine::estimate_batch_at`]) detect snapshots superseded by
+//! updates instead of silently serving them. Caches can be byte-capped with
+//! LRU eviction ([`EstimationEngine::with_cache_budget`]) for graphs too
+//! large to cache in full. See the [`engine`] module docs for the cache,
+//! mutation & invalidation lifecycles and the determinism contract.
 //!
 //! ## Quick start
 //!

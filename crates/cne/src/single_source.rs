@@ -184,13 +184,16 @@ pub(crate) fn single_source_value_env(
     let words = env.graph.layer_size(layer.opposite()).div_ceil(64);
     if let Some(store) = env.store {
         if env.graph.neighbors(layer, source).len() > 2 * words {
-            let source_packed = store.packed(env.graph, layer, source);
-            let noisy_words = scratch
-                .pack_scratch()
-                .pack(other_noisy.neighbors(), other_noisy.opposite_size);
-            let s1 = bigraph::bitset::popcount_and(source_packed.as_words(), noisy_words);
-            let s2 = env.graph.neighbors(layer, source).len() as u64 - s1;
-            return unbias_counts(s1, s2, flip_probability);
+            // A byte-capped store may decline to cache the source; fall
+            // through to the probe path, which counts the identical set.
+            if let Some(source_packed) = store.try_packed(env.graph, layer, source) {
+                let noisy_words = scratch
+                    .pack_scratch()
+                    .pack(other_noisy.neighbors(), other_noisy.opposite_size);
+                let s1 = bigraph::bitset::popcount_and(source_packed.as_words(), noisy_words);
+                let s2 = env.graph.neighbors(layer, source).len() as u64 - s1;
+                return unbias_counts(s1, s2, flip_probability);
+            }
         }
     }
     single_source_value(env.graph, layer, source, other_noisy, flip_probability)

@@ -24,5 +24,8 @@ pub mod metrics;
 pub mod runner;
 pub mod table;
 
-pub use runner::{build_estimator, AlgorithmSelection, PairEvaluation, RunSummary};
+pub use runner::{
+    build_estimator, evaluate_on_pairs, evaluate_on_pairs_with_engine, AlgorithmSelection,
+    PairEvaluation, RunSummary,
+};
 pub use table::Table;

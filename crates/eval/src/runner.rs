@@ -180,10 +180,30 @@ pub fn evaluate_on_pairs(
     epsilon: f64,
     seed: u64,
 ) -> cne::Result<RunSummary> {
-    let estimator = build_estimator(selection);
     // One engine per evaluation run: every pair shares the same lazily
     // warmed packed-adjacency cache (byte-identical to the uncached path).
     let engine = EstimationEngine::new(graph);
+    evaluate_on_pairs_with_engine(&engine, pairs, selection, epsilon, seed)
+}
+
+/// [`evaluate_on_pairs`] against a caller-owned [`EstimationEngine`] — for
+/// long-lived or *streaming* evaluation loops that keep one engine warm
+/// across sweeps (and across [`cne::EstimationEngine::apply_updates`]
+/// rounds) instead of rebuilding the adjacency cache per call. Results are
+/// byte-identical to [`evaluate_on_pairs`] on the same graph and seed.
+///
+/// # Errors
+///
+/// Same contract as [`evaluate_on_pairs`].
+pub fn evaluate_on_pairs_with_engine(
+    engine: &EstimationEngine<'_>,
+    pairs: &[QueryPair],
+    selection: &AlgorithmSelection,
+    epsilon: f64,
+    seed: u64,
+) -> cne::Result<RunSummary> {
+    let estimator = build_estimator(selection);
+    let graph = engine.graph();
     let results: Vec<cne::Result<PairEvaluation>> = pairs
         .par_iter()
         .enumerate()
@@ -272,6 +292,40 @@ mod tests {
         assert_eq!(summary.algorithm, AlgorithmKind::OneR);
         assert!(summary.mean_communication_bytes > 0.0);
         assert!(summary.metrics.mean_absolute_error.is_finite());
+    }
+
+    #[test]
+    fn engine_variant_matches_and_survives_updates() {
+        let g = small_dataset();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let pairs = sampling::uniform_pairs(&g, Layer::Upper, 6, &mut rng).unwrap();
+        let fresh = evaluate_on_pairs(&g, &pairs, &AlgorithmSelection::OneR, 2.0, 13).unwrap();
+        let engine = EstimationEngine::new(&g);
+        let reused =
+            evaluate_on_pairs_with_engine(&engine, &pairs, &AlgorithmSelection::OneR, 2.0, 13)
+                .unwrap();
+        let bits = |s: &RunSummary| -> Vec<u64> {
+            s.evaluations.iter().map(|e| e.estimate.to_bits()).collect()
+        };
+        assert_eq!(bits(&fresh), bits(&reused));
+
+        // After a streaming update, the warm engine equals a cold rebuild.
+        let mut live = EstimationEngine::from_graph(g.clone());
+        let mut batch = bigraph::UpdateBatch::new();
+        batch
+            .add_edge(pairs[0].u, 0)
+            .remove_edge(pairs[0].w, g.neighbors(Layer::Upper, pairs[0].w)[0]);
+        live.apply_updates(&batch).unwrap();
+        let warm = evaluate_on_pairs_with_engine(&live, &pairs, &AlgorithmSelection::OneR, 2.0, 13)
+            .unwrap();
+        let cold =
+            evaluate_on_pairs(live.graph(), &pairs, &AlgorithmSelection::OneR, 2.0, 13).unwrap();
+        assert_eq!(bits(&warm), bits(&cold));
+        assert_ne!(
+            bits(&warm),
+            bits(&reused),
+            "the update moved a queried vertex, so estimates must move"
+        );
     }
 
     #[test]

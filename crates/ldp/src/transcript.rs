@@ -389,12 +389,6 @@ impl Transcript {
             }
         }
     }
-
-    /// Merges a transcript by value.
-    #[deprecated(note = "use `absorb(&mut other)`, which drains instead of consuming")]
-    pub fn absorb_owned(&mut self, mut other: Transcript) {
-        self.absorb(&mut other);
-    }
 }
 
 #[cfg(test)]
@@ -539,18 +533,6 @@ mod tests {
         c.absorb(&mut empty);
         assert!(c.is_detailed());
         assert_eq!(c.messages().len(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn absorb_owned_still_merges() {
-        let mut a = Transcript::new();
-        a.record(1, Direction::Upload, "x", 10);
-        let mut b = Transcript::new();
-        b.record(2, Direction::Download, "y", 20);
-        a.absorb_owned(b);
-        assert_eq!(a.total_bytes(), 30);
-        assert_eq!(a.rounds(), 2);
     }
 
     #[test]

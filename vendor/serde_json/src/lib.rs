@@ -7,9 +7,10 @@
 
 #![warn(rust_2018_idioms)]
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 
 pub use serde::Error;
+pub use serde::Value;
 
 /// Serializes a value to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
