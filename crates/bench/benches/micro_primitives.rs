@@ -27,8 +27,10 @@ fn bench_randomized_response(c: &mut Criterion) {
 
 /// The tentpole workload: sparse rows (n = 100k, d = 10) where the geometric
 /// skip sampler does `O(d + p·n)` work while the dense reference pays for
-/// every one of the `n` slots. At ε = 4 the skip path must be ≥10× faster
-/// (the acceptance bar recorded in BENCH_micro.json).
+/// every one of the `n` slots. At ε = 4 the skip path must be ≥10× faster,
+/// and the packed-native path (noisy bits written straight into `u64`
+/// words — no id list, no merge) must be ≥2× the PR-3 list-producing
+/// baseline at both budgets (acceptance bars recorded in BENCH_micro.json).
 fn bench_perturb_sparse_large(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/perturb_sparse_large");
     let n = 100_000usize;
@@ -39,6 +41,35 @@ fn bench_perturb_sparse_large(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("skip", eps), &n, |b, &n| {
             let mut rng = ChaCha12Rng::seed_from_u64(5);
             b.iter(|| criterion::black_box(rr.perturb_neighbor_list(&truth, n, &mut rng).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("packed", eps), &n, |b, &n| {
+            let mut rng = ChaCha12Rng::seed_from_u64(5);
+            let mut scratch = ldp::PerturbScratch::new();
+            b.iter(|| {
+                criterion::black_box(
+                    rr.perturb_neighbor_list_packed(&truth, None, n, &mut rng, &mut scratch)
+                        .len(),
+                )
+            });
+        });
+        // The engine steady state: the true adjacency is already bit-packed
+        // in the adjacency store, so kept bits OR in word-wise.
+        let true_packed = PackedSet::from_sorted(&truth, n);
+        group.bench_with_input(BenchmarkId::new("packed_cached", eps), &n, |b, &n| {
+            let mut rng = ChaCha12Rng::seed_from_u64(5);
+            let mut scratch = ldp::PerturbScratch::new();
+            b.iter(|| {
+                criterion::black_box(
+                    rr.perturb_neighbor_list_packed(
+                        &truth,
+                        Some(&true_packed),
+                        n,
+                        &mut rng,
+                        &mut scratch,
+                    )
+                    .len(),
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("dense", eps), &n, |b, &n| {
             let mut rng = ChaCha12Rng::seed_from_u64(5);

@@ -43,6 +43,11 @@ const GATES: &[Gate] = &[
         denominator: "micro/engine_cached_batch/uncached_single_target",
     },
     Gate {
+        name: "engine warm batch vs cold store (cache-fill amortization)",
+        numerator: "micro/engine_cached_batch/warm_single_target",
+        denominator: "micro/engine_cached_batch/cold_single_target",
+    },
+    Gate {
         name: "perturb skip-sampling vs dense (eps=1)",
         numerator: "micro/perturb_sparse_large/skip/1",
         denominator: "micro/perturb_sparse_large/dense/1",
@@ -51,6 +56,21 @@ const GATES: &[Gate] = &[
         name: "perturb skip-sampling vs dense (eps=4)",
         numerator: "micro/perturb_sparse_large/skip/4",
         denominator: "micro/perturb_sparse_large/dense/4",
+    },
+    Gate {
+        name: "perturb packed-native vs list output (eps=1)",
+        numerator: "micro/perturb_sparse_large/packed/1",
+        denominator: "micro/perturb_sparse_large/skip/1",
+    },
+    Gate {
+        name: "perturb packed-native vs list output (eps=4)",
+        numerator: "micro/perturb_sparse_large/packed/4",
+        denominator: "micro/perturb_sparse_large/skip/4",
+    },
+    Gate {
+        name: "perturb packed-native vs dense reference (eps=1)",
+        numerator: "micro/perturb_sparse_large/packed/1",
+        denominator: "micro/perturb_sparse_large/dense/1",
     },
 ];
 
@@ -177,23 +197,29 @@ mod tests {
 
     fn baseline() -> HashMap<String, f64> {
         let mut m = HashMap::new();
-        m.insert("micro/engine_cached_batch/warm_multi_target".into(), 3.68e6);
+        m.insert("micro/engine_cached_batch/warm_multi_target".into(), 1.94e6);
         m.insert(
             "micro/engine_cached_batch/uncached_multi_target".into(),
-            13.91e6,
+            11.60e6,
         );
         m.insert(
             "micro/engine_cached_batch/warm_single_target".into(),
-            0.89e6,
+            0.49e6,
         );
         m.insert(
             "micro/engine_cached_batch/uncached_single_target".into(),
-            3.47e6,
+            2.87e6,
         );
-        m.insert("micro/perturb_sparse_large/skip/1".into(), 0.61e6);
-        m.insert("micro/perturb_sparse_large/dense/1".into(), 1.85e6);
-        m.insert("micro/perturb_sparse_large/skip/4".into(), 0.057e6);
-        m.insert("micro/perturb_sparse_large/dense/4".into(), 1.27e6);
+        m.insert(
+            "micro/engine_cached_batch/cold_single_target".into(),
+            4.03e6,
+        );
+        m.insert("micro/perturb_sparse_large/skip/1".into(), 0.206e6);
+        m.insert("micro/perturb_sparse_large/packed/1".into(), 0.202e6);
+        m.insert("micro/perturb_sparse_large/dense/1".into(), 1.06e6);
+        m.insert("micro/perturb_sparse_large/skip/4".into(), 0.021e6);
+        m.insert("micro/perturb_sparse_large/packed/4".into(), 0.022e6);
+        m.insert("micro/perturb_sparse_large/dense/4".into(), 0.61e6);
         m
     }
 

@@ -48,6 +48,40 @@ impl PackedSet {
         }
     }
 
+    /// Wraps an already-built word buffer as a set over `0..universe`,
+    /// counting the population in one popcount pass. The entry point for
+    /// kernels that produce bitmaps natively (e.g. the packed randomized-
+    /// response perturbation in `ldp`), where a round-trip through a sorted
+    /// id list would cost the very allocation the kernel exists to avoid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != ⌈universe/64⌉` or if any bit beyond
+    /// `universe` is set (the universe contract every kernel relies on).
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, universe: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            universe.div_ceil(64),
+            "word count must match the universe"
+        );
+        if !universe.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(
+                    last >> (universe % 64),
+                    0,
+                    "bits beyond the universe must be clear"
+                );
+            }
+        }
+        let len = popcount(&words) as usize;
+        Self {
+            words,
+            universe,
+            len,
+        }
+    }
+
     /// The number of vertex slots this set ranges over.
     #[must_use]
     pub fn universe(&self) -> usize {
@@ -205,6 +239,24 @@ pub fn popcount_and_scalar(a: &[u64], b: &[u64]) -> u64 {
         .zip(b)
         .map(|(x, y)| u64::from((x & y).count_ones()))
         .sum()
+}
+
+/// Population count of one word slice (`Σ count_ones`).
+#[must_use]
+pub fn popcount(a: &[u64]) -> u64 {
+    a.iter().map(|x| u64::from(x.count_ones())).sum()
+}
+
+/// Sets bit `id` in a packed word buffer.
+#[inline]
+pub fn set_bit(words: &mut [u64], id: usize) {
+    words[id / 64] |= 1u64 << (id % 64);
+}
+
+/// Clears bit `id` in a packed word buffer.
+#[inline]
+pub fn clear_bit(words: &mut [u64], id: usize) {
+    words[id / 64] &= !(1u64 << (id % 64));
 }
 
 /// A reusable word buffer for pack-then-popcount intersections.
@@ -398,6 +450,45 @@ mod tests {
             intersection_size_degree_aware_into(&a, &small_packed, &mut scratch),
             50
         );
+    }
+
+    #[test]
+    fn from_words_matches_from_sorted() {
+        let ids: Vec<VertexId> = vec![0, 1, 63, 64, 65, 127, 200];
+        let packed = PackedSet::from_sorted(&ids, 256);
+        let rebuilt = PackedSet::from_words(packed.as_words().to_vec(), 256);
+        assert_eq!(rebuilt, packed);
+        assert_eq!(rebuilt.len(), ids.len());
+        assert_eq!(rebuilt.to_sorted_ids(), ids);
+        // Non-multiple-of-64 universe keeps its trailing-bit invariant.
+        let small = PackedSet::from_sorted(&[0, 76], 77);
+        let again = PackedSet::from_words(small.as_words().to_vec(), 77);
+        assert_eq!(again.len(), 2);
+        assert!(again.contains(76));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the universe")]
+    fn from_words_rejects_out_of_universe_bits() {
+        let _ = PackedSet::from_words(vec![1u64 << 40], 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn from_words_rejects_wrong_word_count() {
+        let _ = PackedSet::from_words(vec![0u64; 3], 100);
+    }
+
+    #[test]
+    fn bit_helpers_and_popcount() {
+        let mut words = vec![0u64; 4];
+        set_bit(&mut words, 0);
+        set_bit(&mut words, 65);
+        set_bit(&mut words, 255);
+        assert_eq!(popcount(&words), 3);
+        clear_bit(&mut words, 65);
+        assert_eq!(popcount(&words), 2);
+        assert_eq!(words[1], 0);
     }
 
     #[test]

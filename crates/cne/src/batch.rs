@@ -20,14 +20,15 @@
 //! # Parallel batch engine
 //!
 //! Round 2 is embarrassingly parallel: every candidate's estimator reads the
-//! same packed noisy target list and its own (immutable) adjacency. The
-//! engine packs the target's noisy list into a bitmap once
-//! ([`ldp::noisy_graph::NoisyNeighbors::packed`]), fans the candidates out
-//! across all cores with `rayon`, and gives every candidate its own RNG
-//! stream derived as `seed + vertex id` (see [`user_stream_seed`]). Streams
-//! depend only on the draw of one base seed and the candidate's vertex id —
-//! never on thread scheduling — so a seeded run produces **byte-identical**
-//! results at any core count.
+//! same packed noisy target row and its own (immutable) adjacency. Round 1
+//! produces that row **directly in bit-packed form**
+//! ([`ldp::noisy_graph::NoisyNeighborsPacked`] — RNG draws become words,
+//! with no intermediate id list or merge pass), the engine fans the
+//! candidates out across all cores with `rayon`, and gives every candidate
+//! its own RNG stream derived as `seed + vertex id` (see
+//! [`user_stream_seed`]). Streams depend only on the draw of one base seed
+//! and the candidate's vertex id — never on thread scheduling — so a
+//! seeded run produces **byte-identical** results at any core count.
 //!
 //! The per-candidate loop is **allocation-free after warmup**: accounting
 //! runs in the lean mode (interned labels, fixed-size counters — see
@@ -39,7 +40,7 @@
 use crate::engine::{with_shard_scratch, ProtocolEnv, RoundContext};
 use crate::error::{CneError, Result};
 use crate::estimate::AlgorithmKind;
-use crate::protocol::randomized_response_round;
+use crate::protocol::randomized_response_round_packed;
 use crate::single_source::{single_source_laplace, single_source_value_scratch};
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition};
@@ -267,8 +268,11 @@ impl BatchSingleSource {
         };
         let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
 
-        // Round 1: the target perturbs and uploads its neighbor list once.
-        let round1 = randomized_response_round(g, layer, &[target], eps1, 1, &mut ctx)?;
+        // Round 1: the target perturbs and uploads its neighbor list once —
+        // directly in packed form (RNG → words, no id list, no merge pass;
+        // the engine's cached true-adjacency bitmap is OR-ed in word-wise
+        // when the environment carries a warm store).
+        let round1 = randomized_response_round_packed(env, layer, &[target], eps1, 1, &mut ctx)?;
         let p = round1.flip_probability;
         let noisy_target = round1.noisy.into_iter().next().expect("one list requested");
 
@@ -277,21 +281,22 @@ impl BatchSingleSource {
         // first release is charged sequentially; the remaining candidates'
         // releases cover disjoint neighbor lists and compose in parallel.
         //
-        // Compute is fanned out across cores: the target's noisy list is
-        // packed once, dense candidates reuse the environment's cached
-        // bitmaps (or each worker's scratch word buffer when there is no
-        // cache), and each candidate perturbs on its own `seed + vertex id`
-        // stream, so the output is identical at any thread count — and the
-        // loop performs zero heap allocations per candidate after warmup.
+        // Compute is fanned out across cores: the target's noisy row is
+        // already bit-packed, dense candidates reuse the environment's
+        // cached bitmaps (or each worker's scratch word buffer when there
+        // is no cache), and each candidate perturbs on its own
+        // `seed + vertex id` stream, so the output is identical at any
+        // thread count — and the loop performs zero heap allocations per
+        // candidate after warmup.
         let laplace = single_source_laplace(p, eps2)?;
-        let packed_target = noisy_target.packed();
+        let packed_target = noisy_target.set();
         let base_seed = ctx.next_stream_base();
         let estimates: Vec<BatchEstimate> = candidates
             .par_iter()
             .map(|&w| {
                 let mut stream = RoundContext::user_rng(base_seed, w);
                 let raw = with_shard_scratch(|scratch| {
-                    single_source_value_scratch(env, layer, w, &packed_target, p, scratch)
+                    single_source_value_scratch(env, layer, w, packed_target, p, scratch)
                 });
                 BatchEstimate {
                     candidate: w,
@@ -304,7 +309,7 @@ impl BatchSingleSource {
         // recorded exactly as the wire protocol would observe them — pure
         // counter arithmetic in the default lean mode.
         for i in 0..candidates.len() {
-            ctx.record_download(2, "noisy-edges(target) -> candidate", &noisy_target);
+            ctx.record_download_packed(2, "noisy-edges(target) -> candidate", &noisy_target);
             let composition = if i == 0 {
                 Composition::Sequential
             } else {

@@ -17,8 +17,8 @@ use crate::error::{CneError, Result};
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
 use crate::optimizer::optimize_double_source;
-use crate::protocol::{randomized_response_round, Query, SCALAR_BYTES};
-use crate::single_source::{single_source_laplace, single_source_value_env};
+use crate::protocol::{randomized_response_round_packed, Query, SCALAR_BYTES};
+use crate::single_source::{single_source_laplace, single_source_value_packed_env};
 use bigraph::{BipartiteGraph, VertexId};
 use ldp::budget::{Composition, PrivacyBudget};
 use ldp::laplace::LaplaceMechanism;
@@ -120,9 +120,11 @@ fn run_double_source_rounds(
     first_round: u32,
     ctx: &mut RoundContext<'_>,
 ) -> Result<DoubleSourceRounds> {
-    // RR round: both u and w perturb and upload their noisy edges.
-    let rr = randomized_response_round(
-        env.graph,
+    // RR round: both u and w perturb and upload their noisy edges — the
+    // rows are produced directly in packed form (cached adjacency bitmaps
+    // OR in word-wise when the run has a warm store).
+    let rr = randomized_response_round_packed(
+        env,
         query.layer,
         &[query.u, query.w],
         eps1,
@@ -137,8 +139,8 @@ fn run_double_source_rounds(
     // Estimator round: each query vertex downloads the other's noisy edges,
     // builds its single-source estimator, adds Laplace noise, and uploads it.
     let round = first_round + 1;
-    ctx.record_download(round, "noisy-edges(w) -> u", &noisy_w);
-    ctx.record_download(round, "noisy-edges(u) -> w", &noisy_u);
+    ctx.record_download_packed(round, "noisy-edges(w) -> u", &noisy_w);
+    ctx.record_download_packed(round, "noisy-edges(u) -> w", &noisy_u);
 
     let laplace = single_source_laplace(p, eps2)?;
     ctx.charge(
@@ -154,13 +156,14 @@ fn run_double_source_rounds(
         Composition::Parallel,
     )?;
 
-    // Strategy dispatch per source vertex: packed/cached only when the
-    // source is dense enough to amortize the noisy-list packing — which
-    // goes through the run's scratch arena, so both sub-estimators reuse
-    // one word buffer (bit-identical either way — see
-    // `single_source_value_env`).
-    let raw_u = single_source_value_env(env, query.layer, query.u, &noisy_w, p, ctx.scratch());
-    let raw_w = single_source_value_env(env, query.layer, query.w, &noisy_u, p, ctx.scratch());
+    // Both sub-estimators read the already-packed noisy rows: a dense
+    // source popcounts its cached bitmap against the row, a sparse source
+    // bit-probes it per neighbor (bit-identical either way — see
+    // `single_source_value_packed_env`).
+    let raw_u =
+        single_source_value_packed_env(env, query.layer, query.u, &noisy_w, p, ctx.scratch());
+    let raw_w =
+        single_source_value_packed_env(env, query.layer, query.w, &noisy_u, p, ctx.scratch());
     let f_u = laplace.perturb(raw_u, ctx.rng());
     let f_w = laplace.perturb(raw_w, ctx.rng());
     ctx.record_scalar_upload(round, "estimator(f_u)");

@@ -61,6 +61,30 @@
 //! change a result: every scratch-based kernel counts the same set the
 //! allocating kernel counted.
 //!
+//! # The packed-native round-1 pipeline
+//!
+//! Round-1 randomized response — the dominant cost of a warm batch — runs
+//! **packed-native** end to end: every engine-routed protocol perturbs
+//! through [`crate::protocol::randomized_response_round_packed`], which
+//! writes each noisy row directly into bit-packed `u64` words
+//! ([`ldp::noisy_graph::NoisyNeighborsPacked`]). Kept true neighbors OR in
+//! word-wise from the [`AdjacencyStore`]'s cached bitmap
+//! ([`ProtocolEnv::round1_true_bitmap`] — dense vertices build through the
+//! admission-aware cache, sparse ones reuse a bitmap only if it already
+//! exists), flipped zeros set bits as their skip-sampled ranks are
+//! translated, and consumers popcount the words as-is — the warm path is
+//! RNG → words → popcount with **zero intermediate id lists**. The
+//! underlying draws come from `ldp`'s batched gap pipeline (block fills,
+//! exact threshold tables cached on the [`ScratchArena`]).
+//!
+//! **Draw-sequence compatibility:** the packed round consumes the RNG
+//! stream draw-for-draw identically to the legacy list-producing round and
+//! produces the same bit set, so estimates are byte-identical whichever
+//! representation ran — pinned across revisions by
+//! `tests/pinned_fingerprints.rs`. Callers that genuinely need id lists
+//! (wire-format simulation, serialization) use the legacy round or
+//! [`ldp::noisy_graph::NoisyNeighborsPacked::materialize`].
+//!
 //! # Cache lifecycle
 //!
 //! The store is immutable-after-init per slot *between update batches*:
@@ -168,7 +192,8 @@ use bigraph::bitset::{PackScratch, PackedSet};
 use bigraph::delta::{AppliedBatch, UpdateBatch};
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
-use ldp::noisy_graph::NoisyNeighbors;
+use ldp::noisy_graph::{NoisyNeighbors, NoisyNeighborsPacked};
+use ldp::randomized_response::PerturbScratch;
 use ldp::transcript::{Direction, Label, Transcript};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -650,6 +675,28 @@ impl<'a> ProtocolEnv<'a> {
         }
         bigraph::bitset::intersection_size_degree_aware_into(neighbors, other, &mut scratch.pack)
     }
+
+    /// The cached true-adjacency bitmap the packed round-1 perturbation
+    /// ORs kept neighbors from, if one is available for `v`.
+    ///
+    /// Density policy matches the intersection dispatch: a *dense* vertex
+    /// (`degree > 2 · words`) is worth building through
+    /// [`AdjacencyStore::try_packed`] (admission-aware on capped stores);
+    /// a sparse vertex is only reused opportunistically when its bitmap
+    /// already exists — building one that no intersection will read would
+    /// waste exactly the memory the density dispatch exists to save. A
+    /// `None` changes only how the kept bits are written (bit-by-bit from
+    /// the id list), never the output.
+    #[must_use]
+    pub fn round1_true_bitmap(&self, layer: Layer, v: VertexId) -> Option<&'a PackedSet> {
+        let store = self.store?;
+        let words = self.graph.layer_size(layer.opposite()).div_ceil(64);
+        if self.graph.neighbors(layer, v).len() > 2 * words {
+            store.try_packed(self.graph, layer, v)
+        } else {
+            store.cached(layer, v)
+        }
+    }
 }
 
 /// Reusable per-run / per-shard working buffers (see the
@@ -664,10 +711,12 @@ pub struct ScratchArena {
     pack: PackScratch,
     /// Candidate id-list staging (duplicate checks, shard candidate lists).
     ids: Vec<VertexId>,
-    /// Randomized-response perturbation scratch (kept survivors).
-    rr_kept: Vec<VertexId>,
-    /// Randomized-response perturbation scratch (0 → 1 flips).
-    rr_flipped: Vec<VertexId>,
+    /// Randomized-response perturbation scratch: event/survivor staging
+    /// buffers plus the cached exact gap-resolution tables (see
+    /// [`ldp::randomized_response::PerturbScratch`]). Holding the table
+    /// cache here — not just thread-local — keeps it warm across the
+    /// protocol steps of a run and across a worker's candidates.
+    rr: PerturbScratch,
 }
 
 impl ScratchArena {
@@ -701,9 +750,10 @@ impl ScratchArena {
         }
     }
 
-    /// The two randomized-response perturbation buffers.
-    pub fn rr_buffers(&mut self) -> (&mut Vec<VertexId>, &mut Vec<VertexId>) {
-        (&mut self.rr_kept, &mut self.rr_flipped)
+    /// The randomized-response perturbation scratch (staging buffers and
+    /// the per-arena gap-table cache).
+    pub fn perturb_scratch(&mut self) -> &mut PerturbScratch {
+        &mut self.rr
     }
 }
 
@@ -820,6 +870,18 @@ impl<'r> RoundContext<'r> {
 
     /// Records the curator pushing a noisy edge list down to a client.
     pub fn record_download(&mut self, round: u32, label: impl Into<Label>, list: &NoisyNeighbors) {
+        self.transcript
+            .record(round, Direction::Download, label, list.message_bytes());
+    }
+
+    /// [`RoundContext::record_download`] for a packed-native noisy row —
+    /// identical bytes (the wire format is the id list either way).
+    pub fn record_download_packed(
+        &mut self,
+        round: u32,
+        label: impl Into<Label>,
+        list: &NoisyNeighborsPacked,
+    ) {
         self.transcript
             .record(round, Direction::Download, label, list.message_bytes());
     }
@@ -1755,13 +1817,15 @@ mod tests {
             .estimate_batch(Layer::Upper, 0, &[1, 2], 4.0, &mut rng)
             .unwrap();
         assert_eq!(report.estimates.len(), 2);
-        // Both candidates are dense, so both bitmaps are now warm.
-        assert_eq!(engine.store().cached_count(Layer::Upper), 2);
-        // And a second run reuses them (still 2, not 4).
+        // Both candidates are dense, and so is the round-1 target (the
+        // packed perturbation ORs its cached bitmap in word-wise), so all
+        // three bitmaps are now warm.
+        assert_eq!(engine.store().cached_count(Layer::Upper), 3);
+        // And a second run reuses them (still 3, not 6).
         let mut rng = StdRng::seed_from_u64(10);
         engine
             .estimate_batch(Layer::Upper, 0, &[1, 2], 4.0, &mut rng)
             .unwrap();
-        assert_eq!(engine.store().cached_count(Layer::Upper), 2);
+        assert_eq!(engine.store().cached_count(Layer::Upper), 3);
     }
 }

@@ -4,9 +4,9 @@ use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
 use crate::error::Result;
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
-use crate::protocol::{randomized_response_round, Query};
+use crate::protocol::{randomized_response_round_packed, Query};
 use bigraph::BipartiteGraph;
-use ldp::noisy_graph::NoisyGraphView;
+use ldp::noisy_graph::NoisyGraphViewPacked;
 use serde::{Deserialize, Serialize};
 
 /// The naive estimator: both query vertices perturb their neighbor lists with
@@ -28,9 +28,10 @@ impl EngineEstimator for Naive {
     ) -> Result<EstimateReport> {
         query.validate(env.graph)?;
 
-        // Vertex side: u and w perturb their neighbor lists with the full ε.
-        let round = randomized_response_round(
-            env.graph,
+        // Vertex side: u and w perturb their neighbor lists with the full ε
+        // (packed-native rows — see `randomized_response_round_packed`).
+        let round = randomized_response_round_packed(
+            env,
             query.layer,
             &[query.u, query.w],
             ctx.total(),
@@ -41,8 +42,8 @@ impl EngineEstimator for Naive {
         let noisy_u = noisy.next().expect("two lists requested");
         let noisy_w = noisy.next().expect("two lists requested");
 
-        // Curator side: intersect the noisy neighbor lists.
-        let view = NoisyGraphView::new(noisy_u, noisy_w);
+        // Curator side: intersect the noisy rows word-parallel.
+        let view = NoisyGraphViewPacked::new(noisy_u, noisy_w);
         let estimate = view.noisy_intersection_size() as f64;
 
         let epsilon = ctx.epsilon();

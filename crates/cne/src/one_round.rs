@@ -4,9 +4,9 @@ use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext};
 use crate::error::Result;
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
-use crate::protocol::{randomized_response_round, Query};
+use crate::protocol::{randomized_response_round_packed, Query};
 use bigraph::BipartiteGraph;
-use ldp::noisy_graph::NoisyGraphView;
+use ldp::noisy_graph::NoisyGraphViewPacked;
 use serde::{Deserialize, Serialize};
 
 /// The one-round unbiased estimator.
@@ -47,7 +47,7 @@ impl OneR {
         n1 * (1.0 - p) * (1.0 - p) / q - (n2 - n1) * (1.0 - p) * p / q + (n - n2) * p * p / q
     }
 
-    fn dense_sum(view: &NoisyGraphView, p: f64) -> f64 {
+    fn dense_sum(view: &NoisyGraphViewPacked, p: f64) -> f64 {
         let q = (1.0 - 2.0 * p) * (1.0 - 2.0 * p);
         let mut total = 0.0;
         for v in 0..view.opposite_size() as u32 {
@@ -68,9 +68,11 @@ impl EngineEstimator for OneR {
     ) -> Result<EstimateReport> {
         query.validate(env.graph)?;
 
-        // Vertex side: u and w perturb their neighbor lists with the full ε.
-        let round = randomized_response_round(
-            env.graph,
+        // Vertex side: u and w perturb their neighbor lists with the full ε
+        // — the noisy rows land directly in packed form, so the curator's
+        // intersection below is one AND+popcount pass.
+        let round = randomized_response_round_packed(
+            env,
             query.layer,
             &[query.u, query.w],
             ctx.total(),
@@ -79,7 +81,7 @@ impl EngineEstimator for OneR {
         )?;
         let p = round.flip_probability;
         let mut noisy = round.noisy.into_iter();
-        let view = NoisyGraphView::new(
+        let view = NoisyGraphViewPacked::new(
             noisy.next().expect("two lists requested"),
             noisy.next().expect("two lists requested"),
         );

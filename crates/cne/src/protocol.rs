@@ -7,11 +7,11 @@
 //! contain the logic that distinguishes them. All run state (budget,
 //! transcript, RNG) flows through one [`RoundContext`].
 
-use crate::engine::RoundContext;
+use crate::engine::{ProtocolEnv, RoundContext};
 use crate::error::Result;
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
 use ldp::budget::{Composition, PrivacyBudget};
-use ldp::noisy_graph::NoisyNeighbors;
+use ldp::noisy_graph::{NoisyNeighbors, NoisyNeighborsPacked};
 use ldp::transcript::{Direction, Label};
 use serde::{Deserialize, Serialize};
 
@@ -82,14 +82,58 @@ pub struct RrRound {
     pub flip_probability: f64,
 }
 
+/// Outcome of a **packed-native** randomized-response round: the noisy
+/// rows live directly in bit-packed form (see
+/// [`ldp::noisy_graph::NoisyNeighborsPacked`]), ready for word-parallel
+/// intersection — no id list is ever materialized.
+#[derive(Debug, Clone)]
+pub struct RrRoundPacked {
+    /// The packed noisy rows, in the same order as the vertices passed in.
+    pub noisy: Vec<NoisyNeighborsPacked>,
+    /// The flip probability used.
+    pub flip_probability: f64,
+}
+
+/// The shared scaffolding of both randomized-response rounds: one
+/// sequential `ε₁` charge, one noisy row per vertex produced by `generate`,
+/// one upload record per row. Keeping the charge, the labels, and the byte
+/// accounting in a single body is what makes the list and packed rounds
+/// *structurally* transcript-identical rather than identical-by-discipline.
+fn rr_round_scaffold<T>(
+    vertices: &[VertexId],
+    epsilon1: PrivacyBudget,
+    round: u32,
+    ctx: &mut RoundContext<'_>,
+    mut generate: impl FnMut(&mut RoundContext<'_>, VertexId) -> T,
+    message_bytes: impl Fn(&T) -> usize,
+) -> Result<(Vec<T>, f64)> {
+    // One sequential charge covers every reporting vertex: their neighbor
+    // lists are disjoint datasets, so the paper accounts the RR round once
+    // at ε₁ (parallel composition over the reporters — Theorem 7 / 10).
+    ctx.charge(
+        Label::Indexed("round", round, ":rr"),
+        epsilon1,
+        Composition::Sequential,
+    )?;
+    let mut noisy = Vec::with_capacity(vertices.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        let row = generate(ctx, v);
+        ctx.record(
+            round,
+            Direction::Upload,
+            Label::Indexed("noisy-edges(v", i as u32, ")"),
+            message_bytes(&row),
+        );
+        noisy.push(row);
+    }
+    Ok((noisy, 1.0 / (1.0 + epsilon1.value().exp())))
+}
+
 /// Runs one randomized-response round: each vertex in `vertices` perturbs its
 /// neighbor list with budget `epsilon1` and uploads the noisy edges to the
 /// curator. The round is recorded in the context's transcript and charged to
-/// its budget (one sequential charge — the perturbed lists of different
-/// vertices cover disjoint edge sets *of those vertices' own lists*, but the
-/// paper accounts the RR round once at `ε₁`, which parallel composition over
-/// the reporting vertices justifies; we charge it sequentially against the
-/// total, matching Theorem 7 / Theorem 10).
+/// its budget once, sequentially (see `rr_round_scaffold` for the
+/// composition argument).
 ///
 /// # Errors
 ///
@@ -102,34 +146,67 @@ pub fn randomized_response_round(
     round: u32,
     ctx: &mut RoundContext<'_>,
 ) -> Result<RrRound> {
-    ctx.charge(
-        Label::Indexed("round", round, ":rr"),
+    let (noisy, flip_probability) = rr_round_scaffold(
+        vertices,
         epsilon1,
-        Composition::Sequential,
-    )?;
-    let mut noisy = Vec::with_capacity(vertices.len());
-    for (i, &v) in vertices.iter().enumerate() {
-        let list = {
+        round,
+        ctx,
+        |ctx, v| {
             let (rng, scratch) = ctx.rng_and_scratch();
-            let (kept, flipped) = scratch.rr_buffers();
-            NoisyNeighbors::generate_with(g, layer, v, epsilon1, rng, kept, flipped)
-        };
-        ctx.record(
-            round,
-            Direction::Upload,
-            Label::Indexed("noisy-edges(v", i as u32, ")"),
-            list.message_bytes(),
-        );
-        if i > 0 {
-            // Reporting vertices after the first compose in parallel (their
-            // neighbor lists are disjoint datasets), so they do not consume
-            // additional budget beyond ε₁; record a zero-cost marker charge is
-            // unnecessary — the single sequential charge above covers the round.
-        }
-        noisy.push(list);
-    }
-    let flip_probability = 1.0 / (1.0 + epsilon1.value().exp());
+            NoisyNeighbors::generate_with(g, layer, v, epsilon1, rng, scratch.perturb_scratch())
+        },
+        NoisyNeighbors::message_bytes,
+    )?;
     Ok(RrRound {
+        noisy,
+        flip_probability,
+    })
+}
+
+/// The **packed-native** form of [`randomized_response_round`]: identical
+/// budget charge, transcript records, and RNG stream consumption (both run
+/// through `rr_round_scaffold`), but each vertex's noisy row is produced
+/// directly in bit-packed words — the engine's cached true-adjacency
+/// bitmaps (when the environment carries a warm store) are OR-ed in
+/// word-wise instead of re-walking the id list.
+///
+/// Every round-1 consumer on the estimation hot path routes through this;
+/// the list form remains for callers that need ids. For the same seed the
+/// packed rows contain exactly the bits of the list round's output, so
+/// downstream estimates are byte-identical whichever round ran.
+///
+/// # Errors
+///
+/// Fails if the charge would exceed the run's total budget.
+pub fn randomized_response_round_packed(
+    env: ProtocolEnv<'_>,
+    layer: Layer,
+    vertices: &[VertexId],
+    epsilon1: PrivacyBudget,
+    round: u32,
+    ctx: &mut RoundContext<'_>,
+) -> Result<RrRoundPacked> {
+    let (noisy, flip_probability) = rr_round_scaffold(
+        vertices,
+        epsilon1,
+        round,
+        ctx,
+        |ctx, v| {
+            let true_packed = env.round1_true_bitmap(layer, v);
+            let (rng, scratch) = ctx.rng_and_scratch();
+            NoisyNeighborsPacked::generate_with(
+                env.graph,
+                layer,
+                v,
+                epsilon1,
+                rng,
+                scratch.perturb_scratch(),
+                true_packed,
+            )
+        },
+        NoisyNeighborsPacked::message_bytes,
+    )?;
+    Ok(RrRoundPacked {
         noisy,
         flip_probability,
     })
@@ -184,6 +261,84 @@ mod tests {
         assert_eq!(transcript.messages()[1].label, "noisy-edges(v1)");
         assert_eq!(budget.charges()[0].label, "round1:rr");
         assert_eq!(transcript.rounds(), 1);
+    }
+
+    #[test]
+    fn packed_round_matches_list_round_exactly() {
+        let g = toy();
+        let eps1 = PrivacyBudget::new(1.0).unwrap();
+        for seed in [3u64, 41] {
+            let mut rng_list = StdRng::seed_from_u64(seed);
+            let mut rng_packed = StdRng::seed_from_u64(seed);
+            let mut ctx_list = RoundContext::begin_detailed(2.0, &mut rng_list).unwrap();
+            let list_round =
+                randomized_response_round(&g, Layer::Upper, &[0, 1], eps1, 1, &mut ctx_list)
+                    .unwrap();
+            let mut ctx_packed = RoundContext::begin_detailed(2.0, &mut rng_packed).unwrap();
+            let packed_round = randomized_response_round_packed(
+                ProtocolEnv::uncached(&g),
+                Layer::Upper,
+                &[0, 1],
+                eps1,
+                1,
+                &mut ctx_packed,
+            )
+            .unwrap();
+            assert_eq!(
+                list_round.flip_probability.to_bits(),
+                packed_round.flip_probability.to_bits()
+            );
+            for (list, packed) in list_round.noisy.iter().zip(&packed_round.noisy) {
+                assert_eq!(packed.set().to_sorted_ids(), list.neighbors());
+                assert_eq!(packed.materialize(), list.clone());
+            }
+            // Same transcript records, same budget charge, same RNG state.
+            let (budget_a, transcript_a) = ctx_list.finish();
+            let (budget_b, transcript_b) = ctx_packed.finish();
+            assert_eq!(transcript_a, transcript_b);
+            assert_eq!(budget_a.consumed().to_bits(), budget_b.consumed().to_bits());
+            use rand::RngCore;
+            assert_eq!(rng_list.next_u64(), rng_packed.next_u64());
+        }
+    }
+
+    #[test]
+    fn packed_round_uses_cached_bitmaps_bit_identically() {
+        use crate::engine::AdjacencyStore;
+        // Dense vertices over a small universe so the store path engages.
+        let edges = (0..40u32)
+            .map(|v| (0u32, v))
+            .chain((20..60u32).map(|v| (1u32, v)));
+        let g = BipartiteGraph::from_edges(2, 64, edges).unwrap();
+        let store = AdjacencyStore::new(&g);
+        let eps1 = PrivacyBudget::new(1.0).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut ctx_a = RoundContext::begin(2.0, &mut rng_a).unwrap();
+        let uncached = randomized_response_round_packed(
+            ProtocolEnv::uncached(&g),
+            Layer::Upper,
+            &[0, 1],
+            eps1,
+            1,
+            &mut ctx_a,
+        )
+        .unwrap();
+        let mut ctx_b = RoundContext::begin(2.0, &mut rng_b).unwrap();
+        let cached = randomized_response_round_packed(
+            ProtocolEnv::cached(&g, &store),
+            Layer::Upper,
+            &[0, 1],
+            eps1,
+            1,
+            &mut ctx_b,
+        )
+        .unwrap();
+        for (a, b) in uncached.noisy.iter().zip(&cached.noisy) {
+            assert_eq!(a.set(), b.set());
+        }
+        // The dense sources' bitmaps were built for the word-wise OR.
+        assert_eq!(store.cached_count(Layer::Upper), 2);
     }
 
     #[test]

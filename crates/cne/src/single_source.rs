@@ -4,7 +4,7 @@ use crate::engine::{EngineEstimator, ProtocolEnv, RoundContext, ScratchArena};
 use crate::error::{CneError, Result};
 use crate::estimate::{AlgorithmKind, ChosenParameters, EstimateReport};
 use crate::estimator::CommonNeighborEstimator;
-use crate::protocol::{randomized_response_round, Query};
+use crate::protocol::{randomized_response_round_packed, Query};
 use bigraph::bitset::PackedSet;
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use ldp::budget::{Composition, PrivacyBudget};
@@ -161,42 +161,28 @@ pub fn single_source_value_scratch(
     unbias_counts(s1, s2, flip_probability)
 }
 
-/// [`single_source_value`] with environment-driven strategy dispatch and a
-/// scratch arena for the noisy-list packing.
-///
-/// Packing the noisy list costs `O(universe/64 + p·universe)`, which only
-/// pays off when the source is dense enough for the popcount/cached path —
-/// the same `degree > 2 · words` threshold
-/// [`ProtocolEnv::true_intersection_with`] uses. A sparse source therefore
-/// keeps the legacy `O(degree · log)` probe path even inside an engine run;
-/// a dense source packs the noisy list into the arena's word buffer (no
-/// allocation after warmup) and popcounts it against the cached adjacency.
-/// Every branch counts the same intersection, so the value is bit-identical
-/// regardless of environment, density, or scratch reuse.
-pub(crate) fn single_source_value_env(
+/// [`single_source_value`] against a packed-native noisy row — the form
+/// every engine-routed single-source consumer uses since round 1 produces
+/// rows in packed form: membership probes are single bit tests and the
+/// dense-source path popcounts the cached adjacency against the row with
+/// no packing step at all. Thin shim over
+/// [`single_source_value_scratch`]; bit-identical to every other variant.
+pub(crate) fn single_source_value_packed_env(
     env: ProtocolEnv<'_>,
     layer: Layer,
     source: VertexId,
-    other_noisy: &NoisyNeighbors,
+    other_noisy: &ldp::noisy_graph::NoisyNeighborsPacked,
     flip_probability: f64,
     scratch: &mut ScratchArena,
 ) -> f64 {
-    let words = env.graph.layer_size(layer.opposite()).div_ceil(64);
-    if let Some(store) = env.store {
-        if env.graph.neighbors(layer, source).len() > 2 * words {
-            // A byte-capped store may decline to cache the source; fall
-            // through to the probe path, which counts the identical set.
-            if let Some(source_packed) = store.try_packed(env.graph, layer, source) {
-                let noisy_words = scratch
-                    .pack_scratch()
-                    .pack(other_noisy.neighbors(), other_noisy.opposite_size);
-                let s1 = bigraph::bitset::popcount_and(source_packed.as_words(), noisy_words);
-                let s2 = env.graph.neighbors(layer, source).len() as u64 - s1;
-                return unbias_counts(s1, s2, flip_probability);
-            }
-        }
-    }
-    single_source_value(env.graph, layer, source, other_noisy, flip_probability)
+    single_source_value_scratch(
+        env,
+        layer,
+        source,
+        other_noisy.set(),
+        flip_probability,
+        scratch,
+    )
 }
 
 /// The global sensitivity of the single-source estimator: `(1−p)/(1−2p)`.
@@ -229,18 +215,20 @@ impl EngineEstimator for MultiRSS {
         query.validate(env.graph)?;
         let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
 
-        // Round 1: w applies randomized response with ε₁ and uploads.
+        // Round 1: w applies randomized response with ε₁ and uploads — the
+        // noisy row is produced directly in packed form.
         let round1 =
-            randomized_response_round(env.graph, query.layer, &[query.w], eps1, 1, &mut ctx)?;
+            randomized_response_round_packed(env, query.layer, &[query.w], eps1, 1, &mut ctx)?;
         let p = round1.flip_probability;
         let noisy_w = round1.noisy.into_iter().next().expect("one list requested");
 
         // Round 2: u downloads the noisy edges of w ...
-        ctx.record_download(2, "noisy-edges(w) -> u", &noisy_w);
+        ctx.record_download_packed(2, "noisy-edges(w) -> u", &noisy_w);
         // ... combines them with its own neighborhood (through the adjacency
         // cache when the run has one and u is dense — bit-identical either
         // way) ...
-        let raw = single_source_value_env(env, query.layer, query.u, &noisy_w, p, ctx.scratch());
+        let raw =
+            single_source_value_packed_env(env, query.layer, query.u, &noisy_w, p, ctx.scratch());
         // ... and releases the estimator through the Laplace mechanism.
         ctx.charge("round2:laplace(f_u)", eps2, Composition::Sequential)?;
         let laplace = single_source_laplace(p, eps2)?;

@@ -1,0 +1,119 @@
+//! Pinned end-to-end estimate fingerprints.
+//!
+//! The determinism tests in `engine_determinism.rs` prove cached ≡ legacy
+//! and thread-count independence, but both sides of those comparisons run
+//! the *current* code — a change that moves the RNG draw sequence (a
+//! perturbation rewrite, a sampler "optimization" that consumes the stream
+//! differently) would slip through them by moving both sides at once.
+//! These values were captured from the pre-packed-pipeline build (PR 4)
+//! and pin the absolute bits: any engine revision must keep producing
+//! exactly these estimates for these seeds, per the draw-sequence
+//! compatibility contract in `ldp::randomized_response`.
+//!
+//! If one of these assertions ever fires, the change is *not* draw-for-draw
+//! compatible — that is a contract break to be called out loudly in review,
+//! not a baseline to be silently re-recorded.
+
+use bigraph::{BipartiteGraph, Layer};
+use cne::batch::BatchSingleSource;
+use cne::{AlgorithmKind, EstimationEngine, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The `engine_determinism` graph: 40 users over 256 items, degrees 4..124.
+fn dense_graph() -> BipartiteGraph {
+    let mut edges = Vec::new();
+    for u in 0..40u32 {
+        let degree = 4 + (u * 3) % 120;
+        for k in 0..degree {
+            edges.push((u, (u * 37 + k * 5) % 256));
+        }
+    }
+    BipartiteGraph::from_edges(40, 256, edges).unwrap()
+}
+
+#[test]
+fn engine_estimates_are_pinned_across_revisions() {
+    let g = dense_graph();
+    let engine = EstimationEngine::new(&g);
+    let q = Query::new(Layer::Upper, 3, 17);
+    // (kind, seed, estimate bits) captured on the PR-4 build at ε = 2.
+    let pinned: &[(AlgorithmKind, u64, u64)] = &[
+        (AlgorithmKind::Naive, 1, 0x4026000000000000),
+        (AlgorithmKind::Naive, 77, 0x4030000000000000),
+        (AlgorithmKind::OneR, 1, 0x4009f8361a125b1d),
+        (AlgorithmKind::OneR, 77, 0x4027526d8d118ad3),
+        (AlgorithmKind::MultiRSS, 1, 0x40102da1a73cc032),
+        (AlgorithmKind::MultiRSS, 77, 0xbff76f9e02cfdf2a),
+        (AlgorithmKind::MultiRDSBasic, 1, 0x401d8392d93a911f),
+        (AlgorithmKind::MultiRDSBasic, 77, 0x4013a6eb929253e8),
+        (AlgorithmKind::MultiRDS, 1, 0x4001c4d2e9918546),
+        (AlgorithmKind::MultiRDS, 77, 0xc0056a89d59ebf9d),
+        (AlgorithmKind::MultiRDSStar, 1, 0x401185deb81d10de),
+        (AlgorithmKind::MultiRDSStar, 77, 0x400fdc49416634cc),
+        (AlgorithmKind::CentralDP, 1, 0x4015f3c4121b55df),
+        (AlgorithmKind::CentralDP, 77, 0x4013638745a17022),
+    ];
+    for &(kind, seed, bits) in pinned {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = engine.estimate(&q, kind, 2.0, &mut rng).unwrap();
+        assert_eq!(
+            report.estimate.to_bits(),
+            bits,
+            "{kind} seed {seed}: estimate moved off the pinned PR-4 value \
+             ({} vs pinned {})",
+            report.estimate,
+            f64::from_bits(bits),
+        );
+    }
+}
+
+#[test]
+fn batch_estimates_are_pinned_across_revisions() {
+    let g = dense_graph();
+    let candidates: Vec<u32> = (1..40).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let report = BatchSingleSource::default()
+        .estimate_batch(&g, Layer::Upper, 0, &candidates, 2.0, &mut rng)
+        .unwrap();
+    // FNV-style fold of all 39 estimate bit patterns, captured on PR 4.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for e in &report.estimates {
+        h ^= e.estimate.to_bits();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    assert_eq!(
+        h, 0x51c9_178d_7f33_0962,
+        "batch estimate stream moved off the pinned PR-4 fingerprint"
+    );
+}
+
+#[test]
+fn sparse_large_universe_estimates_are_pinned() {
+    // The skip-sampling regime the perturbation pipeline targets: tiny
+    // degrees over a 100k universe, at both gate budgets (ε = 1 exercises
+    // the threshold tables, ε = 4 the ln tail).
+    let edges = (0..8u32)
+        .map(|v| (0u32, v))
+        .chain((4..12u32).map(|v| (1u32, v)));
+    let g = BipartiteGraph::from_edges(2, 100_000, edges).unwrap();
+    let engine = EstimationEngine::new(&g);
+    let q = Query::new(Layer::Upper, 0, 1);
+    let pinned: &[(AlgorithmKind, f64, u64)] = &[
+        (AlgorithmKind::OneR, 1.0, 0xc07d4f1e911c6980),
+        (AlgorithmKind::MultiRSS, 1.0, 0x4025494bf9903ac4),
+        (AlgorithmKind::MultiRDSBasic, 1.0, 0x401e80acd323d509),
+        (AlgorithmKind::OneR, 4.0, 0xc004499ee48933f0),
+        (AlgorithmKind::MultiRSS, 4.0, 0x40143d60babdcc10),
+        (AlgorithmKind::MultiRDSBasic, 4.0, 0x4012384f1129ef5d),
+    ];
+    for &(kind, eps, bits) in pinned {
+        let mut rng = StdRng::seed_from_u64(99);
+        let report = engine.estimate(&q, kind, eps, &mut rng).unwrap();
+        assert_eq!(
+            report.estimate.to_bits(),
+            bits,
+            "{kind} eps {eps}: sparse-regime estimate moved off the pinned PR-4 value",
+        );
+    }
+}

@@ -30,28 +30,42 @@
 //! Every aggregate accessor returns identical values in either mode
 //! (property-tested against random protocol runs in the `cne` crate).
 //!
-//! # Performance: skip sampling and bit packing
+//! # Performance: the packed-native perturbation pipeline
 //!
-//! The hot path of every estimator is
-//! [`RandomizedResponse::perturb_neighbor_list`]. It is implemented with
-//! **geometric skip sampling**: rather than drawing one Bernoulli(`p`) per
-//! candidate slot (`O(n)` work and RNG draws for an opposite layer of size
-//! `n`), the sampler jumps straight between flips with geometric-gap draws
-//! — expected `O(d + p·n)` work and `O(p·(n + d) + 2)` draws for a vertex
-//! of degree `d`, while producing an output *identically distributed* to
-//! the per-bit scan (χ²-property-tested against the retained dense
-//! reference, [`RandomizedResponse::perturb_neighbor_list_dense`]). On
-//! sparse rows (`d ≪ n`) with moderate budgets this is 10–25× faster; see
-//! `BENCH_micro.json` at the workspace root for the recorded baseline.
-//! Long perturbations additionally resolve the common small gaps through
-//! an exact threshold table (branchless compares instead of one `ln` per
-//! draw) — the draw sequence, and therefore every noisy list and estimate,
-//! is bit-identical to the plain inverse-CDF form.
+//! The hot path of every estimator is randomized-response perturbation of
+//! a neighbor row. It is implemented with **geometric skip sampling**:
+//! rather than drawing one Bernoulli(`p`) per candidate slot (`O(n)` work
+//! and RNG draws for an opposite layer of size `n`), the sampler jumps
+//! straight between flips with geometric-gap draws — expected `O(d + p·n)`
+//! work and `O(p·(n + d) + 2)` draws for a vertex of degree `d`, while
+//! producing an output *identically distributed* to the per-bit scan
+//! (χ²-property-tested against the retained dense reference,
+//! [`RandomizedResponse::perturb_neighbor_list_dense`]).
 //!
-//! Curator-side, noisy lists are *dense* (expected degree `d + p·n`), so
-//! [`noisy_graph::NoisyNeighbors::packed`] exposes them as
-//! `bigraph::bitset::PackedSet` bitmaps: intersections become word-parallel
-//! `AND` + popcount loops and membership probes become single bit tests.
+//! The gaps are evaluated through a **batched draw pipeline**
+//! (uniform draws pulled in guaranteed-consumed blocks, gaps resolved by
+//! exact two-tier threshold tables — branchless compares plus a bounded
+//! binary search — with only a `(1−p)^288` tail paying a `ln`), and the
+//! noisy row is written **directly into packed `u64` words** by
+//! [`RandomizedResponse::perturb_neighbor_list_packed`] /
+//! [`noisy_graph::NoisyNeighborsPacked`]: kept true neighbors OR in
+//! word-wise from a cached bitmap, flipped zeros set bits as their ranks
+//! are translated — no sorted id list, no merge pass.
+//!
+//! **Draw-sequence compatibility contract:** every pipeline variant —
+//! batched or scalar, list-producing or packed-native, with or without the
+//! threshold tables — consumes the RNG stream *identically, draw for
+//! draw*, and produces the same bit set. The retained scalar sampler
+//! ([`RandomizedResponse::perturb_neighbor_list_scalar_reference`]) is the
+//! ground truth this is property-tested against; the contract is what lets
+//! engines swap representations without moving a single downstream
+//! estimate. Callers that genuinely need ids (serialization, wire-format
+//! simulation) use the list APIs or
+//! [`noisy_graph::NoisyNeighborsPacked::materialize`]; everything on the
+//! curator's intersection path should stay in packed form — intersections
+//! are word-parallel `AND` + popcount loops and membership probes are
+//! single bit tests. See `BENCH_micro.json` at the workspace root for the
+//! recorded baselines.
 //!
 //! # Determinism contract
 //!
@@ -94,6 +108,6 @@ pub use budget::PrivacyBudget;
 pub use error::{LdpError, Result};
 pub use laplace::LaplaceMechanism;
 pub use mechanism::Sensitivity;
-pub use noisy_graph::NoisyNeighbors;
-pub use randomized_response::RandomizedResponse;
+pub use noisy_graph::{NoisyNeighbors, NoisyNeighborsPacked};
+pub use randomized_response::{PerturbScratch, RandomizedResponse};
 pub use transcript::{Direction, Label, Transcript, TranscriptStats};

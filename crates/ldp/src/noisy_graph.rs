@@ -1,14 +1,28 @@
 //! Noisy neighbor sets produced by randomized response.
 //!
 //! The paper's algorithms never need the full noisy graph — only the noisy
-//! neighbor lists of the one or two query vertices. [`NoisyNeighbors`] stores
-//! one such perturbed list together with the parameters it was generated with,
-//! and [`NoisyGraphView`] bundles the lists of both query vertices so curator-
-//! side code can intersect them.
+//! neighbor lists of the one or two query vertices. Two representations
+//! exist:
+//!
+//! * [`NoisyNeighborsPacked`] — the **packed-native** form the hot paths
+//!   use: the perturbed row lives directly in `u64` words
+//!   ([`bigraph::bitset::PackedSet`]), produced by
+//!   [`RandomizedResponse::perturb_neighbor_list_packed`] without ever
+//!   materializing an id list. Curator-side intersections go straight to
+//!   word-parallel popcounts or per-id bit probes.
+//! * [`NoisyNeighbors`] — the sorted-id-list form, kept for callers that
+//!   genuinely need ids (serialization, transcript-faithful client
+//!   simulations, ranking examples). [`NoisyNeighborsPacked::materialize`]
+//!   converts the packed form into it.
+//!
+//! Both forms are generated from the same draw pipeline, consume the RNG
+//! identically, and contain exactly the same bit set.
+//! [`NoisyGraphView`] ([`NoisyGraphViewPacked`]) bundles the lists of both
+//! query vertices so curator-side code can intersect them.
 
 use crate::budget::PrivacyBudget;
-use crate::randomized_response::RandomizedResponse;
-use bigraph::bitset::PackedSet;
+use crate::randomized_response::{PerturbScratch, RandomizedResponse};
+use bigraph::bitset::{popcount_and, PackedSet};
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -37,33 +51,26 @@ impl NoisyNeighbors {
         epsilon: PrivacyBudget,
         rng: &mut R,
     ) -> Self {
-        let mut kept = Vec::new();
-        let mut flipped = Vec::new();
-        Self::generate_with(g, layer, owner, epsilon, rng, &mut kept, &mut flipped)
+        let mut scratch = PerturbScratch::new();
+        Self::generate_with(g, layer, owner, epsilon, rng, &mut scratch)
     }
 
-    /// [`NoisyNeighbors::generate`] with caller-provided perturbation scratch
-    /// buffers (see
-    /// [`RandomizedResponse::perturb_neighbor_list_with`]). Identical output
-    /// and RNG consumption; only the intermediate allocations are reused.
+    /// [`NoisyNeighbors::generate`] with a caller-provided perturbation
+    /// scratch (see [`RandomizedResponse::perturb_neighbor_list_with`]).
+    /// Identical output and RNG consumption; only the intermediate
+    /// allocations are reused.
     pub fn generate_with<R: Rng + ?Sized>(
         g: &BipartiteGraph,
         layer: Layer,
         owner: VertexId,
         epsilon: PrivacyBudget,
         rng: &mut R,
-        kept: &mut Vec<VertexId>,
-        flipped: &mut Vec<VertexId>,
+        scratch: &mut PerturbScratch,
     ) -> Self {
         let rr = RandomizedResponse::new(epsilon);
         let opposite_size = g.layer_size(layer.opposite());
-        let neighbors = rr.perturb_neighbor_list_with(
-            g.neighbors(layer, owner),
-            opposite_size,
-            rng,
-            kept,
-            flipped,
-        );
+        let neighbors =
+            rr.perturb_neighbor_list_with(g.neighbors(layer, owner), opposite_size, rng, scratch);
         Self {
             owner,
             owner_layer: layer,
@@ -132,9 +139,113 @@ impl NoisyNeighbors {
     /// code that intersects one list against many others — the batch engine,
     /// the estimator hot loops — packs it once and reuses the bitmap for
     /// `O(1)` membership probes or word-parallel popcount intersections.
+    /// Hot paths should generate [`NoisyNeighborsPacked`] directly instead,
+    /// which never builds the id list at all.
     #[must_use]
     pub fn packed(&self) -> PackedSet {
         PackedSet::from_sorted(&self.neighbors, self.opposite_size)
+    }
+}
+
+/// The noisy neighbor row of one vertex in **packed-native** form: the
+/// perturbed bits live directly in `u64` words, produced without an id
+/// list. The hot-path counterpart of [`NoisyNeighbors`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyNeighborsPacked {
+    /// The vertex whose list was perturbed.
+    pub owner: VertexId,
+    /// The layer the owner lives on.
+    pub owner_layer: Layer,
+    /// The privacy budget used for the perturbation.
+    pub epsilon: f64,
+    /// The perturbed row over the opposite layer.
+    set: PackedSet,
+}
+
+impl NoisyNeighborsPacked {
+    /// Applies randomized response to `owner`'s neighbor list in `g`,
+    /// producing the noisy row directly in packed form.
+    ///
+    /// `true_packed`, when provided, must be the packed true adjacency of
+    /// `owner` (e.g. from the estimation engine's cache): kept true bits
+    /// are then OR-ed in word-wise. The output — and the RNG stream
+    /// consumed — is identical either way, and identical to generating a
+    /// [`NoisyNeighbors`] and packing it.
+    pub fn generate_with<R: Rng + ?Sized>(
+        g: &BipartiteGraph,
+        layer: Layer,
+        owner: VertexId,
+        epsilon: PrivacyBudget,
+        rng: &mut R,
+        scratch: &mut PerturbScratch,
+        true_packed: Option<&PackedSet>,
+    ) -> Self {
+        let rr = RandomizedResponse::new(epsilon);
+        let opposite_size = g.layer_size(layer.opposite());
+        let set = rr.perturb_neighbor_list_packed(
+            g.neighbors(layer, owner),
+            true_packed,
+            opposite_size,
+            rng,
+            scratch,
+        );
+        Self {
+            owner,
+            owner_layer: layer,
+            epsilon: epsilon.value(),
+            set,
+        }
+    }
+
+    /// The packed noisy row.
+    #[must_use]
+    pub fn set(&self) -> &PackedSet {
+        &self.set
+    }
+
+    /// Number of vertices on the opposite layer.
+    #[must_use]
+    pub fn opposite_size(&self) -> usize {
+        self.set.universe()
+    }
+
+    /// The noisy degree (number of set bits).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether `v` is a noisy neighbor of the owner. `O(1)` bit probe.
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.set.contains(v)
+    }
+
+    /// Bytes to transmit this row as an edge list (same convention as
+    /// [`NoisyNeighbors::message_bytes`] — the wire format is the id list
+    /// either way; packing is a curator-side representation).
+    #[must_use]
+    pub fn message_bytes(&self) -> usize {
+        self.degree() * std::mem::size_of::<VertexId>()
+    }
+
+    /// The flip probability the row was generated with.
+    #[must_use]
+    pub fn flip_probability(&self) -> f64 {
+        1.0 / (1.0 + self.epsilon.exp())
+    }
+
+    /// Materializes the sorted-id-list form — the thin wrapper for callers
+    /// that genuinely need ids. `O(universe/64 + degree)`.
+    #[must_use]
+    pub fn materialize(&self) -> NoisyNeighbors {
+        NoisyNeighbors {
+            owner: self.owner,
+            owner_layer: self.owner_layer,
+            opposite_size: self.set.universe(),
+            epsilon: self.epsilon,
+            neighbors: self.set.to_sorted_ids(),
+        }
     }
 }
 
@@ -219,6 +330,66 @@ impl NoisyGraphView {
     }
 }
 
+/// The packed-native curator view: both query vertices' noisy rows as
+/// bitmaps, intersected word-parallel — no adaptive dispatch needed, the
+/// rows are already packed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyGraphViewPacked {
+    /// Packed noisy row of the first query vertex `u`.
+    pub u: NoisyNeighborsPacked,
+    /// Packed noisy row of the second query vertex `w`.
+    pub w: NoisyNeighborsPacked,
+}
+
+impl NoisyGraphViewPacked {
+    /// Bundles the two packed rows, checking basic consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows disagree on layer or opposite-layer size.
+    #[must_use]
+    pub fn new(u: NoisyNeighborsPacked, w: NoisyNeighborsPacked) -> Self {
+        assert_eq!(
+            u.owner_layer, w.owner_layer,
+            "query vertices must share a layer"
+        );
+        assert_eq!(
+            u.opposite_size(),
+            w.opposite_size(),
+            "noisy lists must cover the same opposite layer"
+        );
+        Self { u, w }
+    }
+
+    /// `N1`: the noisy common-neighbor count — one `AND` + popcount pass
+    /// over the packed words. Identical to
+    /// [`NoisyGraphView::noisy_intersection_size`] on the same rows.
+    #[must_use]
+    pub fn noisy_intersection_size(&self) -> u64 {
+        popcount_and(self.u.set().as_words(), self.w.set().as_words())
+    }
+
+    /// `(N1, N2)`: intersection and union sizes in one popcount pass.
+    #[must_use]
+    pub fn noisy_counts(&self) -> (u64, u64) {
+        let intersection = self.noisy_intersection_size();
+        let union = self.u.degree() as u64 + self.w.degree() as u64 - intersection;
+        (intersection, union)
+    }
+
+    /// Number of vertices on the opposite layer.
+    #[must_use]
+    pub fn opposite_size(&self) -> usize {
+        self.u.opposite_size()
+    }
+
+    /// Total bytes both clients sent to the curator for this view.
+    #[must_use]
+    pub fn message_bytes(&self) -> usize {
+        self.u.message_bytes() + self.w.message_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +420,78 @@ mod tests {
         assert!(noisy.neighbors().iter().all(|&v| (v as usize) < 50));
         assert_eq!(noisy.message_bytes(), noisy.degree() * 4);
         assert!((noisy.flip_probability() - 1.0 / (1.0 + 1.0f64.exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_generation_matches_list_generation() {
+        let g = toy();
+        let eps = PrivacyBudget::new(1.0).unwrap();
+        let mut scratch = PerturbScratch::new();
+        for seed in [1u64, 9, 55] {
+            let mut rng_list = StdRng::seed_from_u64(seed);
+            let mut rng_packed = StdRng::seed_from_u64(seed);
+            let list = NoisyNeighbors::generate(&g, Layer::Upper, 0, eps, &mut rng_list);
+            let packed = NoisyNeighborsPacked::generate_with(
+                &g,
+                Layer::Upper,
+                0,
+                eps,
+                &mut rng_packed,
+                &mut scratch,
+                None,
+            );
+            assert_eq!(packed.owner, 0);
+            assert_eq!(packed.opposite_size(), 50);
+            assert_eq!(packed.degree(), list.degree());
+            assert_eq!(packed.message_bytes(), list.message_bytes());
+            assert_eq!(packed.set().to_sorted_ids(), list.neighbors());
+            // The materialization wrapper reproduces the full list form.
+            let materialized = packed.materialize();
+            assert_eq!(materialized, list);
+            for v in 0..50u32 {
+                assert_eq!(packed.contains(v), list.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_view_counts_match_list_view() {
+        let g = toy();
+        let eps = PrivacyBudget::new(0.8).unwrap();
+        let mut scratch = PerturbScratch::new();
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let view = NoisyGraphView::new(
+            NoisyNeighbors::generate(&g, Layer::Upper, 0, eps, &mut rng_a),
+            NoisyNeighbors::generate(&g, Layer::Upper, 1, eps, &mut rng_a),
+        );
+        let packed = NoisyGraphViewPacked::new(
+            NoisyNeighborsPacked::generate_with(
+                &g,
+                Layer::Upper,
+                0,
+                eps,
+                &mut rng_b,
+                &mut scratch,
+                None,
+            ),
+            NoisyNeighborsPacked::generate_with(
+                &g,
+                Layer::Upper,
+                1,
+                eps,
+                &mut rng_b,
+                &mut scratch,
+                None,
+            ),
+        );
+        assert_eq!(
+            packed.noisy_intersection_size(),
+            view.noisy_intersection_size()
+        );
+        assert_eq!(packed.noisy_counts(), view.noisy_counts());
+        assert_eq!(packed.opposite_size(), view.opposite_size());
+        assert_eq!(packed.message_bytes(), view.message_bytes());
     }
 
     #[test]

@@ -9,12 +9,49 @@
 //! The module also provides the *unbiased edge estimator*
 //! `φ(i,j) = (A'[i,j] − p) / (1 − 2p)` from Section 3.1 of the paper, together
 //! with its variance, which the `cne` estimators build on.
+//!
+//! # The perturbation pipeline
+//!
+//! Noisy lists are produced by **geometric skip sampling** (gaps between
+//! successive flips drawn from the geometric distribution — expected
+//! `O(d + p·n)` work instead of the dense `O(n)` scan), evaluated through a
+//! **batched draw pipeline**:
+//!
+//! * uniform draws are pulled from the RNG in blocks sized so that the
+//!   scalar sampler would certainly have consumed every draw in the block
+//!   (the block length is bounded by `remaining / max_gap_advance`, so a
+//!   block can never overshoot the skip range) — RNG stream consumption is
+//!   **exactly** the scalar sampler's, draw for draw;
+//! * gaps resolve against exact threshold tables — a `GapTable` of 32
+//!   small-gap thresholds extended to 288 by `GapTables`, fronted by a
+//!   mantissa-prefix direct-lookup tier that maps almost every draw to its
+//!   gap with one shift and one load (buckets containing a step boundary
+//!   fall back to a partition-point search); only the rare tail
+//!   (`(1−p)^288` of draws) pays the `ln` formula. Every threshold sits
+//!   exactly on a step boundary of the reference formula, so resolved gaps
+//!   are **bit-identical** to `⌊ln u / ln(1−p)⌋` — property-tested against
+//!   the retained scalar reference sampler
+//!   ([`RandomizedResponse::perturb_neighbor_list_scalar_reference`]).
+//!
+//! Consumers that intersect noisy lists (all of `cne`'s hot paths) should
+//! use [`RandomizedResponse::perturb_neighbor_list_packed`], which writes
+//! the noisy row **directly into packed `u64` words** — true neighbors are
+//! OR-ed in word-wise from a cached bitmap (or set bit-wise from the id
+//! list), dropped bits are cleared, and flipped zeros are set as their
+//! ranks are translated — no sorted id list, no merge pass, no intermediate
+//! allocation beyond the returned bitmap. The list-producing APIs remain
+//! for callers that genuinely need ids and for the transcript-faithful
+//! client simulation; both forms draw from the RNG identically and contain
+//! exactly the same bit set.
 
 use crate::budget::PrivacyBudget;
 use crate::mechanism::Mechanism;
+use bigraph::bitset::{clear_bit, set_bit, PackedSet};
 use bigraph::VertexId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// The randomized-response mechanism for one privacy budget.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,123 +105,240 @@ impl RandomizedResponse {
     /// `true_neighbors` must be sorted ascending (as produced by
     /// [`bigraph::BipartiteGraph::neighbors`]).
     ///
-    /// Implemented by **geometric skip sampling**: instead of drawing one
-    /// Bernoulli(`p`) per candidate slot (the dense `O(opposite_size)` scan
-    /// kept as [`Self::perturb_neighbor_list_dense`]), the sampler draws the
-    /// gaps between successive flips directly from the geometric
-    /// distribution. A run of independent Bernoulli(`p`) trials succeeds for
-    /// the first time after `⌊ln U / ln(1 − p)⌋` failures (`U` uniform), so
-    /// jumping by that gap visits exactly the flipped slots and no others —
+    /// Implemented by **geometric skip sampling** through the batched draw
+    /// pipeline (see the [module docs](self)): instead of one Bernoulli(`p`)
+    /// per candidate slot (the dense `O(opposite_size)` scan kept as
+    /// [`Self::perturb_neighbor_list_dense`]), the sampler draws the gaps
+    /// between successive flips directly from the geometric distribution —
     /// the output distribution is *identical* to the per-bit scan, at
     /// expected cost `O(d + p·n)` work and `O(p·n + p·d + 2)` RNG draws for
-    /// degree `d` and opposite size `n`. On the sparse graphs the paper
-    /// targets (`d ≪ n`) with moderate budgets this is orders of magnitude
-    /// faster than the dense scan; the same trick is what makes the
-    /// million-user batch engine in `cne::batch` feasible.
+    /// degree `d` and opposite size `n`.
+    ///
+    /// Uses a thread-local [`PerturbScratch`] for staging buffers and the
+    /// gap-table cache; callers holding their own scratch (the `cne`
+    /// engines) should use [`Self::perturb_neighbor_list_with`].
     pub fn perturb_neighbor_list<R: Rng + ?Sized>(
         &self,
         true_neighbors: &[VertexId],
         opposite_size: usize,
         rng: &mut R,
     ) -> Vec<VertexId> {
-        let mut kept = Vec::new();
-        let mut flipped = Vec::new();
-        self.perturb_neighbor_list_with(true_neighbors, opposite_size, rng, &mut kept, &mut flipped)
+        THREAD_SCRATCH.with(|cell| {
+            self.perturb_neighbor_list_with(
+                true_neighbors,
+                opposite_size,
+                rng,
+                &mut cell.borrow_mut(),
+            )
+        })
     }
 
-    /// [`Self::perturb_neighbor_list`] with caller-provided scratch buffers
-    /// for the two intermediate sequences (kept survivors and 0 → 1 flips).
+    /// [`Self::perturb_neighbor_list`] with a caller-provided
+    /// [`PerturbScratch`] for the staging buffers and gap-table cache.
     ///
     /// The output — and the RNG stream consumed — is identical to
     /// [`Self::perturb_neighbor_list`]; only the intermediate allocations
-    /// are replaced by reuse of `kept` / `flipped` (cleared on entry), so a
-    /// caller perturbing many lists (a batch round, the `cne` engines) can
-    /// hold the buffers in a scratch arena.
+    /// are replaced by scratch reuse, so a caller perturbing many lists (a
+    /// batch round, the `cne` engines) pays one allocation per call (the
+    /// returned list).
     pub fn perturb_neighbor_list_with<R: Rng + ?Sized>(
         &self,
         true_neighbors: &[VertexId],
         opposite_size: usize,
         rng: &mut R,
-        kept: &mut Vec<VertexId>,
-        flipped: &mut Vec<VertexId>,
+        scratch: &mut PerturbScratch,
     ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.perturb_neighbor_list_into(true_neighbors, opposite_size, rng, scratch, &mut out);
+        out
+    }
+
+    /// [`Self::perturb_neighbor_list_with`] writing the noisy list into a
+    /// caller-provided buffer (cleared on entry) instead of allocating —
+    /// the fully allocation-free form of the legacy list-producing path.
+    pub fn perturb_neighbor_list_into<R: Rng + ?Sized>(
+        &self,
+        true_neighbors: &[VertexId],
+        opposite_size: usize,
+        rng: &mut R,
+        scratch: &mut PerturbScratch,
+        out: &mut Vec<VertexId>,
+    ) {
         debug_assert!(true_neighbors.windows(2).all(|w| w[0] < w[1]));
+        out.clear();
         let p = self.flip_probability;
         // ε large enough that p underflowed to exactly 0 (ε ≳ 710): no bit
         // can flip, so the noisy list is the true list. Guarding here keeps
-        // geometric_gap's `ln(1 − p) = 0` division out of reach.
+        // the gap distribution's `ln(1 − p) = 0` division out of reach.
         if p <= 0.0 {
-            return true_neighbors.to_vec();
+            out.extend_from_slice(true_neighbors);
+            return;
         }
         let d = true_neighbors.len();
         let zeros = opposite_size.saturating_sub(d);
-        // The gap distribution's log-denominator depends only on `p`:
-        // computing it once here instead of inside every draw removes one
-        // math-library call per flip — a large share of the whole
-        // perturbation cost at RR densities (tens of thousands of flips per
-        // list). The per-draw arithmetic (`ln(u) / denom`) is unchanged, so
-        // every gap — and therefore every noisy list — is bit-identical to
-        // the per-draw-recomputed form.
-        let denom = gap_denominator(p);
-        // For long draw sequences at non-trivial flip rates, resolve the
-        // common small gaps by comparing `u` against exact thresholds
-        // instead of evaluating `ln` per draw (see [`GapTable`] — the
-        // thresholds are derived from the reference formula itself, so the
-        // gaps are bit-identical). Small lists skip the table: building it
-        // costs a few hundred `ln` evaluations.
-        let expected_draws = p * (d + zeros) as f64;
-        let table = if p >= 0.05 && expected_draws >= 4096.0 {
-            Some(gap_table_for(denom))
-        } else {
-            None
-        };
-        let table = table.as_ref();
-
-        // Each sampling loop is split into two passes: a tight draw loop
-        // that only advances the skip-sampled positions, and a separate
-        // data pass that materializes the lists. Interleaving them (the
-        // obvious one-pass form) chains every `ln` behind the previous
-        // iteration's list bookkeeping, which measurably stalls the loop;
-        // the draw order, the draw count, and the produced lists are
-        // identical either way.
+        let sampler = GapSampler::prepare(p, opposite_size, scratch);
 
         // 1 → 0 flips: skip-sample positions *within the true list* that get
-        // dropped; every position not dropped is kept. Gap arithmetic
-        // saturates so the `usize::MAX` "no further event" sentinel can never
-        // wrap back into range. The drop positions are staged in `flipped`
-        // (free at this point) to avoid a third scratch buffer.
+        // dropped; every position not dropped is kept. The drop positions
+        // are staged in the scratch event buffer, and the survivors are
+        // copied out segment-wise.
+        let (events, kept) = scratch.events_and_kept();
+        sampler.sample_events(d, rng, events);
         kept.clear();
         kept.reserve(d);
-        flipped.clear();
-        {
-            let mut pos = draw_gap(table, denom, rng);
-            while pos < d {
-                flipped.push(pos as VertexId);
-                pos = pos
-                    .saturating_add(1)
-                    .saturating_add(draw_gap(table, denom, rng));
-            }
-            let mut prev = 0usize;
-            for &drop in flipped.iter() {
-                kept.extend_from_slice(&true_neighbors[prev..drop as usize]);
-                prev = drop as usize + 1;
-            }
-            kept.extend_from_slice(&true_neighbors[prev..]);
+        let mut prev = 0usize;
+        for &drop in events.iter() {
+            kept.extend_from_slice(&true_neighbors[prev..drop as usize]);
+            prev = drop as usize + 1;
         }
+        kept.extend_from_slice(&true_neighbors[prev..]);
 
         // 0 → 1 flips: skip-sample ranks within the `zeros` non-neighbor
         // slots, then translate each rank to a vertex id by sliding past the
         // true neighbors (both sequences ascend, so one in-place merge pass
         // suffices — ranks only grow under translation, and they are
         // processed in order, so overwriting is safe).
-        flipped.clear();
+        events.clear();
+        sampler.sample_events(zeros, rng, events);
+        let mut ti = 0usize;
+        for slot in events.iter_mut() {
+            let mut id = *slot as usize + ti;
+            while ti < d && (true_neighbors[ti] as usize) <= id {
+                ti += 1;
+                id += 1;
+            }
+            *slot = id as VertexId;
+        }
+
+        merge_sorted_disjoint_into(kept, events, out);
+    }
+
+    /// Applies RR to a neighbor list, producing the noisy row **directly in
+    /// bit-packed form** — the hot-path entry the `cne` round-1 consumers
+    /// use, skipping the sorted-list detour entirely.
+    ///
+    /// `true_packed`, when provided, must be the packed form of
+    /// `true_neighbors` over `0..opposite_size` (e.g. the estimation
+    /// engine's cached adjacency bitmap): the kept true neighbors are then
+    /// OR-ed in **word-wise** instead of bit-by-bit. With or without it,
+    /// the returned set contains exactly the same bits as packing
+    /// [`Self::perturb_neighbor_list`]'s output, and the RNG stream is
+    /// consumed identically draw-for-draw (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `true_neighbors` is unsorted or `true_packed`
+    /// disagrees with `true_neighbors`/`opposite_size`.
+    pub fn perturb_neighbor_list_packed<R: Rng + ?Sized>(
+        &self,
+        true_neighbors: &[VertexId],
+        true_packed: Option<&PackedSet>,
+        opposite_size: usize,
+        rng: &mut R,
+        scratch: &mut PerturbScratch,
+    ) -> PackedSet {
+        debug_assert!(true_neighbors.windows(2).all(|w| w[0] < w[1]));
+        if let Some(packed) = true_packed {
+            debug_assert_eq!(packed.universe(), opposite_size);
+            debug_assert_eq!(packed.len(), true_neighbors.len());
+        }
+        let p = self.flip_probability;
+        if p <= 0.0 {
+            // No bit can flip: the noisy row is the true row.
+            return match true_packed {
+                Some(packed) => packed.clone(),
+                None => PackedSet::from_sorted(true_neighbors, opposite_size),
+            };
+        }
+        let d = true_neighbors.len();
+        let zeros = opposite_size.saturating_sub(d);
+        let sampler = GapSampler::prepare(p, opposite_size, scratch);
+
+        // 1 → 0 flips first (same draw order as the list path): stage the
+        // drop positions, then materialize the kept true bits — word-wise
+        // from the cached bitmap when one is available — and clear the
+        // dropped ones.
+        let events = scratch.events_mut();
+        sampler.sample_events(d, rng, events);
+        let mut words = match true_packed {
+            Some(packed) => packed.as_words().to_vec(),
+            None => {
+                let mut words = vec![0u64; opposite_size.div_ceil(64)];
+                for &v in true_neighbors {
+                    set_bit(&mut words, v as usize);
+                }
+                words
+            }
+        };
+        for &drop in events.iter() {
+            clear_bit(&mut words, true_neighbors[drop as usize] as usize);
+        }
+
+        // 0 → 1 flips: translate each sampled zero-rank to its vertex id and
+        // set the bit directly — flipped slots are non-neighbors, so they
+        // are disjoint from the kept bits by construction.
+        events.clear();
+        sampler.sample_events(zeros, rng, events);
+        let mut ti = 0usize;
+        for &slot in events.iter() {
+            let mut id = slot as usize + ti;
+            while ti < d && (true_neighbors[ti] as usize) <= id {
+                ti += 1;
+                id += 1;
+            }
+            set_bit(&mut words, id);
+        }
+
+        PackedSet::from_words(words, opposite_size)
+    }
+
+    /// The straight-line scalar skip sampler — the PR-3 hot path, retained
+    /// verbatim (formula-only, no tables, no batching) as the ground truth
+    /// the batched draw pipeline is property-tested against: identical
+    /// output list *and* identical RNG stream consumption.
+    pub fn perturb_neighbor_list_scalar_reference<R: Rng + ?Sized>(
+        &self,
+        true_neighbors: &[VertexId],
+        opposite_size: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        debug_assert!(true_neighbors.windows(2).all(|w| w[0] < w[1]));
+        let p = self.flip_probability;
+        if p <= 0.0 {
+            return true_neighbors.to_vec();
+        }
+        let d = true_neighbors.len();
+        let zeros = opposite_size.saturating_sub(d);
+        let denom = gap_denominator(p);
+        let draw = |rng: &mut R| -> usize {
+            let u: f64 = rng.gen::<f64>();
+            if u <= 0.0 {
+                return usize::MAX;
+            }
+            gap_formula(u, denom)
+        };
+
+        let mut kept = Vec::with_capacity(d);
+        let mut flipped = Vec::new();
         {
-            let mut rank = draw_gap(table, denom, rng);
+            let mut drops = Vec::new();
+            let mut pos = draw(rng);
+            while pos < d {
+                drops.push(pos);
+                pos = pos.saturating_add(1).saturating_add(draw(rng));
+            }
+            let mut prev = 0usize;
+            for &drop in &drops {
+                kept.extend_from_slice(&true_neighbors[prev..drop]);
+                prev = drop + 1;
+            }
+            kept.extend_from_slice(&true_neighbors[prev..]);
+        }
+        {
+            let mut rank = draw(rng);
             while rank < zeros {
                 flipped.push(rank as VertexId);
-                rank = rank
-                    .saturating_add(1)
-                    .saturating_add(draw_gap(table, denom, rng));
+                rank = rank.saturating_add(1).saturating_add(draw(rng));
             }
             let mut ti = 0usize;
             for slot in flipped.iter_mut() {
@@ -196,8 +350,9 @@ impl RandomizedResponse {
                 *slot = id as VertexId;
             }
         }
-
-        merge_sorted_disjoint(kept, flipped)
+        let mut out = Vec::new();
+        merge_sorted_disjoint_into(&kept, &flipped, &mut out);
+        out
     }
 
     /// The reference per-bit implementation of [`Self::perturb_neighbor_list`]:
@@ -263,7 +418,7 @@ impl RandomizedResponse {
 /// and the naive log would be 0, collapsing every gap to 0 (i.e. flipping
 /// *every* bit — the exact opposite of the distribution). `ln_1p` keeps
 /// full precision down to the smallest subnormal p. Hoisted out of the
-/// per-draw path ([`draw_gap`]) because it depends only on `p`.
+/// per-draw path because it depends only on `p`.
 fn gap_denominator(p: f64) -> f64 {
     debug_assert!(p > 0.0 && p < 1.0);
     (-p).ln_1p()
@@ -283,23 +438,29 @@ fn gap_formula(u: f64, denom: f64) -> usize {
     }
 }
 
-/// Number of small gaps [`GapTable`] resolves by threshold comparison.
-const GAP_TABLE_SIZE: usize = 16;
+/// Number of small gaps [`GapTable`] resolves by branchless threshold
+/// comparison (the first tier of the resolution pipeline).
+const GAP_TABLE_SIZE: usize = 32;
+
+/// Number of additional gaps (`32..288`) the extension table resolves by
+/// bounded binary search. Together the two tiers cover every draw except a
+/// `(1−p)^288` tail — even at ε = 4 (`p ≈ 0.018`) that leaves ~0.5% of
+/// draws on the `ln` fallback.
+const GAP_EXT_SIZE: usize = 256;
 
 /// Exact threshold table for the common small geometric gaps.
 ///
 /// `thresholds[k]` is the smallest sample on the uniform grid the RNG can
-/// produce (`u = m · 2⁻⁵³`) whose gap is `≤ k`, found by binary-searching
-/// `m` with [`gap_formula`] itself as the oracle (the gap is a
-/// non-increasing step function of `u`). A draw then resolves to the first
-/// `k` with `u ≥ thresholds[k]` — by construction *exactly* the value the
-/// reference formula would compute — and only the rare gap
-/// `≥ GAP_TABLE_SIZE` (probability `(1−p)^16`) falls back to `ln`. This
-/// trades one `ln` per draw for an expected `1/p`-ish comparisons, which
-/// is what makes long perturbations cheap at the dense-noise budgets where
-/// skip sampling draws tens of thousands of gaps per list.
-#[derive(Clone, Copy)]
-struct GapTable {
+/// produce (`u = m · 2⁻⁵³`) whose gap is `≤ k`, located with
+/// [`gap_formula`] itself as the oracle (the gap is a non-increasing step
+/// function of `u`). A draw then resolves to the first `k` with
+/// `u ≥ thresholds[k]` — by construction *exactly* the value the reference
+/// formula would compute — and only gaps `≥ GAP_TABLE_SIZE` fall through to
+/// the extension table. This trades one `ln` per draw for comparisons,
+/// which is what makes long perturbations cheap at the dense-noise budgets
+/// where skip sampling draws tens of thousands of gaps per list.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GapTable {
     thresholds: [f64; GAP_TABLE_SIZE],
 }
 
@@ -310,31 +471,21 @@ impl GapTable {
     fn new(denom: f64) -> Self {
         let mut thresholds = [0.0f64; GAP_TABLE_SIZE];
         for (k, slot) in thresholds.iter_mut().enumerate() {
-            // Smallest m in [1, 2^53] with gap(m · 2⁻⁵³) ≤ k. The upper
-            // bound is valid: gap(1.0) = ⌊0 / denom⌋ = 0 ≤ k.
-            let mut lo = 1u64;
-            let mut hi = 1u64 << 53;
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                if gap_formula(mid as f64 * Self::SCALE, denom) <= k {
-                    hi = mid;
-                } else {
-                    lo = mid + 1;
-                }
-            }
-            *slot = hi as f64 * Self::SCALE;
+            *slot = threshold_for(k, denom);
         }
         Self { thresholds }
     }
 
-    /// Resolves one sample, falling back to the formula for large gaps.
+    /// Resolves one sample against the 32 small-gap thresholds, falling
+    /// back to the formula for larger gaps (unit-test surface; the
+    /// pipeline's [`GapTables::resolve`] adds the extension tier).
     ///
     /// Branchless: `u < thresholds[k] ⟺ gap(u) > k` (the thresholds
     /// decrease with `k`), so counting the thresholds above `u` yields
-    /// `min(gap, GAP_TABLE_SIZE)` in 16 autovectorizable comparisons with
+    /// `min(gap, GAP_TABLE_SIZE)` in 32 autovectorizable comparisons with
     /// no data-dependent branches — an early-exit scan mispredicts once
     /// per draw on the geometric tail and measures ~3× slower.
-    #[inline]
+    #[cfg(test)]
     fn gap(&self, u: f64, denom: f64) -> usize {
         let mut count = 0usize;
         for &threshold in &self.thresholds {
@@ -348,51 +499,379 @@ impl GapTable {
     }
 }
 
-thread_local! {
-    /// One-entry per-thread cache of the last [`GapTable`], keyed by the
-    /// denominator's bits. Building a table costs ~16 × 53 `ln`
-    /// evaluations; rounds perturb many lists at the same ε (and batch
-    /// engines many rounds at the same ε), so rebuilding per list would
-    /// hand back a chunk of the savings the table exists for.
-    static GAP_TABLE_CACHE: std::cell::Cell<Option<(u64, GapTable)>> =
-        const { std::cell::Cell::new(None) };
-}
-
-/// The threshold table for `denom`, from the per-thread cache when the
-/// last request used the same denominator.
-fn gap_table_for(denom: f64) -> GapTable {
-    GAP_TABLE_CACHE.with(|cache| match cache.get() {
-        Some((bits, table)) if bits == denom.to_bits() => table,
-        _ => {
-            let table = GapTable::new(denom);
-            cache.set(Some((denom.to_bits(), table)));
-            table
+/// The smallest grid point `m · 2⁻⁵³` (as an `f64`) whose gap is `≤ k`,
+/// found exactly with [`gap_formula`] as the oracle.
+///
+/// The binary search is seeded from the real-math boundary
+/// `e^{(k+1)·denom}`: floating-point rounding in `ln`/`exp`/the division
+/// shifts the effective step boundary by at most a few grid points, so a
+/// small window around the seed almost always brackets it; when
+/// verification fails the search falls back to the full grid. Either way
+/// the result is decided by the oracle, never by the seed — thresholds are
+/// exact by construction.
+fn threshold_for(k: usize, denom: f64) -> f64 {
+    const GRID_MAX: u64 = 1u64 << 53;
+    const WINDOW: u64 = 64;
+    let oracle = |m: u64| gap_formula(m as f64 * GapTable::SCALE, denom);
+    // Seed window from e^{(k+1)·denom} (underflows to 0 for huge k — the
+    // clamp to grid point 1 then covers the "every grid point qualifies or
+    // none do" extremes).
+    let est = ((k as f64 + 1.0) * denom).exp();
+    let m_est = ((est / GapTable::SCALE) as u64).clamp(1, GRID_MAX);
+    let mut lo = m_est.saturating_sub(WINDOW).max(1);
+    let mut hi = m_est.saturating_add(WINDOW).min(GRID_MAX);
+    // Bracket: need gap(hi) ≤ k and gap(lo − 1) > k (or lo == 1). The
+    // upper bound GRID_MAX is always valid: gap(1.0) = ⌊0/denom⌋ = 0 ≤ k.
+    if oracle(hi) > k {
+        lo = hi;
+        hi = GRID_MAX;
+    } else if lo > 1 && oracle(lo) <= k {
+        hi = lo;
+        lo = 1;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if oracle(mid) <= k {
+            hi = mid;
+        } else {
+            lo = mid + 1;
         }
-    })
+    }
+    hi as f64 * GapTable::SCALE
 }
 
-/// One gap draw, through the threshold table when one was built.
-#[inline]
-fn draw_gap<R: Rng + ?Sized>(table: Option<&GapTable>, denom: f64, rng: &mut R) -> usize {
-    let u: f64 = rng.gen::<f64>();
-    if u <= 0.0 {
-        return usize::MAX;
+/// Total gaps the threshold tables resolve without a `ln`.
+const GAP_TOTAL: usize = GAP_TABLE_SIZE + GAP_EXT_SIZE;
+
+/// Bits of the 53-bit mantissa indexing the direct-lookup tier.
+const LUT_BITS: u32 = 13;
+/// Buckets in the direct-lookup tier (16 KiB of `u16` — cache resident;
+/// doubling past 13 bits no longer moves the ambiguous-bucket fraction
+/// enough to pay for the extra footprint).
+const LUT_SIZE: usize = 1 << LUT_BITS;
+/// Shift from a 53-bit mantissa to its bucket index.
+const LUT_SHIFT: u32 = 53 - LUT_BITS;
+/// Bucket contains a threshold: resolve by exact partition-point search.
+const LUT_AMBIG: u16 = u16::MAX;
+/// Whole bucket lies below every threshold (gap ≥ [`GAP_TOTAL`]): `ln` tail.
+const LUT_TAIL: u16 = u16::MAX - 1;
+
+/// The exact gap-resolution tables for one denominator.
+///
+/// Resolution is **lookup-first**: the gap is a non-increasing step
+/// function of the 53-bit sample mantissa, so bucketing the mantissa's top
+/// [`LUT_BITS`] bits yields a table where almost every bucket (all but the
+/// ≤ [`GAP_TOTAL`] + 1 buckets a step boundary lands in) maps straight to
+/// its gap — one shift and one load per draw. Ambiguous buckets fall back
+/// to a partition-point search over the full descending threshold array,
+/// and only samples below the last threshold (`(1−p)^288` of draws) pay
+/// the `ln` formula. Every path is exact: thresholds sit on the formula's
+/// step boundaries by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct GapTables {
+    /// Every threshold, descending — the 32 [`GapTable`] entries followed
+    /// by the [`GAP_EXT_SIZE`] extension — for the ambiguous-bucket search.
+    all: Box<[f64; GAP_TOTAL]>,
+    /// Mantissa-prefix bucket → gap, [`LUT_AMBIG`], or [`LUT_TAIL`].
+    lut: Box<[u16; LUT_SIZE]>,
+}
+
+impl GapTables {
+    fn new(denom: f64) -> Self {
+        let small = GapTable::new(denom);
+        let mut all = Box::new([0.0f64; GAP_TOTAL]);
+        all[..GAP_TABLE_SIZE].copy_from_slice(&small.thresholds);
+        for (i, slot) in all[GAP_TABLE_SIZE..].iter_mut().enumerate() {
+            *slot = threshold_for(GAP_TABLE_SIZE + i, denom);
+        }
+
+        // Direct-lookup tier. A bucket holding a threshold is marked
+        // ambiguous (over-marking is safe — the search is exact); every
+        // other bucket's gap is constant and equals the threshold count
+        // above its highest sample.
+        let mut lut = Box::new([0u16; LUT_SIZE]);
+        let mut ambiguous = [false; LUT_SIZE];
+        for &t in all.iter() {
+            // Thresholds are grid points, so `t / SCALE` is an exact
+            // integer round-trip.
+            let m = (t / GapTable::SCALE) as u64;
+            let bucket = ((m >> LUT_SHIFT) as usize).min(LUT_SIZE - 1);
+            ambiguous[bucket] = true;
+        }
+        let mut above = 0usize; // thresholds > the current bucket's u_high
+        for b in (0..LUT_SIZE).rev() {
+            let m_high = (((b as u64) + 1) << LUT_SHIFT) - 1;
+            let u_high = m_high as f64 * GapTable::SCALE;
+            while above < GAP_TOTAL && all[above] > u_high {
+                above += 1;
+            }
+            lut[b] = if ambiguous[b] {
+                LUT_AMBIG
+            } else if above >= GAP_TOTAL {
+                // gap(u_high) ≥ GAP_TOTAL and gap only grows toward the
+                // bucket's low end: the whole bucket is `ln` territory.
+                LUT_TAIL
+            } else {
+                above as u16
+            };
+        }
+        Self { all, lut }
     }
-    match table {
-        Some(t) => t.gap(u, denom),
-        None => gap_formula(u, denom),
+
+    /// Resolves one positive sample mantissa (`u = m · 2⁻⁵³`) to its exact
+    /// gap.
+    #[inline]
+    fn resolve_m(&self, m: u64, denom: f64) -> usize {
+        debug_assert!(m > 0);
+        let code = self.lut[(m >> LUT_SHIFT) as usize];
+        if (code as usize) < GAP_TOTAL {
+            return code as usize;
+        }
+        let u = m as f64 * GapTable::SCALE;
+        if code == LUT_TAIL {
+            return gap_formula(u, denom);
+        }
+        // Ambiguous bucket: count the thresholds above `u` (they descend,
+        // so it is a prefix — partition-point search, exact).
+        let (mut lo, mut hi) = (0usize, GAP_TOTAL);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if u < self.all[mid] {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo >= GAP_TOTAL {
+            gap_formula(u, denom)
+        } else {
+            lo
+        }
+    }
+
+    /// [`GapTables::resolve_m`] from the f64 sample (test surface; the
+    /// division by the power-of-two grid scale is an exact round-trip).
+    #[cfg(test)]
+    fn resolve(&self, u: f64, denom: f64) -> usize {
+        self.resolve_m((u / GapTable::SCALE) as u64, denom)
     }
 }
 
-/// Merges two sorted, mutually disjoint id lists into one sorted list.
-fn merge_sorted_disjoint(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+thread_local! {
+    /// Per-thread [`PerturbScratch`] backing the scratchless entry points
+    /// ([`RandomizedResponse::perturb_neighbor_list`]): buffers and the
+    /// gap-table cache stay warm across calls on the same thread.
+    static THREAD_SCRATCH: RefCell<PerturbScratch> = RefCell::new(PerturbScratch::new());
+
+    /// Thread-wide one-entry table cache keyed by the denominator bits.
+    /// Tables cost ~300 seeded threshold searches to build; rounds perturb
+    /// many lists at the same ε (and engines many rounds), so the cache
+    /// hands the same `Arc` to every scratch that asks.
+    static GAP_TABLES_CACHE: RefCell<Option<(u64, Arc<GapTables>)>> = const { RefCell::new(None) };
+}
+
+/// Reusable working state for the perturbation pipeline: staging buffers
+/// for skip-sampled event positions and kept survivors, plus a one-entry
+/// cache of the exact gap-resolution tables keyed by the denominator bits.
+///
+/// One lives per `cne` scratch arena (so engine runs and per-worker shards
+/// keep tables and buffers warm without touching thread-local state) and
+/// one per thread for the scratchless entry points. Holds only capacity
+/// and derived constants — never protocol state — so reuse cannot change
+/// any output.
+#[derive(Debug, Default)]
+pub struct PerturbScratch {
+    /// Skip-sampled event positions (drop indices, then flip ranks/ids).
+    events: Vec<VertexId>,
+    /// Kept survivors of the 1 → 0 pass (list-producing path only).
+    kept: Vec<VertexId>,
+    /// Cached gap tables for the last denominator used.
+    tables: Option<(u64, Arc<GapTables>)>,
+}
+
+impl PerturbScratch {
+    /// Creates an empty scratch; buffers grow and tables build on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn events_mut(&mut self) -> &mut Vec<VertexId> {
+        self.events.clear();
+        &mut self.events
+    }
+
+    fn events_and_kept(&mut self) -> (&mut Vec<VertexId>, &mut Vec<VertexId>) {
+        self.events.clear();
+        (&mut self.events, &mut self.kept)
+    }
+
+    /// The gap tables for `denom`, from this scratch's cache, the
+    /// thread-wide cache, or a fresh (seeded, exact) construction.
+    fn tables_for(&mut self, denom: f64) -> Arc<GapTables> {
+        let key = denom.to_bits();
+        if let Some((bits, tables)) = &self.tables {
+            if *bits == key {
+                return Arc::clone(tables);
+            }
+        }
+        let tables = GAP_TABLES_CACHE.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            match &*cache {
+                Some((bits, tables)) if *bits == key => Arc::clone(tables),
+                _ => {
+                    let tables = Arc::new(GapTables::new(denom));
+                    *cache = Some((key, Arc::clone(&tables)));
+                    tables
+                }
+            }
+        });
+        self.tables = Some((key, Arc::clone(&tables)));
+        tables
+    }
+}
+
+/// Uniform draws per batched fill. 64 keeps the whole block (raw mantissas
+/// plus resolved gaps) in L1 while amortizing the per-draw RNG and
+/// dispatch overhead across a full cache line of events.
+const DRAW_BLOCK: usize = 64;
+
+/// Expected draws above which building (or fetching) the exact gap tables
+/// pays for itself. Below it the pipeline resolves every gap with the
+/// formula — bit-identical, just without the table fast path.
+const TABLE_MIN_EXPECTED_DRAWS: f64 = 1024.0;
+
+/// Flip probabilities below this produce gaps so large that even the
+/// extension table misses most draws; skip table construction entirely.
+const TABLE_MIN_P: f64 = 1e-3;
+
+/// One phase's skip-sampling state: the resolution tables (if built) plus
+/// the constants the exact-consumption block sizing needs.
+struct GapSampler {
+    denom: f64,
+    tables: Option<Arc<GapTables>>,
+    /// `1 + ` the largest finite gap any positive grid sample can produce
+    /// (`gap(2⁻⁵³)`): no draw can advance the skip position by more, so a
+    /// block of `1 + remaining/max_advance` draws is certainly consumed.
+    max_advance: usize,
+}
+
+impl GapSampler {
+    /// Hoists the per-list constants and (when the workload warrants)
+    /// the exact resolution tables out of the draw loop.
+    fn prepare(p: f64, opposite_size: usize, scratch: &mut PerturbScratch) -> Self {
+        let denom = gap_denominator(p);
+        let expected_draws = p * opposite_size as f64;
+        let cached = matches!(&scratch.tables, Some((bits, _)) if *bits == denom.to_bits());
+        let tables = if cached || (expected_draws >= TABLE_MIN_EXPECTED_DRAWS && p >= TABLE_MIN_P) {
+            Some(scratch.tables_for(denom))
+        } else {
+            None
+        };
+        let max_advance = gap_formula(GapTable::SCALE, denom).saturating_add(1);
+        Self {
+            denom,
+            tables,
+            max_advance,
+        }
+    }
+
+    /// Skip-samples event positions in `0..bound`, pushing each into `out`
+    /// — the batched form of the scalar loop
+    ///
+    /// ```text
+    /// pos = draw_gap(); while pos < bound { emit(pos); pos += 1 + draw_gap(); }
+    /// ```
+    ///
+    /// consuming the RNG **exactly** as that loop would, draw for draw:
+    ///
+    /// * a block of `min(64, 1 + remaining/max_advance)` raw draws is
+    ///   pulled first — since no finite gap advances the position by more
+    ///   than `max_advance`, the scalar loop would certainly have consumed
+    ///   every one of them;
+    /// * the one event that can end the phase early — a zero mantissa,
+    ///   whose gap saturates to `usize::MAX` — truncates the fill at the
+    ///   draw the scalar sampler would also have stopped at;
+    /// * gaps then resolve in a tight pass (branchless table count, bounded
+    ///   binary search, `ln` tail — all exact), and the position walk emits
+    ///   the events. Only the final draw of a block can overshoot `bound`,
+    ///   which is precisely the scalar loop's termination draw.
+    fn sample_events<R: Rng + ?Sized>(&self, bound: usize, rng: &mut R, out: &mut Vec<VertexId>) {
+        let mut raw = [0u64; DRAW_BLOCK];
+        let mut gaps = [0usize; DRAW_BLOCK];
+        // `base`: the offset the next gap is added to (0 before the first
+        // draw, `pos + 1` after an event at `pos`).
+        let mut base = 0usize;
+        loop {
+            // How many draws the scalar sampler is guaranteed to consume
+            // from this state (≥ 1: it always draws once more).
+            let remaining = bound.saturating_sub(base);
+            let guaranteed = 1 + remaining / self.max_advance;
+            let k = guaranteed.min(DRAW_BLOCK);
+            // Fill: raw 53-bit mantissas (the exact grid `gen::<f64>()`
+            // samples from). A zero mantissa is u = 0.0 — its gap is
+            // `usize::MAX`, ending the phase — so it truncates the block.
+            let mut n = 0usize;
+            while n < k {
+                let m = rng.next_u64() >> 11;
+                raw[n] = m;
+                n += 1;
+                if m == 0 {
+                    break;
+                }
+            }
+            // Resolve the block's gaps in a tight pass.
+            match &self.tables {
+                Some(tables) => {
+                    for i in 0..n {
+                        let m = raw[i];
+                        gaps[i] = if m == 0 {
+                            usize::MAX
+                        } else {
+                            tables.resolve_m(m, self.denom)
+                        };
+                    }
+                }
+                None => {
+                    for i in 0..n {
+                        let m = raw[i];
+                        gaps[i] = if m == 0 {
+                            usize::MAX
+                        } else {
+                            gap_formula(m as f64 * GapTable::SCALE, self.denom)
+                        };
+                    }
+                }
+            }
+            // Walk: emit events; only the final draw of the block can
+            // cross `bound` (that is the scalar loop's exit draw).
+            for (i, &gap) in gaps[..n].iter().enumerate() {
+                let pos = base.saturating_add(gap);
+                if pos >= bound {
+                    debug_assert_eq!(i, n - 1, "only the last guaranteed draw may overshoot");
+                    return;
+                }
+                out.push(pos as VertexId);
+                base = pos + 1;
+            }
+        }
+    }
+}
+
+/// Merges two sorted, mutually disjoint id lists into `out` (cleared on
+/// entry) — the allocation-free form the legacy list-producing callers
+/// stage through their scratch arenas.
+pub fn merge_sorted_disjoint_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
     if a.is_empty() {
-        return b.to_vec();
+        out.extend_from_slice(b);
+        return;
     }
     if b.is_empty() {
-        return a.to_vec();
+        out.extend_from_slice(a);
+        return;
     }
-    let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         if a[i] < b[j] {
@@ -405,7 +884,6 @@ fn merge_sorted_disjoint(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
 }
 
 impl Mechanism<bool> for RandomizedResponse {
@@ -424,7 +902,7 @@ impl Mechanism<bool> for RandomizedResponse {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     fn rr(eps: f64) -> RandomizedResponse {
         RandomizedResponse::new(PrivacyBudget::new(eps).unwrap())
@@ -470,35 +948,194 @@ mod tests {
     }
 
     #[test]
-    fn gap_table_matches_formula_exactly() {
+    fn gap_tables_match_formula_exactly() {
         let mut rng = StdRng::seed_from_u64(99);
-        for eps in [0.5f64, 1.0, 2.0, 3.0] {
+        for eps in [0.5f64, 1.0, 2.0, 3.0, 4.0] {
             let p = 1.0 / (1.0 + eps.exp());
             let denom = gap_denominator(p);
-            let table = GapTable::new(denom);
-            // The table must agree with the reference formula on every
-            // sample, including the rare small-u fallback region.
+            let tables = GapTables::new(denom);
+            let small = GapTable::new(denom);
+            // Both the full tables and the 32-entry small tier must agree
+            // with the reference formula on every sample, including the
+            // small-u fallback region.
             for _ in 0..200_000 {
                 let u: f64 = rng.gen();
                 if u <= 0.0 {
                     continue;
                 }
                 assert_eq!(
-                    table.gap(u, denom),
+                    tables.resolve(u, denom),
                     gap_formula(u, denom),
-                    "table and formula disagree at u={u} eps={eps}"
+                    "tables and formula disagree at u={u} eps={eps}"
+                );
+                assert_eq!(
+                    small.gap(u, denom),
+                    gap_formula(u, denom),
+                    "small tier disagrees at u={u} eps={eps}"
                 );
             }
-            // Thresholds sit exactly on the step boundaries of the grid the
-            // RNG samples from: t_k maps to ≤ k, its grid predecessor to > k.
-            for (k, &t) in table.thresholds.iter().enumerate() {
+            // Deliberately tiny samples exercise the ln tail beyond both
+            // tiers (gap ≥ 288 needs u ≤ (1−p)^288: guaranteed at these ε).
+            for m in [1u64, 2, 3, 1000, 1 << 20] {
+                let u = m as f64 * GapTable::SCALE;
+                assert_eq!(tables.resolve(u, denom), gap_formula(u, denom));
+            }
+            // Every threshold — the 32 small-tier entries followed by the
+            // 256 extension entries — sits exactly on a step boundary of
+            // the grid the RNG samples from: entry k maps to ≤ k, its grid
+            // predecessor to > k. The combined array must also start with
+            // the small tier verbatim.
+            for (k, &t) in small.thresholds.iter().enumerate() {
+                assert_eq!(t.to_bits(), tables.all[k].to_bits(), "tier mismatch at {k}");
+            }
+            for (k, &t) in tables.all.iter().enumerate() {
                 let m = (t / GapTable::SCALE).round() as u64;
                 assert!(gap_formula(m as f64 * GapTable::SCALE, denom) <= k);
                 if m > 1 {
-                    assert!(gap_formula((m - 1) as f64 * GapTable::SCALE, denom) > k);
+                    assert!(
+                        gap_formula((m - 1) as f64 * GapTable::SCALE, denom) > k,
+                        "threshold {k} not tight at eps {eps}"
+                    );
                 }
             }
         }
+    }
+
+    #[test]
+    fn seeded_threshold_construction_matches_full_binary_search() {
+        // The exp-seeded window search must agree with an oracle-only full
+        // binary search over the whole grid, for representative ε and ks
+        // across both tiers.
+        for eps in [0.5f64, 1.0, 4.0, 6.0] {
+            let p = 1.0 / (1.0 + eps.exp());
+            let denom = gap_denominator(p);
+            for k in [0usize, 1, 15, 31, 32, 100, 255, 287] {
+                let mut lo = 1u64;
+                let mut hi = 1u64 << 53;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if gap_formula(mid as f64 * GapTable::SCALE, denom) <= k {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                let reference = hi as f64 * GapTable::SCALE;
+                assert_eq!(
+                    threshold_for(k, denom).to_bits(),
+                    reference.to_bits(),
+                    "k={k} eps={eps}"
+                );
+            }
+        }
+    }
+
+    /// The batched pipeline must equal the retained scalar reference in
+    /// both output and RNG stream consumption, across table and no-table
+    /// regimes and the zero-size edge cases.
+    #[test]
+    fn batched_pipeline_matches_scalar_reference_exactly() {
+        let mut scratch = PerturbScratch::new();
+        for eps in [0.3f64, 1.0, 2.0, 4.0, 7.0, 25.0] {
+            let r = rr(eps);
+            for (d, n) in [
+                (0usize, 0usize),
+                (0, 100),
+                (10, 10),
+                (10, 5_000),
+                (40, 50_000),
+            ] {
+                let truth: Vec<VertexId> = (0..d as u32)
+                    .map(|i| i * (n as u32 / d.max(1) as u32).max(1))
+                    .collect();
+                let truth: Vec<VertexId> =
+                    truth.into_iter().filter(|&v| (v as usize) < n).collect();
+                for seed in 0..5u64 {
+                    let mut rng_a = StdRng::seed_from_u64(seed);
+                    let mut rng_b = StdRng::seed_from_u64(seed);
+                    let batched = r.perturb_neighbor_list_with(&truth, n, &mut rng_a, &mut scratch);
+                    let scalar = r.perturb_neighbor_list_scalar_reference(&truth, n, &mut rng_b);
+                    assert_eq!(
+                        batched,
+                        scalar,
+                        "eps {eps} d {} n {n} seed {seed}",
+                        truth.len()
+                    );
+                    // Post-state equality proves draw-for-draw consumption.
+                    assert_eq!(
+                        rng_a.next_u64(),
+                        rng_b.next_u64(),
+                        "stream positions diverged: eps {eps} d {} n {n} seed {seed}",
+                        truth.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Packed-native output contains exactly the bits of the list output,
+    /// with identical RNG consumption — with and without a pre-packed true
+    /// bitmap.
+    #[test]
+    fn packed_output_matches_list_output() {
+        let mut scratch = PerturbScratch::new();
+        for eps in [0.5f64, 1.0, 4.0, 25.0] {
+            let r = rr(eps);
+            for (d, n) in [(0usize, 64usize), (5, 200), (25, 4_096), (10, 50_000)] {
+                let truth: Vec<VertexId> = (0..d as u32)
+                    .map(|i| i * (n as u32 / d.max(1) as u32))
+                    .collect();
+                let packed_truth = PackedSet::from_sorted(&truth, n);
+                for seed in [3u64, 17, 99] {
+                    let mut rng_list = StdRng::seed_from_u64(seed);
+                    let mut rng_packed = StdRng::seed_from_u64(seed);
+                    let mut rng_cached = StdRng::seed_from_u64(seed);
+                    let list = r.perturb_neighbor_list(&truth, n, &mut rng_list);
+                    let packed = r.perturb_neighbor_list_packed(
+                        &truth,
+                        None,
+                        n,
+                        &mut rng_packed,
+                        &mut scratch,
+                    );
+                    let cached = r.perturb_neighbor_list_packed(
+                        &truth,
+                        Some(&packed_truth),
+                        n,
+                        &mut rng_cached,
+                        &mut scratch,
+                    );
+                    assert_eq!(packed.to_sorted_ids(), list, "eps {eps} d {d} n {n}");
+                    assert_eq!(
+                        packed, cached,
+                        "cached-bitmap path differs: eps {eps} d {d} n {n}"
+                    );
+                    assert_eq!(packed.len(), list.len());
+                    assert_eq!(rng_list.next_u64(), rng_packed.next_u64());
+                    assert_eq!(rng_list.next_u64(), {
+                        let _ = rng_cached.next_u64();
+                        rng_cached.next_u64()
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_into_reuses_buffer_and_matches() {
+        let r = rr(1.0);
+        let mut scratch = PerturbScratch::new();
+        let truth: Vec<VertexId> = vec![2, 5, 9];
+        let mut out = Vec::new();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        r.perturb_neighbor_list_into(&truth, 50, &mut rng_a, &mut scratch, &mut out);
+        let fresh = r.perturb_neighbor_list(&truth, 50, &mut rng_b);
+        assert_eq!(out, fresh);
+        // Second call fully overwrites the buffer.
+        let mut rng_c = StdRng::seed_from_u64(8);
+        r.perturb_neighbor_list_into(&truth, 50, &mut rng_c, &mut scratch, &mut out);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -538,6 +1175,19 @@ mod tests {
         let truth: Vec<VertexId> = vec![1, 4, 8];
         let noisy = r.perturb_neighbor_list(&truth, 100, &mut rng);
         assert_eq!(noisy, truth);
+    }
+
+    #[test]
+    fn merge_into_handles_all_shapes() {
+        let mut out = Vec::new();
+        merge_sorted_disjoint_into(&[], &[], &mut out);
+        assert!(out.is_empty());
+        merge_sorted_disjoint_into(&[1, 3], &[], &mut out);
+        assert_eq!(out, vec![1, 3]);
+        merge_sorted_disjoint_into(&[], &[2, 4], &mut out);
+        assert_eq!(out, vec![2, 4]);
+        merge_sorted_disjoint_into(&[1, 5, 9], &[2, 6, 10, 11], &mut out);
+        assert_eq!(out, vec![1, 2, 5, 6, 9, 10, 11]);
     }
 
     #[test]

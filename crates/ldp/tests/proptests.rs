@@ -1,12 +1,13 @@
 //! Property-based tests for the LDP substrate.
 
+use bigraph::bitset::PackedSet;
 use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
 use ldp::laplace::{sample_laplace, LaplaceMechanism};
 use ldp::mechanism::Sensitivity;
-use ldp::randomized_response::RandomizedResponse;
+use ldp::randomized_response::{PerturbScratch, RandomizedResponse};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 fn arb_epsilon() -> impl Strategy<Value = f64> {
     0.1f64..8.0
@@ -203,6 +204,95 @@ proptest! {
             let mut rng = StdRng::seed_from_u64(seed);
             let noisy = rr.perturb_neighbor_list(&truth, 3 * degree + 10, &mut rng);
             prop_assert_eq!(noisy, truth.clone(), "eps {}", eps);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-native perturbation and the batched draw pipeline.
+// ---------------------------------------------------------------------------
+
+/// An arbitrary sorted true-neighbor list inside an arbitrary universe.
+fn arb_row() -> impl Strategy<Value = (Vec<u32>, usize)> {
+    (0usize..60, 1usize..6000).prop_map(|(degree, extra)| {
+        let n = degree + extra;
+        let stride = (n / degree.max(1)).max(1) as u32;
+        let truth: Vec<u32> = (0..degree as u32)
+            .map(|i| i * stride)
+            .filter(|&v| (v as usize) < n)
+            .collect();
+        (truth, n)
+    })
+}
+
+proptest! {
+    /// (a) Packed-native output bits equal the packed legacy-list output for
+    /// random lists and budgets — covering the skip (low-ε, table) and
+    /// near-dense (high-ε, formula) regimes, with and without a pre-packed
+    /// true bitmap — and (b) the batched pipeline consumes the RNG stream
+    /// draw-for-draw identically to the retained scalar sampler.
+    #[test]
+    fn packed_native_equals_legacy_list_and_stream(
+        (truth, n) in arb_row(),
+        eps in 0.1f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        let mut scratch = PerturbScratch::new();
+        let true_packed = PackedSet::from_sorted(&truth, n);
+
+        let mut rng_scalar = StdRng::seed_from_u64(seed);
+        let mut rng_list = StdRng::seed_from_u64(seed);
+        let mut rng_packed = StdRng::seed_from_u64(seed);
+        let mut rng_cached = StdRng::seed_from_u64(seed);
+
+        let scalar = rr.perturb_neighbor_list_scalar_reference(&truth, n, &mut rng_scalar);
+        let list = rr.perturb_neighbor_list_with(&truth, n, &mut rng_list, &mut scratch);
+        let packed = rr.perturb_neighbor_list_packed(&truth, None, n, &mut rng_packed, &mut scratch);
+        let cached =
+            rr.perturb_neighbor_list_packed(&truth, Some(&true_packed), n, &mut rng_cached, &mut scratch);
+
+        // Identical bits across every representation.
+        prop_assert_eq!(&list, &scalar);
+        prop_assert_eq!(packed.to_sorted_ids(), scalar.clone());
+        prop_assert_eq!(&cached, &packed);
+        prop_assert_eq!(packed.len(), scalar.len());
+
+        // Identical RNG stream consumption: the post-call stream positions
+        // of all four samplers coincide.
+        let next = rng_scalar.next_u64();
+        prop_assert_eq!(rng_list.next_u64(), next);
+        prop_assert_eq!(rng_packed.next_u64(), next);
+        prop_assert_eq!(rng_cached.next_u64(), next);
+    }
+}
+
+/// The batched pipeline at table-building scale (ε = 1 and 4 over a 100k
+/// universe — the bench workload) stays draw-for-draw identical to the
+/// scalar reference. Kept out of proptest so the big universes run once.
+#[test]
+fn batched_pipeline_stream_identity_at_bench_scale() {
+    let n = 100_000usize;
+    let truth: Vec<u32> = (0..10u32).map(|i| i * 9_999).collect();
+    let mut scratch = PerturbScratch::new();
+    for eps in [1.0f64, 4.0] {
+        let rr = RandomizedResponse::new(PrivacyBudget::new(eps).unwrap());
+        for seed in [5u64, 71, 901] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut rng_c = StdRng::seed_from_u64(seed);
+            let scalar = rr.perturb_neighbor_list_scalar_reference(&truth, n, &mut rng_a);
+            let list = rr.perturb_neighbor_list_with(&truth, n, &mut rng_b, &mut scratch);
+            let packed = rr.perturb_neighbor_list_packed(&truth, None, n, &mut rng_c, &mut scratch);
+            assert_eq!(list, scalar, "eps {eps} seed {seed}");
+            assert_eq!(packed.to_sorted_ids(), scalar, "eps {eps} seed {seed}");
+            let next = rng_a.next_u64();
+            assert_eq!(rng_b.next_u64(), next, "list stream eps {eps} seed {seed}");
+            assert_eq!(
+                rng_c.next_u64(),
+                next,
+                "packed stream eps {eps} seed {seed}"
+            );
         }
     }
 }
