@@ -165,6 +165,108 @@ fn bench_laplace(c: &mut Criterion) {
     group.finish();
 }
 
+/// The runtime-dispatched popcount tiers against the retained scalar
+/// reference, at the engine's row width (100k-bit rows = 1563 words), plus
+/// the tiled multi-row kernel against four separate dispatched passes.
+/// The dispatched/scalar ratio is gated hardware-neutrally in bench_check:
+/// whatever tier the CPU selects must never lose to the scalar loop.
+fn bench_popcount_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/popcount_kernels");
+    let words = 100_000usize.div_ceil(64);
+    let mix = |salt: u64, i: u64| {
+        let mut z = salt
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let a: Vec<u64> = (0..words as u64).map(|i| mix(11, i)).collect();
+    let rows: Vec<Vec<u64>> = (0..4u64)
+        .map(|r| (0..words as u64).map(|i| mix(100 + r, i)).collect())
+        .collect();
+    group.throughput(Throughput::Elements(words as u64));
+    group.bench_function("dispatched", |b| {
+        b.iter(|| criterion::black_box(bigraph::bitset::popcount_and(&a, &rows[0])));
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| criterion::black_box(bigraph::bitset::popcount_and_scalar(&a, &rows[0])));
+    });
+    let row_refs: Vec<&[u64]> = rows.iter().map(Vec::as_slice).collect();
+    group.throughput(Throughput::Elements(4 * words as u64));
+    group.bench_function("multi_4rows", |b| {
+        let mut out = [0u64; 4];
+        b.iter(|| {
+            bigraph::bitset::popcount_and_multi(&a, &row_refs, &mut out);
+            criterion::black_box(out[3])
+        });
+    });
+    group.bench_function("per_row_4rows", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for row in &row_refs {
+                acc = acc.wrapping_add(bigraph::bitset::popcount_and(&a, row));
+            }
+            criterion::black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+/// Batched per-user stream setup (`StdRng::seed_batch_from_u64`, the
+/// interleaved-SplitMix64 path under the fused round 2) against one
+/// `seed_from_u64` per user — state-identical, gated in bench_check.
+fn bench_rng_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/rng_setup");
+    let n = 256usize;
+    let seeds: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("batched_256", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            rand::rngs::StdRng::seed_batch_from_u64(&seeds, &mut out);
+            criterion::black_box(out.len())
+        });
+    });
+    group.bench_function("scalar_256", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            out.extend(seeds.iter().map(|&s| rand::rngs::StdRng::seed_from_u64(s)));
+            criterion::black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+/// Block Laplace sampling (`sample_laplace_block`, bulk uniform refill via
+/// `fill_bytes`) against one `sample_laplace` per draw — draw-for-draw
+/// identical streams, gated in bench_check.
+fn bench_laplace_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/laplace_block");
+    let n = 256usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("block_256", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut out = vec![0.0f64; n];
+        b.iter(|| {
+            ldp::laplace::sample_laplace_block(1.5, &mut rng, &mut out);
+            criterion::black_box(out[n - 1])
+        });
+    });
+    group.bench_function("scalar_256", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut out = vec![0.0f64; n];
+        b.iter(|| {
+            for slot in out.iter_mut() {
+                *slot = sample_laplace(1.5, &mut rng);
+            }
+            criterion::black_box(out[n - 1])
+        });
+    });
+    group.finish();
+}
+
 fn bench_exact_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/exact_c2");
     let mut rng = ChaCha12Rng::seed_from_u64(3);
@@ -210,6 +312,9 @@ criterion_group!(
     bench_packed_vs_merge_intersection,
     bench_batch_engine,
     bench_laplace,
+    bench_popcount_kernels,
+    bench_rng_setup,
+    bench_laplace_block,
     bench_exact_counting,
     bench_graph_build
 );

@@ -72,7 +72,48 @@ const GATES: &[Gate] = &[
         numerator: "micro/perturb_sparse_large/packed/1",
         denominator: "micro/perturb_sparse_large/dense/1",
     },
+    // Kernel-dispatch gates: hardware-neutral by construction — whatever
+    // tier the CPU selects is compared against the scalar reference from
+    // the same run, so the gate holds on AVX2, popcnt-only, and portable
+    // machines alike.
+    Gate {
+        name: "popcount dispatched kernel vs scalar reference",
+        numerator: "micro/popcount_kernels/dispatched",
+        denominator: "micro/popcount_kernels/scalar",
+    },
+    Gate {
+        name: "rng setup batched vs per-seed",
+        numerator: "micro/rng_setup/batched_256",
+        denominator: "micro/rng_setup/scalar_256",
+    },
+    Gate {
+        name: "laplace block sampler vs scalar draws",
+        numerator: "micro/laplace_block/block_256",
+        denominator: "micro/laplace_block/scalar_256",
+    },
 ];
+
+/// One line describing the CPU tier the dispatched kernels run on — printed
+/// at the top of the report so a regression can be read in context of the
+/// hardware that produced the log.
+fn cpu_feature_header() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        format!(
+            "bench-check: cpu features avx2={} popcnt={}, active popcount kernel `{}`",
+            std::arch::is_x86_feature_detected!("avx2"),
+            std::arch::is_x86_feature_detected!("popcnt"),
+            bigraph::bitset::active_popcount_kernel(),
+        )
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        format!(
+            "bench-check: non-x86_64 host, active popcount kernel `{}`",
+            bigraph::bitset::active_popcount_kernel(),
+        )
+    }
+}
 
 /// Parses the baseline JSON's `results` array into `id -> mean_ns`.
 fn parse_baseline(json: &str) -> Result<HashMap<String, f64>, String> {
@@ -166,6 +207,7 @@ fn main() -> ExitCode {
         eprintln!("usage: bench-check <BENCH_micro.json> <bench.log>");
         return ExitCode::from(2);
     };
+    println!("{}", cpu_feature_header());
     let run = || -> Result<Vec<String>, String> {
         let baseline = std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
@@ -220,7 +262,24 @@ mod tests {
         m.insert("micro/perturb_sparse_large/skip/4".into(), 0.021e6);
         m.insert("micro/perturb_sparse_large/packed/4".into(), 0.022e6);
         m.insert("micro/perturb_sparse_large/dense/4".into(), 0.61e6);
+        m.insert("micro/popcount_kernels/dispatched".into(), 0.22e3);
+        m.insert("micro/popcount_kernels/scalar".into(), 0.90e3);
+        m.insert("micro/rng_setup/batched_256".into(), 1.1e3);
+        m.insert("micro/rng_setup/scalar_256".into(), 2.6e3);
+        m.insert("micro/laplace_block/block_256".into(), 1.6e3);
+        m.insert("micro/laplace_block/scalar_256".into(), 2.4e3);
         m
+    }
+
+    #[test]
+    fn cpu_header_names_a_selectable_kernel() {
+        let header = cpu_feature_header();
+        assert!(
+            ["avx2", "popcnt", "portable"]
+                .iter()
+                .any(|k| header.contains(&format!("`{k}`"))),
+            "{header}"
+        );
     }
 
     #[test]

@@ -41,10 +41,16 @@ use crate::engine::{with_shard_scratch, ProtocolEnv, RoundContext};
 use crate::error::{CneError, Result};
 use crate::estimate::AlgorithmKind;
 use crate::protocol::randomized_response_round_packed;
-use crate::single_source::{single_source_laplace, single_source_value_scratch};
+use crate::single_source::{
+    single_source_laplace, single_source_value_multi, single_source_value_scratch,
+};
+use bigraph::bitset::PackedSet;
 use bigraph::{common_neighbors, BipartiteGraph, Layer, VertexId};
-use ldp::budget::{BudgetAccountant, Composition};
+use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
+use ldp::laplace::{sample_laplace_each, LaplaceMechanism};
+use ldp::noisy_graph::NoisyNeighborsPacked;
 use ldp::transcript::{Label, Transcript};
+use rand::rngs::StdRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -332,6 +338,228 @@ impl BatchSingleSource {
             budget,
             transcript,
         })
+    }
+}
+
+/// Candidates processed per chunk of the fused multi-target round 2: large
+/// enough to amortize one batched stream-seed pass and one keyed Laplace
+/// pass per target, small enough that a chunk's staging stays L1-resident.
+const ROUND2_CHUNK: usize = 32;
+
+/// Per-target round-1 state staged for the fused candidate-major round 2.
+struct TargetShard {
+    target: VertexId,
+    flip_probability: f64,
+    laplace: LaplaceMechanism,
+    base_seed: u64,
+    eps2: PrivacyBudget,
+    noisy: NoisyNeighborsPacked,
+}
+
+impl BatchSingleSource {
+    /// Sharded batch estimation across many targets with a **fused,
+    /// candidate-major round 2**, byte-identical to running
+    /// [`BatchSingleSource::estimate_batch_in`] per target on the stream
+    /// `RoundContext::user_rng(seed, t)` — the contract
+    /// [`crate::engine::EstimationEngine::estimate_many_targets`] documents.
+    ///
+    /// The per-target reference walks the candidate list once per target,
+    /// re-streaming every candidate's packed adjacency (~`universe/8`
+    /// bytes) from memory `T` times. This path inverts the loop nest:
+    /// round 1 runs per target exactly as before (in target order, on the
+    /// target's own stream), then one parallel pass walks the candidates in
+    /// fixed chunks and intersects each candidate's adjacency — loaded
+    /// once, hot in cache — against **all** `T` noisy target rows. Per
+    /// chunk and target, the `mix(base, candidate)` stream seeds are
+    /// precomputed in a block, the generator states are batch-initialized
+    /// ([`StdRng::seed_batch_from_u64`]), and one keyed Laplace draw per
+    /// stream is applied in bulk ([`sample_laplace_each`]) — amortizing
+    /// per-user RNG setup that the reference pays per candidate.
+    ///
+    /// Bit-identity holds because every `(target, candidate)` estimate
+    /// depends only on its own independently keyed stream and on inputs
+    /// (`noisy row`, `flip probability`, Laplace scale) fixed in round 1;
+    /// neither loop order nor chunking touches any draw. Accounting replays
+    /// sequentially per target, in the reference order.
+    ///
+    /// # Errors
+    ///
+    /// Per-shard validation and protocol errors, reported for the earliest
+    /// failing target — the same first error the per-target reference
+    /// returns.
+    pub(crate) fn estimate_many_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        layer: Layer,
+        targets: &[VertexId],
+        candidates: &[VertexId],
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<Vec<BatchReport>> {
+        let g = env.graph;
+        // Round 1 + validation per target, in target order (so the first
+        // error matches the sequential reference). Each target's context
+        // wraps its own `mix(seed, target)` stream.
+        let mut rngs: Vec<StdRng> = targets
+            .iter()
+            .map(|&t| RoundContext::user_rng(seed, t))
+            .collect();
+        let mut shards: Vec<TargetShard> = Vec::with_capacity(targets.len());
+        let mut ctxs: Vec<RoundContext<'_>> = Vec::with_capacity(targets.len());
+        for (&target, rng) in targets.iter().zip(rngs.iter_mut()) {
+            // The shard's candidate list is `candidates` minus the target;
+            // validate exactly as `estimate_batch_impl` validates it.
+            if !candidates.iter().any(|&w| w != target) {
+                return Err(CneError::InvalidParameter {
+                    name: "candidates",
+                    reason: "the candidate list must not be empty".into(),
+                });
+            }
+            for &w in candidates {
+                if w != target {
+                    common_neighbors::check_query_pair(g, layer, target, w)?;
+                }
+            }
+            let mut seen: Vec<VertexId> = candidates
+                .iter()
+                .copied()
+                .filter(|&w| w != target)
+                .collect();
+            seen.sort_unstable();
+            if seen.windows(2).any(|w| w[0] == w[1]) {
+                return Err(CneError::InvalidParameter {
+                    name: "candidates",
+                    reason: "candidate vertices must be distinct".into(),
+                });
+            }
+            let mut ctx = RoundContext::begin(epsilon, rng)?;
+            let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
+            let round1 =
+                randomized_response_round_packed(env, layer, &[target], eps1, 1, &mut ctx)?;
+            let flip_probability = round1.flip_probability;
+            let noisy = round1.noisy.into_iter().next().expect("one list requested");
+            let laplace = single_source_laplace(flip_probability, eps2)?;
+            let base_seed = ctx.next_stream_base();
+            shards.push(TargetShard {
+                target,
+                flip_probability,
+                laplace,
+                base_seed,
+                eps2,
+                noisy,
+            });
+            ctxs.push(ctx);
+        }
+
+        // Fused round 2: one parallel pass over candidate chunks. Chunk
+        // results are dense `targets × chunk` value blocks; slots where the
+        // candidate equals the target are dead weight dropped at assembly
+        // (their streams are independent of every live one).
+        let chunk_count = candidates.len().div_ceil(ROUND2_CHUNK);
+        let shards_ref = &shards;
+        let rows: Vec<&PackedSet> = shards.iter().map(|s| s.noisy.set()).collect();
+        let flips: Vec<f64> = shards.iter().map(|s| s.flip_probability).collect();
+        let (rows_ref, flips_ref) = (&rows, &flips);
+        let chunk_values: Vec<Vec<f64>> = (0..chunk_count)
+            .into_par_iter()
+            .map(|ci| {
+                let start = ci * ROUND2_CHUNK;
+                let chunk = &candidates[start..candidates.len().min(start + ROUND2_CHUNK)];
+                let mut values = vec![0.0f64; chunk.len() * shards_ref.len()];
+                with_shard_scratch(|scratch| {
+                    // Candidate-major raw pass: each candidate's adjacency
+                    // is resolved once and counted against target rows in
+                    // groups of four while it is cache-hot (the multi-row
+                    // kernel tiles the candidate bitmap through L1).
+                    for (i, &w) in chunk.iter().enumerate() {
+                        let mut counts = [0u64; 4];
+                        let mut vals = [0.0f64; 4];
+                        for (g, (rows4, flips4)) in
+                            rows_ref.chunks(4).zip(flips_ref.chunks(4)).enumerate()
+                        {
+                            let n = rows4.len();
+                            single_source_value_multi(
+                                env,
+                                layer,
+                                w,
+                                rows4,
+                                flips4,
+                                scratch,
+                                &mut counts[..n],
+                                &mut vals[..n],
+                            );
+                            for (k, &v) in vals[..n].iter().enumerate() {
+                                values[(g * 4 + k) * chunk.len() + i] = v;
+                            }
+                        }
+                    }
+                    // Per-target noise pass: block-compute the stream
+                    // seeds, batch-seed the generators, and draw one keyed
+                    // Laplace sample per stream.
+                    for (ti, shard) in shards_ref.iter().enumerate() {
+                        let (seeds, streams, noise) = scratch.round2_buffers();
+                        seeds.clear();
+                        seeds.extend(
+                            chunk
+                                .iter()
+                                .map(|&w| user_stream_seed(shard.base_seed, u64::from(w))),
+                        );
+                        StdRng::seed_batch_from_u64(seeds, streams);
+                        noise.clear();
+                        noise.resize(chunk.len(), 0.0);
+                        sample_laplace_each(shard.laplace.scale(), streams, noise);
+                        let row = &mut values[ti * chunk.len()..(ti + 1) * chunk.len()];
+                        for (slot, &n) in row.iter_mut().zip(noise.iter()) {
+                            *slot += n;
+                        }
+                    }
+                });
+                values
+            })
+            .collect();
+
+        // Assembly + sequential accounting per target, in the reference
+        // order (shard order = candidate order minus the target).
+        let mut reports = Vec::with_capacity(targets.len());
+        for (ti, (shard, mut ctx)) in shards.iter().zip(ctxs).enumerate() {
+            let mut estimates = Vec::with_capacity(candidates.len());
+            for (ci, values) in chunk_values.iter().enumerate() {
+                let start = ci * ROUND2_CHUNK;
+                let chunk = &candidates[start..candidates.len().min(start + ROUND2_CHUNK)];
+                for (i, &w) in chunk.iter().enumerate() {
+                    if w != shard.target {
+                        estimates.push(BatchEstimate {
+                            candidate: w,
+                            estimate: values[ti * chunk.len() + i],
+                        });
+                    }
+                }
+            }
+            for i in 0..estimates.len() {
+                ctx.record_download_packed(2, "noisy-edges(target) -> candidate", &shard.noisy);
+                let composition = if i == 0 {
+                    Composition::Sequential
+                } else {
+                    Composition::Parallel
+                };
+                ctx.charge(
+                    Label::Indexed("round2:laplace(f_w", i as u32, ")"),
+                    shard.eps2,
+                    composition,
+                )?;
+                ctx.record_scalar_upload(2, "estimator(f_w)");
+            }
+            let (budget, transcript) = ctx.finish();
+            reports.push(BatchReport {
+                target: shard.target,
+                layer,
+                estimates,
+                epsilon,
+                budget,
+                transcript,
+            });
+        }
+        Ok(reports)
     }
 }
 

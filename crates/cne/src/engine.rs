@@ -172,11 +172,44 @@
 //! # Sharding story
 //!
 //! [`EstimationEngine::estimate_many_targets`] fans `targets × candidates`
-//! over rayon: each target shard runs the whole batch protocol on its own
-//! `mix(seed, target)` stream, and inside a shard every candidate estimator
-//! runs on its own `mix(base, candidate)` stream. Because no stream depends
-//! on placement, the same contract extends across processes or machines —
+//! over rayon. Logically each target shard runs the whole batch protocol on
+//! its own `mix(seed, target)` stream, and inside a shard every candidate
+//! estimator runs on its own `mix(base, candidate)` stream. Physically the
+//! execution is **fused candidate-major**: round 1 runs per target in
+//! target order (so the first validation error matches the sequential
+//! reference), then one parallel pass over *candidate chunks* computes the
+//! dense `targets × chunk` value block — each candidate's adjacency is
+//! resolved once and counted against every target's noisy row while it is
+//! cache-hot ([`ProtocolEnv::true_intersection_multi_scratch`]), and each
+//! chunk's per-user RNG streams are seeded in batch and given their Laplace
+//! draw in bulk. Because every `(target, candidate)` estimate depends only
+//! on its own independently keyed stream, the fused schedule is
+//! byte-identical to the per-shard one; and because no stream depends on
+//! placement, the same contract extends across processes or machines —
 //! shard the target list however is convenient and concatenate the reports.
+//!
+//! # Kernel dispatch
+//!
+//! The data-parallel kernels under the hot paths — `popcount`/AND-popcount
+//! over packed words ([`bigraph::bitset`]) and the ChaCha block core
+//! (vendored `rand_chacha`) — pick a hardware tier **once per process**: a
+//! `OnceLock`'d function pointer is installed after runtime CPU-feature
+//! detection (`is_x86_feature_detected!`), choosing AVX2, then `popcnt`,
+//! then the portable software implementation. Every tier computes exact
+//! integer counts (or the exact keystream), so dispatch can never change an
+//! estimate — only its speed; the adversarial-length equivalence tests in
+//! `bigraph::bitset` pin every selectable tier to the scalar reference.
+//! Setting `CNE_FORCE_PORTABLE_KERNELS=1` (read once at first dispatch)
+//! pins every dispatcher to the portable tier — the escape hatch for
+//! A/B-testing a suspect hardware kernel or reproducing results on exotic
+//! hardware; CI runs the full `bigraph`/`ldp`/`cne` suites under it.
+//! The same detect-once philosophy covers the batched scalar pipelines:
+//! per-user RNG setup seeds stream blocks through
+//! `StdRng::seed_batch_from_u64` (interleaved SplitMix64 lanes,
+//! state-identical to per-seed setup), and round-2 noise pulls its uniforms
+//! in bulk via [`ldp::laplace::sample_laplace_block`] /
+//! [`ldp::laplace::sample_laplace_each`] (draw-for-draw identical to the
+//! scalar sampler).
 
 use crate::batch::{user_stream_seed, BatchReport, BatchSingleSource};
 use crate::central::CentralDP;
@@ -197,7 +230,6 @@ use ldp::randomized_response::PerturbScratch;
 use ldp::transcript::{Direction, Label, Transcript};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -676,6 +708,69 @@ impl<'a> ProtocolEnv<'a> {
         bigraph::bitset::intersection_size_degree_aware_into(neighbors, other, &mut scratch.pack)
     }
 
+    /// Counts `|N(v) ∩ rowᵢ|` for several packed rows sharing one universe,
+    /// writing one count per row into `out`.
+    ///
+    /// Per-row results are bit-identical to calling
+    /// [`ProtocolEnv::true_intersection_with_scratch`] once per row, but the
+    /// strategy dispatch runs **once** per candidate instead of once per
+    /// (candidate, row) pair: a dense `v` is resolved to a single word slice
+    /// (cached bitmap, or one scratch pack instead of one per row) and then
+    /// counted against all rows through the tiled
+    /// [`bigraph::bitset::popcount_and_multi`], which streams the candidate
+    /// bitmap from memory once while the rows ride in cache. This is the
+    /// kernel under the fused multi-target round 2, where every candidate is
+    /// intersected against every target's noisy row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `out` have different lengths.
+    pub fn true_intersection_multi_scratch(
+        &self,
+        layer: Layer,
+        v: VertexId,
+        rows: &[&PackedSet],
+        scratch: &mut ScratchArena,
+        out: &mut [u64],
+    ) {
+        assert_eq!(rows.len(), out.len(), "one output count per row");
+        let Some(first) = rows.first() else { return };
+        let universe = first.universe();
+        debug_assert!(
+            rows.iter().all(|r| r.universe() == universe),
+            "rows must share a universe"
+        );
+        let neighbors = self.graph.neighbors(layer, v);
+        let words = universe.div_ceil(64);
+        if neighbors.len() > 2 * words {
+            // Dense: resolve v's bitmap once — same threshold and same
+            // sources (store, else scratch pack) as the per-row path, so
+            // every count is the popcount of the identical word pair.
+            let packed_words: &[u64] =
+                match self.store.and_then(|s| s.try_packed(self.graph, layer, v)) {
+                    Some(packed) => packed.as_words(),
+                    None => scratch.pack.pack(neighbors, universe),
+                };
+            let mut group: [&[u64]; 4] = [&[]; 4];
+            for (rows4, out4) in rows.chunks(4).zip(out.chunks_mut(4)) {
+                for (slot, row) in group.iter_mut().zip(rows4) {
+                    *slot = row.as_words();
+                }
+                bigraph::bitset::popcount_and_multi(packed_words, &group[..rows4.len()], out4);
+            }
+        } else {
+            // Sparse: the per-row probe loop is already one pass over the
+            // short id list per row; nothing to share.
+            for (slot, row) in out.iter_mut().zip(rows) {
+                *slot = bigraph::bitset::intersection_size_degree_aware_into(
+                    neighbors,
+                    row,
+                    &mut scratch.pack,
+                );
+            }
+        }
+    }
+
     /// The cached true-adjacency bitmap the packed round-1 perturbation
     /// ORs kept neighbors from, if one is available for `v`.
     ///
@@ -717,6 +812,12 @@ pub struct ScratchArena {
     /// cache here — not just thread-local — keeps it warm across the
     /// protocol steps of a run and across a worker's candidates.
     rr: PerturbScratch,
+    /// Round-2 fan-out staging: per-chunk user stream seeds, the
+    /// batch-seeded generator states, and the keyed noise block (see
+    /// `crate::batch`'s candidate-major multi-target round 2).
+    r2_seeds: Vec<u64>,
+    r2_streams: Vec<StdRng>,
+    r2_noise: Vec<f64>,
 }
 
 impl ScratchArena {
@@ -754,6 +855,15 @@ impl ScratchArena {
     /// the per-arena gap-table cache).
     pub fn perturb_scratch(&mut self) -> &mut PerturbScratch {
         &mut self.rr
+    }
+
+    /// The round-2 fan-out staging buffers — `(stream seeds, generator
+    /// states, noise block)` — borrowed together so a chunk worker can
+    /// batch-seed ([`StdRng::seed_batch_from_u64`]) into one buffer while
+    /// transforming into another. Like every arena buffer they carry
+    /// capacity only: each chunk fully overwrites them before reading.
+    pub fn round2_buffers(&mut self) -> (&mut Vec<u64>, &mut Vec<StdRng>, &mut Vec<f64>) {
+        (&mut self.r2_seeds, &mut self.r2_streams, &mut self.r2_noise)
     }
 }
 
@@ -1352,23 +1462,13 @@ impl<'g> EstimationEngine<'g> {
                 reason: "target vertices must be distinct".into(),
             });
         }
-        let results: Vec<Result<BatchReport>> = targets
-            .par_iter()
-            .map(|&t| {
-                // Stage the shard's candidate list in the worker's scratch
-                // arena; `take`/`put` keeps the buffer alive across the
-                // nested batch run (which borrows the same arena per
-                // candidate) without cloning or re-allocating per target.
-                let mut shard = with_shard_scratch(ScratchArena::take_ids);
-                shard.extend(candidates.iter().copied().filter(|&w| w != t));
-                let mut rng = RoundContext::user_rng(seed, t);
-                let report =
-                    algo.estimate_batch_in(self.env(), layer, t, &shard, epsilon, &mut rng);
-                with_shard_scratch(|arena| arena.put_ids(shard));
-                report
-            })
-            .collect();
-        results.into_iter().collect()
+        // The fused candidate-major implementation (see
+        // [`BatchSingleSource::estimate_many_in`]): round 1 per target in
+        // target order, then one parallel candidate-chunk pass intersecting
+        // each candidate's adjacency — loaded once — against all noisy
+        // target rows, with per-chunk batched stream seeding and keyed
+        // Laplace draws. Byte-identical to the per-target reference above.
+        algo.estimate_many_in(self.env(), layer, targets, candidates, epsilon, seed)
     }
 }
 

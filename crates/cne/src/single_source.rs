@@ -185,6 +185,41 @@ pub(crate) fn single_source_value_packed_env(
     )
 }
 
+/// The un-noised single-source values of one `source` against several noisy
+/// rows at once: `out[i]` is bit-identical to
+/// [`single_source_value_scratch`]`(env, layer, source, rows[i],
+/// flip_probabilities[i], scratch)`.
+///
+/// The shared work — the strategy dispatch and (for a dense source) the
+/// streaming of the candidate bitmap — runs once per source instead of once
+/// per row via [`ProtocolEnv::true_intersection_multi_scratch`]; the
+/// unbiasing stays the exact per-row arithmetic. `counts` is caller-provided
+/// staging for the raw intersection sizes (same length as `rows`).
+///
+/// # Panics
+///
+/// Panics if `rows`, `flip_probabilities`, `counts`, and `out` disagree on
+/// length.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn single_source_value_multi(
+    env: ProtocolEnv<'_>,
+    layer: Layer,
+    source: VertexId,
+    rows: &[&PackedSet],
+    flip_probabilities: &[f64],
+    scratch: &mut ScratchArena,
+    counts: &mut [u64],
+    out: &mut [f64],
+) {
+    assert_eq!(rows.len(), flip_probabilities.len(), "one p per row");
+    assert_eq!(rows.len(), out.len(), "one value per row");
+    env.true_intersection_multi_scratch(layer, source, rows, scratch, counts);
+    let degree = env.graph.neighbors(layer, source).len() as u64;
+    for ((slot, &s1), &p) in out.iter_mut().zip(counts.iter()).zip(flip_probabilities) {
+        *slot = unbias_counts(s1, degree - s1, p);
+    }
+}
+
 /// The global sensitivity of the single-source estimator: `(1−p)/(1−2p)`.
 #[must_use]
 pub fn single_source_sensitivity(flip_probability: f64) -> f64 {

@@ -69,6 +69,39 @@ fn engine_estimates_are_pinned_across_revisions() {
 }
 
 #[test]
+fn laplace_heavy_estimates_are_pinned() {
+    // ε = 0.5 pushes the round-2 Laplace scale up by an order of magnitude,
+    // so these bits are dominated by the Laplace draws — the regime that
+    // would move first if the block uniform refill or the batched per-user
+    // stream seeding ever drifted off the scalar draw sequence.
+    let g = dense_graph();
+    let engine = EstimationEngine::new(&g);
+    let q = Query::new(Layer::Upper, 3, 17);
+    let pinned: &[(AlgorithmKind, u64, u64)] = &[
+        (AlgorithmKind::MultiRSS, 1, 0x403cad2800956cff),
+        (AlgorithmKind::MultiRSS, 77, 0x40311368bbce094a),
+        (AlgorithmKind::MultiRDSBasic, 1, 0x402b0bc1419c018b),
+        (AlgorithmKind::MultiRDSBasic, 77, 0xc02633d5e74d997f),
+        (AlgorithmKind::MultiRDS, 1, 0xc022f96a1363556c),
+        (AlgorithmKind::MultiRDS, 77, 0x401b47f8412916dd),
+        (AlgorithmKind::MultiRDSStar, 1, 0x402c55bdb8c0fdb6),
+        (AlgorithmKind::MultiRDSStar, 77, 0x4014f09e8c4355d6),
+    ];
+    for &(kind, seed, bits) in pinned {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = engine.estimate(&q, kind, 0.5, &mut rng).unwrap();
+        assert_eq!(
+            report.estimate.to_bits(),
+            bits,
+            "{kind} seed {seed} eps 0.5: Laplace-heavy estimate moved off the pinned value \
+             ({} vs pinned {})",
+            report.estimate,
+            f64::from_bits(bits),
+        );
+    }
+}
+
+#[test]
 fn batch_estimates_are_pinned_across_revisions() {
     let g = dense_graph();
     let candidates: Vec<u32> = (1..40).collect();

@@ -277,17 +277,20 @@ impl RandomizedResponse {
         // 0 → 1 flips: translate each sampled zero-rank to its vertex id and
         // set the bit directly — flipped slots are non-neighbors, so they
         // are disjoint from the kept bits by construction.
+        //
+        // The translation `id = rank + |{neighbors ≤ id}|` is a merge of two
+        // sorted sequences (candidate ids and true neighbors). Written as a
+        // per-rank catch-up loop it mispredicts on nearly every rank and its
+        // ~10-cycle step chain is fully serial; here it runs as a masked
+        // two-pointer merge split into [`TRANSLATE_LANES`] independent
+        // segments walked in lockstep. The neighbor pointer at any point of
+        // the merge is a pure function of the current rank (the partition
+        // point of the shifted thresholds `neighbor[t] − t`, which ascend),
+        // so each segment's start state comes from a binary search and the
+        // segments reproduce the global merge exactly — same ids, same bits.
         events.clear();
         sampler.sample_events(zeros, rng, events);
-        let mut ti = 0usize;
-        for &slot in events.iter() {
-            let mut id = slot as usize + ti;
-            while ti < d && (true_neighbors[ti] as usize) <= id {
-                ti += 1;
-                id += 1;
-            }
-            set_bit(&mut words, id);
-        }
+        translate_ranks_to_bits(events, true_neighbors, &mut words);
 
         PackedSet::from_words(words, opposite_size)
     }
@@ -858,6 +861,92 @@ impl GapSampler {
     }
 }
 
+/// Independent merge segments of [`translate_ranks_to_bits`]: four serial
+/// ~10-cycle pointer chains in flight cover the chain latency; more lanes
+/// stop paying once the core's load ports saturate.
+const TRANSLATE_LANES: usize = 4;
+
+/// Translates sorted non-neighbor ranks to vertex ids and sets their bits:
+/// for each rank `r` in `ranks`, the bit `r + |{t ∈ true_neighbors : t ≤ id}|`
+/// (the id of the `r`-th zero slot) is set in `words`.
+///
+/// Output-identical to the obvious per-rank catch-up loop
+///
+/// ```text
+/// for r { id = r + ti; while neighbors[ti] <= id { ti += 1; id += 1 } set(id) }
+/// ```
+///
+/// but restructured for the pipeline: the merge is cut into
+/// [`TRANSLATE_LANES`] rank segments whose start states come from a binary
+/// search (the neighbor pointer at rank `r` is the partition point of the
+/// ascending thresholds `neighbors[t] − t > r`, independent of merge
+/// history), and the segments advance in lockstep with masked bit writes —
+/// four independent dependency chains instead of one, and no
+/// data-dependent branch in the hot loop.
+fn translate_ranks_to_bits(ranks: &[VertexId], true_neighbors: &[VertexId], words: &mut [u64]) {
+    let d = true_neighbors.len();
+    let n = ranks.len();
+    if d == 0 {
+        for &r in ranks {
+            set_bit(words, r as usize);
+        }
+        return;
+    }
+    // First neighbor pointer whose shifted threshold exceeds `rank`.
+    let start_ti = |rank: usize| -> usize {
+        let (mut lo, mut hi) = (0usize, d);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if true_neighbors[mid] as usize - mid <= rank {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    let mut ei = [0usize; TRANSLATE_LANES];
+    let mut end = [0usize; TRANSLATE_LANES];
+    let mut ti = [d; TRANSLATE_LANES];
+    for lane in 0..TRANSLATE_LANES {
+        ei[lane] = n * lane / TRANSLATE_LANES;
+        end[lane] = n * (lane + 1) / TRANSLATE_LANES;
+        if ei[lane] < end[lane] {
+            ti[lane] = start_ti(ranks[ei[lane]] as usize);
+        }
+    }
+    // One masked merge step: emit the rank's bit if no neighbor precedes
+    // its id, else advance past that neighbor (which shifts this and every
+    // later rank of the lane up by one).
+    macro_rules! step {
+        ($lane:expr) => {
+            let id = ranks[ei[$lane]] as usize + ti[$lane];
+            let is_event = id < true_neighbors[ti[$lane]] as usize;
+            let mask = (is_event as u64).wrapping_neg();
+            words[id / 64] |= (1u64 << (id % 64)) & mask;
+            ei[$lane] += usize::from(is_event);
+            ti[$lane] += usize::from(!is_event);
+        };
+    }
+    // Lockstep while every lane still merges; finish each lane serially
+    // (the lanes are balanced by rank count, so the tails are short).
+    while (0..TRANSLATE_LANES).all(|l| ei[l] < end[l] && ti[l] < d) {
+        step!(0);
+        step!(1);
+        step!(2);
+        step!(3);
+    }
+    for lane in 0..TRANSLATE_LANES {
+        while ei[lane] < end[lane] && ti[lane] < d {
+            step!(lane);
+        }
+        // Ranks past the last neighbor shift by the full degree.
+        for &r in &ranks[ei[lane]..end[lane]] {
+            set_bit(words, r as usize + d);
+        }
+    }
+}
+
 /// Merges two sorted, mutually disjoint id lists into `out` (cleared on
 /// entry) — the allocation-free form the legacy list-producing callers
 /// stage through their scratch arenas.
@@ -1118,6 +1207,47 @@ mod tests {
                     });
                 }
             }
+        }
+    }
+
+    /// The segmented lane merge emits exactly the ids of the naive per-rank
+    /// catch-up loop on lane-hostile shapes: empty inputs, fewer ranks than
+    /// lanes, every rank past the last neighbor, and dense neighbor runs
+    /// that force long catch-ups right at lane boundaries.
+    #[test]
+    fn translate_ranks_matches_catchup_reference() {
+        let naive = |ranks: &[VertexId], nbrs: &[VertexId], words: &mut [u64]| {
+            let mut ti = 0usize;
+            for &slot in ranks {
+                let mut id = slot as usize + ti;
+                while ti < nbrs.len() && (nbrs[ti] as usize) <= id {
+                    ti += 1;
+                    id += 1;
+                }
+                set_bit(words, id);
+            }
+        };
+        let universe = 512usize;
+        let cases: Vec<(Vec<VertexId>, Vec<VertexId>)> = vec![
+            (vec![], vec![]),
+            (vec![0, 3], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (vec![5], vec![0, 1, 2, 3, 4, 5, 6, 7]),
+            (vec![0, 1, 2], vec![0, 1, 2]),
+            ((0..40).collect(), vec![0, 1, 2, 3, 100, 101, 102, 103]),
+            ((100..140).collect(), (0..90).collect()),
+            (
+                (0..200).step_by(3).map(|r| r as VertexId).collect(),
+                (0..300).step_by(7).map(|v| v as VertexId).collect(),
+            ),
+        ];
+        for (ranks, nbrs) in cases {
+            let words_len = universe.div_ceil(64);
+            let mut expect = vec![0u64; words_len];
+            naive(&ranks, &nbrs, &mut expect);
+            let mut got = vec![0u64; words_len];
+            translate_ranks_to_bits(&ranks, &nbrs, &mut got);
+            assert_eq!(got, expect, "ranks {ranks:?} nbrs {nbrs:?}");
         }
     }
 

@@ -380,3 +380,54 @@ fn skip_sampler_density_sparse_large() {
         "avg {avg} vs expected {expected}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Block Laplace sampling and batched per-user stream setup.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The bulk sampler is draw-for-draw identical to the scalar inverse-CDF
+    /// loop for arbitrary scales, seeds, and block-straddling lengths — and
+    /// leaves the generator at the identical stream position.
+    #[test]
+    fn laplace_block_stream_identity(
+        scale in 0.01f64..100.0,
+        seed in any::<u64>(),
+        n in 0usize..200,
+    ) {
+        use ldp::laplace::sample_laplace_block;
+        let mut scalar_rng = StdRng::seed_from_u64(seed);
+        let scalar: Vec<u64> = (0..n)
+            .map(|_| sample_laplace(scale, &mut scalar_rng).to_bits())
+            .collect();
+        let mut block_rng = StdRng::seed_from_u64(seed);
+        let mut block = vec![0.0f64; n];
+        sample_laplace_block(scale, &mut block_rng, &mut block);
+        prop_assert_eq!(scalar, block.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+        prop_assert_eq!(scalar_rng.next_u64(), block_rng.next_u64());
+    }
+
+    /// Batched per-user stream setup + one keyed draw per stream equals the
+    /// per-user scalar path (`seed_from_u64` then `sample_laplace`) exactly.
+    #[test]
+    fn keyed_laplace_matches_scalar_per_user(
+        scale in 0.01f64..100.0,
+        base in any::<u64>(),
+        n in 1usize..70,
+    ) {
+        use ldp::laplace::sample_laplace_each;
+        let seeds: Vec<u64> = (0..n as u64)
+            .map(|v| base ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut streams = Vec::new();
+        StdRng::seed_batch_from_u64(&seeds, &mut streams);
+        let mut out = vec![0.0f64; n];
+        sample_laplace_each(scale, &mut streams, &mut out);
+        for (i, &s) in seeds.iter().enumerate() {
+            let mut reference = StdRng::seed_from_u64(s);
+            prop_assert_eq!(out[i].to_bits(), sample_laplace(scale, &mut reference).to_bits());
+            // Stream positions coincide afterwards too.
+            prop_assert_eq!(streams[i].next_u64(), reference.next_u64());
+        }
+    }
+}

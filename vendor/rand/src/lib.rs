@@ -249,6 +249,62 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The state `from_seed` substitutes for the all-zero fixed point.
+        const ZERO_GUARD: [u64; 4] = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 1, 2];
+
+        /// Builds the generator directly from its four state words — the
+        /// state `from_seed` reaches after its little-endian byte
+        /// round-trip, including the all-zero fixed-point guard.
+        fn from_state_words(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                Self {
+                    s: Self::ZERO_GUARD,
+                }
+            } else {
+                Self { s }
+            }
+        }
+
+        /// Seeds one generator per entry of `seeds`, appending into `out`
+        /// (which is cleared first; its capacity is reused).
+        ///
+        /// State-identical to pushing `StdRng::seed_from_u64(seed)` per
+        /// entry: the per-seed SplitMix64 expansion chains are interleaved
+        /// four at a time so their serial multiply/xor dependency chains
+        /// overlap across seeds (the scalar schedule is latency-bound), but
+        /// each chain performs exactly the four draws `seed_from_u64`
+        /// performs — including the all-zero-state guard — so every
+        /// generator starts in the identical state and yields the identical
+        /// draw stream.
+        pub fn seed_batch_from_u64(seeds: &[u64], out: &mut Vec<StdRng>) {
+            out.clear();
+            out.reserve(seeds.len());
+            let mut quads = seeds.chunks_exact(4);
+            for quad in &mut quads {
+                let mut st = [quad[0], quad[1], quad[2], quad[3]];
+                let mut words = [[0u64; 4]; 4];
+                // Word index outermost so the four per-seed chains advance in
+                // lockstep (that interleaving is the whole point of the batch).
+                for w in 0..4 {
+                    for (s, lane_words) in st.iter_mut().zip(words.iter_mut()) {
+                        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = *s;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                        lane_words[w] = z ^ (z >> 31);
+                    }
+                }
+                for state in words {
+                    out.push(Self::from_state_words(state));
+                }
+            }
+            for &seed in quads.remainder() {
+                out.push(Self::seed_from_u64(seed));
+            }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
@@ -260,10 +316,7 @@ pub mod rngs {
                 *word = u64::from_le_bytes(b);
             }
             // All-zero state is a fixed point of xoshiro; perturb it.
-            if s == [0, 0, 0, 0] {
-                s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 1, 2];
-            }
-            Self { s }
+            Self::from_state_words(s)
         }
     }
 }
@@ -498,6 +551,45 @@ mod tests {
         let dyn_rng: &mut dyn RngCore = &mut rng;
         let x: f64 = dyn_rng.gen();
         assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn seed_batch_matches_seed_from_u64() {
+        // Cover the empty batch, partial quads, exact quads, and long runs.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 16, 100] {
+            let seeds: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF)
+                .collect();
+            let mut batch = Vec::new();
+            StdRng::seed_batch_from_u64(&seeds, &mut batch);
+            assert_eq!(batch.len(), n);
+            for (i, rng) in batch.iter_mut().enumerate() {
+                let mut reference = StdRng::seed_from_u64(seeds[i]);
+                for _ in 0..8 {
+                    assert_eq!(rng.next_u64(), reference.next_u64(), "seed index {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_batch_reuses_buffer() {
+        let mut out = Vec::new();
+        StdRng::seed_batch_from_u64(&[1, 2, 3, 4, 5], &mut out);
+        assert_eq!(out.len(), 5);
+        StdRng::seed_batch_from_u64(&[9], &mut out);
+        assert_eq!(out.len(), 1);
+        let mut reference = StdRng::seed_from_u64(9);
+        assert_eq!(out[0].next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn from_seed_zero_state_guard_still_applies() {
+        // The guard lives in the shared `from_state_words` path; an all-zero
+        // raw seed must not produce the xoshiro fixed point.
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
     }
 
     #[test]

@@ -124,21 +124,8 @@ fn block_scalar(rounds: usize, key: &[u32; 8], counter: u64, out: &mut [u64]) {
     pack(d, d0, out, 6);
 }
 
-/// Four consecutive blocks (`counter .. counter + 4`) into `out`, choosing
-/// the fastest kernel the host supports.
-fn blocks4(rounds: usize, key: &[u32; 8], counter: u64, out: &mut [u64; BUF_U64]) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime.
-            unsafe { x86::blocks4_avx2(rounds, key, counter, out) };
-            return;
-        }
-        // SSE2 is architecturally guaranteed on x86_64.
-        x86::blocks4_sse2(rounds, key, counter, out);
-        return;
-    }
-    #[allow(unreachable_code)]
+/// The portable row-based fallback: the four blocks in sequence.
+fn blocks4_portable(rounds: usize, key: &[u32; 8], counter: u64, out: &mut [u64; BUF_U64]) {
     for j in 0..BLOCKS {
         block_scalar(
             rounds,
@@ -147,6 +134,42 @@ fn blocks4(rounds: usize, key: &[u32; 8], counter: u64, out: &mut [u64; BUF_U64]
             &mut out[j * 8..j * 8 + 8],
         );
     }
+}
+
+/// Selects the four-block kernel for the given force-portable setting —
+/// factored out of the cached dispatch so tests can exercise every
+/// selectable tier without mutating the process environment.
+fn select_blocks4(force_portable: bool) -> fn(usize, &[u32; 8], u64, &mut [u64; BUF_U64]) {
+    if force_portable {
+        return blocks4_portable;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return x86::blocks4_avx2_safe;
+        }
+        // SSE2 is architecturally guaranteed on x86_64.
+        return x86::blocks4_sse2;
+    }
+    #[allow(unreachable_code)]
+    blocks4_portable
+}
+
+/// Four consecutive blocks (`counter .. counter + 4`) into `out`, through
+/// the detect-once cached kernel pointer: CPU features are probed on the
+/// first refill in the process (honoring the
+/// `CNE_FORCE_PORTABLE_KERNELS=1` escape hatch, read once at the same
+/// moment) and every later refill is a direct indirect call. All tiers are
+/// bit-identical, so the choice is invisible in the output.
+type Blocks4Fn = fn(usize, &[u32; 8], u64, &mut [u64; BUF_U64]);
+
+fn blocks4(rounds: usize, key: &[u32; 8], counter: u64, out: &mut [u64; BUF_U64]) {
+    static KERNEL: std::sync::OnceLock<Blocks4Fn> = std::sync::OnceLock::new();
+    let kernel = KERNEL.get_or_init(|| {
+        let force = std::env::var("CNE_FORCE_PORTABLE_KERNELS").is_ok_and(|v| v == "1");
+        select_blocks4(force)
+    });
+    kernel(rounds, key, counter, out);
 }
 
 /// x86_64 SIMD kernels. Both interleave four independent block states so
@@ -332,6 +355,21 @@ mod x86 {
         st(b2, b0, out, 2, 1);
         st(c2, c0, out, 2, 2);
         st(d2, d01, out, 2, 3);
+    }
+
+    /// Safe shim over [`blocks4_avx2`] with the plain function-pointer
+    /// signature the cached dispatcher stores. Only `select_blocks4`
+    /// reaches it, and only after `is_x86_feature_detected!("avx2")`
+    /// succeeded, so the target-feature precondition always holds.
+    pub(super) fn blocks4_avx2_safe(
+        rounds: usize,
+        key: &[u32; 8],
+        counter: u64,
+        out: &mut [u64; BUF_U64],
+    ) {
+        // SAFETY: stored in the dispatch table only after the runtime AVX2
+        // check succeeded (see `select_blocks4`).
+        unsafe { blocks4_avx2(rounds, key, counter, out) }
     }
 }
 
@@ -562,6 +600,21 @@ mod tests {
                     assert_eq!(sse[j as usize * 8 + i], want, "rounds {rounds} block {j}");
                 }
             }
+        }
+    }
+
+    /// Every tier `select_blocks4` can hand out — forced-portable and the
+    /// host's fastest — produces identical words, without mutating the
+    /// process environment.
+    #[test]
+    fn every_selectable_tier_matches_portable() {
+        let key: [u32; 8] = core::array::from_fn(|i| (i as u32).wrapping_mul(0x9E37_79B9) ^ 7);
+        for rounds in [8usize, 12, 20] {
+            let mut portable = [0u64; BUF_U64];
+            select_blocks4(true)(rounds, &key, 1000, &mut portable);
+            let mut fast = [0u64; BUF_U64];
+            select_blocks4(false)(rounds, &key, 1000, &mut fast);
+            assert_eq!(portable, fast, "rounds {rounds}");
         }
     }
 
