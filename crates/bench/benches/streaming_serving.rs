@@ -1,0 +1,276 @@
+//! The serving-tier benchmark (ISSUE 7): sustained query throughput under
+//! a continuous zipf edge stream, double-buffered vs. stop-the-world.
+//!
+//! Both modes consume the **identical** pre-generated delta stream —
+//! `BATCHES_PER_CYCLE` 64-edge batches arrive per query round, so writes
+//! outpace queries the way a live ingest tier does — and run the identical
+//! warm screening query per cycle (target 0 against 200 dense candidates,
+//! same shape as `engine_cached_batch` / `streaming_updates`). The
+//! difference is purely architectural:
+//!
+//! * **stop-the-world** — the single-engine serving mode: every arriving
+//!   batch is spliced synchronously (`apply_updates`) the moment it lands
+//!   (the engine has no update log, so ingestion must finish before
+//!   control returns to serving), and each splice pays a full CSR merge
+//!   pass regardless of batch size.
+//! * **double-buffered** — a `ServingEngine`: producers append to the
+//!   `UpdateLog`, readers query epoch-pinned snapshots, and the writer
+//!   thread coalesces everything pending into one merge pass per publish.
+//!
+//! The host is effectively single-core, which keeps the accounting
+//! honest: every cycle the writer thread steals from readers shows up in
+//! the measured reader wall-times. The double-buffered *sustained* figure
+//! additionally folds in the end-of-run drain (`flush` plus writer
+//! teardown, which replays the spare buffer's backlog), so **all**
+//! deferred ingestion work lands inside the measured window and both
+//! modes end fully caught up. The *worst window* excludes that teardown —
+//! it measures what a reader can observe mid-stream, and the whole point
+//! is that a reader's worst cycle is bounded by query cost plus scheduler
+//! noise, never by a merge pass.
+//!
+//! Hand-rolled harness (no criterion stub): the gated ratios need a
+//! tail window — the 95th-percentile cycle, a p99-style stand-in that is
+//! stable enough to gate (the absolute max is scheduler-noise jitter on
+//! a loaded core) — alongside the mean, and the stub only reports means.
+//! Output lines use the same `bench: <id> <t> <unit>/iter` grammar
+//! `bench_check` parses.
+//!
+//! Gated ratios (hardware-neutral, see `BENCH_micro.json`):
+//! `sustained_double_buffered / sustained_stop_the_world` and
+//! `worst_window_double_buffered / worst_window_stop_the_world`.
+
+use bigraph::{BipartiteGraph, GraphDelta, Layer};
+use cne::engine::EstimationEngine;
+use cne::serving::{ServingConfig, ServingEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const N_ITEMS: usize = 100_000;
+const N_CANDIDATES: u32 = 200;
+const CANDIDATE_DEGREE: u32 = 12_000;
+const EPSILON: f64 = 2.0;
+const SEED: u64 = 0x00CA_C4E7;
+const BATCH_EDGES: usize = 64;
+/// Write pressure: batches arriving per query round. At 6, the write
+/// stream outpaces the query loop — the regime where splice coalescing
+/// pays (a stop-the-world server pays six fixed-cost merge passes per
+/// cycle, the writer thread one per publish).
+const BATCHES_PER_CYCLE: usize = 6;
+/// Reader duty cycle: screening rounds answered per cycle. Several
+/// rounds per cycle is the serving regime (readers query top-k
+/// continuously); it also gives the writer thread wall-time to
+/// interleave its coalesced merges on a loaded core instead of
+/// deferring the whole stream to the end-of-run drain.
+const QUERY_ROUNDS_PER_CYCLE: usize = 4;
+
+/// Same 2.4M-edge screening graph as `streaming_updates`.
+fn screening_graph() -> BipartiteGraph {
+    let n_upper = (N_CANDIDATES + 1) as usize;
+    let mut edges = Vec::with_capacity(n_upper * CANDIDATE_DEGREE as usize);
+    for u in 0..n_upper as u32 {
+        for k in 0..CANDIDATE_DEGREE {
+            edges.push((
+                u,
+                (u.wrapping_mul(977).wrapping_add(k * 19)) % N_ITEMS as u32,
+            ));
+        }
+    }
+    BipartiteGraph::from_edges(n_upper, N_ITEMS, edges).expect("valid edges")
+}
+
+/// The continuous write stream: per cycle, `BATCHES_PER_CYCLE` batches of
+/// `BATCH_EDGES` edge toggles whose item endpoints follow a zipf-like
+/// skew (u³-shaped, so a few hot items absorb most traffic — the regime
+/// real streams live in).
+fn zipf_stream(cycles: usize) -> Vec<Vec<Vec<GraphDelta>>> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut next = move || {
+        // Two 32-bit halves of one draw: upper picks the candidate,
+        // lower shapes the zipf-ish item.
+        let draw = rand::RngCore::next_u64(&mut rng);
+        let upper = 1 + (draw >> 32) as u32 % N_CANDIDATES;
+        let unit = (draw & 0xFFFF_FFFF) as f64 / f64::from(u32::MAX);
+        let lower = ((unit * unit * unit) * (N_ITEMS as f64 - 1.0)) as u32;
+        (upper, lower)
+    };
+    (0..cycles)
+        .map(|_| {
+            (0..BATCHES_PER_CYCLE)
+                .map(|_| {
+                    (0..BATCH_EDGES)
+                        .map(|k| {
+                            let (upper, lower) = next();
+                            if k % 2 == 0 {
+                                GraphDelta::AddEdge { upper, lower }
+                            } else {
+                                GraphDelta::RemoveEdge { upper, lower }
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean (including any deferred drain) + 95th-percentile cycle.
+#[derive(Clone, Copy)]
+struct Windows {
+    mean: Duration,
+    worst: Duration,
+}
+
+fn summarize(cycle_times: &[Duration], deferred: Duration) -> Windows {
+    let total: Duration = cycle_times.iter().sum();
+    let mut sorted = cycle_times.to_vec();
+    sorted.sort_unstable();
+    // 95th-percentile window: the top few cycles are scheduler-noise
+    // outliers on a loaded single core; the p95 cycle still captures a
+    // stop-the-world merge stall (every one of its cycles pays one),
+    // while being stable enough to gate run-to-run.
+    let p95 = (sorted.len() * 95).div_ceil(100).max(1) - 1;
+    Windows {
+        mean: (total + deferred) / cycle_times.len() as u32,
+        worst: sorted[p95],
+    }
+}
+
+fn print_bench(id: &str, d: Duration) {
+    let ms = d.as_secs_f64() * 1e3;
+    println!("bench: micro/streaming_serving/{id:<37} {ms:>10.3} ms/iter");
+}
+
+/// Stop-the-world serving: splice each arriving batch synchronously, then
+/// answer the query round. Returns per-cycle times.
+fn run_stop_the_world(stream: &[Vec<Vec<GraphDelta>>], candidates: &[u32]) -> Vec<Duration> {
+    let mut engine = EstimationEngine::from_graph(screening_graph());
+    engine.warm(Layer::Upper);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut times = Vec::with_capacity(stream.len());
+    for arrivals in stream {
+        let start = Instant::now();
+        for batch in arrivals {
+            engine
+                .apply_updates(&batch.iter().copied().collect())
+                .expect("valid batch");
+        }
+        for _ in 0..QUERY_ROUNDS_PER_CYCLE {
+            let report = engine
+                .estimate_batch(Layer::Upper, 0, candidates, EPSILON, &mut rng)
+                .expect("valid batch");
+            assert_eq!(report.estimates.len(), candidates.len());
+        }
+        times.push(start.elapsed());
+    }
+    times
+}
+
+/// Double-buffered serving: append the arrivals, query an epoch-pinned
+/// snapshot; the writer splices concurrently and coalesces. Returns
+/// per-cycle times, the end-of-run drain time (flush + writer teardown,
+/// charged to the sustained mean), and the worst observed ingest lag.
+fn run_double_buffered(
+    stream: &[Vec<Vec<GraphDelta>>],
+    candidates: &[u32],
+) -> (Vec<Duration>, Duration, u64) {
+    let serving = ServingEngine::with_config(
+        screening_graph(),
+        ServingConfig {
+            warm_layer: Some(Layer::Upper),
+            // The coalescing knob: long enough that one publish absorbs
+            // several cycles' worth of arrivals, short enough that the
+            // live buffer trails the stream by only a few milliseconds.
+            poll_interval: Duration::from_millis(2),
+            // Let every drain coalesce the whole pending backlog into a
+            // single merge pass; the default cap is sized for bounded
+            // latency, not a saturating benchmark stream.
+            max_deltas_per_cycle: 16 * 1024,
+            ..ServingConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut times = Vec::with_capacity(stream.len());
+    let mut max_lag = 0u64;
+    for arrivals in stream {
+        let start = Instant::now();
+        for batch in arrivals {
+            serving.extend(batch.iter().copied());
+        }
+        for _ in 0..QUERY_ROUNDS_PER_CYCLE {
+            // A fresh pin per round: pins are brief, so the writer's
+            // wait-for-pins never stalls a full publish cycle behind a
+            // long-lived reader.
+            let snap = serving.snapshot();
+            let report = snap
+                .estimate_batch(Layer::Upper, 0, candidates, EPSILON, &mut rng)
+                .expect("valid batch");
+            assert_eq!(report.estimates.len(), candidates.len());
+        }
+        times.push(start.elapsed());
+        max_lag = max_lag.max(serving.stats().ingest_lag);
+    }
+    // Account the deferred ingestion inside the measured window: the
+    // drain-to-empty (flush) plus the writer teardown, which replays the
+    // spare buffer's backlog before joining.
+    let start = Instant::now();
+    serving.flush();
+    drop(serving);
+    (times, start.elapsed(), max_lag)
+}
+
+fn main() {
+    // Single-threaded queries, same rationale as the other gated groups:
+    // the ratios isolate serving architecture, not rayon parallelism.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let cycles: usize = std::env::var("STREAMING_SERVING_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let candidates: Vec<u32> = (1..=N_CANDIDATES).collect();
+    let stream = zipf_stream(cycles);
+
+    // Best-of-two interleaved repetitions per mode: one slow repetition
+    // (page-cache churn, a background daemon waking up) is discarded
+    // instead of poisoning the gated ratio, and interleaving keeps any
+    // slow phase of the host from landing entirely on one mode.
+    let mut stop = Windows {
+        mean: Duration::MAX,
+        worst: Duration::MAX,
+    };
+    let mut dbuf = stop;
+    let mut max_lag = 0u64;
+    let mut drain = Duration::ZERO;
+    for _ in 0..2 {
+        let rep = summarize(&run_stop_the_world(&stream, &candidates), Duration::ZERO);
+        stop.mean = stop.mean.min(rep.mean);
+        stop.worst = stop.worst.min(rep.worst);
+        let (times, rep_drain, rep_lag) = run_double_buffered(&stream, &candidates);
+        let rep = summarize(&times, rep_drain);
+        if rep.mean < dbuf.mean {
+            drain = rep_drain;
+        }
+        dbuf.mean = dbuf.mean.min(rep.mean);
+        dbuf.worst = dbuf.worst.min(rep.worst);
+        max_lag = max_lag.max(rep_lag);
+    }
+
+    // One "iter" is one cycle: ingest BATCHES_PER_CYCLE 64-edge batches +
+    // one 200-candidate screening round. Sustained QPS is the reciprocal
+    // of the mean (deferred drain included for the double-buffered mode).
+    print_bench("sustained_stop_the_world", stop.mean);
+    print_bench("sustained_double_buffered", dbuf.mean);
+    print_bench("worst_window_stop_the_world", stop.worst);
+    print_bench("worst_window_double_buffered", dbuf.worst);
+
+    let qps = |w: &Windows| 1.0 / w.mean.as_secs_f64();
+    println!(
+        "info: streaming_serving cycles={cycles} qps_stop={:.1} qps_double={:.1} \
+         speedup={:.2}x worst_ratio={:.2}x max_ingest_lag={max_lag} drain_ms={:.1}",
+        qps(&stop),
+        qps(&dbuf),
+        qps(&dbuf) / qps(&stop),
+        stop.worst.as_secs_f64() / dbuf.worst.as_secs_f64(),
+        drain.as_secs_f64() * 1e3,
+    );
+}

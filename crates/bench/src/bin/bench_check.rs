@@ -91,6 +91,23 @@ const GATES: &[Gate] = &[
         numerator: "micro/laplace_block/block_256",
         denominator: "micro/laplace_block/scalar_256",
     },
+    // Serving-tier gates (ISSUE 7): both sides of each ratio come from the
+    // same run of `streaming_serving`, so the ratios are hardware-neutral.
+    // Sustained: double-buffered serving must keep its coalescing edge
+    // over the stop-the-world splice cycle (≥2× at recording time; the
+    // gate allows the recorded ~6× edge to erode to ~4× before failing).
+    Gate {
+        name: "serving sustained double-buffered vs stop-the-world",
+        numerator: "micro/streaming_serving/sustained_double_buffered",
+        denominator: "micro/streaming_serving/sustained_stop_the_world",
+    },
+    // Tail latency: a reader's p95 cycle must stay bounded by query cost,
+    // not merge cost — readers never wait on a splice.
+    Gate {
+        name: "serving p95 window double-buffered vs stop-the-world",
+        numerator: "micro/streaming_serving/worst_window_double_buffered",
+        denominator: "micro/streaming_serving/worst_window_stop_the_world",
+    },
 ];
 
 /// One line describing the CPU tier the dispatched kernels run on — printed
@@ -268,6 +285,22 @@ mod tests {
         m.insert("micro/rng_setup/scalar_256".into(), 2.6e3);
         m.insert("micro/laplace_block/block_256".into(), 1.6e3);
         m.insert("micro/laplace_block/scalar_256".into(), 2.4e3);
+        m.insert(
+            "micro/streaming_serving/sustained_double_buffered".into(),
+            3.3e6,
+        );
+        m.insert(
+            "micro/streaming_serving/sustained_stop_the_world".into(),
+            20.0e6,
+        );
+        m.insert(
+            "micro/streaming_serving/worst_window_double_buffered".into(),
+            5.4e6,
+        );
+        m.insert(
+            "micro/streaming_serving/worst_window_stop_the_world".into(),
+            22.0e6,
+        );
         m
     }
 
@@ -290,6 +323,7 @@ bench: micro/noisy_intersection/packed_popcount             1130.0 ns/iter
 noise line that is ignored
 bench: micro/engine_cached_batch/warm_multi_target              3.68 ms/iter (0.2 Melem/s)
 bench: micro/slow_thing                                         1.20 s/iter
+bench: micro/streaming_serving/sustained_double_buffered          3.326 ms/iter
 ";
         let parsed = parse_bench_log(log);
         assert_eq!(parsed["micro/perturb_sparse_large/skip/4"], 56_740.0);
@@ -299,7 +333,13 @@ bench: micro/slow_thing                                         1.20 s/iter
             3_680_000.0
         );
         assert_eq!(parsed["micro/slow_thing"], 1_200_000_000.0);
-        assert_eq!(parsed.len(), 4);
+        // The hand-rolled streaming_serving harness pads its ids; the
+        // whitespace-splitting parser must read it like any stub line.
+        assert_eq!(
+            parsed["micro/streaming_serving/sustained_double_buffered"],
+            3_326_000.0
+        );
+        assert_eq!(parsed.len(), 5);
     }
 
     #[test]
@@ -349,6 +389,21 @@ bench: micro/slow_thing                                         1.20 s/iter
         let failures = check(&base, &measured).unwrap();
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("warm multi-target"));
+    }
+
+    #[test]
+    fn serving_gates_catch_a_lost_coalescing_edge() {
+        let base = baseline();
+        // Same hardware, but double-buffered serving drops to parity with
+        // the stop-the-world cycle (coalescing edge gone): the sustained
+        // gate fails, the tail-window gate (untouched) stays green.
+        let mut measured = base.clone();
+        *measured
+            .get_mut("micro/streaming_serving/sustained_double_buffered")
+            .unwrap() = 20.0e6;
+        let failures = check(&base, &measured).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("serving sustained"));
     }
 
     #[test]

@@ -46,7 +46,8 @@ use crate::error::{GraphError, Result};
 use crate::graph::BipartiteGraph;
 use crate::vertex::{Layer, VertexId};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One atomic graph mutation.
@@ -226,13 +227,43 @@ impl AppliedBatch {
     }
 }
 
+/// Number of producer-side shards in an [`UpdateLog`]. Appending threads
+/// spread across shards round-robin, so producers contend with at most
+/// `1/LOG_SHARDS` of their peers (and never with the drain's merge work).
+const LOG_SHARDS: usize = 8;
+
+/// A sentinel-free shard assignment: each OS thread picks a shard once, via
+/// a global round-robin counter, and sticks with it. Two threads may share
+/// a shard (hint collisions are fine — shards tolerate interleaved
+/// producers), but a single producer never migrates, which keeps its
+/// entries nearly sorted within the shard.
+fn shard_hint() -> usize {
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed);
+    }
+    HINT.with(|h| *h)
+}
+
 /// A thread-safe append log decoupling edge producers from the single
 /// writer that applies batches.
 ///
 /// Producers [`append`](UpdateLog::append) deltas from any thread; the
 /// writer periodically [`drain`](UpdateLog::drain_batch)s up to a batch
 /// budget and applies the result between query rounds. Sequence numbers
-/// (`appended` / `drained`) let operators observe ingestion lag.
+/// (`appended` / `drained` / [`lag`](UpdateLog::lag)) let operators observe
+/// ingestion lag exactly.
+///
+/// # Lock split
+///
+/// The log is internally sharded so producers never serialize behind the
+/// drain. A global atomic allocates sequence numbers; each append then only
+/// locks its thread's shard buffer for a push. The drain side sweeps the
+/// shards (one brief lock each) into a private staging map and emits deltas
+/// in **exact global sequence order**, stopping at the first gap — a
+/// sequence number that was allocated but whose delta has not landed in a
+/// shard yet is never jumped over, so arrival order is preserved even under
+/// concurrent producers.
 ///
 /// ```
 /// use bigraph::{GraphDelta, UpdateLog};
@@ -241,6 +272,7 @@ impl AppliedBatch {
 /// log.append(GraphDelta::AddEdge { upper: 0, lower: 1 });
 /// log.append(GraphDelta::AddEdge { upper: 0, lower: 2 });
 /// assert_eq!(log.pending(), 2);
+/// assert_eq!(log.lag(), 2);
 /// let batch = log.drain_batch(10).unwrap();
 /// assert_eq!(batch.len(), 2);
 /// assert_eq!(log.pending(), 0);
@@ -248,14 +280,29 @@ impl AppliedBatch {
 /// ```
 #[derive(Debug, Default)]
 pub struct UpdateLog {
-    inner: Mutex<LogInner>,
+    /// Per-producer buffers of `(sequence, delta)`, each kept sorted by
+    /// sequence (producers insert near the back; inversions only happen
+    /// when two threads share a shard and race the allocator).
+    shards: [Mutex<VecDeque<(u64, GraphDelta)>>; LOG_SHARDS],
+    /// Drain-side staging: deltas swept out of the shards but not yet
+    /// emitted into a batch (because an earlier sequence number was still
+    /// in flight, or the batch budget ran out). Guarded by the drain lock.
+    staging: Mutex<BTreeMap<u64, GraphDelta>>,
+    /// Highest sequence number ever allocated (1-based; 0 = empty).
+    appended: AtomicU64,
+    /// Total deltas emitted into batches, in order: the drain cursor.
+    emitted: AtomicU64,
 }
 
-#[derive(Debug, Default)]
-struct LogInner {
-    pending: VecDeque<GraphDelta>,
-    appended: u64,
-    drained: u64,
+/// Inserts `(seq, delta)` keeping `q` sorted by sequence. Scans from the
+/// back: an entry is out of order only when two producers sharing a shard
+/// raced the sequence allocator, so the scan is O(1) amortized.
+fn insert_by_seq(q: &mut VecDeque<(u64, GraphDelta)>, seq: u64, delta: GraphDelta) {
+    let mut at = q.len();
+    while at > 0 && q[at - 1].0 > seq {
+        at -= 1;
+    }
+    q.insert(at, (seq, delta));
 }
 
 impl UpdateLog {
@@ -267,58 +314,99 @@ impl UpdateLog {
 
     /// Appends one delta, returning its sequence number (1-based).
     pub fn append(&self, delta: GraphDelta) -> u64 {
-        let mut inner = self.inner.lock().expect("update log poisoned");
-        inner.pending.push_back(delta);
-        inner.appended += 1;
-        inner.appended
+        let seq = self.appended.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = &self.shards[shard_hint() % LOG_SHARDS];
+        insert_by_seq(&mut shard.lock().expect("update log poisoned"), seq, delta);
+        seq
     }
 
     /// Appends many deltas, returning the last sequence number assigned.
+    /// The deltas receive consecutive-per-call order within this thread's
+    /// shard; other producers may interleave between them in global order.
     pub fn extend<I: IntoIterator<Item = GraphDelta>>(&self, deltas: I) -> u64 {
-        let mut inner = self.inner.lock().expect("update log poisoned");
+        let shard = &self.shards[shard_hint() % LOG_SHARDS];
+        let mut q = shard.lock().expect("update log poisoned");
+        let mut last = self.appended.load(Ordering::Relaxed);
         for d in deltas {
-            inner.pending.push_back(d);
-            inner.appended += 1;
+            last = self.appended.fetch_add(1, Ordering::Relaxed) + 1;
+            insert_by_seq(&mut q, last, d);
         }
-        inner.appended
+        last
     }
 
-    /// Number of deltas waiting to be drained.
+    /// Number of deltas waiting to be drained (allocated sequence numbers
+    /// not yet emitted into a batch, including any still in producer
+    /// shards or the drain staging area).
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("update log poisoned")
-            .pending
-            .len()
+        usize::try_from(self.lag()).unwrap_or(usize::MAX)
     }
 
     /// Total deltas ever appended.
     #[must_use]
     pub fn appended(&self) -> u64 {
-        self.inner.lock().expect("update log poisoned").appended
+        self.appended.load(Ordering::Acquire)
     }
 
     /// Total deltas ever drained into batches.
     #[must_use]
     pub fn drained(&self) -> u64 {
-        self.inner.lock().expect("update log poisoned").drained
+        self.emitted.load(Ordering::Acquire)
     }
 
-    /// Drains up to `max` pending deltas (in arrival order) into a batch.
-    /// Returns `None` when nothing is pending.
+    /// Exact ingestion lag in deltas: `appended() - drained()`.
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        // Load the drain cursor first: racing producers can only make the
+        // reported lag momentarily high, never negative.
+        let emitted = self.emitted.load(Ordering::Acquire);
+        self.appended
+            .load(Ordering::Acquire)
+            .saturating_sub(emitted)
+    }
+
+    /// Drains up to `max` pending deltas (in exact arrival order) into a
+    /// batch. Returns `None` when nothing is ready. A delta whose sequence
+    /// number was allocated but whose producer has not finished appending
+    /// yet stops the drain at that gap; it (and everything after it) stays
+    /// pending for the next call.
     #[must_use]
     pub fn drain_batch(&self, max: usize) -> Option<UpdateBatch> {
-        let mut inner = self.inner.lock().expect("update log poisoned");
-        if inner.pending.is_empty() || max == 0 {
+        if max == 0 {
             return None;
         }
-        let take = max.min(inner.pending.len());
-        let mut batch = UpdateBatch::with_capacity(take);
-        for _ in 0..take {
-            batch.push(inner.pending.pop_front().expect("counted above"));
+        let mut staging = self.staging.lock().expect("update log poisoned");
+        // Sweep every shard's current contents into the staging map. Each
+        // shard lock is held only for the buffer handoff, so producers keep
+        // appending while the merge below runs.
+        for shard in &self.shards {
+            let mut swept = {
+                let mut q = shard.lock().expect("update log poisoned");
+                std::mem::take(&mut *q)
+            };
+            for (seq, delta) in swept.drain(..) {
+                staging.insert(seq, delta);
+            }
         }
-        inner.drained += take as u64;
+        if staging.is_empty() {
+            return None;
+        }
+        let mut next = self.emitted.load(Ordering::Acquire) + 1;
+        let mut batch = UpdateBatch::with_capacity(max.min(staging.len()));
+        while batch.len() < max {
+            match staging.remove(&next) {
+                Some(delta) => {
+                    batch.push(delta);
+                    next += 1;
+                }
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return None;
+        }
+        self.emitted
+            .fetch_add(batch.len() as u64, Ordering::Release);
         Some(batch)
     }
 }
@@ -515,6 +603,94 @@ mod tests {
         }
         assert_eq!(log.pending(), 100);
         assert_eq!(log.appended(), 100);
+    }
+
+    #[test]
+    fn update_log_emits_exact_global_sequence_order() {
+        // Concurrent producers record the sequence number of every delta
+        // they append; the drained stream must equal the deltas sorted by
+        // sequence, with no gap jumped and no delta lost.
+        let log = std::sync::Arc::new(UpdateLog::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    (0..250u32)
+                        .map(|k| (log.append(GraphDelta::AddEdge { upper: t, lower: k }), t, k))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut by_seq = std::collections::BTreeMap::new();
+        for h in handles {
+            for (seq, t, k) in h.join().unwrap() {
+                assert!(by_seq.insert(seq, (t, k)).is_none(), "duplicate seq {seq}");
+            }
+        }
+        assert_eq!(by_seq.len(), 1000);
+        assert_eq!(log.lag(), 1000);
+        let mut drained = Vec::new();
+        while let Some(batch) = log.drain_batch(7) {
+            drained.extend(batch.deltas().iter().copied());
+        }
+        assert_eq!(log.drained(), 1000);
+        assert_eq!(log.lag(), 0);
+        let expected: Vec<GraphDelta> = by_seq
+            .values()
+            .map(|&(t, k)| GraphDelta::AddEdge { upper: t, lower: k })
+            .collect();
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn update_log_drain_runs_concurrently_with_producers() {
+        let log = std::sync::Arc::new(UpdateLog::new());
+        let producers: Vec<_> = (0..3u32)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for k in 0..400u32 {
+                        log.append(GraphDelta::AddEdge { upper: t, lower: k });
+                        if k % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Drain while producers are live: per-producer order must survive
+        // in the concatenated output, and counters must stay exact.
+        let mut seen: Vec<GraphDelta> = Vec::new();
+        loop {
+            if let Some(batch) = log.drain_batch(97) {
+                seen.extend(batch.deltas().iter().copied());
+            }
+            if producers.iter().all(|p| p.is_finished()) && log.lag() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        while let Some(batch) = log.drain_batch(usize::MAX) {
+            seen.extend(batch.deltas().iter().copied());
+        }
+        assert_eq!(seen.len(), 1200);
+        assert_eq!(log.appended(), 1200);
+        assert_eq!(log.drained(), 1200);
+        let mut next_per_thread = [0u32; 3];
+        for d in seen {
+            let GraphDelta::AddEdge { upper, lower } = d else {
+                panic!("unexpected delta {d:?}");
+            };
+            assert_eq!(
+                lower, next_per_thread[upper as usize],
+                "thread {upper} reordered"
+            );
+            next_per_thread[upper as usize] += 1;
+        }
+        assert_eq!(next_per_thread, [400; 3]);
     }
 
     #[test]

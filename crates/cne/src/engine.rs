@@ -135,6 +135,32 @@
 //!    read-your-stale-writes races into explicit
 //!    [`CneError::StaleGeneration`] retries.
 //!
+//! # Serving lifecycle
+//!
+//! Two ways to keep serving while the graph moves, by ownership model:
+//!
+//! * **Single-owner loop** — one thread owns the engine, alternating
+//!   [`EstimationEngine::apply_updates`] and query rounds. Readers guard
+//!   with the generation-checked entry points and, instead of hand-rolling
+//!   the retry, can use [`EstimationEngine::estimate_with_retry`] /
+//!   [`EstimationEngine::estimate_batch_with_retry`]: a
+//!   [`CneError::StaleGeneration`] rejection carries the current
+//!   generation, so the helper re-resolves the cursor and retries within a
+//!   bound — staleness is a *retry hint*, not a failure. The cost of this
+//!   model is the stop-the-world splice: every batch blocks queries for a
+//!   full CSR merge pass.
+//! * **Serving tier** — [`crate::serving::ServingEngine`] removes that
+//!   stall with epoch-pinned double-buffering. Readers pin a snapshot
+//!   (`snapshot()` — a slot CAS, no locks, no allocation), query it like
+//!   any engine, and retire it by dropping; a dedicated writer thread
+//!   drains the producer-sharded [`bigraph::UpdateLog`] in bounded
+//!   batches, splices the *offline* buffer (coalescing everything pending
+//!   into one merge pass), pre-warms the touched bitmaps, and publishes by
+//!   bumping the epoch. Queries never wait on a splice, and every pinned
+//!   answer is byte-identical to a cold engine at the pinned epoch
+//!   (`tests/serving_swap.rs`). See the [`crate::serving`] module docs for
+//!   the pin/publish protocol and its freshness ↔ throughput trade.
+//!
 //! # Bounded caches (LRU eviction)
 //!
 //! Graphs too large to cache every dense vertex use
@@ -496,6 +522,21 @@ impl AdjacencyStore {
         let words = g.layer_size(layer.opposite()).div_ceil(64);
         for v in 0..g.layer_size(layer) as VertexId {
             if g.degree(layer, v) > 2 * words {
+                let _ = self.try_packed(g, layer, v);
+            }
+        }
+    }
+
+    /// Targeted warm-up: pre-builds the packed adjacency of just the given
+    /// `layer` vertices (skipping the sparse ones, same density heuristic
+    /// as [`AdjacencyStore::warm`]). The serving writer calls this with an
+    /// applied batch's touched sets so the bitmaps invalidated by a splice
+    /// are rebuilt *before* the buffer is published, not on the first
+    /// query that misses them.
+    pub fn warm_vertices(&self, g: &BipartiteGraph, layer: Layer, vertices: &[VertexId]) {
+        let words = g.layer_size(layer.opposite()).div_ceil(64);
+        for &v in vertices {
+            if (v as usize) < g.layer_size(layer) && g.degree(layer, v) > 2 * words {
                 let _ = self.try_packed(g, layer, v);
             }
         }
@@ -1248,6 +1289,19 @@ impl<'g> EstimationEngine<'g> {
         self
     }
 
+    /// Pre-builds the packed adjacencies invalidated by an applied update
+    /// batch (both layers' touched sets — see
+    /// [`AdjacencyStore::warm_vertices`]). The double-buffered serving
+    /// writer runs this on the offline buffer after a splice so readers
+    /// never pay a cold bitmap rebuild on a freshly published snapshot.
+    pub fn warm_touched(&self, applied: &AppliedBatch) -> &Self {
+        for layer in [Layer::Upper, Layer::Lower] {
+            self.store
+                .warm_vertices(self.graph.as_ref(), layer, applied.touched(layer));
+        }
+        self
+    }
+
     /// Degree statistics of `layer` (computed once, then cached).
     pub fn layer_stats(&self, layer: Layer) -> LayerStats {
         self.store.stats(self.graph.as_ref(), layer)
@@ -1384,6 +1438,81 @@ impl<'g> EstimationEngine<'g> {
     ) -> Result<BatchReport> {
         self.check_generation(generation)?;
         self.estimate_batch(layer, target, candidates, epsilon, rng)
+    }
+
+    /// [`EstimationEngine::estimate_at`] with bounded stale-generation
+    /// retry, for callers that track a generation themselves instead of
+    /// going through [`ServingEngine`](crate::serving::ServingEngine).
+    ///
+    /// On [`CneError::StaleGeneration`] the caller's `generation` cursor is
+    /// advanced to the current generation carried in the error and the
+    /// query re-issued, up to `max_retries` times. The generation check
+    /// runs *before* any protocol rounds, so a rejected attempt consumes no
+    /// randomness from `rng` — retries leave the draw stream of the
+    /// successful attempt byte-identical to a first-try success.
+    ///
+    /// On a single engine the first retry always succeeds (nothing mutates
+    /// an `&self` engine between the error and the retry); the bound
+    /// matters when the engine is re-resolved between attempts, e.g. a
+    /// serving tier swapping buffers under the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`CneError::StaleGeneration`] if the cursor is still stale after
+    /// `max_retries` retries; otherwise the contract of
+    /// [`EstimationEngine::estimate`].
+    pub fn estimate_with_retry(
+        &self,
+        generation: &mut u64,
+        query: &Query,
+        kind: AlgorithmKind,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+        max_retries: usize,
+    ) -> Result<EstimateReport> {
+        let mut retries = 0;
+        loop {
+            match self.estimate_at(*generation, query, kind, epsilon, rng) {
+                Err(CneError::StaleGeneration { current, .. }) if retries < max_retries => {
+                    *generation = current;
+                    retries += 1;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// [`EstimationEngine::estimate_batch_at`] with bounded
+    /// stale-generation retry — the batch counterpart of
+    /// [`EstimationEngine::estimate_with_retry`], with the same
+    /// draw-stream guarantee (a rejected attempt consumes no randomness).
+    ///
+    /// # Errors
+    ///
+    /// [`CneError::StaleGeneration`] if still stale after `max_retries`
+    /// retries; otherwise the contract of
+    /// [`EstimationEngine::estimate_batch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_batch_with_retry(
+        &self,
+        generation: &mut u64,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+        max_retries: usize,
+    ) -> Result<BatchReport> {
+        let mut retries = 0;
+        loop {
+            match self.estimate_batch_at(*generation, layer, target, candidates, epsilon, rng) {
+                Err(CneError::StaleGeneration { current, .. }) if retries < max_retries => {
+                    *generation = current;
+                    retries += 1;
+                }
+                outcome => return outcome,
+            }
+        }
     }
 
     /// Sharded batch estimation: every target in `targets` is estimated

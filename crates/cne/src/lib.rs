@@ -45,6 +45,16 @@
 //! large to cache in full. See the [`engine`] module docs for the cache,
 //! mutation & invalidation lifecycles and the determinism contract.
 //!
+//! When queries must *never* wait on a splice — a live recommendation
+//! tier with a continuous write stream — wrap the graph in a
+//! [`ServingEngine`] instead of owning an engine directly: readers pin
+//! epoch-stamped snapshots (lock-free, allocation-free) while a dedicated
+//! writer thread drains the producer-sharded [`bigraph::UpdateLog`] and
+//! splices an offline buffer, publishing by epoch swap. Served estimates
+//! stay byte-identical to a cold engine at the pinned epoch; see the
+//! [`serving`] module docs for the lifecycle and the [`engine`] docs'
+//! *Serving lifecycle* section for how the two models relate.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -86,6 +96,7 @@ pub mod naive;
 pub mod one_round;
 pub mod optimizer;
 pub mod protocol;
+pub mod serving;
 pub mod similarity;
 pub mod single_source;
 
@@ -102,5 +113,6 @@ pub use estimator::CommonNeighborEstimator;
 pub use naive::Naive;
 pub use one_round::OneR;
 pub use protocol::Query;
+pub use serving::{EngineSnapshot, ServingConfig, ServingEngine, ServingStats};
 pub use similarity::{SimilarityEstimator, SimilarityReport};
 pub use single_source::MultiRSS;

@@ -157,5 +157,53 @@ fn warm_batch_inner_loop_is_allocation_free_per_candidate() {
          {allocs_large} for 120"
     );
 
+    // --- Serving path: pin a snapshot, query through it (ISSUE 7). ------
+    // The epoch-pinned snapshot must add zero allocations on the warm
+    // path: pinning is a slot CAS plus an uncontended read guard, and the
+    // query runs the same engine code as above. A long poll interval
+    // parks the writer thread for the whole measurement.
+    let serving = cne::serving::ServingEngine::with_config(
+        g.clone(),
+        cne::serving::ServingConfig {
+            warm_layer: Some(Layer::Upper),
+            poll_interval: std::time::Duration::from_secs(30),
+            ..cne::serving::ServingConfig::default()
+        },
+    );
+    for _ in 0..2 {
+        serving
+            .snapshot()
+            .estimate_batch(Layer::Upper, 0, &large, 2.0, &mut StdRng::seed_from_u64(7))
+            .expect("valid batch");
+    }
+    let (allocs_pin, _) = allocations_during(|| serving.snapshot());
+    assert_eq!(
+        allocs_pin, 0,
+        "pinning a snapshot must not allocate, got {allocs_pin}"
+    );
+    let (allocs_small, _) = allocations_during(|| {
+        serving
+            .snapshot()
+            .estimate_batch(Layer::Upper, 0, &small, 2.0, &mut StdRng::seed_from_u64(7))
+            .expect("valid batch")
+    });
+    let (allocs_large, _) = allocations_during(|| {
+        serving
+            .snapshot()
+            .estimate_batch(Layer::Upper, 0, &large, 2.0, &mut StdRng::seed_from_u64(7))
+            .expect("valid batch")
+    });
+    assert_eq!(
+        allocs_small, allocs_large,
+        "serving snapshot estimate_batch allocated per candidate: {allocs_small} for 30 vs \
+         {allocs_large} for 120"
+    );
+    assert!(
+        allocs_large < 40,
+        "serving snapshot batch should match the warm engine's per-call constant, got \
+         {allocs_large}"
+    );
+    drop(serving);
+
     std::env::remove_var("RAYON_NUM_THREADS");
 }
