@@ -28,6 +28,24 @@
 //! is that a reader's worst cycle is bounded by query cost plus scheduler
 //! noise, never by a merge pass.
 //!
+//! **Multi-process legs (ISSUE 8).** The same cycle loop also runs
+//! against real shard-worker processes behind a [`cluster::Coordinator`]
+//! (the bench binary re-executes itself as each worker — see
+//! [`cluster::maybe_run_worker_from_env`]), in three deployments:
+//!
+//! * `cluster_1worker` — one front, one worker owning the whole graph:
+//!   the single-process serving tier plus the process boundary.
+//! * `cluster_4worker_sharded` — one front, four shard workers: the
+//!   update stream is partitioned, so each worker splices ~¼ of the
+//!   deltas into a ~¼-size shard graph and total splice work stays
+//!   constant as workers are added.
+//! * `cluster_4worker_replicated` — the naive alternative that lacks the
+//!   placement-independence theorem: four full replicas, every one
+//!   ingesting the **entire** stream into a **full** graph (queries
+//!   round-robin). Replication scales query capacity but multiplies
+//!   splice work by the replica count; sharding is what makes ingest
+//!   scale too.
+//!
 //! Hand-rolled harness (no criterion stub): the gated ratios need a
 //! tail window — the 95th-percentile cycle, a p99-style stand-in that is
 //! stable enough to gate (the absolute max is scheduler-noise jitter on
@@ -36,14 +54,20 @@
 //! `bench_check` parses.
 //!
 //! Gated ratios (hardware-neutral, see `BENCH_micro.json`):
-//! `sustained_double_buffered / sustained_stop_the_world` and
-//! `worst_window_double_buffered / worst_window_stop_the_world`.
+//! `sustained_double_buffered / sustained_stop_the_world`,
+//! `worst_window_double_buffered / worst_window_stop_the_world`,
+//! `sustained_cluster_4worker_sharded / sustained_cluster_4worker_replicated`
+//! (the ingest-scaling edge), and
+//! `sustained_cluster_4worker_sharded / sustained_cluster_1worker`
+//! (fan-out overhead must stay bounded).
 
 use bigraph::{BipartiteGraph, GraphDelta, Layer};
+use cluster::{ClusterConfig, Coordinator};
 use cne::engine::EstimationEngine;
 use cne::serving::{ServingConfig, ServingEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 const N_ITEMS: usize = 100_000;
@@ -219,9 +243,102 @@ fn run_double_buffered(
     (times, start.elapsed(), max_lag)
 }
 
+/// Spawns a cluster deployment: `n_fronts` coordinators, each fronting
+/// `shards_per_front` shard workers over the Upper layer of `graph`. The
+/// workers are this very binary re-executed (`current_exe`), so `cargo
+/// bench` needs no other crate's binaries built. Returns the fronts plus
+/// the socket directory to remove after teardown.
+fn spawn_fronts(
+    graph: &BipartiteGraph,
+    shards_per_front: usize,
+    n_fronts: usize,
+    tag: &str,
+) -> (Vec<Coordinator>, PathBuf) {
+    let exe = std::env::current_exe().expect("bench exe");
+    let dir = std::env::temp_dir().join(format!("cne-serving-bench-{}-{tag}", std::process::id()));
+    let fronts = (0..n_fronts)
+        .map(|i| {
+            let front_dir = dir.join(format!("front-{i}"));
+            std::fs::create_dir_all(&front_dir).expect("socket dir");
+            Coordinator::spawn_program(
+                graph,
+                Layer::Upper,
+                shards_per_front,
+                &front_dir,
+                ClusterConfig::default(),
+                &exe,
+            )
+            .expect("spawn shard workers")
+        })
+        .collect();
+    (fronts, dir)
+}
+
+/// The cluster cycle loop: ship each cycle's arrivals to every front's
+/// replication log, answer the query rounds round-robin over the fronts
+/// (with one front that is plain fan-out; with four replicas it is the
+/// replica load-balancing that motivates replication in the first
+/// place), then `flush` — a bounded-staleness contract: every cycle's
+/// deltas are published cluster-wide before the cycle ends.
+///
+/// The flush is what makes the gated ratios stable *and* honest. Without
+/// it the workers' writer threads coalesce at the scheduler's whim, so a
+/// replica could defer the whole run into one giant merge pass and hide
+/// the 4× splice-work multiplier replication actually costs; with it,
+/// every worker pays one merge pass per cycle — the sharded deployment
+/// four ~¼-graph passes (≈ one full pass of total work, split so a
+/// multi-core host overlaps them), the replicated one four *full*
+/// passes. Queries still read epoch-pinned snapshots and never wait on a
+/// splice mid-cycle. Returns per-cycle times.
+fn run_cluster(
+    stream: &[Vec<Vec<GraphDelta>>],
+    candidates: &[u32],
+    shards_per_front: usize,
+    n_fronts: usize,
+    tag: &str,
+) -> Vec<Duration> {
+    let graph = screening_graph();
+    let (mut fronts, dir) = spawn_fronts(&graph, shards_per_front, n_fronts, tag);
+    let mut seed = SEED;
+    let mut round_robin = 0usize;
+    let mut times = Vec::with_capacity(stream.len());
+    for arrivals in stream {
+        let start = Instant::now();
+        for batch in arrivals {
+            // A replicated deployment pays this fan-in once per replica —
+            // that duplication is the cost under test, not an artifact.
+            for front in &fronts {
+                front.extend(batch.iter().copied());
+            }
+        }
+        for _ in 0..QUERY_ROUNDS_PER_CYCLE {
+            seed += 1;
+            let front = &mut fronts[round_robin % n_fronts];
+            round_robin += 1;
+            let report = front
+                .estimate_batch(Layer::Upper, 0, candidates, EPSILON, seed)
+                .expect("cluster batch");
+            assert_eq!(report.estimates.len(), candidates.len());
+        }
+        for front in &mut fronts {
+            front.flush().expect("bounded-staleness flush");
+        }
+        times.push(start.elapsed());
+    }
+    drop(fronts);
+    let _ = std::fs::remove_dir_all(&dir);
+    times
+}
+
 fn main() {
+    // The bench binary doubles as the shard-worker executable: when the
+    // worker env vars are set, this process IS a worker — serve and exit.
+    if cluster::maybe_run_worker_from_env() {
+        return;
+    }
     // Single-threaded queries, same rationale as the other gated groups:
     // the ratios isolate serving architecture, not rayon parallelism.
+    // (Worker processes spawn later and inherit this.)
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let cycles: usize = std::env::var("STREAMING_SERVING_CYCLES")
         .ok()
@@ -255,6 +372,34 @@ fn main() {
         max_lag = max_lag.max(rep_lag);
     }
 
+    // The multi-process legs: a shorter stream (spawn + bootstrap of real
+    // worker processes is the fixed cost here, not the per-cycle loop),
+    // same arrivals-per-cycle pressure, same screening query.
+    let cluster_cycles: usize = std::env::var("CLUSTER_SERVING_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cycles.min(40));
+    let cluster_stream = zipf_stream(cluster_cycles);
+    // (shards per front, fronts, bench id)
+    let deployments: [(usize, usize, &str); 3] = [
+        (1, 1, "cluster_1worker"),
+        (4, 1, "cluster_4worker_sharded"),
+        (1, 4, "cluster_4worker_replicated"),
+    ];
+    let mut cluster = [Windows {
+        mean: Duration::MAX,
+        worst: Duration::MAX,
+    }; 3];
+    for rep in 0..2 {
+        for (leg, &(shards, fronts, id)) in deployments.iter().enumerate() {
+            let tag = format!("{id}-{rep}");
+            let times = run_cluster(&cluster_stream, &candidates, shards, fronts, &tag);
+            let w = summarize(&times, Duration::ZERO);
+            cluster[leg].mean = cluster[leg].mean.min(w.mean);
+            cluster[leg].worst = cluster[leg].worst.min(w.worst);
+        }
+    }
+
     // One "iter" is one cycle: ingest BATCHES_PER_CYCLE 64-edge batches +
     // one 200-candidate screening round. Sustained QPS is the reciprocal
     // of the mean (deferred drain included for the double-buffered mode).
@@ -262,6 +407,9 @@ fn main() {
     print_bench("sustained_double_buffered", dbuf.mean);
     print_bench("worst_window_stop_the_world", stop.worst);
     print_bench("worst_window_double_buffered", dbuf.worst);
+    for (leg, &(_, _, id)) in deployments.iter().enumerate() {
+        print_bench(&format!("sustained_{id}"), cluster[leg].mean);
+    }
 
     let qps = |w: &Windows| 1.0 / w.mean.as_secs_f64();
     println!(
@@ -272,5 +420,15 @@ fn main() {
         qps(&dbuf) / qps(&stop),
         stop.worst.as_secs_f64() / dbuf.worst.as_secs_f64(),
         drain.as_secs_f64() * 1e3,
+    );
+    println!(
+        "info: streaming_serving cluster cycles={cluster_cycles} qps_1w={:.1} \
+         qps_4w_sharded={:.1} qps_4w_replicated={:.1} shard_vs_replicated={:.2}x \
+         fanout_overhead_4w_vs_1w={:.2}x",
+        qps(&cluster[0]),
+        qps(&cluster[1]),
+        qps(&cluster[2]),
+        qps(&cluster[1]) / qps(&cluster[2]),
+        cluster[1].mean.as_secs_f64() / cluster[0].mean.as_secs_f64(),
     );
 }

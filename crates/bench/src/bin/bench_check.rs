@@ -108,6 +108,32 @@ const GATES: &[Gate] = &[
         numerator: "micro/streaming_serving/worst_window_double_buffered",
         denominator: "micro/streaming_serving/worst_window_stop_the_world",
     },
+    // Multi-process serving gates (ISSUE 8): all legs come from the same
+    // run under the same bounded-staleness contract (every cycle's deltas
+    // published cluster-wide before the cycle ends), so merge counts are
+    // pinned and the ratios are hardware-neutral.
+    //
+    // Ingest scaling — the headline: partitioning the update stream means
+    // 4 shard workers splice ~¼-size graphs (≈ one full pass of total
+    // work) where 4 full replicas splice the full graph 4×. Recorded at
+    // ~4.7× on a single core; ≥2× holds on any host because it is a
+    // work-multiplier, not a parallelism effect. The gate trips when the
+    // sharded deployment loses that edge.
+    Gate {
+        name: "cluster 4-worker sharded vs 4-worker replicated ingest",
+        numerator: "micro/streaming_serving/sustained_cluster_4worker_sharded",
+        denominator: "micro/streaming_serving/sustained_cluster_4worker_replicated",
+    },
+    // Fan-out overhead: a 4-shard query fans round 2 to every owner, and
+    // that coordination tax must stay bounded next to a single worker
+    // owning the whole graph. Recorded at ~1.17× on a single core (total
+    // splice+query work is conserved under sharding; a multi-core host
+    // overlaps the per-shard work and drives this below 1).
+    Gate {
+        name: "cluster 4-worker sharded vs 1-worker front",
+        numerator: "micro/streaming_serving/sustained_cluster_4worker_sharded",
+        denominator: "micro/streaming_serving/sustained_cluster_1worker",
+    },
 ];
 
 /// One line describing the CPU tier the dispatched kernels run on — printed
@@ -301,6 +327,18 @@ mod tests {
             "micro/streaming_serving/worst_window_stop_the_world".into(),
             22.0e6,
         );
+        m.insert(
+            "micro/streaming_serving/sustained_cluster_1worker".into(),
+            20.0e6,
+        );
+        m.insert(
+            "micro/streaming_serving/sustained_cluster_4worker_sharded".into(),
+            23.3e6,
+        );
+        m.insert(
+            "micro/streaming_serving/sustained_cluster_4worker_replicated".into(),
+            109.0e6,
+        );
         m
     }
 
@@ -404,6 +442,22 @@ bench: micro/streaming_serving/sustained_double_buffered          3.326 ms/iter
         let failures = check(&base, &measured).unwrap();
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("serving sustained"));
+    }
+
+    #[test]
+    fn cluster_gates_catch_a_lost_ingest_scaling_edge() {
+        let base = baseline();
+        // The sharded deployment degrades to replicated-ingest cost (its
+        // update-stream partitioning edge gone): both cluster gates fail
+        // — against the replicated leg and against the 1-worker front —
+        // while every single-process gate stays green.
+        let mut measured = base.clone();
+        *measured
+            .get_mut("micro/streaming_serving/sustained_cluster_4worker_sharded")
+            .unwrap() = 109.0e6;
+        let failures = check(&base, &measured).unwrap();
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().all(|f| f.contains("cluster 4-worker")));
     }
 
     #[test]

@@ -75,6 +75,27 @@ pub enum GraphDelta {
     },
 }
 
+impl GraphDelta {
+    /// The endpoint that decides which contiguous vertex-range shard owns
+    /// this delta when the graph is partitioned along `shard_layer`.
+    ///
+    /// Edge deltas are owned by their `shard_layer` endpoint; `AddVertex`
+    /// has no owner (`None`) and must be **broadcast** to every shard so
+    /// layer sizes stay aligned across replicas.
+    #[must_use]
+    pub fn shard_vertex(&self, shard_layer: Layer) -> Option<VertexId> {
+        match *self {
+            GraphDelta::AddEdge { upper, lower } | GraphDelta::RemoveEdge { upper, lower } => {
+                Some(match shard_layer {
+                    Layer::Upper => upper,
+                    Layer::Lower => lower,
+                })
+            }
+            GraphDelta::AddVertex { .. } => None,
+        }
+    }
+}
+
 /// An ordered sequence of [`GraphDelta`]s applied as one transaction.
 ///
 /// ```
@@ -149,6 +170,48 @@ impl UpdateBatch {
     /// edge delta.
     pub fn validate(&self, g: &BipartiteGraph) -> Result<()> {
         NetEffect::compute(g, self).map(|_| ())
+    }
+
+    /// Splits the batch into one sub-batch per contiguous vertex range of
+    /// `shard_layer`, in a **single pass** — the replication path in a
+    /// sharded deployment calls this instead of cloning the full batch per
+    /// worker and filtering.
+    ///
+    /// Routing rules (the shard-assignment contract the multi-process
+    /// serving tier relies on):
+    ///
+    /// * an edge delta goes to the one range containing its `shard_layer`
+    ///   endpoint ([`GraphDelta::shard_vertex`]); a delta covered by no
+    ///   range is dropped, so callers should make the ranges cover the id
+    ///   space (conventionally the last range ends at `VertexId::MAX`);
+    /// * `AddVertex` is **broadcast** into every sub-batch, keeping layer
+    ///   sizes aligned across shards;
+    /// * relative order is preserved within each sub-batch, which is enough
+    ///   for equivalence: two deltas naming the same edge share a
+    ///   `shard_layer` endpoint and therefore a sub-batch, and deltas on
+    ///   different edges commute under last-delta-wins semantics.
+    #[must_use]
+    pub fn partition_by_ranges(
+        &self,
+        shard_layer: Layer,
+        ranges: &[std::ops::Range<VertexId>],
+    ) -> Vec<UpdateBatch> {
+        let mut parts = vec![UpdateBatch::new(); ranges.len()];
+        for &delta in &self.deltas {
+            match delta.shard_vertex(shard_layer) {
+                Some(v) => {
+                    if let Some(at) = ranges.iter().position(|r| r.contains(&v)) {
+                        parts[at].push(delta);
+                    }
+                }
+                None => {
+                    for part in &mut parts {
+                        part.push(delta);
+                    }
+                }
+            }
+        }
+        parts
     }
 
     /// Number of deltas in the batch.
@@ -409,6 +472,26 @@ impl UpdateLog {
             .fetch_add(batch.len() as u64, Ordering::Release);
         Some(batch)
     }
+
+    /// Drains up to `max` pending deltas and partitions them by contiguous
+    /// vertex range in the same pass — the sharded-replication form of
+    /// [`drain_batch`](UpdateLog::drain_batch). Returns one sub-batch per
+    /// range (possibly empty), or `None` when nothing was ready.
+    ///
+    /// Routing follows [`UpdateBatch::partition_by_ranges`]: edge deltas go
+    /// to the range owning their `shard_layer` endpoint, `AddVertex` is
+    /// broadcast, and global arrival order is preserved within each
+    /// sub-batch.
+    #[must_use]
+    pub fn drain_partitioned(
+        &self,
+        max: usize,
+        shard_layer: Layer,
+        ranges: &[std::ops::Range<VertexId>],
+    ) -> Option<Vec<UpdateBatch>> {
+        self.drain_batch(max)
+            .map(|batch| batch.partition_by_ranges(shard_layer, ranges))
+    }
 }
 
 /// The per-batch working state of [`BipartiteGraph::apply_update_batch`]
@@ -557,6 +640,104 @@ mod tests {
         let net = NetEffect::compute(&g, &late).unwrap();
         assert_eq!(net.n_upper, 3);
         assert_eq!(net.adds, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn partition_routes_by_shard_endpoint_and_broadcasts_vertices() {
+        let mut b = UpdateBatch::new();
+        b.add_edge(0, 9)
+            .add_edge(5, 0)
+            .add_vertex(Layer::Lower)
+            .remove_edge(3, 1)
+            .add_edge(9, 9);
+        let ranges = [0u32..4, 4..u32::MAX];
+        let parts = b.partition_by_ranges(Layer::Upper, &ranges);
+        assert_eq!(parts.len(), 2);
+        // Shard 0 owns uppers [0,4): edges on u0/u3 plus the broadcast.
+        assert_eq!(
+            parts[0].deltas(),
+            &[
+                GraphDelta::AddEdge { upper: 0, lower: 9 },
+                GraphDelta::AddVertex {
+                    layer: Layer::Lower
+                },
+                GraphDelta::RemoveEdge { upper: 3, lower: 1 },
+            ]
+        );
+        // Shard 1 owns uppers [4,MAX): edges on u5/u9 plus the broadcast.
+        assert_eq!(
+            parts[1].deltas(),
+            &[
+                GraphDelta::AddEdge { upper: 5, lower: 0 },
+                GraphDelta::AddVertex {
+                    layer: Layer::Lower
+                },
+                GraphDelta::AddEdge { upper: 9, lower: 9 },
+            ]
+        );
+        // Every edge delta lands exactly once; AddVertex lands everywhere.
+        let total: usize = parts.iter().map(UpdateBatch::len).sum();
+        assert_eq!(total, 4 + 2);
+        // Partitioning along the other layer routes by the lower endpoint.
+        let by_lower = b.partition_by_ranges(Layer::Lower, &[0u32..2, 2..u32::MAX]);
+        assert_eq!(by_lower[0].len(), 2 + 1); // l0, l1 edges + broadcast
+        assert_eq!(by_lower[1].len(), 2 + 1); // l9, l9 edges + broadcast
+    }
+
+    #[test]
+    fn partition_drops_deltas_covered_by_no_range() {
+        let mut b = UpdateBatch::new();
+        b.add_edge(0, 0).add_edge(7, 0);
+        let parts = b.partition_by_ranges(Layer::Upper, std::slice::from_ref(&(0u32..4)));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(
+            parts[0].deltas(),
+            &[GraphDelta::AddEdge { upper: 0, lower: 0 }]
+        );
+    }
+
+    #[test]
+    fn drain_partitioned_matches_drain_then_partition() {
+        let log = UpdateLog::new();
+        assert!(log
+            .drain_partitioned(8, Layer::Upper, std::slice::from_ref(&(0..u32::MAX)))
+            .is_none());
+        for i in 0..10u32 {
+            log.append(GraphDelta::AddEdge {
+                upper: i % 4,
+                lower: i,
+            });
+        }
+        let ranges = [0u32..1, 1..2, 2..u32::MAX];
+        let parts = log
+            .drain_partitioned(10, Layer::Upper, &ranges)
+            .expect("deltas pending");
+        assert_eq!(parts.len(), 3);
+        assert_eq!(log.drained(), 10);
+        // Reconstruct per-range expectations from the original stream.
+        for (range, part) in ranges.iter().zip(&parts) {
+            for delta in part.deltas() {
+                let v = delta.shard_vertex(Layer::Upper).unwrap();
+                assert!(range.contains(&v));
+            }
+        }
+        let total: usize = parts.iter().map(UpdateBatch::len).sum();
+        assert_eq!(total, 10);
+        // Order within a sub-batch follows global arrival order: lowers
+        // are strictly increasing for each shard's stream.
+        for part in &parts {
+            let lowers: Vec<u32> = part
+                .deltas()
+                .iter()
+                .map(|d| match *d {
+                    GraphDelta::AddEdge { lower, .. } => lower,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let mut sorted = lowers.clone();
+            sorted.sort_unstable();
+            assert_eq!(lowers, sorted);
+        }
     }
 
     #[test]

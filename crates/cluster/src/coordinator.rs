@@ -1,0 +1,864 @@
+//! The coordinator: spawns shard workers, replicates the update stream,
+//! fans queries out, and concatenates per-worker reports.
+//!
+//! See the [crate docs](crate) for the shard-assignment rules and the
+//! concatenation proof sketch. Mechanically, a batch query runs as:
+//!
+//! 1. **Round 1 at the target's owner.** The owner validates the full
+//!    candidate list (validation only reads global layer sizes, which
+//!    every shard graph carries) and runs the target's randomized
+//!    response, returning the noisy row + the per-candidate stream base
+//!    seed.
+//! 2. **Round 2 at each candidate's owner.** The coordinator groups
+//!    candidates by owning range and ships the round-1 artifact to each
+//!    owner, which computes its slice of estimates against its own
+//!    (complete) adjacency.
+//! 3. **Concatenate + replay.** Estimates come back bit-exact and are
+//!    placed at their original indices; the coordinator replays the
+//!    budget/transcript accounting locally (replay never draws
+//!    randomness), yielding a [`BatchReport`] byte-identical to an
+//!    unsharded engine's.
+//!
+//! Robustness: connects have a bounded retry budget, reads carry
+//! timeouts, and one reconnect-and-resend is attempted per request — a
+//! worker that is merely restarting is picked back up, while a dead one
+//! gets marked unhealthy and the fan-out returns
+//! [`ClusterError::PartialResult`] instead of hanging.
+
+use crate::error::{ClusterError, Result};
+use crate::wire::{Message, WireRound1, WireStats};
+use crate::worker::{SHARD_HI_ENV, SHARD_LO_ENV, SOCKET_ENV};
+use bigraph::delta::{GraphDelta, UpdateLog};
+use bigraph::{BipartiteGraph, Layer, VertexId};
+use cne::batch::{BatchEstimate, BatchReport, BatchRound1, BatchSingleSource};
+use cne::CneError;
+use ldp::budget::PrivacyBudget;
+use ldp::noisy_graph::NoisyNeighborsPacked;
+use std::io;
+use std::ops::Range;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Coordinator-side tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Total time budget for (re)connecting to one worker's socket,
+    /// retried with [`connect_backoff`](Self::connect_backoff) in between.
+    pub connect_timeout: Duration,
+    /// Sleep between connect attempts (a freshly spawned worker needs a
+    /// moment to bind its listener).
+    pub connect_backoff: Duration,
+    /// Read/write timeout on every worker socket: the bound that turns a
+    /// hung worker into a typed error instead of a hung coordinator.
+    pub io_timeout: Duration,
+    /// Deltas drained from the coordinator log per replication pump.
+    pub pump_chunk: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            connect_backoff: Duration::from_millis(10),
+            io_timeout: Duration::from_secs(10),
+            pump_chunk: 4096,
+        }
+    }
+}
+
+/// A worker's spawn-time identity, handed to the launch closure.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Index in the coordinator's worker table.
+    pub index: usize,
+    /// The socket the worker must listen on.
+    pub socket: PathBuf,
+    /// First owned shard-layer vertex.
+    pub shard_lo: u32,
+    /// One past the last owned vertex.
+    pub shard_hi: u32,
+}
+
+/// A [`Command`] that runs `program` as the shard worker described by
+/// `spec` (socket + range via the worker env vars). The standard launch
+/// closure for both the dedicated `shard-worker` binary and self-exec
+/// harnesses.
+#[must_use]
+pub fn worker_command(program: &Path, spec: &WorkerSpec) -> Command {
+    let mut cmd = Command::new(program);
+    cmd.env(SOCKET_ENV, &spec.socket)
+        .env(SHARD_LO_ENV, spec.shard_lo.to_string())
+        .env(SHARD_HI_ENV, spec.shard_hi.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    cmd
+}
+
+/// Coordinator-side state for one worker process.
+struct Worker {
+    spec: WorkerSpec,
+    child: Option<Child>,
+    conn: Option<UnixStream>,
+    healthy: bool,
+}
+
+/// One worker's entry in a [`ClusterStats`] roll-up.
+#[derive(Debug, Clone)]
+pub struct WorkerStatus {
+    /// Worker index.
+    pub index: usize,
+    /// Owned shard range.
+    pub shard: Range<u32>,
+    /// Whether the last exchange with this worker succeeded.
+    pub healthy: bool,
+    /// The worker's serving counters (`None` if unreachable).
+    pub stats: Option<WireStats>,
+}
+
+/// The coordinator's roll-up of every worker's [`ServingStats`]
+/// (mirrored over the wire as [`WireStats`]).
+///
+/// [`ServingStats`]: cne::serving::ServingStats
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-worker detail, in shard order.
+    pub workers: Vec<WorkerStatus>,
+    /// Workers that answered the stats request.
+    pub healthy_workers: usize,
+    /// Sum of per-worker appended deltas.
+    pub appended: u64,
+    /// Sum of per-worker published deltas.
+    pub published: u64,
+    /// Sum of per-worker rejected deltas.
+    pub rejected: u64,
+    /// Worst current ingest lag across workers.
+    pub max_ingest_lag: u64,
+    /// Worst p50 snapshot lag across workers.
+    pub max_lag_p50: u64,
+    /// Worst p95 snapshot lag across workers.
+    pub max_lag_p95: u64,
+    /// Slowest worker's published epoch.
+    pub min_epoch: u64,
+    /// Fastest worker's published epoch.
+    pub max_epoch: u64,
+}
+
+/// The multi-process serving front end: owns the worker processes, the
+/// replication log, and the query fan-out.
+pub struct Coordinator {
+    config: ClusterConfig,
+    shard_layer: Layer,
+    ranges: Vec<Range<u32>>,
+    workers: Vec<Worker>,
+    log: UpdateLog,
+    algo: BatchSingleSource,
+}
+
+/// Contiguous shard ranges: an even split of `[0, n)` into `k` parts,
+/// with the last part open-ended (`hi = u32::MAX`) so vertices appended
+/// after spawn have an owner.
+fn shard_ranges(n: usize, k: usize) -> Vec<Range<u32>> {
+    assert!(k > 0, "at least one worker");
+    let n = n as u64;
+    let k64 = k as u64;
+    (0..k)
+        .map(|i| {
+            let lo = (n * i as u64 / k64) as u32;
+            let hi = if i == k - 1 {
+                u32::MAX
+            } else {
+                (n * (i as u64 + 1) / k64) as u32
+            };
+            lo..hi
+        })
+        .collect()
+}
+
+/// One request→response exchange with bounded retry: on an I/O failure
+/// the connection is dropped, re-established (fresh handshake included),
+/// and the request re-sent once. A second failure marks the worker
+/// unhealthy and surfaces [`ClusterError::WorkerDown`].
+///
+/// A free function over one worker's state (not a `Coordinator` method)
+/// so the round-2 fan-out can drive disjoint workers from scoped threads.
+fn exchange(
+    config: &ClusterConfig,
+    worker: &mut Worker,
+    msg: &Message,
+    context: &'static str,
+) -> Result<Message> {
+    match try_exchange(config, worker, msg) {
+        Ok(resp) => {
+            worker.healthy = true;
+            Ok(resp)
+        }
+        Err(_) => {
+            // The worker may be restarting: reconnect and resend once.
+            worker.conn = None;
+            match try_exchange(config, worker, msg) {
+                Ok(resp) => {
+                    worker.healthy = true;
+                    Ok(resp)
+                }
+                Err(source) => {
+                    worker.conn = None;
+                    worker.healthy = false;
+                    Err(ClusterError::WorkerDown {
+                        worker: worker.spec.index,
+                        context,
+                        source,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Sends `msg` on the worker's connection (establishing it first if
+/// needed) and reads one response frame.
+fn try_exchange(config: &ClusterConfig, worker: &mut Worker, msg: &Message) -> io::Result<Message> {
+    ensure_connected(config, worker)?;
+    let conn = worker.conn.as_mut().expect("just connected");
+    msg.write_to(conn)?;
+    Message::read_from(conn)
+}
+
+/// Connects (with retry/backoff up to `connect_timeout`) and runs the
+/// versioned handshake. No-op when a connection is already up.
+fn ensure_connected(config: &ClusterConfig, worker: &mut Worker) -> io::Result<()> {
+    if worker.conn.is_some() {
+        return Ok(());
+    }
+    let deadline = Instant::now() + config.connect_timeout;
+    let mut stream = loop {
+        match UnixStream::connect(&worker.spec.socket) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(config.connect_backoff);
+            }
+        }
+    };
+    stream.set_read_timeout(Some(config.io_timeout))?;
+    stream.set_write_timeout(Some(config.io_timeout))?;
+    Message::Hello.write_to(&mut stream)?;
+    match Message::read_from(&mut stream)? {
+        Message::HelloAck { shard_lo, shard_hi } => {
+            let spec = &worker.spec;
+            if shard_lo != spec.shard_lo || shard_hi != spec.shard_hi {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "worker {} reports shard {shard_lo}..{shard_hi}, expected {}..{}",
+                        spec.index, spec.shard_lo, spec.shard_hi
+                    ),
+                ));
+            }
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake got {other:?}"),
+            ))
+        }
+    }
+    worker.conn = Some(stream);
+    Ok(())
+}
+
+/// Rebuilds the typed round-1 artifact from its wire image.
+fn round1_from_wire(
+    owner: VertexId,
+    layer: Layer,
+    wire: WireRound1,
+) -> std::result::Result<BatchRound1, String> {
+    let eps2 = PrivacyBudget::new(wire.eps2).map_err(|e| format!("bad eps2: {e}"))?;
+    Ok(BatchRound1 {
+        epsilon: wire.epsilon,
+        flip_probability: wire.flip_probability,
+        eps2,
+        base_seed: wire.base_seed,
+        noisy_target: NoisyNeighborsPacked::from_parts(
+            owner,
+            layer,
+            wire.rr_epsilon,
+            bigraph::bitset::PackedSet::from_words(wire.words, wire.universe as usize),
+        ),
+    })
+}
+
+impl Coordinator {
+    /// Spawns `n_workers` shard workers for `graph`, sharded along
+    /// `shard_layer` into contiguous even ranges, using `launch` to start
+    /// each process (see [`worker_command`]). Sockets live under `dir`.
+    /// Each worker is handshaked and bootstrapped with its shard's edges
+    /// before this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Spawn`] if any worker fails to start, connect, or
+    /// bootstrap.
+    pub fn spawn_with<F>(
+        graph: &BipartiteGraph,
+        shard_layer: Layer,
+        n_workers: usize,
+        dir: &Path,
+        config: ClusterConfig,
+        launch: F,
+    ) -> Result<Self>
+    where
+        F: FnMut(&WorkerSpec) -> io::Result<Child>,
+    {
+        let layer_size = match shard_layer {
+            Layer::Upper => graph.n_upper(),
+            Layer::Lower => graph.n_lower(),
+        };
+        let ranges = shard_ranges(layer_size, n_workers);
+        Self::spawn_partitioned(graph, shard_layer, ranges, dir, config, launch)
+    }
+
+    /// [`Coordinator::spawn_with`] with an **explicit** partition instead
+    /// of the even split: `ranges` must start at 0, be contiguous and
+    /// ascending, and end at `u32::MAX`. Placement independence means any
+    /// such partition serves byte-identical reports; this entry point
+    /// exists so tests can prove that for arbitrary partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges` is not a contiguous cover of `0..u32::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::spawn_with`].
+    pub fn spawn_partitioned<F>(
+        graph: &BipartiteGraph,
+        shard_layer: Layer,
+        ranges: Vec<Range<u32>>,
+        dir: &Path,
+        config: ClusterConfig,
+        mut launch: F,
+    ) -> Result<Self>
+    where
+        F: FnMut(&WorkerSpec) -> io::Result<Child>,
+    {
+        assert!(!ranges.is_empty(), "at least one shard range");
+        assert_eq!(ranges[0].start, 0, "first range must start at vertex 0");
+        assert_eq!(
+            ranges.last().expect("non-empty").end,
+            u32::MAX,
+            "last range must be open-ended"
+        );
+        assert!(
+            ranges.windows(2).all(|p| p[0].end == p[1].start),
+            "ranges must be contiguous and ascending"
+        );
+        let n_workers = ranges.len();
+        let mut workers = Vec::with_capacity(n_workers);
+        for (index, range) in ranges.iter().enumerate() {
+            let spec = WorkerSpec {
+                index,
+                socket: dir.join(format!("shard-worker-{index}.sock")),
+                shard_lo: range.start,
+                shard_hi: range.end,
+            };
+            // A stale socket from a previous run must not satisfy our
+            // connect retry before the new worker binds.
+            let _ = std::fs::remove_file(&spec.socket);
+            let child = launch(&spec).map_err(|source| ClusterError::Spawn {
+                worker: index,
+                source,
+            })?;
+            workers.push(Worker {
+                spec,
+                child: Some(child),
+                conn: None,
+                healthy: true,
+            });
+        }
+        let mut coordinator = Self {
+            config,
+            shard_layer,
+            ranges,
+            workers,
+            log: UpdateLog::new(),
+            algo: BatchSingleSource::default(),
+        };
+        // Handshake + bootstrap every worker with its shard's edge list.
+        for index in 0..n_workers {
+            let range = coordinator.ranges[index].clone();
+            let edges: Vec<(u32, u32)> = graph
+                .edges()
+                .filter(|&(u, l)| {
+                    let v = match shard_layer {
+                        Layer::Upper => u,
+                        Layer::Lower => l,
+                    };
+                    range.contains(&v)
+                })
+                .collect();
+            let bootstrap = Message::Bootstrap {
+                n_upper: graph.n_upper() as u64,
+                n_lower: graph.n_lower() as u64,
+                edges,
+            };
+            let resp = coordinator
+                .request(index, &bootstrap, "bootstrap")
+                .map_err(|e| match e {
+                    ClusterError::WorkerDown { worker, source, .. } => {
+                        ClusterError::Spawn { worker, source }
+                    }
+                    other => other,
+                })?;
+            match resp {
+                Message::BootstrapAck => {}
+                other => return Err(coordinator.unexpected(index, "bootstrap", &other)),
+            }
+        }
+        Ok(coordinator)
+    }
+
+    /// [`Coordinator::spawn_with`] running `program` as each worker via
+    /// [`worker_command`]. This is the standard entry point: tests pass
+    /// `env!("CARGO_BIN_EXE_shard-worker")`, self-exec harnesses pass
+    /// `std::env::current_exe()?`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::spawn_with`].
+    pub fn spawn_program(
+        graph: &BipartiteGraph,
+        shard_layer: Layer,
+        n_workers: usize,
+        dir: &Path,
+        config: ClusterConfig,
+        program: &Path,
+    ) -> Result<Self> {
+        Self::spawn_with(graph, shard_layer, n_workers, dir, config, |spec| {
+            worker_command(program, spec).spawn()
+        })
+    }
+
+    /// Number of shard workers.
+    #[must_use]
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The contiguous shard ranges, in worker order.
+    #[must_use]
+    pub fn ranges(&self) -> &[Range<u32>] {
+        &self.ranges
+    }
+
+    /// The worker index owning shard-layer vertex `v`.
+    #[must_use]
+    pub fn owner_of(&self, v: VertexId) -> usize {
+        self.ranges
+            .iter()
+            .position(|r| r.contains(&v))
+            .expect("ranges cover the id space")
+    }
+
+    // ------------------------------------------------------- replication
+
+    /// Appends one delta to the coordinator's replication log.
+    pub fn append(&self, delta: GraphDelta) -> u64 {
+        self.log.append(delta)
+    }
+
+    /// Appends many deltas to the replication log.
+    pub fn extend<I: IntoIterator<Item = GraphDelta>>(&self, deltas: I) -> u64 {
+        self.log.extend(deltas)
+    }
+
+    /// Drains one chunk of the replication log, partitions it by shard
+    /// range ([`UpdateLog::drain_partitioned`]), and ships each worker its
+    /// slice. Returns the number of deltas replicated (0 = log empty).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::PartialResult`] naming the workers whose slice
+    /// could not be delivered.
+    pub fn pump(&mut self) -> Result<usize> {
+        let Some(parts) =
+            self.log
+                .drain_partitioned(self.config.pump_chunk, self.shard_layer, &self.ranges)
+        else {
+            return Ok(0);
+        };
+        let total: usize = parts.iter().map(bigraph::UpdateBatch::len).sum();
+        let mut missing = Vec::new();
+        for (index, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let update = Message::Update {
+                deltas: part.deltas().to_vec(),
+            };
+            match self.request(index, &update, "update replication") {
+                Ok(Message::UpdateAck { .. }) => {}
+                Ok(other) => return Err(self.unexpected(index, "update replication", &other)),
+                Err(_) => missing.push(index),
+            }
+        }
+        if missing.is_empty() {
+            Ok(total)
+        } else {
+            Err(ClusterError::PartialResult {
+                missing,
+                context: "update replication",
+            })
+        }
+    }
+
+    /// Replicates the whole pending log and blocks until every worker has
+    /// published everything it ingested (a cluster-wide barrier; for
+    /// tests and orderly teardown, like [`ServingEngine::flush`]).
+    ///
+    /// [`ServingEngine::flush`]: cne::serving::ServingEngine::flush
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::PartialResult`] naming unreachable workers.
+    pub fn flush(&mut self) -> Result<()> {
+        while self.pump()? > 0 {}
+        let mut missing = Vec::new();
+        for index in 0..self.workers.len() {
+            match self.request(index, &Message::Flush, "flush") {
+                Ok(Message::FlushAck { .. }) => {}
+                Ok(other) => return Err(self.unexpected(index, "flush", &other)),
+                Err(_) => missing.push(index),
+            }
+        }
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(ClusterError::PartialResult {
+                missing,
+                context: "flush",
+            })
+        }
+    }
+
+    // ------------------------------------------------------------ query
+
+    /// Runs a batch query across the cluster and concatenates the
+    /// per-worker reports into one [`BatchReport`] **byte-identical** to
+    /// `EstimationEngine::estimate_batch(layer, target, candidates,
+    /// epsilon, &mut StdRng::seed_from_u64(seed))` on an unsharded engine
+    /// holding the same graph state.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::PartialResult`] when a shard's slice is missing
+    /// (dead worker), [`ClusterError::Remote`] for worker-reported query
+    /// errors (invalid target, duplicate candidates, …), and
+    /// [`ClusterError::Query`] for coordinator-side assembly failures.
+    pub fn estimate_batch(
+        &mut self,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<BatchReport> {
+        if layer != self.shard_layer {
+            return Err(ClusterError::Query(CneError::InvalidParameter {
+                name: "layer",
+                reason: format!(
+                    "cluster is sharded along {:?}; queries must target that layer",
+                    self.shard_layer
+                ),
+            }));
+        }
+        // Round 1 at the target's owner (validates the full batch).
+        let owner = self.owner_of(target);
+        let round1_req = Message::Round1Req {
+            layer,
+            target,
+            epsilon,
+            eps1_fraction: self.algo.epsilon1_fraction,
+            seed,
+            candidates: candidates.to_vec(),
+        };
+        let wire_round1 = match self.request(owner, &round1_req, "round 1") {
+            Ok(Message::Round1Resp(r)) => r,
+            Ok(Message::Err { code, message }) => {
+                return Err(ClusterError::Remote {
+                    worker: owner,
+                    code,
+                    message,
+                })
+            }
+            Ok(other) => return Err(self.unexpected(owner, "round 1", &other)),
+            Err(_) => {
+                return Err(ClusterError::PartialResult {
+                    missing: vec![owner],
+                    context: "round 1",
+                })
+            }
+        };
+
+        // Group candidates by owning worker, preserving relative order.
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); self.workers.len()];
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.workers.len()];
+        for (at, &w) in candidates.iter().enumerate() {
+            let idx = self.owner_of(w);
+            groups[idx].push(w);
+            positions[idx].push(at);
+        }
+
+        // Round 2 at each owner, fanned out concurrently when the host
+        // can overlap the per-shard estimate computations — one scoped
+        // thread per involved worker, each owning that worker's connection
+        // for the exchange. That overlap is where query throughput scales
+        // across the process boundary; on a single-core host the threads
+        // would only add spawn + context-switch cost, so the fan-out runs
+        // serially there. Estimates land at their original index either
+        // way.
+        let config = &self.config;
+        let round2_req = |index: usize| Message::Round2Req {
+            layer,
+            owner: target,
+            round1: wire_round1.clone(),
+            candidates: groups[index].clone(),
+        };
+        let involved = groups.iter().filter(|g| !g.is_empty()).count();
+        let overlap =
+            involved > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
+        let responses: Vec<(usize, Result<Message>)> = if overlap {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(index, _)| !groups[*index].is_empty())
+                    .map(|(index, worker)| {
+                        let req = round2_req(index);
+                        let handle = s.spawn(move || exchange(config, worker, &req, "round 2"));
+                        (index, handle)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(index, h)| (index, h.join().expect("round-2 fan-out thread")))
+                    .collect()
+            })
+        } else {
+            (0..self.workers.len())
+                .filter(|&index| !groups[index].is_empty())
+                .map(|index| {
+                    let req = round2_req(index);
+                    (
+                        index,
+                        exchange(config, &mut self.workers[index], &req, "round 2"),
+                    )
+                })
+                .collect()
+        };
+        let mut slots: Vec<Option<BatchEstimate>> = vec![None; candidates.len()];
+        let mut missing = Vec::new();
+        for (index, response) in responses {
+            match response {
+                Ok(Message::Round2Resp { estimates }) => {
+                    if estimates.len() != positions[index].len() {
+                        return Err(ClusterError::Protocol {
+                            worker: index,
+                            detail: format!(
+                                "round 2 returned {} estimates for {} candidates",
+                                estimates.len(),
+                                positions[index].len()
+                            ),
+                        });
+                    }
+                    for (&at, &(candidate, bits)) in positions[index].iter().zip(&estimates) {
+                        slots[at] = Some(BatchEstimate {
+                            candidate,
+                            estimate: f64::from_bits(bits),
+                        });
+                    }
+                }
+                Ok(Message::Err { code, message }) => {
+                    return Err(ClusterError::Remote {
+                        worker: index,
+                        code,
+                        message,
+                    })
+                }
+                Ok(other) => return Err(self.unexpected(index, "round 2", &other)),
+                Err(_) => missing.push(index),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(ClusterError::PartialResult {
+                missing,
+                context: "round 2",
+            });
+        }
+        let estimates: Vec<BatchEstimate> = slots
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .expect("every candidate slot filled by its owner");
+
+        // Replay the accounting locally and emit the concatenated report.
+        let round1 = round1_from_wire(target, layer, wire_round1).map_err(|detail| {
+            ClusterError::Protocol {
+                worker: owner,
+                detail,
+            }
+        })?;
+        self.algo
+            .assemble_report(layer, target, &round1, estimates)
+            .map_err(ClusterError::Query)
+    }
+
+    // ------------------------------------------------------------ stats
+
+    /// Collects every worker's serving counters and rolls them up. A
+    /// worker that cannot be reached is reported unhealthy with `stats:
+    /// None` rather than failing the roll-up.
+    pub fn stats(&mut self) -> ClusterStats {
+        let mut workers = Vec::with_capacity(self.workers.len());
+        for index in 0..self.workers.len() {
+            let stats = match self.request(index, &Message::StatsReq, "stats") {
+                Ok(Message::StatsResp(s)) => Some(s),
+                _ => None,
+            };
+            workers.push(WorkerStatus {
+                index,
+                shard: self.workers[index].spec.shard_lo..self.workers[index].spec.shard_hi,
+                healthy: self.workers[index].healthy,
+                stats,
+            });
+        }
+        let answering: Vec<&WireStats> = workers.iter().filter_map(|w| w.stats.as_ref()).collect();
+        ClusterStats {
+            healthy_workers: answering.len(),
+            appended: answering.iter().map(|s| s.appended).sum(),
+            published: answering.iter().map(|s| s.published).sum(),
+            rejected: answering.iter().map(|s| s.rejected).sum(),
+            max_ingest_lag: answering.iter().map(|s| s.ingest_lag).max().unwrap_or(0),
+            max_lag_p50: answering.iter().map(|s| s.lag_p50).max().unwrap_or(0),
+            max_lag_p95: answering.iter().map(|s| s.lag_p95).max().unwrap_or(0),
+            min_epoch: answering.iter().map(|s| s.epoch).min().unwrap_or(0),
+            max_epoch: answering.iter().map(|s| s.epoch).max().unwrap_or(0),
+            workers,
+        }
+    }
+
+    /// Kills worker `worker`'s process outright (no shutdown handshake).
+    /// For fault-injection tests: the next fan-out touching its shard
+    /// reports a typed partial-result error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kill/wait failure.
+    pub fn kill_worker(&mut self, worker: usize) -> io::Result<()> {
+        let w = &mut self.workers[worker];
+        w.conn = None;
+        w.healthy = false;
+        if let Some(child) = w.child.as_mut() {
+            child.kill()?;
+            child.wait()?;
+            w.child = None;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------- transport
+
+    /// One request→response exchange with the worker at `index` (see
+    /// [`exchange`]).
+    fn request(&mut self, index: usize, msg: &Message, context: &'static str) -> Result<Message> {
+        exchange(&self.config, &mut self.workers[index], msg, context)
+    }
+
+    /// A [`ClusterError::Protocol`] for a response of the wrong kind
+    /// (folding worker-reported errors into [`ClusterError::Remote`]).
+    fn unexpected(&self, index: usize, context: &str, got: &Message) -> ClusterError {
+        if let Message::Err { code, message } = got {
+            return ClusterError::Remote {
+                worker: index,
+                code: *code,
+                message: message.clone(),
+            };
+        }
+        ClusterError::Protocol {
+            worker: index,
+            detail: format!("unexpected response during {context}: {got:?}"),
+        }
+    }
+
+    /// Orderly teardown: ask every worker to shut down, then reap (or
+    /// kill) the processes. Called from `Drop`; safe to call twice.
+    fn teardown(&mut self) {
+        for index in 0..self.workers.len() {
+            if self.workers[index].child.is_none() {
+                continue;
+            }
+            // Best effort: a dead worker just gets killed below.
+            if let Ok(Message::ShutdownAck) = self.request(index, &Message::Shutdown, "shutdown") {
+                // Acked: give it a moment to exit on its own.
+            }
+            let w = &mut self.workers[index];
+            w.conn = None;
+            if let Some(mut child) = w.child.take() {
+                let deadline = Instant::now() + Duration::from_secs(2);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = std::fs::remove_file(&w.spec.socket);
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("shard_layer", &self.shard_layer)
+            .field("ranges", &self.ranges)
+            .field("pending_deltas", &self.log.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_open_ended() {
+        let r = shard_ranges(10, 4);
+        assert_eq!(r, vec![0..2, 2..5, 5..7, 7..u32::MAX]);
+        for pair in r.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(shard_ranges(10, 1), vec![0..u32::MAX]);
+        // More workers than vertices: early ranges are empty but valid.
+        let tiny = shard_ranges(2, 4);
+        assert_eq!(tiny.last().unwrap().end, u32::MAX);
+        assert_eq!(tiny.iter().filter(|r| r.is_empty()).count(), 2);
+    }
+}

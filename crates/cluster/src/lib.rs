@@ -1,0 +1,89 @@
+//! Multi-process sharded serving: shard workers + a coordinator that
+//! scales query throughput across the process boundary.
+//!
+//! A single [`cne::serving::ServingEngine`] already decouples queries
+//! from splices inside one process. This crate is the horizontal half of
+//! the millions-of-users story: the graph is partitioned into contiguous
+//! vertex-range **shards**, each owned by a worker process running its
+//! own serving engine, and a [`Coordinator`] fans every batch query out
+//! over Unix-domain sockets and concatenates the per-worker reports into
+//! a full [`BatchReport`](cne::batch::BatchReport) that is
+//! **byte-identical** to what an unsharded engine would have produced.
+//! No async runtime, no serde on the wire: std threads, blocking
+//! sockets, and a hand-rolled little-endian protocol ([`wire`]).
+//!
+//! # Shard assignment
+//!
+//! Sharding is along one layer (the *shard layer*, the layer queries
+//! target). [`Coordinator::spawn_with`] splits `[0, n)` into `k` even
+//! contiguous ranges; the **last** range is open-ended (`hi =
+//! u32::MAX`), so vertices appended after spawn have an owner. Every
+//! shard graph keeps the **global layer sizes** (validation only reads
+//! sizes, so any worker can validate any query) but holds only the edges
+//! whose shard-layer endpoint it owns — a worker therefore has the
+//! *complete* adjacency of every vertex it owns, which is the only
+//! adjacency either protocol round ever reads.
+//!
+//! The update stream is partitioned by the same ranges
+//! ([`bigraph::UpdateBatch::partition_by_ranges`]): an edge delta goes
+//! to its shard-layer endpoint's owner, and `AddVertex` is broadcast so
+//! layer sizes stay aligned. Order is preserved within each worker's
+//! stream; deltas that land on different workers touch different edges
+//! and commute under last-delta-wins batch semantics, so after a
+//! [`Coordinator::flush`] the union of shard graphs equals the unsharded
+//! graph after the same stream.
+//!
+//! # Why concatenation is exact (proof sketch)
+//!
+//! The batch protocol's randomness is placement-independent by
+//! construction:
+//!
+//! 1. **Round 1** consumes the query RNG in a fixed order — budget
+//!    split, the target row's randomized response, then one draw of the
+//!    per-candidate `base_seed`. It runs entirely at the target's owner
+//!    from `StdRng::seed_from_u64(seed)`, exactly as the unsharded
+//!    engine would, and only needs the target's adjacency (complete at
+//!    its owner).
+//! 2. **Round 2** perturbs candidate `w` with a *fresh* stream seeded
+//!    `mix(base_seed, w)` ([`cne::batch::user_stream_seed`]). A
+//!    candidate's estimate depends only on `(noisy target row, flip
+//!    probability, ε₂, base_seed, w's own adjacency)` — all shipped in
+//!    the round-1 artifact or locally complete — and on **no other
+//!    candidate**. So computing a slice of candidates on one worker and
+//!    another slice elsewhere yields bit-for-bit the numbers a single
+//!    engine computes, and concatenating slices at their original
+//!    indices is the identity.
+//! 3. **Accounting** (budget ledger + transcript) is a pure replay:
+//!    given the round-1 artifact and the candidate count it never draws
+//!    randomness, so the coordinator reproduces it locally
+//!    ([`cne::batch::BatchSingleSource::assemble_report`]).
+//!
+//! The swap-correctness suite (`tests/cluster_swap.rs`) pins this: for
+//! random 1/2/4-shard partitions, reports concatenated across real
+//! worker processes equal an unsharded engine's byte for byte —
+//! estimates, budget, and transcript.
+//!
+//! # Robustness
+//!
+//! Connects retry with backoff under a deadline; every socket carries
+//! read/write timeouts; each request gets one reconnect-and-resend (a
+//! *restarting* worker is transparently picked back up, since workers
+//! keep state across connections). A worker that stays dead is marked
+//! unhealthy and the fan-out returns
+//! [`ClusterError::PartialResult`] — the coordinator never hangs on a
+//! dead shard. Per-worker [`ServingStats`](cne::serving::ServingStats)
+//! (lag percentiles, epochs, health) roll up via
+//! [`Coordinator::stats`].
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod error;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{
+    worker_command, ClusterConfig, ClusterStats, Coordinator, WorkerSpec, WorkerStatus,
+};
+pub use error::{ClusterError, Result};
+pub use worker::{maybe_run_worker_from_env, WorkerConfig};

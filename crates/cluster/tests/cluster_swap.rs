@@ -1,0 +1,334 @@
+//! Swap-correctness suite for the multi-process sharded serving tier
+//! (ISSUE 8 tentpole): reports concatenated across **real spawned worker
+//! processes** must be byte-identical — estimates, budget ledger, and
+//! transcript — to a single unsharded engine over the same graph state,
+//! for arbitrary contiguous vertex-range partitions into 1/2/4 shards,
+//! before and after a replicated update stream. Plus the robustness
+//! contract: killing a worker turns the next fan-out into a typed
+//! partial-result error within the coordinator's timeout budget, never a
+//! hang.
+//!
+//! The suite runs under the `RAYON_NUM_THREADS=1/4/8` determinism matrix
+//! and the `CNE_FORCE_PORTABLE_KERNELS=1` leg in CI — worker processes
+//! inherit both variables, so the cross-process comparison also pins
+//! thread-count and kernel-dispatch independence across the process
+//! boundary.
+
+use bigraph::{BipartiteGraph, GraphDelta, Layer};
+use cluster::{ClusterConfig, ClusterError, Coordinator};
+use cne::EstimationEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const N_UPPER: usize = 12;
+const N_LOWER: usize = 96; // ≥ 64 so some vertices cross the dense threshold
+const EPSILON: f64 = 2.0;
+
+/// Same base graph as `cne`'s serving suite: dense enough that several
+/// upper vertices take the packed (cache-hitting) dispatch.
+fn base_graph() -> BipartiteGraph {
+    let mut edges = Vec::new();
+    for u in 0..N_UPPER as u32 {
+        let degree = 3 + (u * 7) % 40;
+        for k in 0..degree {
+            edges.push((u, (u * 31 + k * 5) % N_LOWER as u32));
+        }
+    }
+    BipartiteGraph::from_edges(N_UPPER, N_LOWER, edges).unwrap()
+}
+
+/// A fresh socket directory per coordinator, so parallel tests never
+/// collide on socket paths.
+fn socket_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cne-cluster-{}-{tag}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_shard-worker"))
+}
+
+/// A random contiguous partition of the upper layer into `shards` ranges
+/// (cut points drawn from `rng`), honoring the cover contract.
+fn random_partition(rng: &mut StdRng, shards: usize) -> Vec<std::ops::Range<u32>> {
+    let mut cuts: Vec<u32> = Vec::new();
+    while cuts.len() < shards - 1 {
+        let c = rng.gen_range(0..=N_UPPER as u32);
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    let mut ranges = Vec::with_capacity(shards);
+    let mut lo = 0u32;
+    for c in cuts {
+        ranges.push(lo..c);
+        lo = c;
+    }
+    ranges.push(lo..u32::MAX);
+    ranges
+}
+
+/// A deterministic mixed update stream: edge churn on both existing and
+/// freshly appended vertices, exercising the broadcast (`AddVertex`) and
+/// routed (edge) replication paths together.
+fn update_stream(seed: u64) -> Vec<GraphDelta> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n_upper = N_UPPER as u32;
+    let mut n_lower = N_LOWER as u32;
+    let mut stream = Vec::new();
+    for i in 0..400 {
+        match i % 10 {
+            0 => {
+                stream.push(GraphDelta::AddVertex {
+                    layer: Layer::Upper,
+                });
+                n_upper += 1;
+            }
+            5 => {
+                stream.push(GraphDelta::AddVertex {
+                    layer: Layer::Lower,
+                });
+                n_lower += 1;
+            }
+            _ => {
+                let upper = rng.gen_range(0..n_upper);
+                let lower = rng.gen_range(0..n_lower);
+                if rng.gen_range(0..4) < 3 {
+                    stream.push(GraphDelta::AddEdge { upper, lower });
+                } else {
+                    stream.push(GraphDelta::RemoveEdge { upper, lower });
+                }
+            }
+        }
+    }
+    stream
+}
+
+/// Full-precision fingerprint comparison of two batch reports: estimate
+/// bits, budget ledger, transcript, and the serialized form.
+fn assert_reports_identical(sharded: &cne::BatchReport, reference: &cne::BatchReport) {
+    let bits = |r: &cne::BatchReport| -> Vec<u64> {
+        r.estimates.iter().map(|e| e.estimate.to_bits()).collect()
+    };
+    assert_eq!(bits(sharded), bits(reference));
+    assert_eq!(sharded.budget, reference.budget);
+    assert_eq!(sharded.transcript, reference.transcript);
+    assert_eq!(
+        serde_json::to_string(sharded).unwrap(),
+        serde_json::to_string(reference).unwrap()
+    );
+}
+
+/// The headline contract: for random 1/2/4-shard partitions, reports
+/// concatenated across worker processes equal an unsharded engine's byte
+/// for byte — at the bootstrap state AND after a replicated update
+/// stream with vertex growth.
+#[test]
+fn sharded_reports_match_unsharded_engine_byte_for_byte() {
+    let graph = base_graph();
+    let mut partition_rng = StdRng::seed_from_u64(0xC1A5);
+    for shards in [1usize, 2, 4] {
+        let ranges = random_partition(&mut partition_rng, shards);
+        let dir = socket_dir(&format!("swap{shards}"));
+        let mut coordinator = Coordinator::spawn_partitioned(
+            &graph,
+            Layer::Upper,
+            ranges.clone(),
+            &dir,
+            ClusterConfig::default(),
+            |spec| cluster::worker_command(&worker_bin(), spec).spawn(),
+        )
+        .unwrap_or_else(|e| panic!("spawn {shards} shards {ranges:?}: {e}"));
+
+        // Reference: one unsharded engine over the identical state.
+        let mut reference = EstimationEngine::from_graph(graph.clone());
+
+        for (target, seed) in [(0u32, 7u64), (3, 8), (9, 9)] {
+            let candidates: Vec<u32> = (0..N_UPPER as u32).filter(|&w| w != target).collect();
+            let from_cluster = coordinator
+                .estimate_batch(Layer::Upper, target, &candidates, EPSILON, seed)
+                .unwrap();
+            let from_engine = reference
+                .estimate_batch(
+                    Layer::Upper,
+                    target,
+                    &candidates,
+                    EPSILON,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .unwrap();
+            assert_reports_identical(&from_cluster, &from_engine);
+        }
+
+        // Replicate a mixed update stream (routed edges + broadcast
+        // vertex growth) and re-compare on the post-update state.
+        let stream = update_stream(41);
+        coordinator.extend(stream.iter().copied());
+        coordinator.flush().unwrap();
+        let batch: bigraph::UpdateBatch = stream.into_iter().collect();
+        reference.apply_updates(&batch).unwrap();
+
+        // Candidates include a vertex appended by the stream (owned by
+        // the open-ended last range on every partition).
+        let grown = reference.graph().n_upper() as u32 - 1;
+        for (target, seed) in [(0u32, 17u64), (grown, 23)] {
+            let candidates: Vec<u32> = (0..N_UPPER as u32)
+                .chain([grown])
+                .filter(|&w| w != target)
+                .collect();
+            let from_cluster = coordinator
+                .estimate_batch(Layer::Upper, target, &candidates[..], EPSILON, seed)
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let from_engine = reference
+                .estimate_batch(Layer::Upper, target, &candidates[..], EPSILON, &mut rng)
+                .unwrap();
+            assert_reports_identical(&from_cluster, &from_engine);
+        }
+        // Sanity on the roll-up while everything is still healthy.
+        let stats = coordinator.stats();
+        assert_eq!(stats.healthy_workers, shards);
+        assert_eq!(stats.max_ingest_lag, 0, "flush drained every worker");
+        drop(coordinator);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Worker-reported query errors surface as typed remote errors, not
+/// protocol failures: validation runs on the shard that owns the target.
+#[test]
+fn invalid_queries_surface_as_remote_errors() {
+    let graph = base_graph();
+    let dir = socket_dir("invalid");
+    let mut coordinator = Coordinator::spawn_program(
+        &graph,
+        Layer::Upper,
+        2,
+        &dir,
+        ClusterConfig::default(),
+        &worker_bin(),
+    )
+    .unwrap();
+    // Duplicate candidate: rejected by round-1 validation on the owner.
+    let err = coordinator
+        .estimate_batch(Layer::Upper, 0, &[1, 2, 1], EPSILON, 5)
+        .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::Remote { code: 2, .. }),
+        "got {err:?}"
+    );
+    // Wrong layer: rejected coordinator-side before any fan-out.
+    let err = coordinator
+        .estimate_batch(Layer::Lower, 0, &[1, 2], EPSILON, 5)
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Query(_)), "got {err:?}");
+    drop(coordinator);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing a worker must convert the next fan-out touching its shard
+/// into [`ClusterError::PartialResult`] naming the dead worker, within
+/// the coordinator's (short) timeout budget — never a hang.
+#[test]
+fn killed_worker_yields_typed_partial_result_within_timeout() {
+    let graph = base_graph();
+    let dir = socket_dir("kill");
+    let config = ClusterConfig {
+        connect_timeout: Duration::from_millis(400),
+        connect_backoff: Duration::from_millis(10),
+        io_timeout: Duration::from_millis(1500),
+        ..ClusterConfig::default()
+    };
+    let mut coordinator =
+        Coordinator::spawn_program(&graph, Layer::Upper, 2, &dir, config, &worker_bin()).unwrap();
+    let candidates: Vec<u32> = (1..N_UPPER as u32).collect();
+    // Healthy first: both shards answer.
+    coordinator
+        .estimate_batch(Layer::Upper, 0, &candidates, EPSILON, 1)
+        .unwrap();
+
+    coordinator.kill_worker(1).unwrap();
+
+    // Target owned by worker 0 (alive) ⇒ round 1 succeeds, round 2 is
+    // missing worker 1's slice.
+    let start = Instant::now();
+    let err = coordinator
+        .estimate_batch(Layer::Upper, 0, &candidates, EPSILON, 2)
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    match err {
+        ClusterError::PartialResult { missing, context } => {
+            assert_eq!(missing, vec![1]);
+            assert_eq!(context, "round 2");
+        }
+        other => panic!("expected PartialResult, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "partial-result error took {elapsed:?}, coordinator hung past its timeouts"
+    );
+
+    // Target owned by the dead worker ⇒ round 1 itself reports partial.
+    let dead_target = (N_UPPER - 1) as u32;
+    let err = coordinator
+        .estimate_batch(Layer::Upper, dead_target, &[0, 1], EPSILON, 3)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClusterError::PartialResult { ref missing, context: "round 1" } if missing == &[1]
+        ),
+        "got {err:?}"
+    );
+
+    // The roll-up reports the dead worker unhealthy instead of failing.
+    let stats = coordinator.stats();
+    assert_eq!(stats.healthy_workers, 1);
+    assert!(!stats.workers[1].healthy);
+    drop(coordinator);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker that merely loses its connection (not its process) is picked
+/// back up by the coordinator's reconnect-and-resend retry: state
+/// survives across connections.
+#[test]
+fn stats_rollup_aggregates_worker_counters() {
+    let graph = base_graph();
+    let dir = socket_dir("stats");
+    let mut coordinator = Coordinator::spawn_program(
+        &graph,
+        Layer::Upper,
+        2,
+        &dir,
+        ClusterConfig::default(),
+        &worker_bin(),
+    )
+    .unwrap();
+    let stream = update_stream(99);
+    let n_deltas = stream.len() as u64;
+    let broadcasts = stream
+        .iter()
+        .filter(|d| matches!(d, GraphDelta::AddVertex { .. }))
+        .count() as u64;
+    coordinator.extend(stream);
+    coordinator.flush().unwrap();
+    let stats = coordinator.stats();
+    assert_eq!(stats.healthy_workers, 2);
+    // Edge deltas land on exactly one worker; AddVertex on both.
+    assert_eq!(stats.appended, n_deltas + broadcasts);
+    assert_eq!(stats.published, stats.appended);
+    assert_eq!(stats.max_ingest_lag, 0);
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.min_epoch >= 1, "every worker published at least once");
+    drop(coordinator);
+    let _ = std::fs::remove_dir_all(&dir);
+}

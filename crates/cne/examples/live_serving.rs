@@ -159,8 +159,12 @@ fn main() {
         stats.appended,
     );
     println!(
-        "Snapshot lag: mean {:.0} deltas, max {lag_max} (0 after flush: published={})",
+        "Snapshot lag: mean {:.0} deltas, p50 {} / p95 {} (log2 buckets over {} snapshots), \
+         max {lag_max} (0 after flush: published={})",
         lag_sum as f64 / queries as f64,
+        stats.lag_p50,
+        stats.lag_p95,
+        stats.snapshots,
         stats.published,
     );
     println!(

@@ -51,6 +51,7 @@ use ldp::laplace::{sample_laplace_each, LaplaceMechanism};
 use ldp::noisy_graph::NoisyNeighborsPacked;
 use ldp::transcript::{Label, Transcript};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -243,91 +244,27 @@ impl BatchSingleSource {
         rng: &mut dyn rand::RngCore,
         detailed: bool,
     ) -> Result<BatchReport> {
-        let g = env.graph;
-        if candidates.is_empty() {
-            return Err(CneError::InvalidParameter {
-                name: "candidates",
-                reason: "the candidate list must not be empty".into(),
-            });
-        }
-        for &w in candidates {
-            common_neighbors::check_query_pair(g, layer, target, w)?;
-        }
-        // Duplicates are rejected rather than silently re-estimated: the
-        // round-2 releases compose in parallel only because the candidates'
-        // neighbor lists are disjoint datasets, which a repeated vertex
-        // violates — and per-user streams (seed + vertex id) would hand the
-        // duplicate the identical Laplace draw, not an independent one.
-        // (One sorted copy per call — per-call setup, not per-candidate.)
-        let mut seen = candidates.to_vec();
-        seen.sort_unstable();
-        if seen.windows(2).any(|w| w[0] == w[1]) {
-            return Err(CneError::InvalidParameter {
-                name: "candidates",
-                reason: "candidate vertices must be distinct".into(),
-            });
-        }
+        validate_batch_query(env.graph, layer, target, candidates)?;
         let mut ctx = if detailed {
             RoundContext::begin_detailed(epsilon, rng)?
         } else {
             RoundContext::begin(epsilon, rng)?
         };
-        let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
-
-        // Round 1: the target perturbs and uploads its neighbor list once —
-        // directly in packed form (RNG → words, no id list, no merge pass;
-        // the engine's cached true-adjacency bitmap is OR-ed in word-wise
-        // when the environment carries a warm store).
-        let round1 = randomized_response_round_packed(env, layer, &[target], eps1, 1, &mut ctx)?;
-        let p = round1.flip_probability;
-        let noisy_target = round1.noisy.into_iter().next().expect("one list requested");
+        let round1 = self.round1_with_ctx(env, layer, target, &mut ctx)?;
 
         // Round 2: every candidate downloads the noisy list, builds its
-        // single-source estimator, and releases it with Laplace noise. The
-        // first release is charged sequentially; the remaining candidates'
-        // releases cover disjoint neighbor lists and compose in parallel.
-        //
-        // Compute is fanned out across cores: the target's noisy row is
-        // already bit-packed, dense candidates reuse the environment's
-        // cached bitmaps (or each worker's scratch word buffer when there
-        // is no cache), and each candidate perturbs on its own
-        // `seed + vertex id` stream, so the output is identical at any
-        // thread count — and the loop performs zero heap allocations per
-        // candidate after warmup.
-        let laplace = single_source_laplace(p, eps2)?;
-        let packed_target = noisy_target.set();
-        let base_seed = ctx.next_stream_base();
-        let estimates: Vec<BatchEstimate> = candidates
-            .par_iter()
-            .map(|&w| {
-                let mut stream = RoundContext::user_rng(base_seed, w);
-                let raw = with_shard_scratch(|scratch| {
-                    single_source_value_scratch(env, layer, w, packed_target, p, scratch)
-                });
-                BatchEstimate {
-                    candidate: w,
-                    estimate: laplace.perturb(raw, &mut stream),
-                }
-            })
-            .collect();
+        // single-source estimator, and releases it with Laplace noise.
+        let estimates = batch_round2(env, layer, candidates, &round1)?;
 
         // Accounting and the message transcript are sequential bookkeeping,
         // recorded exactly as the wire protocol would observe them — pure
         // counter arithmetic in the default lean mode.
-        for i in 0..candidates.len() {
-            ctx.record_download_packed(2, "noisy-edges(target) -> candidate", &noisy_target);
-            let composition = if i == 0 {
-                Composition::Sequential
-            } else {
-                Composition::Parallel
-            };
-            ctx.charge(
-                Label::Indexed("round2:laplace(f_w", i as u32, ")"),
-                eps2,
-                composition,
-            )?;
-            ctx.record_scalar_upload(2, "estimator(f_w)");
-        }
+        replay_round2_accounting(
+            &mut ctx,
+            &round1.noisy_target,
+            round1.eps2,
+            candidates.len(),
+        )?;
 
         let (budget, transcript) = ctx.finish();
         Ok(BatchReport {
@@ -339,6 +276,282 @@ impl BatchSingleSource {
             transcript,
         })
     }
+
+    /// The split-out first phase of [`BatchSingleSource::estimate_batch_in`]:
+    /// validates the full query, runs the target's randomized-response
+    /// round, and fixes the per-candidate RNG stream base — everything
+    /// round 2 depends on, bundled as a [`BatchRound1`].
+    ///
+    /// This is the phase a sharded deployment runs **once, at the worker
+    /// that owns the target's adjacency**: the artifacts it returns are
+    /// placement-free (a noisy row over the global opposite layer, a flip
+    /// probability, a stream base), so round 2 can be evaluated for any
+    /// candidate subset, anywhere, and the results concatenated — see
+    /// [`batch_round2`] and [`BatchSingleSource::assemble_report`]. Running
+    /// `round1_in` + `batch_round2` + `assemble_report` over any partition
+    /// of `candidates` is byte-identical to
+    /// [`BatchSingleSource::estimate_batch_in`] on the same `rng`, because
+    /// all three share their validation, estimation, and accounting code
+    /// with it.
+    ///
+    /// The run-scoped accounting (budget charge for the RR round) is *not*
+    /// retained here — [`BatchSingleSource::assemble_report`] replays it;
+    /// the charge is still validated against `epsilon` before any draw.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSingleSource::estimate_batch`].
+    pub fn round1_in(
+        &self,
+        env: ProtocolEnv<'_>,
+        layer: Layer,
+        target: VertexId,
+        candidates: &[VertexId],
+        epsilon: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<BatchRound1> {
+        validate_batch_query(env.graph, layer, target, candidates)?;
+        let mut ctx = RoundContext::begin(epsilon, rng)?;
+        self.round1_with_ctx(env, layer, target, &mut ctx)
+    }
+
+    /// Round 1 proper, inside an already-begun context: budget split, the
+    /// target's packed randomized-response round, and the stream-base draw
+    /// — in exactly this order, so the `rng` consumption matches the
+    /// monolithic path draw for draw.
+    fn round1_with_ctx(
+        &self,
+        env: ProtocolEnv<'_>,
+        layer: Layer,
+        target: VertexId,
+        ctx: &mut RoundContext<'_>,
+    ) -> Result<BatchRound1> {
+        let epsilon = ctx.total().value();
+        let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
+
+        // Round 1: the target perturbs and uploads its neighbor list once —
+        // directly in packed form (RNG → words, no id list, no merge pass;
+        // the engine's cached true-adjacency bitmap is OR-ed in word-wise
+        // when the environment carries a warm store).
+        let round1 = randomized_response_round_packed(env, layer, &[target], eps1, 1, ctx)?;
+        let flip_probability = round1.flip_probability;
+        let noisy_target = round1.noisy.into_iter().next().expect("one list requested");
+        let base_seed = ctx.next_stream_base();
+        Ok(BatchRound1 {
+            epsilon,
+            flip_probability,
+            eps2,
+            base_seed,
+            noisy_target,
+        })
+    }
+
+    /// Rebuilds the full [`BatchReport`] from round-1 artifacts and the
+    /// (re)assembled per-candidate estimates — the curator-side closing
+    /// step of a sharded run.
+    ///
+    /// `estimates` must be the concatenation, **in the original candidate
+    /// order**, of [`batch_round2`] outputs over a partition of the
+    /// candidate list. The budget ledger and transcript are replayed
+    /// through the same accounting helpers the monolithic path records
+    /// through, so the report is byte-identical (estimates, budget,
+    /// transcript — lean mode) to [`BatchSingleSource::estimate_batch_in`]
+    /// on the equivalent unsharded engine.
+    ///
+    /// # Errors
+    ///
+    /// Invalid `epsilon`/fraction, or an empty `estimates` list (a batch
+    /// always has at least one candidate).
+    pub fn assemble_report(
+        &self,
+        layer: Layer,
+        target: VertexId,
+        round1: &BatchRound1,
+        estimates: Vec<BatchEstimate>,
+    ) -> Result<BatchReport> {
+        if estimates.is_empty() {
+            return Err(CneError::InvalidParameter {
+                name: "estimates",
+                reason: "the assembled estimate list must not be empty".into(),
+            });
+        }
+        // The replay never draws: the rng is only a constructor argument.
+        let mut unused_rng = StdRng::seed_from_u64(0);
+        let mut ctx = RoundContext::begin(round1.epsilon, &mut unused_rng)?;
+        let (eps1, eps2) = ctx.total().split_fraction(self.epsilon1_fraction)?;
+        replay_round1_accounting(&mut ctx, eps1, &round1.noisy_target)?;
+        replay_round2_accounting(&mut ctx, &round1.noisy_target, eps2, estimates.len())?;
+        let (budget, transcript) = ctx.finish();
+        Ok(BatchReport {
+            target,
+            layer,
+            estimates,
+            epsilon: round1.epsilon,
+            budget,
+            transcript,
+        })
+    }
+}
+
+/// The placement-free artifacts of a batch run's round 1 (see
+/// [`BatchSingleSource::round1_in`]): everything a round-2 evaluation
+/// depends on, and nothing tied to where it runs. Ship these across a
+/// process boundary and any worker holding a candidate's true adjacency
+/// can produce that candidate's exact estimate.
+#[derive(Debug, Clone)]
+pub struct BatchRound1 {
+    /// The total per-vertex budget `ε` of the run.
+    pub epsilon: f64,
+    /// The randomized-response flip probability `1 / (1 + e^{ε₁})`.
+    pub flip_probability: f64,
+    /// The round-2 Laplace budget `ε₂`.
+    pub eps2: PrivacyBudget,
+    /// Base seed for the per-candidate streams: candidate `w` perturbs on
+    /// `mix(base_seed, w)` ([`user_stream_seed`]), independent of every
+    /// other candidate.
+    pub base_seed: u64,
+    /// The target's packed noisy row over the (global) opposite layer.
+    pub noisy_target: NoisyNeighborsPacked,
+}
+
+/// The batch protocol's query validation, exactly as
+/// [`BatchSingleSource::estimate_batch`] applies it: non-empty candidate
+/// list, every pair `(target, wᵢ)` valid on `layer`, candidates distinct.
+/// Layer sizes are the only graph state consulted, so any shard holding
+/// the global layer sizes validates identically to the full graph.
+///
+/// # Errors
+///
+/// The first failing check, in input order — the same first error the
+/// monolithic path returns.
+pub fn validate_batch_query(
+    g: &BipartiteGraph,
+    layer: Layer,
+    target: VertexId,
+    candidates: &[VertexId],
+) -> Result<()> {
+    if candidates.is_empty() {
+        return Err(CneError::InvalidParameter {
+            name: "candidates",
+            reason: "the candidate list must not be empty".into(),
+        });
+    }
+    for &w in candidates {
+        common_neighbors::check_query_pair(g, layer, target, w)?;
+    }
+    // Duplicates are rejected rather than silently re-estimated: the
+    // round-2 releases compose in parallel only because the candidates'
+    // neighbor lists are disjoint datasets, which a repeated vertex
+    // violates — and per-user streams (seed + vertex id) would hand the
+    // duplicate the identical Laplace draw, not an independent one.
+    // (One sorted copy per call — per-call setup, not per-candidate.)
+    let mut seen = candidates.to_vec();
+    seen.sort_unstable();
+    if seen.windows(2).any(|w| w[0] == w[1]) {
+        return Err(CneError::InvalidParameter {
+            name: "candidates",
+            reason: "candidate vertices must be distinct".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Round 2 of the batch protocol for a **slice** of the candidate list:
+/// each candidate intersects its own true adjacency with the shipped noisy
+/// row and releases its estimator under Laplace noise drawn from its keyed
+/// stream. Estimates depend only on `round1` and the candidate's adjacency
+/// — never on which other candidates share the slice — so evaluating a
+/// partition of the candidate list slice-by-slice (on different workers,
+/// in any order) and concatenating preserves byte-identity with the
+/// monolithic run.
+///
+/// Compute is fanned out across cores: the target's noisy row is already
+/// bit-packed, dense candidates reuse the environment's cached bitmaps (or
+/// each worker's scratch word buffer when there is no cache), and each
+/// candidate perturbs on its own `mix(base_seed, w)` stream, so the output
+/// is identical at any thread count — and the loop performs zero heap
+/// allocations per candidate after warmup.
+///
+/// # Errors
+///
+/// An invalid Laplace configuration (degenerate flip probability) — the
+/// artifacts of a successful [`BatchSingleSource::round1_in`] never
+/// produce one.
+pub fn batch_round2(
+    env: ProtocolEnv<'_>,
+    layer: Layer,
+    candidates: &[VertexId],
+    round1: &BatchRound1,
+) -> Result<Vec<BatchEstimate>> {
+    let laplace = single_source_laplace(round1.flip_probability, round1.eps2)?;
+    let packed_target = round1.noisy_target.set();
+    let p = round1.flip_probability;
+    let base_seed = round1.base_seed;
+    Ok(candidates
+        .par_iter()
+        .map(|&w| {
+            let mut stream = RoundContext::user_rng(base_seed, w);
+            let raw = with_shard_scratch(|scratch| {
+                single_source_value_scratch(env, layer, w, packed_target, p, scratch)
+            });
+            BatchEstimate {
+                candidate: w,
+                estimate: laplace.perturb(raw, &mut stream),
+            }
+        })
+        .collect())
+}
+
+/// Replays round 1's accounting — one sequential `ε₁` charge, one noisy-row
+/// upload record — exactly as `rr_round_scaffold` records it for a
+/// single-vertex round. Generation itself touches only the RNG, never the
+/// ledger, so charge-then-record reproduces the monolithic context state
+/// bit for bit.
+fn replay_round1_accounting(
+    ctx: &mut RoundContext<'_>,
+    eps1: PrivacyBudget,
+    noisy_target: &NoisyNeighborsPacked,
+) -> Result<()> {
+    ctx.charge(
+        Label::Indexed("round", 1, ":rr"),
+        eps1,
+        Composition::Sequential,
+    )?;
+    ctx.record(
+        1,
+        ldp::transcript::Direction::Upload,
+        Label::Indexed("noisy-edges(v", 0, ")"),
+        noisy_target.message_bytes(),
+    );
+    Ok(())
+}
+
+/// The shared round-2 bookkeeping of every batch path (monolithic,
+/// fused multi-target, and the cluster coordinator's reassembly): per
+/// candidate, one noisy-row download record, one `ε₂` Laplace charge —
+/// sequential for the first candidate, parallel composition for the rest
+/// (disjoint neighbor lists) — and one scalar estimator upload.
+fn replay_round2_accounting(
+    ctx: &mut RoundContext<'_>,
+    noisy_target: &NoisyNeighborsPacked,
+    eps2: PrivacyBudget,
+    k: usize,
+) -> Result<()> {
+    for i in 0..k {
+        ctx.record_download_packed(2, "noisy-edges(target) -> candidate", noisy_target);
+        let composition = if i == 0 {
+            Composition::Sequential
+        } else {
+            Composition::Parallel
+        };
+        ctx.charge(
+            Label::Indexed("round2:laplace(f_w", i as u32, ")"),
+            eps2,
+            composition,
+        )?;
+        ctx.record_scalar_upload(2, "estimator(f_w)");
+    }
+    Ok(())
 }
 
 /// Candidates processed per chunk of the fused multi-target round 2: large
@@ -535,20 +748,7 @@ impl BatchSingleSource {
                     }
                 }
             }
-            for i in 0..estimates.len() {
-                ctx.record_download_packed(2, "noisy-edges(target) -> candidate", &shard.noisy);
-                let composition = if i == 0 {
-                    Composition::Sequential
-                } else {
-                    Composition::Parallel
-                };
-                ctx.charge(
-                    Label::Indexed("round2:laplace(f_w", i as u32, ")"),
-                    shard.eps2,
-                    composition,
-                )?;
-                ctx.record_scalar_upload(2, "estimator(f_w)");
-            }
+            replay_round2_accounting(&mut ctx, &shard.noisy, shard.eps2, estimates.len())?;
             let (budget, transcript) = ctx.finish();
             reports.push(BatchReport {
                 target: shard.target,
@@ -769,6 +969,114 @@ mod tests {
             .unwrap()
             .estimate;
         assert_eq!(solo_est.to_bits(), full_est.to_bits());
+    }
+
+    #[test]
+    fn split_phase_partition_matches_monolithic_byte_for_byte() {
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let candidates = [1u32, 2, 3];
+        let reference = algo
+            .estimate_batch(
+                &g,
+                Layer::Upper,
+                0,
+                &candidates,
+                2.0,
+                &mut StdRng::seed_from_u64(11),
+            )
+            .unwrap();
+        // Every partition of the candidate list must reassemble to the
+        // identical report: estimates, budget ledger, and transcript.
+        let env = ProtocolEnv::uncached(&g);
+        for split in [
+            &[&[1u32, 2, 3][..]][..],
+            &[&[1], &[2, 3]],
+            &[&[1], &[2], &[3]],
+        ] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let round1 = algo
+                .round1_in(env, Layer::Upper, 0, &candidates, 2.0, &mut rng)
+                .unwrap();
+            let mut estimates = Vec::new();
+            for slice in split {
+                estimates.extend(batch_round2(env, Layer::Upper, slice, &round1).unwrap());
+            }
+            let assembled = algo
+                .assemble_report(Layer::Upper, 0, &round1, estimates)
+                .unwrap();
+            let bits = |r: &BatchReport| -> Vec<u64> {
+                r.estimates.iter().map(|e| e.estimate.to_bits()).collect()
+            };
+            assert_eq!(bits(&assembled), bits(&reference));
+            assert_eq!(assembled.budget, reference.budget);
+            assert_eq!(assembled.transcript, reference.transcript);
+            assert_eq!(
+                assembled.budget.consumed().to_bits(),
+                reference.budget.consumed().to_bits()
+            );
+            assert_eq!(
+                serde_json::to_string(&assembled).unwrap(),
+                serde_json::to_string(&reference).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn round1_artifacts_survive_a_wire_round_trip() {
+        // Ship only what the wire protocol ships (row words + epsilons +
+        // base seed), rebuild on the "far side", and the estimates and
+        // report must still be byte-identical.
+        use bigraph::bitset::PackedSet;
+        use ldp::noisy_graph::NoisyNeighborsPacked;
+        let g = graph();
+        let algo = BatchSingleSource::default();
+        let candidates = [1u32, 2, 3];
+        let reference = algo
+            .estimate_batch(
+                &g,
+                Layer::Upper,
+                0,
+                &candidates,
+                2.0,
+                &mut StdRng::seed_from_u64(23),
+            )
+            .unwrap();
+        let env = ProtocolEnv::uncached(&g);
+        let round1 = algo
+            .round1_in(
+                env,
+                Layer::Upper,
+                0,
+                &candidates,
+                2.0,
+                &mut StdRng::seed_from_u64(23),
+            )
+            .unwrap();
+        // Wire image: raw words + universe + scalar fields.
+        let words = round1.noisy_target.set().as_words().to_vec();
+        let universe = round1.noisy_target.set().universe();
+        let rebuilt = BatchRound1 {
+            epsilon: round1.epsilon,
+            flip_probability: round1.flip_probability,
+            eps2: round1.eps2,
+            base_seed: round1.base_seed,
+            noisy_target: NoisyNeighborsPacked::from_parts(
+                0,
+                Layer::Upper,
+                round1.noisy_target.epsilon,
+                PackedSet::from_words(words, universe),
+            ),
+        };
+        let estimates = batch_round2(env, Layer::Upper, &candidates, &rebuilt).unwrap();
+        let assembled = algo
+            .assemble_report(Layer::Upper, 0, &rebuilt, estimates)
+            .unwrap();
+        assert_eq!(assembled.budget, reference.budget);
+        assert_eq!(assembled.transcript, reference.transcript);
+        for (a, b) in assembled.estimates.iter().zip(&reference.estimates) {
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        }
     }
 
     #[test]

@@ -100,7 +100,9 @@ pub mod serving;
 pub mod similarity;
 pub mod single_source;
 
-pub use batch::{BatchReport, BatchSingleSource};
+pub use batch::{
+    batch_round2, validate_batch_query, BatchEstimate, BatchReport, BatchRound1, BatchSingleSource,
+};
 pub use central::CentralDP;
 pub use double_source::{MultiRDS, MultiRDSBasic, MultiRDSStar};
 pub use engine::{

@@ -1,5 +1,13 @@
 //! Epoch-pinned double-buffered serving: queries never wait on a splice.
 //!
+//! This is the single-process serving tier. The multi-process half —
+//! shard-worker processes each owning one `ServingEngine` over a
+//! vertex-range shard, behind a coordinator that fans queries out over
+//! Unix sockets and concatenates byte-identical reports — lives in the
+//! `cluster` crate, which builds directly on this module ([`ServingStats`]
+//! rolls up per worker, the shared [`UpdateLog`] feeds the replicated
+//! per-shard delta streams).
+//!
 //! [`EstimationEngine::apply_updates`] stops the world — the splice holds
 //! `&mut self`, so every reader either blocks behind it or eats a
 //! [`CneError::StaleGeneration`](crate::CneError::StaleGeneration). This module decouples query latency from
@@ -103,6 +111,39 @@ use std::time::Duration;
 /// Pin-slot sentinel: no reader is pinned through this slot.
 const FREE: u64 = u64::MAX;
 
+/// Log2 lag-histogram size: bucket 0 counts lag 0, bucket `k ≥ 1` counts
+/// lags in `[2^(k-1), 2^k)`. 40 buckets cover every lag below 2^39 deltas;
+/// anything larger saturates into the last bucket.
+const LAG_BUCKETS: usize = 40;
+
+/// The histogram bucket for an observed snapshot lag.
+fn lag_bucket(lag: u64) -> usize {
+    if lag == 0 {
+        0
+    } else {
+        ((64 - lag.leading_zeros()) as usize).min(LAG_BUCKETS - 1)
+    }
+}
+
+/// The `q`-quantile of a log2 lag histogram, reported as the **lower
+/// bound** of the bucket holding the rank-`⌈q·total⌉` observation (so
+/// p50 = 0 means at least half of all snapshots were fully caught up).
+fn lag_percentile(hist: &[u64; LAG_BUCKETS], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (k, &count) in hist.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            return if k == 0 { 0 } else { 1u64 << (k - 1) };
+        }
+    }
+    0
+}
+
 /// Tuning knobs for a [`ServingEngine`].
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
@@ -144,7 +185,8 @@ impl Default for ServingConfig {
 }
 
 /// Counters describing a [`ServingEngine`]'s ingest/publish state, from
-/// [`ServingEngine::stats`]. All values are monotone except `ingest_lag`.
+/// [`ServingEngine::stats`]. All values are monotone except `ingest_lag`
+/// and the lag percentiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServingStats {
     /// Current published epoch (number of buffer swaps since start).
@@ -158,6 +200,16 @@ pub struct ServingStats {
     pub ingest_lag: u64,
     /// Deltas dropped because their drained batch failed validation.
     pub rejected: u64,
+    /// Snapshots pinned since start (the population the lag percentiles
+    /// are computed over — each [`ServingEngine::snapshot`] records the
+    /// ingest lag it observed at pin time).
+    pub snapshots: u64,
+    /// Median per-snapshot ingest lag, as the lower bound of its log2
+    /// histogram bucket (0 means at least half of all snapshots were
+    /// fully caught up; otherwise a power of two).
+    pub lag_p50: u64,
+    /// 95th-percentile per-snapshot ingest lag, bucketed like `lag_p50`.
+    pub lag_p95: u64,
 }
 
 /// State shared between the serving handle, its snapshots, and the writer
@@ -182,6 +234,10 @@ struct Shared {
     published_seq: AtomicU64,
     /// Deltas dropped with their rejected batch.
     rejected: AtomicU64,
+    /// Per-snapshot ingest-lag histogram in log2 buckets (`lag_bucket`).
+    lag_hist: [AtomicU64; LAG_BUCKETS],
+    /// Snapshots ever pinned (the histogram's total mass).
+    snapshots: AtomicU64,
     /// Writer tuning, copied out of the construction config.
     max_deltas_per_cycle: usize,
     poll_interval: Duration,
@@ -480,6 +536,8 @@ impl ServingEngine {
             shutdown: AtomicBool::new(false),
             published_seq: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            lag_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            snapshots: AtomicU64::new(0),
             max_deltas_per_cycle: config.max_deltas_per_cycle.max(1),
             poll_interval: config.poll_interval,
             prewarm: config.prewarm,
@@ -537,6 +595,14 @@ impl ServingEngine {
             shared.pins[slot].store(epoch, Ordering::SeqCst);
             if shared.epoch.load(Ordering::SeqCst) == epoch {
                 if let Ok(guard) = shared.buffers[(epoch & 1) as usize].try_read() {
+                    // Record the lag this reader observed at pin time; the
+                    // histogram feeds the p50/p95 fields of `stats`.
+                    let lag = shared
+                        .log
+                        .appended()
+                        .saturating_sub(shared.published_seq.load(Ordering::Relaxed));
+                    shared.lag_hist[lag_bucket(lag)].fetch_add(1, Ordering::Relaxed);
+                    shared.snapshots.fetch_add(1, Ordering::Relaxed);
                     return EngineSnapshot {
                         guard: Some(guard),
                         shared,
@@ -695,12 +761,18 @@ impl ServingEngine {
     pub fn stats(&self) -> ServingStats {
         let published = self.shared.published_seq.load(Ordering::SeqCst);
         let appended = self.shared.log.appended();
+        let snapshots = self.shared.snapshots.load(Ordering::Relaxed);
+        let hist: [u64; LAG_BUCKETS] =
+            std::array::from_fn(|k| self.shared.lag_hist[k].load(Ordering::Relaxed));
         ServingStats {
             epoch: self.shared.epoch.load(Ordering::SeqCst),
             appended,
             published,
             ingest_lag: appended.saturating_sub(published),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
+            snapshots,
+            lag_p50: lag_percentile(&hist, snapshots, 0.50),
+            lag_p95: lag_percentile(&hist, snapshots, 0.95),
         }
     }
 
@@ -745,5 +817,54 @@ impl std::fmt::Debug for ServingEngine {
         f.debug_struct("ServingEngine")
             .field("stats", &self.stats())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_buckets_are_log2_with_zero_special_cased() {
+        assert_eq!(lag_bucket(0), 0);
+        assert_eq!(lag_bucket(1), 1);
+        assert_eq!(lag_bucket(2), 2);
+        assert_eq!(lag_bucket(3), 2);
+        assert_eq!(lag_bucket(4), 3);
+        assert_eq!(lag_bucket(1023), 10);
+        assert_eq!(lag_bucket(1024), 11);
+        assert_eq!(lag_bucket(u64::MAX), LAG_BUCKETS - 1);
+    }
+
+    #[test]
+    fn lag_percentiles_report_bucket_lower_bounds() {
+        let mut hist = [0u64; LAG_BUCKETS];
+        assert_eq!(lag_percentile(&hist, 0, 0.5), 0);
+        // 60 caught-up snapshots, 30 at lag ∈ [4,8), 10 at lag ∈ [64,128).
+        hist[0] = 60;
+        hist[3] = 30;
+        hist[7] = 10;
+        let total = 100;
+        assert_eq!(lag_percentile(&hist, total, 0.50), 0);
+        assert_eq!(lag_percentile(&hist, total, 0.75), 4);
+        assert_eq!(lag_percentile(&hist, total, 0.95), 64);
+        assert_eq!(lag_percentile(&hist, total, 1.0), 64);
+    }
+
+    #[test]
+    fn stats_surface_snapshot_lag_percentiles() {
+        let g =
+            bigraph::BipartiteGraph::from_edges(2, 4, [(0, 0), (0, 1), (1, 1), (1, 2)]).unwrap();
+        let serving = ServingEngine::new(g);
+        for _ in 0..10 {
+            let _snap = serving.snapshot();
+        }
+        serving.flush();
+        let stats = serving.stats();
+        assert_eq!(stats.snapshots, 10);
+        // No ingest happened, so every snapshot observed zero lag.
+        assert_eq!(stats.lag_p50, 0);
+        assert_eq!(stats.lag_p95, 0);
+        drop(serving);
     }
 }

@@ -197,6 +197,26 @@ impl NoisyNeighborsPacked {
         }
     }
 
+    /// Reassembles a packed noisy row from its transported parts — the
+    /// inverse of reading [`NoisyNeighborsPacked::set`],
+    /// [`owner`](NoisyNeighborsPacked::owner) and
+    /// [`epsilon`](NoisyNeighborsPacked::epsilon) off a row that crossed a
+    /// process boundary (the cluster wire protocol ships the raw words).
+    /// The caller asserts that `set` really is the output of a
+    /// randomized-response round run with budget `epsilon`; accounting
+    /// helpers ([`NoisyNeighborsPacked::message_bytes`],
+    /// [`flip_probability`](NoisyNeighborsPacked::flip_probability)) then
+    /// report exactly what they would have on the originating side.
+    #[must_use]
+    pub fn from_parts(owner: VertexId, owner_layer: Layer, epsilon: f64, set: PackedSet) -> Self {
+        Self {
+            owner,
+            owner_layer,
+            epsilon,
+            set,
+        }
+    }
+
     /// The packed noisy row.
     #[must_use]
     pub fn set(&self) -> &PackedSet {
