@@ -134,6 +134,29 @@ const GATES: &[Gate] = &[
         numerator: "micro/streaming_serving/sustained_cluster_4worker_sharded",
         denominator: "micro/streaming_serving/sustained_cluster_1worker",
     },
+    // Persistence gates (ISSUE 9): both sides of each ratio come from the
+    // same run, so the ratios are hardware-neutral.
+    //
+    // Fast restart — adopting a binary snapshot (read + checksum validate
+    // + install pre-packed bitmaps into the adjacency store) must keep
+    // its edge over the cold restart (read text, parse, CSR build, warm
+    // pass over both layers). Recorded at 5.51x; the ≥5x acceptance
+    // floor erodes to the gate's 1.5x tolerance before failing.
+    Gate {
+        name: "snapshot load vs cold text build (fast restart)",
+        numerator: "micro/streaming_serving/snapshot_load",
+        denominator: "micro/streaming_serving/cold_text_build",
+    },
+    // Cluster restart — spawning 4 shard workers from per-shard restricted
+    // snapshot files (path-only BootstrapSnapshot frames; the coordinator
+    // reuses the files across restarts behind a byte-exact manifest) must
+    // keep beating the edge-frame bootstrap that ships every shard's edge
+    // list over its socket. Recorded at 1.29x.
+    Gate {
+        name: "cluster snapshot bootstrap vs edge-frame bootstrap",
+        numerator: "micro/streaming_serving/spawn_bootstrap_snapshot",
+        denominator: "micro/streaming_serving/spawn_bootstrap_frames",
+    },
 ];
 
 /// One line describing the CPU tier the dispatched kernels run on — printed
@@ -339,6 +362,16 @@ mod tests {
             "micro/streaming_serving/sustained_cluster_4worker_replicated".into(),
             109.0e6,
         );
+        m.insert("micro/streaming_serving/cold_text_build".into(), 220.1e6);
+        m.insert("micro/streaming_serving/snapshot_load".into(), 40.0e6);
+        m.insert(
+            "micro/streaming_serving/spawn_bootstrap_frames".into(),
+            157.1e6,
+        );
+        m.insert(
+            "micro/streaming_serving/spawn_bootstrap_snapshot".into(),
+            121.9e6,
+        );
         m
     }
 
@@ -458,6 +491,26 @@ bench: micro/streaming_serving/sustained_double_buffered          3.326 ms/iter
         let failures = check(&base, &measured).unwrap();
         assert_eq!(failures.len(), 2);
         assert!(failures.iter().all(|f| f.contains("cluster 4-worker")));
+    }
+
+    #[test]
+    fn snapshot_gates_catch_a_lost_restart_edge() {
+        let base = baseline();
+        // The snapshot loader degrades to cold-build cost (bulk adoption
+        // edge gone) and the snapshot cluster spawn to edge-frame cost
+        // (shard-file reuse edge gone): both persistence gates fail,
+        // everything else stays green.
+        let mut measured = base.clone();
+        *measured
+            .get_mut("micro/streaming_serving/snapshot_load")
+            .unwrap() = 220.1e6;
+        *measured
+            .get_mut("micro/streaming_serving/spawn_bootstrap_snapshot")
+            .unwrap() = 250.0e6;
+        let failures = check(&base, &measured).unwrap();
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().any(|f| f.contains("fast restart")));
+        assert!(failures.iter().any(|f| f.contains("snapshot bootstrap")));
     }
 
     #[test]

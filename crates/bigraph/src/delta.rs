@@ -355,6 +355,11 @@ pub struct UpdateLog {
     appended: AtomicU64,
     /// Total deltas emitted into batches, in order: the drain cursor.
     emitted: AtomicU64,
+    /// Drained-delta retention, `None` unless the log was built with
+    /// [`with_retention`](UpdateLog::with_retention): every emitted
+    /// `(sequence, delta)` pair, in sequence order, kept for
+    /// [`replay_from`](UpdateLog::replay_from).
+    history: Mutex<Option<Vec<(u64, GraphDelta)>>>,
 }
 
 /// Inserts `(seq, delta)` keeping `q` sorted by sequence. Scans from the
@@ -373,6 +378,45 @@ impl UpdateLog {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty log that **retains drained deltas** so
+    /// [`replay_from`](UpdateLog::replay_from) can re-emit any tail of the
+    /// stream. A plain [`new`](UpdateLog::new) log discards deltas as they
+    /// are drained.
+    ///
+    /// Retention is unbounded: the history grows by one entry per drained
+    /// delta for the lifetime of the log. That is the right trade for its
+    /// one consumer today — a sharded-serving coordinator that must replay
+    /// the tail after restarting a worker from a snapshot — and bounded
+    /// retention (truncate below the oldest live snapshot) is deliberately
+    /// left to a future rebalancing PR.
+    #[must_use]
+    pub fn with_retention() -> Self {
+        Self {
+            history: Mutex::new(Some(Vec::new())),
+            ..Self::default()
+        }
+    }
+
+    /// Re-emits every retained delta with sequence number **strictly
+    /// greater than** `after_seq`, in sequence order — the tail-replay
+    /// primitive for snapshot-bootstrapped consumers: a snapshot pinned at
+    /// sequence `s` is caught up by applying `replay_from(s)`.
+    ///
+    /// Only deltas that have already been drained are replayed (the
+    /// retention hook sits on the drain path); anything still pending will
+    /// arrive through the normal drain. Returns `None` when the log was
+    /// not built with [`with_retention`](UpdateLog::with_retention) —
+    /// callers must treat that as "replay unavailable", not "empty tail".
+    /// The returned batch may be empty when the tail is fully covered.
+    #[must_use]
+    pub fn replay_from(&self, after_seq: u64) -> Option<UpdateBatch> {
+        let history = self.history.lock().expect("update log poisoned");
+        let history = history.as_ref()?;
+        // History is sorted by sequence; find the first entry past the pin.
+        let start = history.partition_point(|&(seq, _)| seq <= after_seq);
+        Some(history[start..].iter().map(|&(_, delta)| delta).collect())
     }
 
     /// Appends one delta, returning its sequence number (1-based).
@@ -467,6 +511,16 @@ impl UpdateLog {
         }
         if batch.is_empty() {
             return None;
+        }
+        let first = next - batch.len() as u64;
+        if let Some(history) = self.history.lock().expect("update log poisoned").as_mut() {
+            history.extend(
+                batch
+                    .deltas()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &delta)| (first + i as u64, delta)),
+            );
         }
         self.emitted
             .fetch_add(batch.len() as u64, Ordering::Release);

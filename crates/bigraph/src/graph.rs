@@ -92,6 +92,33 @@ impl BipartiteGraph {
         }
     }
 
+    /// [`from_csr`](Self::from_csr) with an explicit epoch stamp — used by
+    /// snapshot adoption, which must restore the mutation counter the
+    /// graph had when it was captured.
+    pub(crate) fn from_csr_at_epoch(
+        upper_offsets: Vec<usize>,
+        upper_adj: Vec<VertexId>,
+        lower_offsets: Vec<usize>,
+        lower_adj: Vec<VertexId>,
+        epoch: u64,
+    ) -> Self {
+        let mut g = Self::from_csr(upper_offsets, upper_adj, lower_offsets, lower_adj);
+        g.epoch = epoch;
+        g
+    }
+
+    /// The raw CSR arrays `(upper_offsets, upper_adj, lower_offsets,
+    /// lower_adj)` — snapshot serialization reads them directly so the
+    /// on-disk layout mirrors the in-memory one.
+    pub(crate) fn csr_parts(&self) -> (&[usize], &[VertexId], &[usize], &[VertexId]) {
+        (
+            &self.upper_offsets,
+            &self.upper_adj,
+            &self.lower_offsets,
+            &self.lower_adj,
+        )
+    }
+
     /// The mutation counter: how many effective (non-no-op) update batches
     /// have been applied since construction. Builders and deserialization
     /// preserve it; structural equality ignores it.

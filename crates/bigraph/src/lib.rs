@@ -22,7 +22,9 @@
 //! * wedge and butterfly (2×2 biclique) counting ([`motifs`]),
 //! * vertex-pair samplers, including degree-imbalance (κ) constrained sampling
 //!   and induced-subgraph sampling for scaling experiments ([`sampling`]),
-//! * degree statistics and dataset summaries ([`stats`]).
+//! * degree statistics and dataset summaries ([`stats`]),
+//! * versioned binary on-disk snapshots of the CSR plus packed dense
+//!   adjacencies, for persistence and fast engine restart ([`snapshot`]).
 //!
 //! ```
 //! use bigraph::{GraphBuilder, Layer};
@@ -59,6 +61,7 @@ pub mod graph;
 pub mod motifs;
 pub mod projection;
 pub mod sampling;
+pub mod snapshot;
 pub mod stats;
 pub mod vertex;
 
@@ -67,4 +70,5 @@ pub use builder::GraphBuilder;
 pub use delta::{AppliedBatch, GraphDelta, UpdateBatch, UpdateLog};
 pub use error::{GraphError, Result};
 pub use graph::BipartiteGraph;
+pub use snapshot::{read_snapshot, write_snapshot, GraphSnapshot, SnapshotError};
 pub use vertex::{Layer, VertexId};

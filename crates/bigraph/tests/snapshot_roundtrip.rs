@@ -1,0 +1,261 @@
+//! Round-trip, determinism, corruption, and shard-restriction coverage for
+//! the versioned binary snapshot format (`bigraph::snapshot`).
+//!
+//! The corruption cases here are the CI gate the format's trustworthiness
+//! rests on: a truncated file, a flipped payload byte, a wrong magic, and
+//! a future version must each be rejected with a **typed**
+//! [`SnapshotError`] — no panic, no partially adopted graph.
+
+use bigraph::snapshot::{read_snapshot, write_snapshot, GraphSnapshot, SnapshotError};
+use bigraph::{BipartiteGraph, Layer, UpdateBatch, UpdateLog};
+use std::path::PathBuf;
+
+const N_UPPER: usize = 60;
+const N_LOWER: usize = 200;
+
+/// A graph with a deliberate degree mix: word-parallel-worthy dense
+/// vertices (degree ≫ 2·⌈universe/64⌉) alongside sparse ones, on both
+/// layers, so the packed sections are non-trivial in each direction.
+fn mixed_graph() -> BipartiteGraph {
+    let mut edges = Vec::new();
+    for u in 0..N_UPPER as u32 {
+        let degree = if u % 3 == 0 { 40 + (u % 7) as usize } else { 2 };
+        for k in 0..degree {
+            edges.push((u, (u * 13 + k as u32 * 3) % N_LOWER as u32));
+        }
+    }
+    BipartiteGraph::from_edges(N_UPPER, N_LOWER, edges).unwrap()
+}
+
+/// A graph whose epoch is non-zero, so round-trips exercise the stamp.
+fn mutated_graph() -> BipartiteGraph {
+    let mut g = mixed_graph();
+    let mut batch = UpdateBatch::new();
+    batch
+        .add_edge(1, 7)
+        .remove_edge(0, 0)
+        .add_vertex(Layer::Lower);
+    g.apply_update_batch(&batch).unwrap();
+    g
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bigraph-snapshot-test-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("g.snap")
+}
+
+#[test]
+fn file_round_trip_preserves_graph_epoch_seq_and_packed_sets() {
+    let g = mutated_graph();
+    assert_eq!(g.epoch(), 1);
+    let path = scratch("roundtrip");
+    let snap = GraphSnapshot::capture(&g, 417);
+    snap.write_to(&path).unwrap();
+    let loaded = read_snapshot(&path).unwrap();
+
+    assert_eq!(loaded.graph(), &g);
+    assert_eq!(loaded.epoch(), g.epoch());
+    assert_eq!(loaded.log_seq(), 417);
+    for layer in [Layer::Upper, Layer::Lower] {
+        assert_eq!(loaded.packed(layer), snap.packed(layer));
+    }
+    loaded.graph().validate().unwrap();
+}
+
+#[test]
+fn packing_policy_is_the_dense_dispatch_rule() {
+    let g = mixed_graph();
+    let snap = GraphSnapshot::capture(&g, 0);
+    for layer in [Layer::Upper, Layer::Lower] {
+        let words = g.layer_size(layer.opposite()).div_ceil(64);
+        let expected: Vec<u32> = (0..g.layer_size(layer) as u32)
+            .filter(|&v| g.degree(layer, v) > 2 * words)
+            .collect();
+        let got: Vec<u32> = snap.packed(layer).iter().map(|&(v, _)| v).collect();
+        assert_eq!(got, expected, "layer {layer:?}");
+        for &(v, ref set) in snap.packed(layer) {
+            assert_eq!(set.to_sorted_ids(), g.neighbors(layer, v));
+            assert_eq!(set.universe(), g.layer_size(layer.opposite()));
+        }
+    }
+    // The mix must actually exercise both packed sections.
+    assert!(!snap.packed(Layer::Upper).is_empty());
+    assert!(!snap.packed(Layer::Lower).is_empty());
+}
+
+#[test]
+fn snapshot_bytes_are_deterministic() {
+    let g = mutated_graph();
+    let a = GraphSnapshot::capture(&g, 9).to_bytes();
+    let b = GraphSnapshot::capture(&g, 9).to_bytes();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn truncation_at_every_region_is_a_typed_error() {
+    let bytes = GraphSnapshot::capture(&mutated_graph(), 3).to_bytes();
+    // Cut inside the header, inside the section table, and inside the
+    // last payload — every prefix must fail cleanly, never panic.
+    for cut in [0, 3, 10, 30, 100, 215, bytes.len() - 5, bytes.len() - 1] {
+        let err = GraphSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::Malformed { .. }
+            ),
+            "cut at {cut} gave {err}"
+        );
+    }
+}
+
+#[test]
+fn flipped_payload_byte_is_a_checksum_mismatch() {
+    let mut bytes = GraphSnapshot::capture(&mutated_graph(), 3).to_bytes();
+    // The file ends inside the last section's payload.
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    let err = GraphSnapshot::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::ChecksumMismatch { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn flipped_table_checksum_byte_is_a_checksum_mismatch() {
+    let mut bytes = GraphSnapshot::capture(&mutated_graph(), 3).to_bytes();
+    // First section entry starts at 24; its checksum field at +24.
+    bytes[24 + 24] ^= 0x01;
+    let err = GraphSnapshot::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::ChecksumMismatch { section: 1 }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn wrong_magic_is_rejected_before_anything_else() {
+    let mut bytes = GraphSnapshot::capture(&mixed_graph(), 0).to_bytes();
+    bytes[0] ^= 0xFF;
+    let err = GraphSnapshot::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, SnapshotError::BadMagic { .. }), "got {err}");
+}
+
+#[test]
+fn future_version_is_rejected_with_the_supported_ceiling() {
+    let mut bytes = GraphSnapshot::capture(&mixed_graph(), 0).to_bytes();
+    bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+    match GraphSnapshot::from_bytes(&bytes).unwrap_err() {
+        SnapshotError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, bigraph::snapshot::VERSION);
+        }
+        other => panic!("got {other}"),
+    }
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let err = read_snapshot(std::path::Path::new("/nonexistent/dir/g.snap")).unwrap_err();
+    assert!(matches!(err, SnapshotError::Io(_)), "got {err}");
+}
+
+#[test]
+fn one_call_writer_matches_capture_then_write() {
+    let g = mixed_graph();
+    let path = scratch("onecall");
+    write_snapshot(&path, &g, 12).unwrap();
+    let loaded = read_snapshot(&path).unwrap();
+    assert_eq!(loaded.graph(), &g);
+    assert_eq!(loaded.log_seq(), 12);
+}
+
+#[test]
+fn restrict_to_shard_matches_filtered_rebuild() {
+    let g = mutated_graph();
+    let snap = GraphSnapshot::capture(&g, 55);
+    let (lo, hi) = (15u32, 40u32);
+    let restricted = snap.restrict_to_shard(Layer::Upper, lo, hi);
+
+    // Structurally identical to rebuilding from the filtered edge list
+    // with the same (global) layer sizes.
+    let filtered: Vec<(u32, u32)> = g.edges().filter(|&(u, _)| u >= lo && u < hi).collect();
+    let rebuilt = BipartiteGraph::from_edges(g.n_upper(), g.n_lower(), filtered).unwrap();
+    assert_eq!(restricted.graph(), &rebuilt);
+    restricted.graph().validate().unwrap();
+
+    // Epoch and pinned sequence carry over.
+    assert_eq!(restricted.epoch(), g.epoch());
+    assert_eq!(restricted.log_seq(), 55);
+
+    // Owned shard-layer packed entries survive unchanged; everything else
+    // is dropped (opposite-layer adjacencies lost edges).
+    let kept: Vec<u32> = restricted
+        .packed(Layer::Upper)
+        .iter()
+        .map(|&(v, _)| v)
+        .collect();
+    let expected: Vec<u32> = snap
+        .packed(Layer::Upper)
+        .iter()
+        .map(|&(v, _)| v)
+        .filter(|&v| v >= lo && v < hi)
+        .collect();
+    assert_eq!(kept, expected);
+    assert!(restricted.packed(Layer::Lower).is_empty());
+    for &(v, ref set) in restricted.packed(Layer::Upper) {
+        assert_eq!(
+            set.to_sorted_ids(),
+            restricted.graph().neighbors(Layer::Upper, v)
+        );
+    }
+}
+
+#[test]
+fn restricted_round_trip_survives_the_file_format() {
+    let snap = GraphSnapshot::capture(&mutated_graph(), 7);
+    let restricted = snap.restrict_to_shard(Layer::Upper, 0, 20);
+    let reloaded = GraphSnapshot::from_bytes(&restricted.to_bytes()).unwrap();
+    assert_eq!(reloaded.graph(), restricted.graph());
+    assert_eq!(
+        reloaded.packed(Layer::Upper),
+        restricted.packed(Layer::Upper)
+    );
+    assert_eq!(reloaded.log_seq(), 7);
+}
+
+#[test]
+fn replay_from_reemits_exactly_the_tail_past_the_pin() {
+    let log = UpdateLog::with_retention();
+    for i in 0..10u32 {
+        log.append(bigraph::GraphDelta::AddEdge { upper: i, lower: i });
+    }
+    // Drain in two gulps so retention spans multiple drain calls.
+    let first = log.drain_batch(4).unwrap();
+    assert_eq!(first.len(), 4);
+    let rest = log.drain_batch(100).unwrap();
+    assert_eq!(rest.len(), 6);
+
+    // Pin after delta 3: the tail is sequences 4..=10.
+    let tail = log.replay_from(3).unwrap();
+    let expected: Vec<_> = (3..10u32)
+        .map(|i| bigraph::GraphDelta::AddEdge { upper: i, lower: i })
+        .collect();
+    assert_eq!(tail.deltas(), &expected[..]);
+
+    // Pin at the head and past the end.
+    assert_eq!(log.replay_from(0).unwrap().len(), 10);
+    assert!(log.replay_from(10).unwrap().is_empty());
+
+    // A retention-less log reports replay as unavailable, not empty.
+    let plain = UpdateLog::new();
+    plain.append(bigraph::GraphDelta::AddVertex {
+        layer: Layer::Upper,
+    });
+    let _ = plain.drain_batch(10).unwrap();
+    assert!(plain.replay_from(0).is_none());
+}

@@ -29,6 +29,7 @@ use crate::error::{ClusterError, Result};
 use crate::wire::{Message, WireRound1, WireStats};
 use crate::worker::{SHARD_HI_ENV, SHARD_LO_ENV, SOCKET_ENV};
 use bigraph::delta::{GraphDelta, UpdateLog};
+use bigraph::snapshot::GraphSnapshot;
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use cne::batch::{BatchEstimate, BatchReport, BatchRound1, BatchSingleSource};
 use cne::CneError;
@@ -146,15 +147,95 @@ pub struct ClusterStats {
     pub max_epoch: u64,
 }
 
+/// The retained worker-launch closure: maps a [`WorkerSpec`] to a spawned
+/// child process, both at initial spawn and when [`Coordinator::supervise`]
+/// respawns a dead worker.
+type LaunchFn = Box<dyn FnMut(&WorkerSpec) -> io::Result<Child> + Send>;
+
 /// The multi-process serving front end: owns the worker processes, the
 /// replication log, and the query fan-out.
 pub struct Coordinator {
     config: ClusterConfig,
     shard_layer: Layer,
     ranges: Vec<Range<u32>>,
+    /// Interior cut points of `ranges` (`ranges[i].start` for `i >= 1`),
+    /// cached so [`owner_of`](Self::owner_of) — which runs once per
+    /// candidate on every batch query — is a binary search instead of a
+    /// linear scan over the partition.
+    cuts: Vec<u32>,
     workers: Vec<Worker>,
     log: UpdateLog,
     algo: BatchSingleSource,
+    /// The launch closure, retained so [`supervise`](Self::supervise) can
+    /// respawn a dead worker with the same command the original used.
+    launch: LaunchFn,
+    /// Where workers (re)bootstrap from, for clusters spawned via the
+    /// snapshot path. `None` for edge-list-bootstrapped clusters, which
+    /// cannot rebuild dead workers.
+    snapshot: Option<SnapshotSource>,
+}
+
+/// The on-disk snapshots a snapshot-spawned cluster rebuilds workers
+/// from: one shard-restricted file per worker, so a (re)bootstrapping
+/// worker reads and validates only its own shard's bytes instead of the
+/// full graph image.
+struct SnapshotSource {
+    /// Per-worker shard snapshot paths; must stay readable for the
+    /// cluster's lifetime.
+    paths: Vec<PathBuf>,
+    /// Coordinator-log sequence the snapshots cover; tail replay starts
+    /// strictly after it.
+    seq: u64,
+    /// Graph epoch stamped into the files (workers cross-check it before
+    /// adopting).
+    epoch: u64,
+}
+
+/// The index of the range owning `v` in a contiguous partition whose
+/// interior cut points are `cuts` (`cuts[i]` = start of range `i + 1`):
+/// the number of cut points at or below `v`.
+fn owner_index(cuts: &[u32], v: VertexId) -> usize {
+    cuts.partition_point(|&cut| cut <= v)
+}
+
+/// Shard-manifest magic: `"CNEM"` read as a little-endian u32.
+const MANIFEST_MAGIC: u32 = 0x4D454E43;
+/// Shard-manifest format version.
+const MANIFEST_VERSION: u16 = 1;
+
+/// The manifest a snapshot-spawned cluster writes next to its shard
+/// files, recording every parameter that shaped them. A later spawn into
+/// the same directory reuses the existing files iff its own manifest
+/// bytes are identical — same source epoch and pinned sequence, same
+/// graph shape, same shard layer, same ranges — which is what makes a
+/// cluster *restart* skip shard derivation entirely. Reuse trusts the
+/// directory to be this cluster's own artifact store (the same trust
+/// supervision already places in it between spawn and respawn); payload
+/// corruption is still caught by the snapshot section checksums when a
+/// worker adopts its file.
+fn shard_manifest(snapshot: &GraphSnapshot, shard_layer: Layer, ranges: &[Range<u32>]) -> Vec<u8> {
+    let g = snapshot.graph();
+    let mut out = Vec::with_capacity(56 + ranges.len() * 8);
+    out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    out.extend_from_slice(&[
+        match shard_layer {
+            Layer::Upper => 0u8,
+            Layer::Lower => 1,
+        },
+        0,
+    ]);
+    out.extend_from_slice(&snapshot.epoch().to_le_bytes());
+    out.extend_from_slice(&snapshot.log_seq().to_le_bytes());
+    out.extend_from_slice(&(g.n_upper() as u64).to_le_bytes());
+    out.extend_from_slice(&(g.n_lower() as u64).to_le_bytes());
+    out.extend_from_slice(&(g.n_edges() as u64).to_le_bytes());
+    out.extend_from_slice(&(ranges.len() as u64).to_le_bytes());
+    for r in ranges {
+        out.extend_from_slice(&r.start.to_le_bytes());
+        out.extend_from_slice(&r.end.to_le_bytes());
+    }
+    out
 }
 
 /// Contiguous shard ranges: an even split of `[0, n)` into `k` parts,
@@ -312,7 +393,7 @@ impl Coordinator {
         launch: F,
     ) -> Result<Self>
     where
-        F: FnMut(&WorkerSpec) -> io::Result<Child>,
+        F: FnMut(&WorkerSpec) -> io::Result<Child> + Send + 'static,
     {
         let layer_size = match shard_layer {
             Layer::Upper => graph.n_upper(),
@@ -341,53 +422,20 @@ impl Coordinator {
         ranges: Vec<Range<u32>>,
         dir: &Path,
         config: ClusterConfig,
-        mut launch: F,
+        launch: F,
     ) -> Result<Self>
     where
-        F: FnMut(&WorkerSpec) -> io::Result<Child>,
+        F: FnMut(&WorkerSpec) -> io::Result<Child> + Send + 'static,
     {
-        assert!(!ranges.is_empty(), "at least one shard range");
-        assert_eq!(ranges[0].start, 0, "first range must start at vertex 0");
-        assert_eq!(
-            ranges.last().expect("non-empty").end,
-            u32::MAX,
-            "last range must be open-ended"
-        );
-        assert!(
-            ranges.windows(2).all(|p| p[0].end == p[1].start),
-            "ranges must be contiguous and ascending"
-        );
-        let n_workers = ranges.len();
-        let mut workers = Vec::with_capacity(n_workers);
-        for (index, range) in ranges.iter().enumerate() {
-            let spec = WorkerSpec {
-                index,
-                socket: dir.join(format!("shard-worker-{index}.sock")),
-                shard_lo: range.start,
-                shard_hi: range.end,
-            };
-            // A stale socket from a previous run must not satisfy our
-            // connect retry before the new worker binds.
-            let _ = std::fs::remove_file(&spec.socket);
-            let child = launch(&spec).map_err(|source| ClusterError::Spawn {
-                worker: index,
-                source,
-            })?;
-            workers.push(Worker {
-                spec,
-                child: Some(child),
-                conn: None,
-                healthy: true,
-            });
-        }
-        let mut coordinator = Self {
-            config,
+        let mut coordinator = Self::spawn_core(
             shard_layer,
             ranges,
-            workers,
-            log: UpdateLog::new(),
-            algo: BatchSingleSource::default(),
-        };
+            dir,
+            config,
+            Box::new(launch),
+            UpdateLog::new(),
+        )?;
+        let n_workers = coordinator.workers.len();
         // Handshake + bootstrap every worker with its shard's edge list.
         for index in 0..n_workers {
             let range = coordinator.ranges[index].clone();
@@ -422,6 +470,229 @@ impl Coordinator {
         Ok(coordinator)
     }
 
+    /// Shared spawn tail: asserts the partition is a contiguous cover of
+    /// `0..u32::MAX`, launches one worker per range, and assembles the
+    /// coordinator. No bootstrap happens here — callers ship edge lists
+    /// or a snapshot frame next.
+    fn spawn_core(
+        shard_layer: Layer,
+        ranges: Vec<Range<u32>>,
+        dir: &Path,
+        config: ClusterConfig,
+        mut launch: LaunchFn,
+        log: UpdateLog,
+    ) -> Result<Self> {
+        assert!(!ranges.is_empty(), "at least one shard range");
+        assert_eq!(ranges[0].start, 0, "first range must start at vertex 0");
+        assert_eq!(
+            ranges.last().expect("non-empty").end,
+            u32::MAX,
+            "last range must be open-ended"
+        );
+        assert!(
+            ranges.windows(2).all(|p| p[0].end == p[1].start),
+            "ranges must be contiguous and ascending"
+        );
+        let mut workers = Vec::with_capacity(ranges.len());
+        for (index, range) in ranges.iter().enumerate() {
+            let spec = WorkerSpec {
+                index,
+                socket: dir.join(format!("shard-worker-{index}.sock")),
+                shard_lo: range.start,
+                shard_hi: range.end,
+            };
+            // A stale socket from a previous run must not satisfy our
+            // connect retry before the new worker binds.
+            let _ = std::fs::remove_file(&spec.socket);
+            let child = launch(&spec).map_err(|source| ClusterError::Spawn {
+                worker: index,
+                source,
+            })?;
+            workers.push(Worker {
+                spec,
+                child: Some(child),
+                conn: None,
+                healthy: true,
+            });
+        }
+        let cuts = ranges[1..].iter().map(|r| r.start).collect();
+        Ok(Self {
+            config,
+            shard_layer,
+            ranges,
+            cuts,
+            workers,
+            log,
+            algo: BatchSingleSource::default(),
+            launch,
+            snapshot: None,
+        })
+    }
+
+    /// [`Coordinator::spawn_partitioned`] bootstrapping every worker from
+    /// **binary snapshots** instead of an edge list: `snapshot` (an
+    /// already-captured [`bigraph::snapshot`] image, typically the serving
+    /// tier's quiet-point artifact) is restricted per shard and written as
+    /// one `shard-<index>.snap` file per worker under `dir`. Each worker
+    /// receives a [`BootstrapSnapshot`](Message::BootstrapSnapshot) frame
+    /// naming its own file — it reads, validates, and adopts only its
+    /// shard's bytes, with just paths crossing the sockets.
+    ///
+    /// Shard files persist in `dir` alongside a manifest of the
+    /// parameters that shaped them; spawning again into the same
+    /// directory from the same source **reuses** them — a cluster
+    /// restart skips shard derivation and pays only worker adoption.
+    /// Reuse is gated on an exact manifest match (source epoch and
+    /// pinned sequence, graph shape, shard layer, ranges); the directory
+    /// is trusted to be this cluster's own artifact store, and payload
+    /// corruption is still caught by section checksums at adoption.
+    ///
+    /// Clusters spawned this way keep the shard files as their **recovery
+    /// source** and retain drained deltas
+    /// ([`UpdateLog::with_retention`]), which is what lets
+    /// [`Coordinator::supervise`] rebuild a dead worker (respawn →
+    /// snapshot bootstrap → tail replay) instead of merely reporting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges` is not a contiguous cover of `0..u32::MAX`, or
+    /// if `snapshot` is pinned at a nonzero log sequence — its state must
+    /// precede this coordinator's (fresh) update stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Spawn`] if writing a shard snapshot or starting,
+    /// connecting, or bootstrapping any worker fails.
+    pub fn spawn_partitioned_from_snapshot<F>(
+        snapshot: &GraphSnapshot,
+        shard_layer: Layer,
+        ranges: Vec<Range<u32>>,
+        dir: &Path,
+        config: ClusterConfig,
+        launch: F,
+    ) -> Result<Self>
+    where
+        F: FnMut(&WorkerSpec) -> io::Result<Child> + Send + 'static,
+    {
+        assert_eq!(
+            snapshot.log_seq(),
+            0,
+            "a cluster bootstrap snapshot must be pinned at sequence 0 — \
+             its state precedes this coordinator's update stream"
+        );
+        let epoch = snapshot.epoch();
+        // Launch the workers first so their process startup overlaps the
+        // shard-file writes below.
+        let mut coordinator = Self::spawn_core(
+            shard_layer,
+            ranges,
+            dir,
+            config,
+            Box::new(launch),
+            UpdateLog::with_retention(),
+        )?;
+        let paths: Vec<PathBuf> = (0..coordinator.ranges.len())
+            .map(|index| dir.join(format!("shard-{index}.snap")))
+            .collect();
+        let manifest_path = dir.join("shards.manifest");
+        let manifest = shard_manifest(snapshot, shard_layer, &coordinator.ranges);
+        // A restart into the same directory reuses the shard files it
+        // finds there when the manifest proves they were derived from
+        // the same source with the same partition (see [`shard_manifest`]).
+        let reusable = std::fs::read(&manifest_path).is_ok_and(|found| found == manifest)
+            && paths.iter().all(|p| p.exists());
+        if !reusable {
+            // Invalidate first so a crash mid-rewrite never leaves a
+            // manifest vouching for half-rewritten files.
+            let _ = std::fs::remove_file(&manifest_path);
+            for (index, (range, path)) in coordinator.ranges.clone().iter().zip(&paths).enumerate()
+            {
+                // Plain writes, not `write_to`'s durable tmp + rename +
+                // fsync dance: shard files are scratch bootstrap
+                // artifacts re-derived from the source snapshot on
+                // demand, and a torn file is caught by section checksums
+                // on read. Durability is the *source* snapshot's concern.
+                let bytes = snapshot
+                    .restrict_to_shard(shard_layer, range.start, range.end)
+                    .to_bytes();
+                std::fs::write(path, bytes).map_err(|source| ClusterError::Spawn {
+                    worker: index,
+                    source,
+                })?;
+            }
+            std::fs::write(&manifest_path, &manifest)
+                .map_err(|source| ClusterError::Spawn { worker: 0, source })?;
+        }
+        coordinator.snapshot = Some(SnapshotSource {
+            paths,
+            seq: 0,
+            epoch,
+        });
+        for index in 0..coordinator.workers.len() {
+            coordinator
+                .bootstrap_from_snapshot(index)
+                .map_err(|e| match e {
+                    ClusterError::WorkerDown { worker, source, .. } => {
+                        ClusterError::Spawn { worker, source }
+                    }
+                    other => other,
+                })?;
+        }
+        Ok(coordinator)
+    }
+
+    /// [`Coordinator::spawn_program`]'s snapshot twin: an even split into
+    /// `n_workers` ranges, per-shard bootstrap snapshots written under
+    /// `dir`, and `program` run as each worker via [`worker_command`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::spawn_partitioned_from_snapshot`].
+    pub fn spawn_program_from_snapshot(
+        snapshot: &GraphSnapshot,
+        shard_layer: Layer,
+        n_workers: usize,
+        dir: &Path,
+        config: ClusterConfig,
+        program: &Path,
+    ) -> Result<Self> {
+        let layer_size = match shard_layer {
+            Layer::Upper => snapshot.graph().n_upper(),
+            Layer::Lower => snapshot.graph().n_lower(),
+        };
+        let ranges = shard_ranges(layer_size, n_workers);
+        let program = program.to_path_buf();
+        Self::spawn_partitioned_from_snapshot(
+            snapshot,
+            shard_layer,
+            ranges,
+            dir,
+            config,
+            move |spec| worker_command(&program, spec).spawn(),
+        )
+    }
+
+    /// Ships the snapshot-bootstrap frame to worker `index` (naming its
+    /// own shard file) and waits for its ack.
+    fn bootstrap_from_snapshot(&mut self, index: usize) -> Result<()> {
+        let src = self
+            .snapshot
+            .as_ref()
+            .expect("callers check for a snapshot source");
+        let spec = &self.workers[index].spec;
+        let msg = Message::BootstrapSnapshot {
+            epoch: src.epoch,
+            shard_layer: self.shard_layer,
+            shard_lo: spec.shard_lo,
+            shard_hi: spec.shard_hi,
+            path: src.paths[index].to_string_lossy().into_owned(),
+        };
+        match self.request(index, &msg, "snapshot bootstrap")? {
+            Message::BootstrapAck => Ok(()),
+            other => Err(self.unexpected(index, "snapshot bootstrap", &other)),
+        }
+    }
+
     /// [`Coordinator::spawn_with`] running `program` as each worker via
     /// [`worker_command`]. This is the standard entry point: tests pass
     /// `env!("CARGO_BIN_EXE_shard-worker")`, self-exec harnesses pass
@@ -438,8 +709,9 @@ impl Coordinator {
         config: ClusterConfig,
         program: &Path,
     ) -> Result<Self> {
-        Self::spawn_with(graph, shard_layer, n_workers, dir, config, |spec| {
-            worker_command(program, spec).spawn()
+        let program = program.to_path_buf();
+        Self::spawn_with(graph, shard_layer, n_workers, dir, config, move |spec| {
+            worker_command(&program, spec).spawn()
         })
     }
 
@@ -455,13 +727,11 @@ impl Coordinator {
         &self.ranges
     }
 
-    /// The worker index owning shard-layer vertex `v`.
+    /// The worker index owning shard-layer vertex `v`: a binary search
+    /// over the cached interior cut points of the partition.
     #[must_use]
     pub fn owner_of(&self, v: VertexId) -> usize {
-        self.ranges
-            .iter()
-            .position(|r| r.contains(&v))
-            .expect("ranges cover the id space")
+        owner_index(&self.cuts, v)
     }
 
     // ------------------------------------------------------- replication
@@ -770,6 +1040,125 @@ impl Coordinator {
         Ok(())
     }
 
+    // ----------------------------------------------------- supervision
+
+    /// One supervision pass: finds workers that are dead (process
+    /// exited, or marked unhealthy by an exhausted retry) and rebuilds
+    /// each one — respawn via the retained launch closure, re-bootstrap
+    /// from the cluster's snapshot, replay the drained-delta tail past
+    /// the snapshot's pinned sequence, and flush so the rebuilt worker
+    /// has published everything before it is marked healthy again.
+    /// Returns the indices that were rebuilt (empty = cluster healthy).
+    /// Call it whenever a fan-out reports
+    /// [`ClusterError::PartialResult`], or periodically from a serving
+    /// loop.
+    ///
+    /// Deltas still *pending* in the coordinator log are not replayed
+    /// here — they reach the rebuilt worker through the normal
+    /// [`pump`](Self::pump) like every other worker. The drained tail is
+    /// replayed exactly once because the worker restarts from snapshot
+    /// state (`AddVertex` is not idempotent, so exactly-once matters).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSnapshotSource`] when a worker is dead but the
+    /// cluster was spawned with edge-list bootstrap (nothing to rebuild
+    /// from); [`ClusterError::Spawn`] / [`ClusterError::WorkerDown`]
+    /// when the rebuild itself fails — the worker stays unhealthy and a
+    /// later pass retries.
+    pub fn supervise(&mut self) -> Result<Vec<usize>> {
+        let mut rebuilt = Vec::new();
+        for index in 0..self.workers.len() {
+            if self.worker_is_live(index) {
+                continue;
+            }
+            if self.snapshot.is_none() {
+                return Err(ClusterError::NoSnapshotSource { worker: index });
+            }
+            self.respawn(index)?;
+            self.bootstrap_from_snapshot(index)?;
+            self.replay_tail(index)?;
+            match self.request(index, &Message::Flush, "supervision flush")? {
+                Message::FlushAck { .. } => {}
+                other => return Err(self.unexpected(index, "supervision flush", &other)),
+            }
+            self.workers[index].healthy = true;
+            rebuilt.push(index);
+        }
+        Ok(rebuilt)
+    }
+
+    /// Whether worker `index` looks alive: marked healthy and its
+    /// process (if owned) has not exited. The `try_wait` probe catches
+    /// crashes the request path has not tripped over yet.
+    fn worker_is_live(&mut self, index: usize) -> bool {
+        let w = &mut self.workers[index];
+        if !w.healthy {
+            return false;
+        }
+        match w.child.as_mut() {
+            Some(child) => matches!(child.try_wait(), Ok(None)),
+            None => false,
+        }
+    }
+
+    /// Kills whatever is left of worker `index`'s process and launches a
+    /// fresh one on the same socket with the retained closure.
+    fn respawn(&mut self, index: usize) -> Result<()> {
+        let w = &mut self.workers[index];
+        w.conn = None;
+        w.healthy = false;
+        if let Some(mut child) = w.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_file(&w.spec.socket);
+        let child = (self.launch)(&w.spec).map_err(|source| ClusterError::Spawn {
+            worker: index,
+            source,
+        })?;
+        w.child = Some(child);
+        Ok(())
+    }
+
+    /// Replays the drained-delta tail past the snapshot's pinned
+    /// sequence to a freshly re-bootstrapped worker, filtered to its
+    /// shard by the same routing rule replication uses
+    /// ([`GraphDelta::shard_vertex`]: edge deltas to their shard-layer
+    /// endpoint's owner, `AddVertex` broadcast), in chunks of
+    /// [`pump_chunk`](ClusterConfig::pump_chunk).
+    fn replay_tail(&mut self, index: usize) -> Result<()> {
+        let src = self
+            .snapshot
+            .as_ref()
+            .expect("callers check for a snapshot source");
+        let tail = self
+            .log
+            .replay_from(src.seq)
+            .expect("snapshot-spawned clusters retain drained deltas");
+        let range = self.ranges[index].clone();
+        let shard_layer = self.shard_layer;
+        let part: Vec<GraphDelta> = tail
+            .deltas()
+            .iter()
+            .copied()
+            .filter(|d| match d.shard_vertex(shard_layer) {
+                Some(v) => range.contains(&v),
+                None => true, // AddVertex: broadcast, every shard replays it.
+            })
+            .collect();
+        for chunk in part.chunks(self.config.pump_chunk.max(1)) {
+            let update = Message::Update {
+                deltas: chunk.to_vec(),
+            };
+            match self.request(index, &update, "tail replay")? {
+                Message::UpdateAck { .. } => {}
+                other => return Err(self.unexpected(index, "tail replay", &other)),
+            }
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------- transport
 
     /// One request→response exchange with the worker at `index` (see
@@ -860,5 +1249,20 @@ mod tests {
         let tiny = shard_ranges(2, 4);
         assert_eq!(tiny.last().unwrap().end, u32::MAX);
         assert_eq!(tiny.iter().filter(|r| r.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn owner_lookup_matches_linear_scan() {
+        let ranges = shard_ranges(1000, 7);
+        let cuts: Vec<u32> = ranges[1..].iter().map(|r| r.start).collect();
+        for v in (0..1100u32).chain([u32::MAX / 2, u32::MAX - 1]) {
+            let linear = ranges
+                .iter()
+                .position(|r| r.contains(&v))
+                .expect("ranges cover the id space");
+            assert_eq!(owner_index(&cuts, v), linear, "v = {v}");
+        }
+        // A single open-ended range has no interior cuts: everything is 0.
+        assert_eq!(owner_index(&[], 12345), 0);
     }
 }

@@ -74,6 +74,26 @@
 //! dead shard. Per-worker [`ServingStats`](cne::serving::ServingStats)
 //! (lag percentiles, epochs, health) roll up via
 //! [`Coordinator::stats`].
+//!
+//! # Persistence and supervision
+//!
+//! A cluster can bootstrap from a [`bigraph::snapshot::GraphSnapshot`]
+//! instead of streaming per-edge `Bootstrap` frames:
+//! [`Coordinator::spawn_partitioned_from_snapshot`] writes one
+//! *restricted* snapshot file per shard (each holding only that shard's
+//! edges and packed bitmaps) and sends every worker a path-only
+//! `BootstrapSnapshot` frame; the worker validates the file's checksums
+//! and adopts its bytes directly — no text parse, no re-pack. The shard
+//! files sit behind a byte-exact manifest (graph identity + shard
+//! ranges), so a coordinator restarting over the same snapshot and
+//! partition reuses them and pays only worker adoption.
+//!
+//! Supervision closes the loop: [`Coordinator::supervise`] probes every
+//! worker, respawns any that died, re-bootstraps the replacement from
+//! its shard's snapshot file, replays the update-log tail past the
+//! snapshot's pinned sequence, and marks
+//! it healthy — the recovered worker serves byte-identical reports
+//! (pinned by the kill-one-worker case in `tests/cluster_swap.rs`).
 
 #![warn(missing_docs)]
 

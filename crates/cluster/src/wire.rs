@@ -25,6 +25,7 @@
 //! | 0x02 | `HelloAck`    | magic `u32`, version `u16`, shard_lo `u32`, shard_hi `u32` |
 //! | 0x10 | `Bootstrap`   | n_upper `u64`, n_lower `u64`, n_edges `u64`, (upper `u32`, lower `u32`)\* |
 //! | 0x11 | `BootstrapAck`| —                                                        |
+//! | 0x12 | `BootstrapSnapshot` | epoch `u64`, layer `u8`, shard_lo `u32`, shard_hi `u32`, path_len `u32`, UTF-8 path |
 //! | 0x20 | `Update`      | count `u32`, delta\* (see below)                         |
 //! | 0x21 | `UpdateAck`   | appended `u64`                                           |
 //! | 0x30 | `Flush`       | —                                                        |
@@ -134,6 +135,30 @@ pub enum Message {
     },
     /// Bootstrap complete; the worker is serving.
     BootstrapAck,
+    /// Bootstrap from a snapshot **file** instead of streamed edges: the
+    /// worker loads the versioned binary snapshot at `path`
+    /// (`bigraph::snapshot`), verifies its graph epoch against `epoch`,
+    /// restricts it to `shard_lo..shard_hi` of `shard_layer`, and serves
+    /// from the restricted engine. Answered with [`Message::BootstrapAck`]
+    /// on success — the coordinator then replays the retained update-log
+    /// tail past the snapshot's pinned sequence over ordinary
+    /// [`Message::Update`] frames. The file must be reachable on the
+    /// worker's filesystem (same host or shared storage); only the path
+    /// crosses the socket, which is the point — one snapshot fans out to
+    /// N workers without N copies of the edge list in flight.
+    BootstrapSnapshot {
+        /// Expected graph epoch; a snapshot stamped differently is
+        /// rejected (the coordinator's tail replay would not line up).
+        epoch: u64,
+        /// The layer the cluster shards on.
+        shard_layer: Layer,
+        /// First shard-layer vertex this worker owns.
+        shard_lo: u32,
+        /// One past the last owned vertex (`u32::MAX` = open-ended).
+        shard_hi: u32,
+        /// Snapshot file path, UTF-8.
+        path: String,
+    },
     /// A partitioned slice of the update stream, in arrival order.
     Update {
         /// The deltas for this worker's shard.
@@ -207,6 +232,7 @@ mod kind {
     pub const HELLO_ACK: u8 = 0x02;
     pub const BOOTSTRAP: u8 = 0x10;
     pub const BOOTSTRAP_ACK: u8 = 0x11;
+    pub const BOOTSTRAP_SNAPSHOT: u8 = 0x12;
     pub const UPDATE: u8 = 0x20;
     pub const UPDATE_ACK: u8 = 0x21;
     pub const FLUSH: u8 = 0x30;
@@ -297,6 +323,7 @@ impl Message {
             Message::HelloAck { .. } => kind::HELLO_ACK,
             Message::Bootstrap { .. } => kind::BOOTSTRAP,
             Message::BootstrapAck => kind::BOOTSTRAP_ACK,
+            Message::BootstrapSnapshot { .. } => kind::BOOTSTRAP_SNAPSHOT,
             Message::Update { .. } => kind::UPDATE,
             Message::UpdateAck { .. } => kind::UPDATE_ACK,
             Message::Flush => kind::FLUSH,
@@ -338,6 +365,20 @@ impl Message {
                     buf.put_u32(u);
                     buf.put_u32(l);
                 }
+            }
+            Message::BootstrapSnapshot {
+                epoch,
+                shard_layer,
+                shard_lo,
+                shard_hi,
+                path,
+            } => {
+                buf.put_u64(*epoch);
+                buf.put_u8(layer_byte(*shard_layer));
+                buf.put_u32(*shard_lo);
+                buf.put_u32(*shard_hi);
+                buf.put_u32(u32::try_from(path.len()).expect("path fits u32"));
+                buf.extend_from_slice(path.as_bytes());
             }
             Message::BootstrapAck | Message::Flush | Message::StatsReq => {}
             Message::Shutdown | Message::ShutdownAck => {}
@@ -611,6 +652,22 @@ fn decode(kind_byte: u8, payload: &[u8]) -> io::Result<Message> {
             }
         }
         kind::BOOTSTRAP_ACK => Message::BootstrapAck,
+        kind::BOOTSTRAP_SNAPSHOT => {
+            let epoch = c.u64()?;
+            let shard_layer = c.layer()?;
+            let shard_lo = c.u32()?;
+            let shard_hi = c.u32()?;
+            let path_len = c.u32()? as usize;
+            let path = String::from_utf8(c.take(path_len)?.to_vec())
+                .map_err(|_| bad_data("snapshot path is not UTF-8".into()))?;
+            Message::BootstrapSnapshot {
+                epoch,
+                shard_layer,
+                shard_lo,
+                shard_hi,
+                path,
+            }
+        }
         kind::UPDATE => {
             let n = c.u32()? as usize;
             let mut deltas = Vec::with_capacity(n.min(1 << 22));
@@ -696,6 +753,13 @@ mod tests {
             edges: vec![(0, 1), (9, 19)],
         });
         round_trip(Message::BootstrapAck);
+        round_trip(Message::BootstrapSnapshot {
+            epoch: 12,
+            shard_layer: Layer::Upper,
+            shard_lo: 128,
+            shard_hi: u32::MAX,
+            path: "/tmp/cluster/epoch-12.snap".into(),
+        });
         round_trip(Message::Update {
             deltas: vec![
                 GraphDelta::AddEdge { upper: 1, lower: 2 },

@@ -11,6 +11,17 @@
 //! single-process deployment uses, so queries on the worker never wait on
 //! a splice either.
 //!
+//! The fast-restart alternative is `BootstrapSnapshot`: instead of
+//! streaming edges over the socket, the coordinator points the worker at a
+//! versioned binary snapshot file (`bigraph::snapshot`). The worker loads
+//! and validates it, checks the epoch stamp, restricts it to its own
+//! shard range, and serves from the restricted engine — warm store
+//! included, since the snapshot's packed bitmaps of owned vertices adopt
+//! directly. The coordinator then replays its retained update-log tail
+//! past the snapshot's pinned sequence over ordinary `Update` frames; the
+//! combination is byte-identical to an edge-streamed bootstrap that saw
+//! the same deltas.
+//!
 //! A dropped connection is not fatal: the worker keeps its state and
 //! accepts the coordinator's reconnect (that is what makes the
 //! coordinator's bounded retry meaningful). `Shutdown` exits the process.
@@ -189,6 +200,50 @@ fn handle(request: Message, serving: &mut Option<ServingEngine>, config: &Worker
                 Err(e) => return err(err_code::PROTOCOL, format!("bad shard graph: {e}")),
             };
             *serving = Some(ServingEngine::with_config(graph, config.serving.clone()));
+            Message::BootstrapAck
+        }
+        Message::BootstrapSnapshot {
+            epoch,
+            shard_layer,
+            shard_lo,
+            shard_hi,
+            path,
+        } => {
+            // The range in the message is the coordinator's view of this
+            // worker's assignment; a disagreement means frames are being
+            // routed to the wrong worker — refuse rather than serve a
+            // shard we were not spawned for.
+            if (shard_lo, shard_hi) != (config.shard_lo, config.shard_hi) {
+                return err(
+                    err_code::PROTOCOL,
+                    format!(
+                        "snapshot bootstrap for shard {shard_lo}..{shard_hi}, \
+                         but this worker owns {}..{}",
+                        config.shard_lo, config.shard_hi
+                    ),
+                );
+            }
+            let snap = match bigraph::read_snapshot(std::path::Path::new(&path)) {
+                Ok(s) => s,
+                Err(e) => return err(err_code::PROTOCOL, format!("snapshot {path}: {e}")),
+            };
+            if snap.epoch() != epoch {
+                return err(
+                    err_code::PROTOCOL,
+                    format!(
+                        "snapshot {path} is stamped epoch {}, expected {epoch}",
+                        snap.epoch()
+                    ),
+                );
+            }
+            let restricted = snap.restrict_to_shard(shard_layer, shard_lo, shard_hi);
+            if let Some(old) = serving.take() {
+                drop(old.into_engine());
+            }
+            *serving = Some(ServingEngine::bootstrap_from_snapshot(
+                &restricted,
+                config.serving.clone(),
+            ));
             Message::BootstrapAck
         }
         Message::Update { deltas } => match serving {

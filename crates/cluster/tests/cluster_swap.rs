@@ -297,6 +297,185 @@ fn killed_worker_yields_typed_partial_result_within_timeout() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The recovery contract: a cluster spawned from a **snapshot** rebuilds
+/// a killed worker — respawn, snapshot re-bootstrap, drained-tail replay
+/// (non-idempotent `AddVertex` included), flush — and both pre-kill and
+/// post-recovery reports stay byte-identical to an unsharded engine over
+/// the same stream.
+#[test]
+fn killed_worker_is_rebuilt_from_snapshot_with_byte_identical_reports() {
+    let graph = base_graph();
+    let dir = socket_dir("supervise");
+    let snapshot = bigraph::snapshot::GraphSnapshot::capture(&graph, 0);
+    let mut coordinator = Coordinator::spawn_program_from_snapshot(
+        &snapshot,
+        Layer::Upper,
+        3,
+        &dir,
+        ClusterConfig::default(),
+        &worker_bin(),
+    )
+    .unwrap();
+    let mut reference = EstimationEngine::from_graph(graph.clone());
+
+    // Snapshot bootstrap itself must be invisible to the protocol.
+    let candidates: Vec<u32> = (1..N_UPPER as u32).collect();
+    let from_cluster = coordinator
+        .estimate_batch(Layer::Upper, 0, &candidates, EPSILON, 3)
+        .unwrap();
+    let from_engine = reference
+        .estimate_batch(
+            Layer::Upper,
+            0,
+            &candidates,
+            EPSILON,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+    assert_reports_identical(&from_cluster, &from_engine);
+
+    // Replicate and drain a stream prefix, so the rebuild has a real
+    // retained tail to replay on top of the sequence-0 snapshot.
+    let stream = update_stream(77);
+    let (head, rest) = stream.split_at(300);
+    coordinator.extend(head.iter().copied());
+    coordinator.flush().unwrap();
+
+    // Kill the middle worker; one supervision pass must rebuild exactly
+    // it, and a second pass must find nothing to do.
+    coordinator.kill_worker(1).unwrap();
+    assert_eq!(coordinator.supervise().unwrap(), vec![1]);
+    assert!(
+        coordinator.supervise().unwrap().is_empty(),
+        "healthy cluster has nothing to rebuild"
+    );
+
+    // Deltas appended after recovery reach the rebuilt worker through
+    // the normal pump, like every other worker.
+    coordinator.extend(rest.iter().copied());
+    coordinator.flush().unwrap();
+    let batch: bigraph::UpdateBatch = stream.iter().copied().collect();
+    reference.apply_updates(&batch).unwrap();
+
+    // Target 5 is owned by the rebuilt middle shard (even split of 12
+    // into 3: ranges 0..4, 4..8, 8..MAX); `grown` by the open-ended one.
+    let grown = reference.graph().n_upper() as u32 - 1;
+    for (target, seed) in [(0u32, 31u64), (5, 37), (grown, 41)] {
+        let candidates: Vec<u32> = (0..N_UPPER as u32)
+            .chain([grown])
+            .filter(|&w| w != target)
+            .collect();
+        let from_cluster = coordinator
+            .estimate_batch(Layer::Upper, target, &candidates, EPSILON, seed)
+            .unwrap();
+        let from_engine = reference
+            .estimate_batch(
+                Layer::Upper,
+                target,
+                &candidates,
+                EPSILON,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+        assert_reports_identical(&from_cluster, &from_engine);
+    }
+    let stats = coordinator.stats();
+    assert_eq!(stats.healthy_workers, 3);
+    assert_eq!(stats.max_ingest_lag, 0);
+    drop(coordinator);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cluster restart into the same directory reuses the on-disk shard
+/// files (the manifest matches, so no shard is re-derived) and serves
+/// byte-identically; a spawn whose parameters differ (another partition
+/// width) invalidates the manifest and rewrites instead of adopting
+/// wrong-shard files.
+#[test]
+fn cluster_restart_reuses_shard_files_behind_the_manifest() {
+    let graph = base_graph();
+    let dir = socket_dir("reuse");
+    let snapshot = bigraph::snapshot::GraphSnapshot::capture(&graph, 0);
+    let spawn = |dir: &std::path::Path, n: usize| {
+        Coordinator::spawn_program_from_snapshot(
+            &snapshot,
+            Layer::Upper,
+            n,
+            dir,
+            ClusterConfig::default(),
+            &worker_bin(),
+        )
+        .unwrap()
+    };
+    let shard_mtime = |i: usize| {
+        std::fs::metadata(dir.join(format!("shard-{i}.snap")))
+            .unwrap()
+            .modified()
+            .unwrap()
+    };
+    let candidates: Vec<u32> = (1..N_UPPER as u32).collect();
+    let mut first = spawn(&dir, 3);
+    let before = first
+        .estimate_batch(Layer::Upper, 0, &candidates, EPSILON, 3)
+        .unwrap();
+    drop(first);
+    let stamps: Vec<_> = (0..3).map(shard_mtime).collect();
+
+    // Same parameters: the files are adopted as-is, reports unchanged.
+    let mut again = spawn(&dir, 3);
+    assert_eq!(
+        (0..3).map(shard_mtime).collect::<Vec<_>>(),
+        stamps,
+        "matching manifest must reuse the shard files, not rewrite them"
+    );
+    let after = again
+        .estimate_batch(Layer::Upper, 0, &candidates, EPSILON, 3)
+        .unwrap();
+    assert_reports_identical(&before, &after);
+    drop(again);
+
+    // A different partition invalidates the manifest: shard files are
+    // re-derived for the new cuts and the cluster still answers right.
+    let mut repartitioned = spawn(&dir, 2);
+    assert_ne!(
+        shard_mtime(0),
+        stamps[0],
+        "a different partition must rewrite the shard files"
+    );
+    let split = repartitioned
+        .estimate_batch(Layer::Upper, 0, &candidates, EPSILON, 3)
+        .unwrap();
+    assert_reports_identical(&before, &split);
+    drop(repartitioned);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Edge-bootstrapped clusters retain no snapshot source: supervision of
+/// a dead worker reports the typed error instead of silently skipping.
+#[test]
+fn supervision_without_snapshot_source_is_a_typed_error() {
+    let graph = base_graph();
+    let dir = socket_dir("nosrc");
+    let mut coordinator = Coordinator::spawn_program(
+        &graph,
+        Layer::Upper,
+        2,
+        &dir,
+        ClusterConfig::default(),
+        &worker_bin(),
+    )
+    .unwrap();
+    assert!(coordinator.supervise().unwrap().is_empty());
+    coordinator.kill_worker(0).unwrap();
+    let err = coordinator.supervise().unwrap_err();
+    assert!(
+        matches!(err, ClusterError::NoSnapshotSource { worker: 0 }),
+        "got {err:?}"
+    );
+    drop(coordinator);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A worker that merely loses its connection (not its process) is picked
 /// back up by the coordinator's reconnect-and-resend retry: state
 /// survives across connections.

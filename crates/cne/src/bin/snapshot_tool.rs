@@ -1,0 +1,142 @@
+//! `snapshot-tool` — write, inspect, and verify binary engine snapshots
+//! from the command line (the CLI face of `bigraph::snapshot`).
+//!
+//! ```text
+//! snapshot-tool write  <edges.txt> <out.snap> [--seq N]
+//! snapshot-tool info   <file.snap>
+//! snapshot-tool verify <file.snap>
+//! ```
+//!
+//! The text edge format is the repo's usual fixture grammar: a first line
+//! `n_upper n_lower`, then one `u v` edge per line (blank lines and
+//! `#`-comments skipped). `write` builds the graph, packs its dense
+//! vertices, and writes the snapshot atomically; `info` prints the header
+//! and per-section summary of a valid file; `verify` exits 0 iff the file
+//! loads cleanly (every checksum, every CSR invariant) — CI's
+//! `snapshot-compat` job drives exactly these subcommands.
+
+use bigraph::snapshot::{read_snapshot, GraphSnapshot};
+use bigraph::{BipartiteGraph, Layer};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  snapshot-tool write  <edges.txt> <out.snap> [--seq N]\n  \
+         snapshot-tool info   <file.snap>\n  \
+         snapshot-tool verify <file.snap>"
+    );
+    ExitCode::from(2)
+}
+
+/// Parses the `n_upper n_lower` + `u v` lines fixture grammar.
+fn parse_edges(text: &str) -> Result<BipartiteGraph, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty edge file")?;
+    let parse_pair = |line: &str, what: &str| -> Result<(u64, u64), String> {
+        let mut it = line.split_whitespace();
+        let a = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad {what} line: {line:?}"))?;
+        let b = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad {what} line: {line:?}"))?;
+        if it.next().is_some() {
+            return Err(format!("trailing tokens on {what} line: {line:?}"));
+        }
+        Ok((a, b))
+    };
+    let (n_upper, n_lower) = parse_pair(header, "header")?;
+    let edges = lines
+        .map(|l| parse_pair(l, "edge").map(|(u, v)| (u as u32, v as u32)))
+        .collect::<Result<Vec<_>, _>>()?;
+    BipartiteGraph::from_edges(n_upper as usize, n_lower as usize, edges)
+        .map_err(|e| format!("invalid graph: {e}"))
+}
+
+fn cmd_write(edges_path: &str, out_path: &str, seq: u64) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(edges_path).map_err(|e| format!("read {edges_path}: {e}"))?;
+    let graph = parse_edges(&text)?;
+    let snap = GraphSnapshot::capture(&graph, seq);
+    snap.write_to(Path::new(out_path))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!(
+        "wrote {out_path}: {} upper x {} lower, {} edges, epoch {}, seq {}, packed {}+{}",
+        graph.n_upper(),
+        graph.n_lower(),
+        graph.n_edges(),
+        snap.epoch(),
+        snap.log_seq(),
+        snap.packed(Layer::Upper).len(),
+        snap.packed(Layer::Lower).len(),
+    );
+    Ok(())
+}
+
+fn cmd_info(path: &str) -> Result<(), String> {
+    let snap = read_snapshot(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let g = snap.graph();
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("snapshot {path}");
+    println!("  format version : {}", bigraph::snapshot::VERSION);
+    println!("  file bytes     : {bytes}");
+    println!(
+        "  graph          : {} upper x {} lower, {} edges",
+        g.n_upper(),
+        g.n_lower(),
+        g.n_edges()
+    );
+    println!("  graph epoch    : {}", snap.epoch());
+    println!("  pinned log seq : {}", snap.log_seq());
+    for layer in [Layer::Upper, Layer::Lower] {
+        let packed = snap.packed(layer);
+        let words = g.layer_size(layer.opposite()).div_ceil(64);
+        println!(
+            "  packed {:5?}   : {} dense vertices ({} bytes of bitmap words)",
+            layer,
+            packed.len(),
+            packed.len() * words * 8,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_verify(path: &str) -> Result<(), String> {
+    let snap = read_snapshot(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "ok {path}: epoch {}, seq {}, {} edges, packed {}+{}",
+        snap.epoch(),
+        snap.log_seq(),
+        snap.graph().n_edges(),
+        snap.packed(Layer::Upper).len(),
+        snap.packed(Layer::Lower).len(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, edges, out] if cmd == "write" => cmd_write(edges, out, 0),
+        [cmd, edges, out, flag, n] if cmd == "write" && flag == "--seq" => match n.parse::<u64>() {
+            Ok(seq) => cmd_write(edges, out, seq),
+            Err(_) => return usage(),
+        },
+        [cmd, path] if cmd == "info" => cmd_info(path),
+        [cmd, path] if cmd == "verify" => cmd_verify(path),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("snapshot-tool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

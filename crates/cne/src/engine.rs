@@ -249,6 +249,7 @@ use crate::protocol::Query;
 use crate::single_source::MultiRSS;
 use bigraph::bitset::{PackScratch, PackedSet};
 use bigraph::delta::{AppliedBatch, UpdateBatch};
+use bigraph::snapshot::GraphSnapshot;
 use bigraph::{BipartiteGraph, Layer, VertexId};
 use ldp::budget::{BudgetAccountant, Composition, PrivacyBudget};
 use ldp::noisy_graph::{NoisyNeighbors, NoisyNeighborsPacked};
@@ -540,6 +541,59 @@ impl AdjacencyStore {
                 let _ = self.try_packed(g, layer, v);
             }
         }
+    }
+
+    /// Installs pre-built bitmaps into many slots of one layer in a
+    /// single pass — the snapshot adoption path: a loaded snapshot's
+    /// packed sections go straight into the store, no re-pack. Adoption
+    /// happens at construction time under exclusive access (`&mut`),
+    /// which lets this skip [`AdjacencyStore::try_packed`]'s per-entry
+    /// atomic admission round-trips while keeping its exact admission
+    /// semantics: entries are admitted in the given
+    /// (vertex-id) order, each charged the same `slot_bytes` cost against
+    /// any byte cap, and an entry that is already built or does not fit
+    /// is declined — queries rebuild it on demand, bit-identically.
+    /// Returns how many bitmaps were installed.
+    fn preload_bulk(
+        &mut self,
+        g: &BipartiteGraph,
+        layer: Layer,
+        entries: &[(VertexId, PackedSet)],
+    ) -> usize {
+        assert_eq!(
+            self.slots(layer).len(),
+            g.layer_size(layer),
+            "AdjacencyStore preloaded from a snapshot it was not built for"
+        );
+        let cost = slot_bytes(g.layer_size(layer.opposite()));
+        let epoch = *self.epoch.get_mut();
+        let cap = self.cap_bytes;
+        let mut used = *self.bytes_used.get_mut();
+        let mut declined = 0u64;
+        let mut installed = 0usize;
+        let slots = self.slots_mut(layer);
+        for (v, set) in entries {
+            debug_assert_eq!(
+                set.to_sorted_ids(),
+                g.neighbors(layer, *v),
+                "preloaded bitmap disagrees with the graph's adjacency"
+            );
+            let slot = &mut slots[*v as usize];
+            if slot.set.get().is_some() {
+                continue;
+            }
+            if cap.is_some_and(|cap| used.checked_add(cost).is_none_or(|n| n > cap)) {
+                declined += 1;
+                continue;
+            }
+            used += cost;
+            slot.set = OnceLock::from(set.clone());
+            *slot.built_epoch.get_mut() = epoch;
+            installed += 1;
+        }
+        *self.bytes_used.get_mut() = used;
+        *self.declined.get_mut() += declined;
+        installed
     }
 
     /// Applies the receipt of an update batch: grows the slot tables for
@@ -1189,6 +1243,40 @@ impl<'g> EstimationEngine<'g> {
         max_bytes: usize,
     ) -> EstimationEngine<'static> {
         EstimationEngine::build(Cow::Owned(graph), Some(max_bytes))
+    }
+
+    /// Builds an engine from a loaded [`GraphSnapshot`]: the graph is
+    /// adopted (epoch intact) and the snapshot's packed dense-vertex
+    /// bitmaps are installed directly into the adjacency cache — the warm
+    /// state a [`warm`](Self::warm)-ed text-built engine would reach, at
+    /// the cost of a memcpy instead of a per-vertex re-pack. Estimates,
+    /// transcripts, and budget ledgers are byte-identical to a text-built
+    /// engine over the same graph (pinned in `tests/pinned_fingerprints.rs`).
+    #[must_use]
+    pub fn from_snapshot(snapshot: &GraphSnapshot) -> EstimationEngine<'static> {
+        Self::adopt_snapshot(snapshot, None)
+    }
+
+    /// [`EstimationEngine::from_snapshot`] with a byte-capped adjacency
+    /// cache: packed bitmaps are admitted in vertex-id order until the
+    /// budget fills; the rest serve via the normal admission path,
+    /// bit-identically.
+    #[must_use]
+    pub fn from_snapshot_with_cache_budget(
+        snapshot: &GraphSnapshot,
+        max_bytes: usize,
+    ) -> EstimationEngine<'static> {
+        Self::adopt_snapshot(snapshot, Some(max_bytes))
+    }
+
+    fn adopt_snapshot(snapshot: &GraphSnapshot, cap: Option<usize>) -> EstimationEngine<'static> {
+        let mut engine = EstimationEngine::build(Cow::Owned(snapshot.graph().clone()), cap);
+        for layer in [Layer::Upper, Layer::Lower] {
+            let _ = engine
+                .store
+                .preload_bulk(engine.graph.as_ref(), layer, snapshot.packed(layer));
+        }
+        engine
     }
 
     fn build(graph: Cow<'g, BipartiteGraph>, cap: Option<usize>) -> Self {

@@ -63,6 +63,37 @@
 //! against the old snapshot. Sparse vertices keep falling back to scratch
 //! packing, same as [`AdjacencyStore::warm`](crate::AdjacencyStore::warm).
 //!
+//! # Persistence & fast restart
+//!
+//! A serving tier can be checkpointed to disk and rebuilt without paying
+//! the cold text-parse + warm cost:
+//!
+//! * [`ServingEngine::write_snapshot`] pins the live buffer (the same
+//!   reader protocol as a query — a maintain()-quiet point where the
+//!   buffer is immutable) and writes a versioned binary
+//!   [`bigraph::snapshot`] file: the CSR arrays plus the packed bitmaps
+//!   of every dense vertex, stamped with the graph epoch **and the exact
+//!   log sequence number the pinned buffer covers**. That sequence is
+//!   tracked per buffer (`buffer_seq`) and stored *before* the epoch
+//!   bump that publishes the buffer, so the stamp can never drift from
+//!   the state being captured — exactness matters because `AddVertex`
+//!   replay is not idempotent.
+//! * [`ServingEngine::bootstrap_from_snapshot`] is the inverse: both
+//!   buffers adopt the snapshot ([`EstimationEngine::from_snapshot`] —
+//!   packed sections go straight into the adjacency caches, no re-pack),
+//!   and the writer starts with an empty log. Estimates served from a
+//!   bootstrapped tier are byte-identical to one built from text at the
+//!   same state.
+//! * Catch-up composes through the log: a consumer holding a retained
+//!   [`UpdateLog`] (see [`UpdateLog::with_retention`]) replays the tail
+//!   past the snapshot's pinned sequence
+//!   ([`UpdateLog::replay_from`]) into the bootstrapped tier — the
+//!   restart path the `cluster` coordinator uses to revive a dead shard
+//!   worker in milliseconds.
+//!
+//! The `snapshot-tool` binary (`cargo run --bin snapshot-tool`) writes,
+//! inspects, and verifies the same files from the command line.
+//!
 //! # Staleness is a retry hint
 //!
 //! Generation-checked entry points on the serving tier
@@ -232,6 +263,13 @@ struct Shared {
     shutdown: AtomicBool,
     /// Highest log sequence number covered by the live buffer.
     published_seq: AtomicU64,
+    /// Highest log sequence number covered by each buffer, stored
+    /// **before** the epoch bump that publishes it. A reader pinned to an
+    /// epoch can read its buffer's entry race-free: the writer cannot
+    /// republish (and so cannot restamp) that buffer until the pin drops.
+    /// This is the exact sequence [`ServingEngine::write_snapshot`] stamps
+    /// into snapshot files.
+    buffer_seq: [AtomicU64; 2],
     /// Deltas dropped with their rejected batch.
     rejected: AtomicU64,
     /// Per-snapshot ingest-lag histogram in log2 buckets (`lag_bucket`).
@@ -361,9 +399,15 @@ fn apply_cycle(shared: &Shared, backlog: &mut Vec<UpdateBatch>, fresh: Option<Up
             engine.warm_touched(applied);
         }
     }
-    // Publish after the write guard is gone: bump the epoch (readers now
-    // resolve to the freshly spliced buffer), then advance the published
-    // sequence number so `flush` observes epoch-before-seq.
+    // Publish after the write guard is gone. Stamp the buffer's covered
+    // sequence FIRST: once the epoch bump makes this buffer live, a reader
+    // may pin it and read `buffer_seq` for a snapshot file, and the stamp
+    // must already be in place (the writer cannot restamp until that pin
+    // drops — its next cycle waits on pins before touching the buffer).
+    shared.buffer_seq[offline].store(shared.log.drained(), Ordering::SeqCst);
+    // Bump the epoch (readers now resolve to the freshly spliced buffer),
+    // then advance the published sequence number so `flush` observes
+    // epoch-before-seq.
     shared.epoch.store(epoch_now + 1, Ordering::SeqCst);
     shared
         .published_seq
@@ -514,7 +558,6 @@ impl ServingEngine {
     /// spawned.
     #[must_use]
     pub fn with_config(graph: BipartiteGraph, config: ServingConfig) -> Self {
-        assert!(config.pin_slots > 0, "pin_slots must be at least 1");
         let build = |g: BipartiteGraph| match config.cache_budget {
             Some(bytes) => EstimationEngine::from_graph_with_cache_budget(g, bytes),
             None => EstimationEngine::from_graph(g),
@@ -525,6 +568,49 @@ impl ServingEngine {
             a.warm(layer);
             b.warm(layer);
         }
+        Self::from_buffers(a, b, config)
+    }
+
+    /// Builds a serving tier whose buffers **adopt a loaded snapshot**
+    /// instead of warming from scratch: both buffers come from
+    /// [`EstimationEngine::from_snapshot`], so the packed dense bitmaps of
+    /// *both* layers are installed by memcpy and the tier serves its first
+    /// query as warm as a text-built, [`warm`](EstimationEngine::warm)-ed
+    /// one — byte-identically (see the module-level
+    /// "Persistence & fast restart" section). `config.warm_layer` is
+    /// ignored: the snapshot's packed sections already cover every dense
+    /// vertex a warm pass would build.
+    ///
+    /// The tier's ingestion log starts empty; catching up past the
+    /// snapshot's pinned sequence is the caller's job (feed the tail from
+    /// a retained log — [`bigraph::UpdateLog::replay_from`] — through
+    /// [`extend`](ServingEngine::extend)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.pin_slots` is zero or the writer thread cannot
+    /// be spawned.
+    #[must_use]
+    pub fn bootstrap_from_snapshot(
+        snapshot: &bigraph::snapshot::GraphSnapshot,
+        config: ServingConfig,
+    ) -> Self {
+        let build = || match config.cache_budget {
+            Some(bytes) => EstimationEngine::from_snapshot_with_cache_budget(snapshot, bytes),
+            None => EstimationEngine::from_snapshot(snapshot),
+        };
+        let (a, b) = (build(), build());
+        Self::from_buffers(a, b, config)
+    }
+
+    /// Shared tail of construction: wrap two identical buffers in the
+    /// swap machinery and start the writer.
+    fn from_buffers(
+        a: EstimationEngine<'static>,
+        b: EstimationEngine<'static>,
+        config: ServingConfig,
+    ) -> Self {
+        assert!(config.pin_slots > 0, "pin_slots must be at least 1");
         let shared = Arc::new(Shared {
             buffers: [RwLock::new(a), RwLock::new(b)],
             epoch: AtomicU64::new(0),
@@ -535,6 +621,7 @@ impl ServingEngine {
             log: UpdateLog::new(),
             shutdown: AtomicBool::new(false),
             published_seq: AtomicU64::new(0),
+            buffer_seq: [AtomicU64::new(0), AtomicU64::new(0)],
             rejected: AtomicU64::new(0),
             lag_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             snapshots: AtomicU64::new(0),
@@ -774,6 +861,40 @@ impl ServingEngine {
             lag_p50: lag_percentile(&hist, snapshots, 0.50),
             lag_p95: lag_percentile(&hist, snapshots, 0.95),
         }
+    }
+
+    /// Writes a versioned binary snapshot of the live buffer to `path`,
+    /// returning the log sequence number the file covers (its stamp).
+    ///
+    /// The buffer is pinned for the duration — the same lock-free reader
+    /// protocol as a query, so this is a maintain()-quiet point: the
+    /// writer cannot splice or restamp the pinned buffer, and the
+    /// captured CSR, packed bitmaps, epoch, and sequence stamp are
+    /// mutually consistent by construction. Ingestion continues
+    /// concurrently; deltas published after the pin land in later
+    /// snapshots.
+    ///
+    /// The returned sequence is relative to **this tier's own log**
+    /// ([`ServingEngine::log`]): a delta is covered iff its sequence is
+    /// `<=` the stamp. Reload with
+    /// [`bootstrap_from_snapshot`](ServingEngine::bootstrap_from_snapshot)
+    /// and replay any retained tail past the stamp.
+    ///
+    /// # Errors
+    ///
+    /// [`bigraph::snapshot::SnapshotError::Io`] when the file cannot be
+    /// written. The tier itself is unaffected by a failed write.
+    pub fn write_snapshot(
+        &self,
+        path: &std::path::Path,
+    ) -> std::result::Result<u64, bigraph::snapshot::SnapshotError> {
+        let snap = self.snapshot();
+        // Race-free while pinned: the writer stamps a buffer's sequence
+        // before publishing it and cannot republish this buffer until the
+        // pin drops (its cycle waits on pins first).
+        let seq = self.shared.buffer_seq[(snap.epoch() & 1) as usize].load(Ordering::SeqCst);
+        bigraph::snapshot::GraphSnapshot::capture(snap.graph(), seq).write_to(path)?;
+        Ok(seq)
     }
 
     /// Drains the log, stops the writer, and returns the final live

@@ -122,6 +122,59 @@ fn batch_estimates_are_pinned_across_revisions() {
 }
 
 #[test]
+fn snapshot_loaded_engine_reproduces_the_pinned_estimates() {
+    // A snapshot round-trip must be invisible to the protocol: an engine
+    // adopted from serialized bytes (graph CSR + pre-packed dense bitmaps
+    // installed straight into the adjacency cache) has to hit the exact
+    // PR-4 bit patterns a text-built engine is pinned to — including the
+    // full-batch FNV fingerprint, whose 39 estimates traverse both the
+    // cached-bitmap and scratch-packing paths.
+    let g = dense_graph();
+    let bytes = bigraph::GraphSnapshot::capture(&g, 0).to_bytes();
+    let snap = bigraph::GraphSnapshot::from_bytes(&bytes).unwrap();
+    let engine = EstimationEngine::from_snapshot(&snap);
+    assert!(
+        engine.store().cached_count(Layer::Upper) > 0,
+        "snapshot adoption should pre-populate the warm store"
+    );
+
+    let q = Query::new(Layer::Upper, 3, 17);
+    let pinned: &[(AlgorithmKind, u64, u64)] = &[
+        (AlgorithmKind::Naive, 1, 0x4026000000000000),
+        (AlgorithmKind::OneR, 1, 0x4009f8361a125b1d),
+        (AlgorithmKind::MultiRSS, 77, 0xbff76f9e02cfdf2a),
+        (AlgorithmKind::MultiRDSBasic, 1, 0x401d8392d93a911f),
+        (AlgorithmKind::MultiRDS, 77, 0xc0056a89d59ebf9d),
+        (AlgorithmKind::MultiRDSStar, 1, 0x401185deb81d10de),
+        (AlgorithmKind::CentralDP, 77, 0x4013638745a17022),
+    ];
+    for &(kind, seed, bits) in pinned {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = engine.estimate(&q, kind, 2.0, &mut rng).unwrap();
+        assert_eq!(
+            report.estimate.to_bits(),
+            bits,
+            "{kind} seed {seed}: snapshot-loaded engine moved off the pinned value",
+        );
+    }
+
+    let candidates: Vec<u32> = (1..40).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let report = BatchSingleSource::default()
+        .estimate_batch(engine.graph(), Layer::Upper, 0, &candidates, 2.0, &mut rng)
+        .unwrap();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for e in &report.estimates {
+        h ^= e.estimate.to_bits();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    assert_eq!(
+        h, 0x51c9_178d_7f33_0962,
+        "batch estimates over a snapshot-loaded graph moved off the pinned fingerprint"
+    );
+}
+
+#[test]
 fn sparse_large_universe_estimates_are_pinned() {
     // The skip-sampling regime the perturbation pipeline targets: tiny
     // degrees over a 100k universe, at both gate budgets (ε = 1 exercises

@@ -1,0 +1,248 @@
+//! Snapshot adoption at the engine and serving layers: an engine or
+//! serving tier bootstrapped from a binary snapshot must be
+//! indistinguishable — byte-for-byte, across estimates, transcripts, and
+//! budget ledgers — from one built from the original graph, and the
+//! snapshot's pinned sequence number must be exact (tail replay of
+//! non-idempotent `AddVertex` deltas depends on it).
+
+use bigraph::snapshot::GraphSnapshot;
+use bigraph::{BipartiteGraph, GraphDelta, Layer};
+use cne::serving::{ServingConfig, ServingEngine};
+use cne::{AlgorithmKind, EstimationEngine, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// 48 upper over 300 lower with a dense/sparse degree mix, so snapshot
+/// adoption covers both the preloaded-bitmap and scratch-packing paths.
+fn mixed_graph() -> BipartiteGraph {
+    let mut edges = Vec::new();
+    for u in 0..48u32 {
+        let degree = if u % 2 == 0 {
+            30 + (u % 11) as usize
+        } else {
+            3
+        };
+        for k in 0..degree {
+            edges.push((u, (u * 17 + k as u32 * 7) % 300));
+        }
+    }
+    BipartiteGraph::from_edges(48, 300, edges).unwrap()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cne-snapshot-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("engine.snap")
+}
+
+/// Serialized-report equality: estimate bits, budget ledger, transcript
+/// aggregates — everything the report carries.
+fn assert_same_reports(a: &impl serde::Serialize, b: &impl serde::Serialize) {
+    assert_eq!(
+        serde_json::to_string(a).unwrap(),
+        serde_json::to_string(b).unwrap()
+    );
+}
+
+#[test]
+fn snapshot_engine_reports_are_byte_identical_to_text_built() {
+    let g = mixed_graph();
+    let snap = GraphSnapshot::from_bytes(&GraphSnapshot::capture(&g, 0).to_bytes()).unwrap();
+    let from_snapshot = EstimationEngine::from_snapshot(&snap);
+    let from_text = EstimationEngine::from_graph(g);
+    from_text.warm(Layer::Upper).warm(Layer::Lower);
+
+    for kind in [
+        AlgorithmKind::Naive,
+        AlgorithmKind::OneR,
+        AlgorithmKind::MultiRSS,
+        AlgorithmKind::MultiRDS,
+        AlgorithmKind::CentralDP,
+    ] {
+        for seed in [1u64, 42, 99] {
+            let q = Query::new(Layer::Upper, 2, 6);
+            let a = from_snapshot
+                .estimate(&q, kind, 2.0, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let b = from_text
+                .estimate(&q, kind, 2.0, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_same_reports(&a, &b);
+        }
+    }
+    let a = from_snapshot
+        .estimate_batch(
+            Layer::Upper,
+            0,
+            &(1..48).collect::<Vec<_>>(),
+            2.0,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+    let b = from_text
+        .estimate_batch(
+            Layer::Upper,
+            0,
+            &(1..48).collect::<Vec<_>>(),
+            2.0,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+    assert_same_reports(&a, &b);
+}
+
+#[test]
+fn snapshot_adoption_prepopulates_the_warm_store() {
+    let g = mixed_graph();
+    let snap = GraphSnapshot::capture(&g, 0);
+    let engine = EstimationEngine::from_snapshot(&snap);
+    // Every packed section entry lands in the store, without a single
+    // query having run — the fast-restart property.
+    for layer in [Layer::Upper, Layer::Lower] {
+        assert_eq!(
+            engine.store().cached_count(layer),
+            snap.packed(layer).len(),
+            "layer {layer:?}"
+        );
+        for &(v, ref set) in snap.packed(layer) {
+            assert_eq!(engine.store().cached(layer, v), Some(set));
+        }
+    }
+    assert!(engine.store().cached_count(Layer::Upper) > 0);
+    assert!(engine.store().bytes_used() > 0);
+    assert_eq!(engine.graph(), &g);
+}
+
+#[test]
+fn byte_capped_snapshot_adoption_stays_within_budget_and_bit_identical() {
+    let g = mixed_graph();
+    let snap = GraphSnapshot::capture(&g, 0);
+    // Room for only a handful of bitmaps.
+    let cap = 4 * g.n_lower().div_ceil(64) * 8;
+    let capped = EstimationEngine::from_snapshot_with_cache_budget(&snap, cap);
+    assert!(capped.store().bytes_used() <= cap);
+    assert!(capped.store().cached_count(Layer::Upper) < snap.packed(Layer::Upper).len());
+
+    let uncapped = EstimationEngine::from_snapshot(&snap);
+    let q = Query::new(Layer::Upper, 0, 4);
+    for kind in [AlgorithmKind::OneR, AlgorithmKind::MultiRSS] {
+        let a = capped
+            .estimate(&q, kind, 2.0, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let b = uncapped
+            .estimate(&q, kind, 2.0, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        assert_same_reports(&a, &b);
+    }
+}
+
+#[test]
+fn serving_write_snapshot_pins_the_exact_published_sequence() {
+    let serving = ServingEngine::new(mixed_graph());
+    let path = scratch("seq");
+    // Quiet tier: covers sequence 0.
+    assert_eq!(serving.write_snapshot(&path).unwrap(), 0);
+
+    let n = 25u32;
+    serving.extend((0..n).map(|i| GraphDelta::AddEdge {
+        upper: i % 48,
+        lower: (i * 13) % 300,
+    }));
+    serving.flush();
+    let seq = serving.write_snapshot(&path).unwrap();
+    assert_eq!(
+        seq,
+        u64::from(n),
+        "stamp must be the exact covered sequence"
+    );
+    let snap = bigraph::read_snapshot(&path).unwrap();
+    assert_eq!(snap.log_seq(), u64::from(n));
+    assert_eq!(snap.graph(), serving.snapshot().graph());
+}
+
+#[test]
+fn serving_round_trip_through_disk_preserves_reports_and_streaming() {
+    // Stream into a tier, snapshot it, bootstrap a second tier from the
+    // file, then stream the SAME suffix (AddVertex included — the
+    // non-idempotent delta) into both and compare end states + reports.
+    let deltas: Vec<GraphDelta> = (0..60u32)
+        .map(|i| match i % 5 {
+            0 => GraphDelta::RemoveEdge {
+                upper: i % 48,
+                lower: (i * 17) % 300,
+            },
+            4 => GraphDelta::AddVertex {
+                layer: Layer::Lower,
+            },
+            _ => GraphDelta::AddEdge {
+                upper: (i * 7) % 48,
+                lower: (i * 29) % 300,
+            },
+        })
+        .collect();
+    let (head, tail) = deltas.split_at(40);
+
+    let original = ServingEngine::with_config(
+        mixed_graph(),
+        ServingConfig {
+            warm_layer: Some(Layer::Upper),
+            ..ServingConfig::default()
+        },
+    );
+    original.extend(head.iter().copied());
+    original.flush();
+    let path = scratch("roundtrip");
+    let seq = original.write_snapshot(&path).unwrap();
+    assert_eq!(seq, head.len() as u64);
+
+    let snap = bigraph::read_snapshot(&path).unwrap();
+    let restored = ServingEngine::bootstrap_from_snapshot(&snap, ServingConfig::default());
+
+    // Identical reports right after bootstrap...
+    let q = Query::new(Layer::Upper, 2, 9);
+    let a = original
+        .estimate(
+            &q,
+            AlgorithmKind::MultiRSS,
+            2.0,
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+    let b = restored
+        .estimate(
+            &q,
+            AlgorithmKind::MultiRSS,
+            2.0,
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+    assert_same_reports(&a, &b);
+
+    // ...and after both tiers ingest the identical tail.
+    original.extend(tail.iter().copied());
+    restored.extend(tail.iter().copied());
+    original.flush();
+    restored.flush();
+    let a = original
+        .estimate(
+            &q,
+            AlgorithmKind::MultiRDS,
+            2.0,
+            &mut StdRng::seed_from_u64(23),
+        )
+        .unwrap();
+    let b = restored
+        .estimate(
+            &q,
+            AlgorithmKind::MultiRDS,
+            2.0,
+            &mut StdRng::seed_from_u64(23),
+        )
+        .unwrap();
+    assert_same_reports(&a, &b);
+
+    let final_original = original.into_engine();
+    let final_restored = restored.into_engine();
+    assert_eq!(final_original.graph(), final_restored.graph());
+}
