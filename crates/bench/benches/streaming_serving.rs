@@ -68,6 +68,16 @@
 //!   (`BootstrapSnapshot`); each worker adopts just its own shard's
 //!   bytes.
 //!
+//! **Rebalance leg (ISSUE 10).** A 2-shard cluster keeps answering the
+//! screening query while it splits live to 4 shards and merges back,
+//! stepping the rebalance state machine by hand with a query between
+//! every step. `rebalance_steady_query` is the query mean outside any
+//! rebalance window, `rebalance_worst_query` the worst single query
+//! inside one, and `rebalance_failed_queries` the count of queries that
+//! errored (reported as a raw `ns` value so `bench_check` can gate it to
+//! **exactly zero** — the clean-path contract is that a live rebalance
+//! is invisible to readers).
+//!
 //! Gated ratios (hardware-neutral, see `BENCH_micro.json`):
 //! `sustained_double_buffered / sustained_stop_the_world`,
 //! `worst_window_double_buffered / worst_window_stop_the_world`,
@@ -75,9 +85,12 @@
 //! (the ingest-scaling edge),
 //! `sustained_cluster_4worker_sharded / sustained_cluster_1worker`
 //! (fan-out overhead must stay bounded),
-//! `snapshot_load / cold_text_build` (the fast-restart edge), and
+//! `snapshot_load / cold_text_build` (the fast-restart edge),
 //! `spawn_bootstrap_snapshot / spawn_bootstrap_frames` (snapshot
-//! bootstrap must keep beating edge-frame bootstrap).
+//! bootstrap must keep beating edge-frame bootstrap), and
+//! `rebalance_worst_query / rebalance_steady_query` (a mid-rebalance
+//! query must stay bounded by query cost, never pay a splice or a
+//! snapshot cut).
 
 use bigraph::snapshot::{read_snapshot, GraphSnapshot};
 use bigraph::{BipartiteGraph, GraphDelta, Layer};
@@ -453,6 +466,129 @@ fn run_bootstrap_legs(graph: &BipartiteGraph, reps: usize) -> [Duration; 4] {
     best
 }
 
+/// One timed screening query against the cluster front; an `Err` counts
+/// as a failed query (the gated count — zero on the clean path).
+fn timed_query(
+    front: &mut Coordinator,
+    candidates: &[u32],
+    seed: u64,
+    failed: &mut usize,
+) -> Duration {
+    let start = Instant::now();
+    match front.estimate_batch(Layer::Upper, 0, candidates, EPSILON, seed) {
+        Ok(report) => assert_eq!(report.estimates.len(), candidates.len()),
+        Err(_) => *failed += 1,
+    }
+    start.elapsed()
+}
+
+/// The live-rebalance leg (ISSUE 10): split 2→4, merge 4→2, querying
+/// between every state-machine step while update pressure keeps arriving.
+/// Best-of-`reps` on the timing figures (the worst-query sample is a
+/// single observation per rep, so one scheduler hiccup would otherwise
+/// poison the gated ratio); the failed-query count accumulates across
+/// every rep — a failure anywhere is a contract breach, not noise.
+/// Returns `(steady query mean, worst mid-rebalance query, failed query
+/// count)`.
+fn run_rebalance_leg(candidates: &[u32], reps: usize) -> (Duration, Duration, usize) {
+    let graph = screening_graph();
+    let snap = GraphSnapshot::capture(&graph, 0);
+    drop(graph);
+    let exe = std::env::current_exe().expect("bench exe");
+    let mut best_steady = Duration::MAX;
+    let mut best_worst = Duration::MAX;
+    let mut failed = 0usize;
+    for rep in 0..reps {
+        let (steady, worst) = rebalance_rep(&snap, candidates, rep, &exe, &mut failed);
+        best_steady = best_steady.min(steady);
+        best_worst = best_worst.min(worst);
+    }
+    (best_steady, best_worst, failed)
+}
+
+/// One repetition of the rebalance leg: fresh cluster, fresh socket dir.
+fn rebalance_rep(
+    snap: &GraphSnapshot,
+    candidates: &[u32],
+    rep: usize,
+    exe: &std::path::Path,
+    failed: &mut usize,
+) -> (Duration, Duration) {
+    let dir = std::env::temp_dir().join(format!(
+        "cne-serving-bench-{}-rebal-{rep}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let mut front = Coordinator::spawn_program_from_snapshot(
+        snap,
+        Layer::Upper,
+        2,
+        &dir,
+        ClusterConfig::default(),
+        exe,
+    )
+    .expect("rebalance-leg spawn");
+
+    // Continuous write pressure: one 64-edge batch lands before every
+    // query, so the cutover's tail replay and the steady pumps both have
+    // real work.
+    let pressure: Vec<Vec<GraphDelta>> = zipf_stream(8).into_iter().flatten().collect();
+    let mut next_batch = 0usize;
+    let mut push = |front: &Coordinator| {
+        front.extend(pressure[next_batch % pressure.len()].iter().copied());
+        next_batch += 1;
+    };
+
+    let mut steady = Vec::new();
+    let mut worst = Duration::ZERO;
+    let mut seed = SEED + ((rep as u64) << 16);
+
+    // Steady-state window on the 2-shard topology.
+    for _ in 0..6 {
+        push(&front);
+        front.flush().expect("steady flush");
+        seed += 1;
+        steady.push(timed_query(&mut front, candidates, seed, failed));
+    }
+    // Live split 2→4 and merge 4→2 (shifted cut), a query between every
+    // step of both. Updates keep arriving un-flushed: the cutover replay
+    // and the post-commit pumps absorb them.
+    let n_upper = (N_CANDIDATES + 1) / 4;
+    let plans: [Vec<std::ops::Range<u32>>; 2] = [
+        (0..4)
+            .map(|i| {
+                let lo = i * n_upper;
+                let hi = if i == 3 { u32::MAX } else { (i + 1) * n_upper };
+                lo..hi
+            })
+            .collect(),
+        vec![
+            0..N_CANDIDATES.div_ceil(2) + 1,
+            N_CANDIDATES.div_ceil(2) + 1..u32::MAX,
+        ],
+    ];
+    for plan in plans {
+        front.begin_rebalance(plan).expect("begin rebalance");
+        while front.rebalance_in_flight().is_some() {
+            push(&front);
+            seed += 1;
+            worst = worst.max(timed_query(&mut front, candidates, seed, failed));
+            front.rebalance_step().expect("clean-path rebalance step");
+        }
+    }
+    // Steady-state window again on the merged topology.
+    for _ in 0..6 {
+        push(&front);
+        front.flush().expect("steady flush");
+        seed += 1;
+        steady.push(timed_query(&mut front, candidates, seed, failed));
+    }
+    drop(front);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mean = steady.iter().sum::<Duration>() / steady.len() as u32;
+    (mean, worst)
+}
+
 fn main() {
     // The bench binary doubles as the shard-worker executable: when the
     // worker env vars are set, this process IS a worker — serve and exit.
@@ -529,6 +665,11 @@ fn main() {
     let [cold_text, snap_load, spawn_frames, spawn_snap] = run_bootstrap_legs(&graph, 3);
     drop(graph);
 
+    // The live-rebalance leg: one "iter" is one screening query; the
+    // failed-query count rides the same line grammar as a raw ns value
+    // so `bench_check` can gate it to exactly zero.
+    let (rebal_steady, rebal_worst, rebal_failed) = run_rebalance_leg(&candidates, 2);
+
     // One "iter" is one cycle: ingest BATCHES_PER_CYCLE 64-edge batches +
     // one 200-candidate screening round. Sustained QPS is the reciprocal
     // of the mean (deferred drain included for the double-buffered mode).
@@ -543,6 +684,12 @@ fn main() {
     print_bench("snapshot_load", snap_load);
     print_bench("spawn_bootstrap_frames", spawn_frames);
     print_bench("spawn_bootstrap_snapshot", spawn_snap);
+    print_bench("rebalance_steady_query", rebal_steady);
+    print_bench("rebalance_worst_query", rebal_worst);
+    println!(
+        "bench: micro/streaming_serving/{:<37} {rebal_failed:>10} ns/iter",
+        "rebalance_failed_queries"
+    );
 
     let qps = |w: &Windows| 1.0 / w.mean.as_secs_f64();
     println!(
@@ -563,6 +710,13 @@ fn main() {
         qps(&cluster[2]),
         qps(&cluster[1]) / qps(&cluster[2]),
         cluster[1].mean.as_secs_f64() / cluster[0].mean.as_secs_f64(),
+    );
+    println!(
+        "info: streaming_serving rebalance steady_query_ms={:.2} worst_query_ms={:.2} \
+         mid_rebalance_tax={:.2}x failed_queries={rebal_failed}",
+        rebal_steady.as_secs_f64() * 1e3,
+        rebal_worst.as_secs_f64() * 1e3,
+        rebal_worst.as_secs_f64() / rebal_steady.as_secs_f64(),
     );
     println!(
         "info: streaming_serving bootstrap cold_text_ms={:.1} snapshot_load_ms={:.1} \

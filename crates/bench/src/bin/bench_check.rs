@@ -157,7 +157,30 @@ const GATES: &[Gate] = &[
         numerator: "micro/streaming_serving/spawn_bootstrap_snapshot",
         denominator: "micro/streaming_serving/spawn_bootstrap_frames",
     },
+    // Live-rebalance gate (ISSUE 10): a query issued between rebalance
+    // steps must stay bounded by query cost — the heavy work (snapshot
+    // capture, shard-file cuts, bootstrap, tail replay) happens inside
+    // the steps, never inside a reader's critical path. Recorded at
+    // ~3.3× the steady mean (the worst sample lands right after the
+    // cutover swap: cold worker caches plus the first pump of the
+    // backlog) — a reader paying a full splice or snapshot cut would
+    // blow far past the tolerance on this ratio.
+    Gate {
+        name: "serving worst mid-rebalance query vs steady query",
+        numerator: "micro/streaming_serving/rebalance_worst_query",
+        denominator: "micro/streaming_serving/rebalance_steady_query",
+    },
 ];
+
+/// Gates on a **measured value itself**, not a ratio: the benchmark
+/// reports a count disguised as a raw `ns` value, and the gate fails on
+/// anything but exactly zero. Unlike [`check`]'s ratio lookups (which
+/// reject non-positive values as "missing"), these are read raw — zero
+/// is the expected reading, not an absent one.
+const ZERO_GATES: &[(&str, &str)] = &[(
+    "live rebalance serves with zero failed queries",
+    "micro/streaming_serving/rebalance_failed_queries",
+)];
 
 /// One line describing the CPU tier the dispatched kernels run on — printed
 /// at the top of the report so a regression can be read in context of the
@@ -264,6 +287,17 @@ fn check(
             ));
         }
     }
+    for &(name, id) in ZERO_GATES {
+        let value = measured
+            .get(id)
+            .copied()
+            .ok_or_else(|| format!("bench log is missing benchmark `{id}`"))?;
+        let verdict = if value == 0.0 { "ok" } else { "FAIL" };
+        println!("bench-check [{verdict:>4}] {name}: measured {value} (must be 0)");
+        if value != 0.0 {
+            failures.push(format!("{name}: measured {value}, must be exactly 0"));
+        }
+    }
     Ok(failures)
 }
 
@@ -283,7 +317,11 @@ fn main() -> ExitCode {
     };
     match run() {
         Ok(failures) if failures.is_empty() => {
-            println!("bench-check: all {} gates within {TOLERANCE}x", GATES.len());
+            println!(
+                "bench-check: all {} ratio gates within {TOLERANCE}x, {} zero gates clean",
+                GATES.len(),
+                ZERO_GATES.len()
+            );
             ExitCode::SUCCESS
         }
         Ok(failures) => {
@@ -372,6 +410,18 @@ mod tests {
             "micro/streaming_serving/spawn_bootstrap_snapshot".into(),
             121.9e6,
         );
+        m.insert(
+            "micro/streaming_serving/rebalance_steady_query".into(),
+            5.0e6,
+        );
+        m.insert(
+            "micro/streaming_serving/rebalance_worst_query".into(),
+            8.0e6,
+        );
+        m.insert(
+            "micro/streaming_serving/rebalance_failed_queries".into(),
+            0.0,
+        );
         m
     }
 
@@ -443,6 +493,9 @@ bench: micro/streaming_serving/sustained_double_buffered          3.326 ms/iter
                 "{}",
                 gate.denominator
             );
+        }
+        for &(_, id) in ZERO_GATES {
+            assert!(parsed.contains_key(id), "{id}");
         }
     }
 
@@ -518,5 +571,40 @@ bench: micro/streaming_serving/sustained_double_buffered          3.326 ms/iter
         let base = baseline();
         let measured = HashMap::new();
         assert!(check(&base, &measured).is_err());
+    }
+
+    #[test]
+    fn rebalance_gates_catch_downtime_and_reader_stalls() {
+        let base = baseline();
+        // A single failed query during the live rebalance: the zero gate
+        // fails no matter how small the count.
+        let mut measured = base.clone();
+        *measured
+            .get_mut("micro/streaming_serving/rebalance_failed_queries")
+            .unwrap() = 1.0;
+        let failures = check(&base, &measured).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("zero failed queries"));
+        // A mid-rebalance query that pays a splice (~10x the steady mean
+        // instead of the recorded ~1.6x): the ratio gate fails.
+        let mut measured = base.clone();
+        *measured
+            .get_mut("micro/streaming_serving/rebalance_worst_query")
+            .unwrap() = 50.0e6;
+        let failures = check(&base, &measured).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("mid-rebalance"));
+    }
+
+    #[test]
+    fn zero_gate_reads_raw_values_missing_is_an_error() {
+        let base = baseline();
+        // The ratio lookups treat non-positive values as missing; the
+        // zero gate must NOT — 0 is its passing reading — but an absent
+        // line is still an error, never a silent pass.
+        let mut measured = base.clone();
+        measured.remove("micro/streaming_serving/rebalance_failed_queries");
+        let err = check(&base, &measured).unwrap_err();
+        assert!(err.contains("rebalance_failed_queries"), "{err}");
     }
 }

@@ -385,12 +385,12 @@ impl UpdateLog {
     /// stream. A plain [`new`](UpdateLog::new) log discards deltas as they
     /// are drained.
     ///
-    /// Retention is unbounded: the history grows by one entry per drained
-    /// delta for the lifetime of the log. That is the right trade for its
-    /// one consumer today — a sharded-serving coordinator that must replay
-    /// the tail after restarting a worker from a snapshot — and bounded
-    /// retention (truncate below the oldest live snapshot) is deliberately
-    /// left to a future rebalancing PR.
+    /// Retention grows by one entry per drained delta until the owner
+    /// truncates it: once a newer snapshot covers a prefix of the stream,
+    /// [`truncate_history_through`](UpdateLog::truncate_history_through)
+    /// discards everything at or below the snapshot's pinned sequence —
+    /// which is how a sharded-serving coordinator bounds the history each
+    /// time a rebalance re-pins its recovery source.
     #[must_use]
     pub fn with_retention() -> Self {
         Self {
@@ -417,6 +417,21 @@ impl UpdateLog {
         // History is sorted by sequence; find the first entry past the pin.
         let start = history.partition_point(|&(seq, _)| seq <= after_seq);
         Some(history[start..].iter().map(|&(_, delta)| delta).collect())
+    }
+
+    /// Discards retained history with sequence number **at or below**
+    /// `through_seq`, bounding the memory
+    /// [`replay_from`](UpdateLog::replay_from) keeps alive. Call it when a
+    /// newer snapshot covers that prefix of the stream: a later
+    /// `replay_from(s)` with `s >= through_seq` still returns the exact
+    /// tail, while replaying from an older pin would silently miss the
+    /// truncated deltas — the caller owns that invariant. No-op on a log
+    /// without retention.
+    pub fn truncate_history_through(&self, through_seq: u64) {
+        if let Some(history) = self.history.lock().expect("update log poisoned").as_mut() {
+            let keep_from = history.partition_point(|&(seq, _)| seq <= through_seq);
+            history.drain(..keep_from);
+        }
     }
 
     /// Appends one delta, returning its sequence number (1-based).

@@ -404,7 +404,12 @@ impl GraphSnapshot {
             let mut file = std::fs::File::create(&tmp)?;
             file.write_all(&bytes)?;
             file.sync_all()?;
-            std::fs::rename(&tmp, path)
+            std::fs::rename(&tmp, path)?;
+            // The rename is only durable once the *directory entry* is on
+            // disk: without an fsync of the parent, a crash after this
+            // call can resurrect the old file (or no file) even though
+            // the data blocks themselves were synced above.
+            std::fs::File::open(dir.unwrap_or_else(|| Path::new(".")))?.sync_all()
         })();
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);

@@ -259,3 +259,40 @@ fn replay_from_reemits_exactly_the_tail_past_the_pin() {
     let _ = plain.drain_batch(10).unwrap();
     assert!(plain.replay_from(0).is_none());
 }
+
+#[test]
+fn truncate_history_bounds_retention_without_touching_the_tail() {
+    let log = UpdateLog::with_retention();
+    for i in 0..10u32 {
+        log.append(bigraph::GraphDelta::AddEdge { upper: i, lower: i });
+    }
+    let _ = log.drain_batch(100).unwrap();
+
+    // Truncating through sequence 6 keeps exactly the tail 7..=10: a
+    // replay from the truncation point (or later) is unchanged.
+    log.truncate_history_through(6);
+    let tail = log.replay_from(6).unwrap();
+    let expected: Vec<_> = (6..10u32)
+        .map(|i| bigraph::GraphDelta::AddEdge { upper: i, lower: i })
+        .collect();
+    assert_eq!(tail.deltas(), &expected[..]);
+    assert!(log.replay_from(10).unwrap().is_empty());
+
+    // Idempotent, and truncating everything leaves an empty-but-working
+    // history that keeps retaining future drains.
+    log.truncate_history_through(6);
+    assert_eq!(log.replay_from(6).unwrap().len(), 4);
+    log.truncate_history_through(u64::MAX);
+    assert!(log.replay_from(10).unwrap().is_empty());
+    log.append(bigraph::GraphDelta::AddEdge {
+        upper: 99,
+        lower: 99,
+    });
+    let _ = log.drain_batch(10).unwrap();
+    assert_eq!(log.replay_from(10).unwrap().len(), 1);
+
+    // Retention-less logs ignore truncation.
+    let plain = UpdateLog::new();
+    plain.truncate_history_through(5);
+    assert!(plain.replay_from(0).is_none());
+}

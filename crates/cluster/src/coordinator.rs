@@ -26,6 +26,7 @@
 //! [`ClusterError::PartialResult`] instead of hanging.
 
 use crate::error::{ClusterError, Result};
+use crate::fault::{FaultInjector, FrameFate, KillTarget};
 use crate::wire::{Message, WireRound1, WireStats};
 use crate::worker::{SHARD_HI_ENV, SHARD_LO_ENV, SOCKET_ENV};
 use bigraph::delta::{GraphDelta, UpdateLog};
@@ -40,31 +41,118 @@ use std::ops::Range;
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Every timeout, deadline, and backoff the coordinator applies to a
+/// worker, in one place. Retries sleep a **jitter-free exponential**
+/// sequence — `backoff_base * 2^attempt`, capped at `backoff_cap` — so a
+/// retry schedule is exactly reproducible run to run (the property the
+/// fault-injection harness pins its legs on), while still spreading a
+/// slow worker's restart over geometrically fewer probes than the old
+/// fixed sleep did.
+///
+/// [`RetryPolicy::from_env`] (which [`Default`] delegates to) lets every
+/// knob be overridden per process without a code change:
+///
+/// | field | env var | default |
+/// |---|---|---|
+/// | `connect_timeout` | `CNE_CLUSTER_CONNECT_TIMEOUT_MS` | 5000 |
+/// | `backoff_base` | `CNE_CLUSTER_BACKOFF_BASE_MS` | 10 |
+/// | `backoff_cap` | `CNE_CLUSTER_BACKOFF_CAP_MS` | 160 |
+/// | `io_timeout` | `CNE_CLUSTER_IO_TIMEOUT_MS` | 10000 |
+/// | `teardown_deadline` | `CNE_CLUSTER_TEARDOWN_MS` | 2000 |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total time budget for (re)connecting to one worker's socket,
+    /// with [`backoff`](Self::backoff) sleeps between attempts.
+    pub connect_timeout: Duration,
+    /// First retry sleep; attempt `n` sleeps `backoff_base * 2^n`.
+    pub backoff_base: Duration,
+    /// Ceiling on any single retry sleep.
+    pub backoff_cap: Duration,
+    /// Read/write timeout on every worker socket: the bound that turns a
+    /// hung worker into a typed error instead of a hung coordinator.
+    pub io_timeout: Duration,
+    /// How long an orderly teardown waits for a worker to exit on its
+    /// own (polled with [`backoff`](Self::backoff)) before killing it.
+    pub teardown_deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// The compiled-in baseline (the table in the type docs), with no
+    /// environment consulted.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(160),
+            io_timeout: Duration::from_secs(10),
+            teardown_deadline: Duration::from_secs(2),
+        }
+    }
+
+    /// [`baseline`](Self::baseline) with any of the documented
+    /// `CNE_CLUSTER_*_MS` environment overrides applied (unparsable
+    /// values are ignored). This is what [`Default`] returns, so CI legs
+    /// and operators tune deadlines without touching call sites.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let ms = |var: &str, fallback: Duration| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map_or(fallback, Duration::from_millis)
+        };
+        let base = Self::baseline();
+        Self {
+            connect_timeout: ms("CNE_CLUSTER_CONNECT_TIMEOUT_MS", base.connect_timeout),
+            backoff_base: ms("CNE_CLUSTER_BACKOFF_BASE_MS", base.backoff_base),
+            backoff_cap: ms("CNE_CLUSTER_BACKOFF_CAP_MS", base.backoff_cap),
+            io_timeout: ms("CNE_CLUSTER_IO_TIMEOUT_MS", base.io_timeout),
+            teardown_deadline: ms("CNE_CLUSTER_TEARDOWN_MS", base.teardown_deadline),
+        }
+    }
+
+    /// The deterministic sleep before retry `attempt` (0-based):
+    /// `min(backoff_base * 2^attempt, backoff_cap)`. No jitter — two runs
+    /// of the same schedule probe at the same offsets.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base
+            .checked_mul(factor)
+            .map_or(self.backoff_cap, |d| d.min(self.backoff_cap))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
 
 /// Coordinator-side tuning.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Total time budget for (re)connecting to one worker's socket,
-    /// retried with [`connect_backoff`](Self::connect_backoff) in between.
-    pub connect_timeout: Duration,
-    /// Sleep between connect attempts (a freshly spawned worker needs a
-    /// moment to bind its listener).
-    pub connect_backoff: Duration,
-    /// Read/write timeout on every worker socket: the bound that turns a
-    /// hung worker into a typed error instead of a hung coordinator.
-    pub io_timeout: Duration,
+    /// Timeouts, deadlines, and retry backoff (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
     /// Deltas drained from the coordinator log per replication pump.
     pub pump_chunk: usize,
+    /// The fault-injection harness consulted on every outbound frame,
+    /// shard-file write, and rebalance step. The default arms whatever
+    /// [`FAULT_PLAN_ENV`](crate::FAULT_PLAN_ENV) holds — unset, an inert
+    /// injector that costs one atomic-free boolean check per site.
+    pub faults: Arc<FaultInjector>,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
-            connect_timeout: Duration::from_secs(5),
-            connect_backoff: Duration::from_millis(10),
-            io_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::from_env(),
             pump_chunk: 4096,
+            faults: FaultInjector::from_env(),
         }
     }
 }
@@ -104,6 +192,11 @@ struct Worker {
     child: Option<Child>,
     conn: Option<UnixStream>,
     healthy: bool,
+    /// Idempotency counter for `Update` exchanges: bumped once per
+    /// logical batch, so the retry inside [`exchange`] re-sends the same
+    /// `batch_seq` and the worker can drop a batch it already ingested
+    /// instead of double-applying it (`AddVertex` is not idempotent).
+    update_batches: u64,
 }
 
 /// One worker's entry in a [`ClusterStats`] roll-up.
@@ -173,6 +266,35 @@ pub struct Coordinator {
     /// snapshot path. `None` for edge-list-bootstrapped clusters, which
     /// cannot rebuild dead workers.
     snapshot: Option<SnapshotSource>,
+    /// The artifact directory (sockets, shard files, manifest), retained
+    /// so rebalancing can stage a new generation of files next to the
+    /// live ones.
+    dir: PathBuf,
+    /// Topology generation, bumped by every [`begin_rebalance`]
+    /// (`Coordinator::begin_rebalance`). Generation-`g` artifacts carry a
+    /// `-g{g}-` infix so a staged topology never collides with the one
+    /// still serving.
+    generation: u64,
+    /// The coordinator's own copy of the graph, kept current lazily:
+    /// `graph` is the source snapshot's state with every drained delta
+    /// through `seq` applied. Rebalancing folds the drained tail in at
+    /// its quiet point to cut fresh shard files without asking any worker
+    /// to serialize state back. `None` for edge-list-bootstrapped
+    /// clusters, which therefore cannot rebalance.
+    base: Option<BaseGraph>,
+    /// The in-flight rebalance, if any (see [`RebalanceStep`] for the
+    /// step sequence). `Some` only between a failed/paused step and the
+    /// next [`rebalance_step`](Coordinator::rebalance_step) call;
+    /// completed or rolled-back rebalances clear it.
+    rebalance: Option<RebalanceState>,
+}
+
+/// The coordinator-held graph replica rebalancing cuts shard files from.
+struct BaseGraph {
+    /// Source-snapshot state plus all drained deltas through `seq`.
+    graph: BipartiteGraph,
+    /// Last drained log sequence folded into `graph`.
+    seq: u64,
 }
 
 /// The on-disk snapshots a snapshot-spawned cluster rebuilds workers
@@ -189,6 +311,117 @@ struct SnapshotSource {
     /// Graph epoch stamped into the files (workers cross-check it before
     /// adopting).
     epoch: u64,
+}
+
+/// The steps of a live rebalance, in order. Each step is atomic from the
+/// caller's perspective: a failure inside any of them rolls the
+/// coordinator back to the previous topology (still serving, zero
+/// divergence) before the error surfaces. The **commit point** is inside
+/// [`CutOver`](Self::CutOver) — every fallible action precedes it, so a
+/// surfaced [`ClusterError::Rebalance`] always has `rolled_back: true`;
+/// anything that dies *after* commit (a fresh worker crashing on its
+/// first query) is ordinary supervision work, finished by
+/// [`Coordinator::supervise`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RebalanceStep {
+    /// Drain the replication log and barrier every worker: after this,
+    /// worker state == base state + drained tail, with nothing in flight.
+    Quiesce,
+    /// Fold the drained tail into the coordinator's base graph and pin a
+    /// quiet-point [`GraphSnapshot`] at the current drained sequence.
+    Capture,
+    /// Cut one shard-restricted snapshot file per **new** range, named
+    /// with the new generation so the staged files never collide with
+    /// the serving ones.
+    Cut,
+    /// Launch the new generation's worker processes on fresh sockets.
+    Spawn,
+    /// Handshake each new worker and ship its snapshot-bootstrap frame.
+    Bootstrap,
+    /// Catch the new workers up past the pinned sequence, barrier them,
+    /// then **commit**: swap the coordinator's range table, cut-point
+    /// cache, worker table, and snapshot source in one motion. Queries
+    /// issued before this step complete against the old topology; the
+    /// first query after it runs against the new one.
+    CutOver,
+    /// Shut down the retired workers and sweep shard files no longer
+    /// named by the manifest. Purely janitorial — the new topology is
+    /// already serving, so failures here degrade to best-effort cleanup.
+    Retire,
+}
+
+impl RebalanceStep {
+    /// Lower-case step name — the spelling [`FaultPlan`] `kill=` targets
+    /// and [`ClusterError::Rebalance::step`] use.
+    ///
+    /// [`FaultPlan`]: crate::FaultPlan
+    /// [`ClusterError::Rebalance::step`]: crate::ClusterError::Rebalance
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RebalanceStep::Quiesce => "quiesce",
+            RebalanceStep::Capture => "capture",
+            RebalanceStep::Cut => "cut",
+            RebalanceStep::Spawn => "spawn",
+            RebalanceStep::Bootstrap => "bootstrap",
+            RebalanceStep::CutOver => "cutover",
+            RebalanceStep::Retire => "retire",
+        }
+    }
+
+    /// The step after this one (`None` after [`Retire`](Self::Retire)).
+    #[must_use]
+    pub fn next(self) -> Option<Self> {
+        match self {
+            RebalanceStep::Quiesce => Some(RebalanceStep::Capture),
+            RebalanceStep::Capture => Some(RebalanceStep::Cut),
+            RebalanceStep::Cut => Some(RebalanceStep::Spawn),
+            RebalanceStep::Spawn => Some(RebalanceStep::Bootstrap),
+            RebalanceStep::Bootstrap => Some(RebalanceStep::CutOver),
+            RebalanceStep::CutOver => Some(RebalanceStep::Retire),
+            RebalanceStep::Retire => None,
+        }
+    }
+}
+
+/// What one [`Coordinator::rebalance_step`] call left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceStatus {
+    /// The named step completed; call `rebalance_step` again to run it.
+    InProgress(RebalanceStep),
+    /// The rebalance is done and the new topology is serving.
+    Complete,
+}
+
+/// Everything an in-flight rebalance has staged, kept in one bundle so
+/// rollback is "drop the bundle" and commit is "swap the bundle in".
+struct RebalanceState {
+    /// The step to run next.
+    step: RebalanceStep,
+    /// Target partition (validated contiguous cover at `begin`).
+    new_ranges: Vec<Range<u32>>,
+    /// The generation these staged artifacts belong to.
+    generation: u64,
+    /// The quiet-point snapshot pinned by [`RebalanceStep::Capture`];
+    /// dropped once [`RebalanceStep::Cut`] has serialized it.
+    snapshot: Option<GraphSnapshot>,
+    /// Drained log sequence the pinned snapshot covers.
+    pinned_seq: u64,
+    /// Graph epoch stamped into the staged shard files.
+    epoch: u64,
+    /// Manifest bytes describing the staged files (written at commit).
+    manifest: Vec<u8>,
+    /// Staged shard-file paths. Cleared at commit — rollback deletes
+    /// whatever is still listed here, so a path present means "safe to
+    /// remove".
+    paths: Vec<PathBuf>,
+    /// The new generation's workers, in new-range order. Swapped into
+    /// the coordinator at commit.
+    new_workers: Vec<Worker>,
+    /// The old generation's workers, moved here at commit and shut down
+    /// by [`RebalanceStep::Retire`].
+    retired: Vec<Worker>,
 }
 
 /// The index of the range owning `v` in a contiguous partition whose
@@ -258,6 +491,139 @@ fn shard_ranges(n: usize, k: usize) -> Vec<Range<u32>> {
         .collect()
 }
 
+/// A [`ClusterError::Rebalance`] for misuse caught before any step ran
+/// (step `"begin"`): a rebalance already in flight, or a cluster with no
+/// base graph. Always `rolled_back: true` — nothing was staged, so the
+/// previous topology is trivially intact.
+fn rebalance_misuse(reason: String) -> ClusterError {
+    ClusterError::Rebalance {
+        step: "begin",
+        rolled_back: true,
+        source: Box::new(ClusterError::Query(CneError::InvalidParameter {
+            name: "rebalance",
+            reason,
+        })),
+    }
+}
+
+/// Panics unless `ranges` is a contiguous ascending cover of
+/// `0..u32::MAX` — the shared validity rule for spawn partitions and
+/// rebalance targets.
+fn assert_contiguous_cover(ranges: &[Range<u32>]) {
+    assert!(!ranges.is_empty(), "at least one shard range");
+    assert_eq!(ranges[0].start, 0, "first range must start at vertex 0");
+    assert_eq!(
+        ranges.last().expect("non-empty").end,
+        u32::MAX,
+        "last range must be open-ended"
+    );
+    assert!(
+        ranges.windows(2).all(|p| p[0].end == p[1].start),
+        "ranges must be contiguous and ascending"
+    );
+}
+
+/// Sweeps `dir` of shard snapshot files (`shard-*.snap`) that are not in
+/// `keep`. Best-effort janitor: a cluster restart with fewer workers, or
+/// a completed rebalance, orphans the previous layout's files, and
+/// nothing can ever bootstrap from a file the manifest no longer names.
+/// The manifest itself and unrelated files (including full-graph
+/// snapshots like `screening.snap` that don't match the `shard-` prefix)
+/// are untouched.
+fn gc_stale_shard_files(dir: &Path, keep: &[PathBuf]) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with("shard-") && name.ends_with(".snap") && !keep.contains(&path) {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Orderly shutdown of one worker: best-effort `Shutdown` request, a
+/// bounded grace period ([`RetryPolicy::teardown_deadline`], polled with
+/// the policy's deterministic backoff), then a kill if it overstays, and
+/// finally socket removal. Shared by [`Coordinator`]'s `Drop` teardown
+/// and the rebalance [`Retire`](RebalanceStep::Retire) step; safe to
+/// call on a worker that is already dead or half-gone.
+fn retire_worker(config: &ClusterConfig, worker: &mut Worker) {
+    if worker.child.is_some() {
+        // Best effort: a dead worker just gets killed below.
+        let _ = exchange(config, worker, &Message::Shutdown, "shutdown");
+        worker.conn = None;
+        if let Some(mut child) = worker.child.take() {
+            let deadline = Instant::now() + config.retry.teardown_deadline;
+            let mut attempt = 0u32;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(config.retry.backoff(attempt));
+                        attempt += 1;
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&worker.spec.socket);
+}
+
+/// Replays the drained-delta tail strictly after `after_seq` to one
+/// worker, filtered to `range` by the same routing rule replication uses
+/// ([`GraphDelta::shard_vertex`]: edge deltas to their shard-layer
+/// endpoint's owner, `AddVertex` broadcast), in chunks of
+/// [`pump_chunk`](ClusterConfig::pump_chunk). A free function so both
+/// supervision (rebuilding into `Coordinator::workers`) and rebalancing
+/// (catching up workers not yet in the table) can drive it.
+fn replay_drained_tail(
+    config: &ClusterConfig,
+    log: &UpdateLog,
+    shard_layer: Layer,
+    worker: &mut Worker,
+    range: &Range<u32>,
+    after_seq: u64,
+) -> Result<()> {
+    let tail = log
+        .replay_from(after_seq)
+        .expect("snapshot-spawned clusters retain drained deltas");
+    let part: Vec<GraphDelta> = tail
+        .deltas()
+        .iter()
+        .copied()
+        .filter(|d| match d.shard_vertex(shard_layer) {
+            Some(v) => range.contains(&v),
+            None => true, // AddVertex: broadcast, every shard replays it.
+        })
+        .collect();
+    for chunk in part.chunks(config.pump_chunk.max(1)) {
+        worker.update_batches += 1;
+        let update = Message::Update {
+            batch_seq: worker.update_batches,
+            deltas: chunk.to_vec(),
+        };
+        match exchange(config, worker, &update, "tail replay")? {
+            Message::UpdateAck { .. } => {}
+            other => {
+                return Err(ClusterError::Protocol {
+                    worker: worker.spec.index,
+                    detail: format!("unexpected response during tail replay: {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
 /// One request→response exchange with bounded retry: on an I/O failure
 /// the connection is dropped, re-established (fresh handshake included),
 /// and the request re-sent once. A second failure marks the worker
@@ -303,17 +669,47 @@ fn exchange(
 fn try_exchange(config: &ClusterConfig, worker: &mut Worker, msg: &Message) -> io::Result<Message> {
     ensure_connected(config, worker)?;
     let conn = worker.conn.as_mut().expect("just connected");
-    msg.write_to(conn)?;
+    send_with_faults(&config.faults, conn, msg)?;
     Message::read_from(conn)
 }
 
-/// Connects (with retry/backoff up to `connect_timeout`) and runs the
-/// versioned handshake. No-op when a connection is already up.
+/// Writes one request frame through the fault injector. With no plan
+/// armed this is exactly [`Message::write_to`]; with one, the frame is
+/// counted and may be delayed, corrupted, or dropped. A *dropped* frame
+/// is swallowed here (nothing hits the socket), so the caller's read
+/// times out at the I/O deadline and [`exchange`]'s reconnect-and-resend
+/// retry fires — the counter has already advanced, so the resend goes
+/// through clean. Handshake frames bypass this path on purpose: frame
+/// indices stay stable across reconnects.
+fn send_with_faults(
+    faults: &FaultInjector,
+    conn: &mut UnixStream,
+    msg: &Message,
+) -> io::Result<()> {
+    use std::io::Write;
+    if !faults.is_active() {
+        return msg.write_to(conn);
+    }
+    let mut frame = msg.to_frame_bytes();
+    match faults.outbound_frame(&mut frame) {
+        FrameFate::Send => {
+            conn.write_all(&frame)?;
+            conn.flush()
+        }
+        FrameFate::Drop => Ok(()),
+    }
+}
+
+/// Connects (with [`RetryPolicy::backoff`] sleeps up to
+/// `connect_timeout`) and runs the versioned handshake. No-op when a
+/// connection is already up.
 fn ensure_connected(config: &ClusterConfig, worker: &mut Worker) -> io::Result<()> {
     if worker.conn.is_some() {
         return Ok(());
     }
-    let deadline = Instant::now() + config.connect_timeout;
+    let retry = &config.retry;
+    let deadline = Instant::now() + retry.connect_timeout;
+    let mut attempt = 0u32;
     let mut stream = loop {
         match UnixStream::connect(&worker.spec.socket) {
             Ok(s) => break s,
@@ -321,12 +717,13 @@ fn ensure_connected(config: &ClusterConfig, worker: &mut Worker) -> io::Result<(
                 if Instant::now() >= deadline {
                     return Err(e);
                 }
-                std::thread::sleep(config.connect_backoff);
+                std::thread::sleep(retry.backoff(attempt));
+                attempt += 1;
             }
         }
     };
-    stream.set_read_timeout(Some(config.io_timeout))?;
-    stream.set_write_timeout(Some(config.io_timeout))?;
+    stream.set_read_timeout(Some(retry.io_timeout))?;
+    stream.set_write_timeout(Some(retry.io_timeout))?;
     Message::Hello.write_to(&mut stream)?;
     match Message::read_from(&mut stream)? {
         Message::HelloAck { shard_lo, shard_hi } => {
@@ -482,17 +879,7 @@ impl Coordinator {
         mut launch: LaunchFn,
         log: UpdateLog,
     ) -> Result<Self> {
-        assert!(!ranges.is_empty(), "at least one shard range");
-        assert_eq!(ranges[0].start, 0, "first range must start at vertex 0");
-        assert_eq!(
-            ranges.last().expect("non-empty").end,
-            u32::MAX,
-            "last range must be open-ended"
-        );
-        assert!(
-            ranges.windows(2).all(|p| p[0].end == p[1].start),
-            "ranges must be contiguous and ascending"
-        );
+        assert_contiguous_cover(&ranges);
         let mut workers = Vec::with_capacity(ranges.len());
         for (index, range) in ranges.iter().enumerate() {
             let spec = WorkerSpec {
@@ -513,6 +900,7 @@ impl Coordinator {
                 child: Some(child),
                 conn: None,
                 healthy: true,
+                update_batches: 0,
             });
         }
         let cuts = ranges[1..].iter().map(|r| r.start).collect();
@@ -526,6 +914,10 @@ impl Coordinator {
             algo: BatchSingleSource::default(),
             launch,
             snapshot: None,
+            dir: dir.to_path_buf(),
+            generation: 0,
+            base: None,
+            rebalance: None,
         })
     }
 
@@ -623,10 +1015,19 @@ impl Coordinator {
             std::fs::write(&manifest_path, &manifest)
                 .map_err(|source| ClusterError::Spawn { worker: 0, source })?;
         }
+        // A previous run with a different worker count (or an aborted
+        // rebalance generation) may have left shard files the manifest no
+        // longer names; sweep them so the directory only ever holds
+        // artifacts something can still bootstrap from.
+        gc_stale_shard_files(dir, &paths);
         coordinator.snapshot = Some(SnapshotSource {
             paths,
             seq: 0,
             epoch,
+        });
+        coordinator.base = Some(BaseGraph {
+            graph: snapshot.graph().clone(),
+            seq: 0,
         });
         for index in 0..coordinator.workers.len() {
             coordinator
@@ -767,7 +1168,9 @@ impl Coordinator {
             if part.is_empty() {
                 continue;
             }
+            self.workers[index].update_batches += 1;
             let update = Message::Update {
+                batch_seq: self.workers[index].update_batches,
                 deltas: part.deltas().to_vec(),
             };
             match self.request(index, &update, "update replication") {
@@ -1122,41 +1525,428 @@ impl Coordinator {
     }
 
     /// Replays the drained-delta tail past the snapshot's pinned
-    /// sequence to a freshly re-bootstrapped worker, filtered to its
-    /// shard by the same routing rule replication uses
-    /// ([`GraphDelta::shard_vertex`]: edge deltas to their shard-layer
-    /// endpoint's owner, `AddVertex` broadcast), in chunks of
-    /// [`pump_chunk`](ClusterConfig::pump_chunk).
+    /// sequence to a freshly re-bootstrapped worker (see
+    /// [`replay_drained_tail`]).
     fn replay_tail(&mut self, index: usize) -> Result<()> {
-        let src = self
+        let seq = self
             .snapshot
             .as_ref()
-            .expect("callers check for a snapshot source");
+            .expect("callers check for a snapshot source")
+            .seq;
+        let range = self.ranges[index].clone();
+        replay_drained_tail(
+            &self.config,
+            &self.log,
+            self.shard_layer,
+            &mut self.workers[index],
+            &range,
+            seq,
+        )
+    }
+
+    // ----------------------------------------------------- rebalancing
+
+    /// Runs a full live rebalance to `new_ranges`: every step of the
+    /// state machine in order (see [`RebalanceStep`]), with queries and
+    /// update pumps still valid between any two steps. On success the
+    /// cluster serves the new partition with byte-identical reports; on
+    /// failure ([`ClusterError::Rebalance`] with `rolled_back: true`)
+    /// the old partition is still serving and a retry may succeed.
+    ///
+    /// This is [`begin_rebalance`](Self::begin_rebalance) +
+    /// [`rebalance_step`](Self::rebalance_step)-until-complete; drive
+    /// the steps yourself to interleave traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_ranges` is not a contiguous cover of `0..u32::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rebalance`] naming the failed step.
+    pub fn rebalance(&mut self, new_ranges: Vec<Range<u32>>) -> Result<()> {
+        self.begin_rebalance(new_ranges)?;
+        loop {
+            if let RebalanceStatus::Complete = self.rebalance_step()? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// [`rebalance`](Self::rebalance) to an even split into `n_workers`
+    /// ranges over the base graph's shard layer — the split/merge entry
+    /// point (2→4, 4→2, …).
+    ///
+    /// # Errors
+    ///
+    /// See [`rebalance`](Self::rebalance).
+    pub fn rebalance_to(&mut self, n_workers: usize) -> Result<()> {
+        let Some(base) = self.base.as_ref() else {
+            return Err(rebalance_misuse(
+                "cluster was edge-list bootstrapped; only snapshot-spawned \
+                 clusters hold the base graph rebalancing cuts shards from"
+                    .to_string(),
+            ));
+        };
+        let layer_size = match self.shard_layer {
+            Layer::Upper => base.graph.n_upper(),
+            Layer::Lower => base.graph.n_lower(),
+        };
+        self.rebalance(shard_ranges(layer_size, n_workers))
+    }
+
+    /// Arms a rebalance to `new_ranges` without running any step: bumps
+    /// the topology generation and stages an empty rebalance state at
+    /// the `quiesce` step. Drive it with
+    /// [`rebalance_step`](Self::rebalance_step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_ranges` is not a contiguous cover of `0..u32::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rebalance`] at step `"begin"` when a rebalance is
+    /// already in flight or the cluster was edge-list bootstrapped (no
+    /// base graph to cut shard files from). Both leave the cluster
+    /// serving exactly as before.
+    pub fn begin_rebalance(&mut self, new_ranges: Vec<Range<u32>>) -> Result<()> {
+        if let Some(st) = &self.rebalance {
+            return Err(rebalance_misuse(format!(
+                "a rebalance is already in flight (next step: {})",
+                st.step.name()
+            )));
+        }
+        if self.base.is_none() || self.snapshot.is_none() {
+            return Err(rebalance_misuse(
+                "cluster was edge-list bootstrapped; only snapshot-spawned \
+                 clusters hold the base graph rebalancing cuts shards from"
+                    .to_string(),
+            ));
+        }
+        assert_contiguous_cover(&new_ranges);
+        self.generation += 1;
+        self.rebalance = Some(RebalanceState {
+            step: RebalanceStep::Quiesce,
+            new_ranges,
+            generation: self.generation,
+            snapshot: None,
+            pinned_seq: 0,
+            epoch: 0,
+            manifest: Vec::new(),
+            paths: Vec::new(),
+            new_workers: Vec::new(),
+            retired: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Runs the next step of the in-flight rebalance. Between calls the
+    /// cluster is fully serviceable — queries, pumps, and stats all run
+    /// against whichever topology is current (the old one until
+    /// [`RebalanceStep::CutOver`] commits, the new one after).
+    ///
+    /// Any armed [`FaultPlan`](crate::FaultPlan) `kill=` directives
+    /// scheduled for this step fire at its entry, before the step's own
+    /// work — "the worker died just as the coordinator got here".
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rebalance`] naming the failed step, always with
+    /// `rolled_back: true`: every fallible action precedes the commit
+    /// point, so a failure tears down the staged generation and the old
+    /// topology keeps serving with zero divergence. (Post-commit the
+    /// remaining work is infallible-or-best-effort; a new worker dying
+    /// *after* commit surfaces later as an ordinary
+    /// [`ClusterError::PartialResult`] and is rebuilt by
+    /// [`supervise`](Self::supervise).)
+    pub fn rebalance_step(&mut self) -> Result<RebalanceStatus> {
+        let Some(mut st) = self.rebalance.take() else {
+            return Err(rebalance_misuse(
+                "no rebalance in flight; call begin_rebalance first".to_string(),
+            ));
+        };
+        let step = st.step;
+        // Scheduled crashes land at step entry: old workers through the
+        // normal kill path, staged new workers directly.
+        let faults = Arc::clone(&self.config.faults);
+        for target in faults.kills_due(step.name()) {
+            match target {
+                KillTarget::Old(i) => {
+                    if i < self.workers.len() {
+                        let _ = self.kill_worker(i);
+                    }
+                }
+                KillTarget::New(i) => {
+                    if let Some(w) = st.new_workers.get_mut(i) {
+                        w.conn = None;
+                        w.healthy = false;
+                        if let Some(mut child) = w.child.take() {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                    }
+                }
+            }
+        }
+        let result = match step {
+            RebalanceStep::Quiesce => self.rb_quiesce(),
+            RebalanceStep::Capture => self.rb_capture(&mut st),
+            RebalanceStep::Cut => self.rb_cut(&mut st),
+            RebalanceStep::Spawn => self.rb_spawn(&mut st),
+            RebalanceStep::Bootstrap => self.rb_bootstrap(&mut st),
+            RebalanceStep::CutOver => self.rb_cutover(&mut st),
+            RebalanceStep::Retire => self.rb_retire(&mut st),
+        };
+        match result {
+            Ok(()) => match step.next() {
+                Some(next) => {
+                    st.step = next;
+                    self.rebalance = Some(st);
+                    Ok(RebalanceStatus::InProgress(next))
+                }
+                None => Ok(RebalanceStatus::Complete),
+            },
+            Err(source) => {
+                self.rollback_rebalance(st);
+                Err(ClusterError::Rebalance {
+                    step: step.name(),
+                    rolled_back: true,
+                    source: Box::new(source),
+                })
+            }
+        }
+    }
+
+    /// The next step the in-flight rebalance will run, or `None` when
+    /// none is in flight.
+    #[must_use]
+    pub fn rebalance_in_flight(&self) -> Option<RebalanceStep> {
+        self.rebalance.as_ref().map(|st| st.step)
+    }
+
+    /// The current topology generation (0 until the first
+    /// [`begin_rebalance`](Self::begin_rebalance)).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// [`RebalanceStep::Quiesce`]: drain the log and barrier every
+    /// worker, so worker state == base state + drained tail.
+    fn rb_quiesce(&mut self) -> Result<()> {
+        self.flush()
+    }
+
+    /// [`RebalanceStep::Capture`]: fold the drained tail into the base
+    /// graph and pin the quiet-point snapshot. (An advanced `base.seq`
+    /// survives rollback harmlessly: the serving [`SnapshotSource`] is
+    /// untouched, and the fold is idempotent because `replay_from` is
+    /// strictly-after.)
+    fn rb_capture(&mut self, st: &mut RebalanceState) -> Result<()> {
+        let base = self.base.as_mut().expect("begin_rebalance checked");
         let tail = self
             .log
-            .replay_from(src.seq)
+            .replay_from(base.seq)
             .expect("snapshot-spawned clusters retain drained deltas");
-        let range = self.ranges[index].clone();
-        let shard_layer = self.shard_layer;
-        let part: Vec<GraphDelta> = tail
-            .deltas()
-            .iter()
-            .copied()
-            .filter(|d| match d.shard_vertex(shard_layer) {
-                Some(v) => range.contains(&v),
-                None => true, // AddVertex: broadcast, every shard replays it.
-            })
-            .collect();
-        for chunk in part.chunks(self.config.pump_chunk.max(1)) {
-            let update = Message::Update {
-                deltas: chunk.to_vec(),
+        if !tail.is_empty() {
+            base.graph
+                .apply_update_batch(&tail)
+                .map_err(|e| ClusterError::Query(CneError::Graph(e)))?;
+        }
+        // Quiesce drained everything, so the drained watermark is the
+        // quiet point: all of it is folded in, none of it is in flight.
+        base.seq = self.log.drained();
+        st.pinned_seq = base.seq;
+        st.snapshot = Some(GraphSnapshot::capture(&base.graph, st.pinned_seq));
+        st.epoch = st.snapshot.as_ref().expect("just captured").epoch();
+        Ok(())
+    }
+
+    /// [`RebalanceStep::Cut`]: write one generation-named shard file per
+    /// new range and precompute the manifest bytes. The pinned snapshot
+    /// is dropped afterwards — the files are now the staged state.
+    fn rb_cut(&mut self, st: &mut RebalanceState) -> Result<()> {
+        let snapshot = st.snapshot.as_ref().expect("capture ran");
+        st.manifest = shard_manifest(snapshot, self.shard_layer, &st.new_ranges);
+        for (index, range) in st.new_ranges.iter().enumerate() {
+            let path = self
+                .dir
+                .join(format!("shard-g{}-{index}.snap", st.generation));
+            // Plain writes for the same reason the spawn path uses them:
+            // shard files are scratch artifacts, re-derived on demand,
+            // and a torn file is caught by section checksums at adoption.
+            let mut bytes = snapshot
+                .restrict_to_shard(self.shard_layer, range.start, range.end)
+                .to_bytes();
+            if let Some(keep) = self.config.faults.torn_write(bytes.len()) {
+                bytes.truncate(keep);
+            }
+            std::fs::write(&path, &bytes).map_err(|source| ClusterError::Spawn {
+                worker: index,
+                source,
+            })?;
+            st.paths.push(path);
+        }
+        st.snapshot = None;
+        Ok(())
+    }
+
+    /// [`RebalanceStep::Spawn`]: launch the new generation's workers on
+    /// generation-named sockets (the old generation still owns its own).
+    fn rb_spawn(&mut self, st: &mut RebalanceState) -> Result<()> {
+        for (index, range) in st.new_ranges.iter().enumerate() {
+            let spec = WorkerSpec {
+                index,
+                socket: self
+                    .dir
+                    .join(format!("shard-worker-g{}-{index}.sock", st.generation)),
+                shard_lo: range.start,
+                shard_hi: range.end,
             };
-            match self.request(index, &update, "tail replay")? {
-                Message::UpdateAck { .. } => {}
-                other => return Err(self.unexpected(index, "tail replay", &other)),
+            let _ = std::fs::remove_file(&spec.socket);
+            let child = (self.launch)(&spec).map_err(|source| ClusterError::Spawn {
+                worker: index,
+                source,
+            })?;
+            st.new_workers.push(Worker {
+                spec,
+                child: Some(child),
+                conn: None,
+                healthy: true,
+                update_batches: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`RebalanceStep::Bootstrap`]: handshake each new worker and ship
+    /// its snapshot-bootstrap frame. A torn shard file fails here — the
+    /// worker's section checksums reject it and the error rolls the
+    /// rebalance back.
+    fn rb_bootstrap(&mut self, st: &mut RebalanceState) -> Result<()> {
+        for index in 0..st.new_workers.len() {
+            let spec = &st.new_workers[index].spec;
+            let msg = Message::BootstrapSnapshot {
+                epoch: st.epoch,
+                shard_layer: self.shard_layer,
+                shard_lo: spec.shard_lo,
+                shard_hi: spec.shard_hi,
+                path: st.paths[index].to_string_lossy().into_owned(),
+            };
+            match exchange(
+                &self.config,
+                &mut st.new_workers[index],
+                &msg,
+                "rebalance bootstrap",
+            )? {
+                Message::BootstrapAck => {}
+                Message::Err { code, message } => {
+                    return Err(ClusterError::Remote {
+                        worker: index,
+                        code,
+                        message,
+                    })
+                }
+                other => {
+                    return Err(ClusterError::Protocol {
+                        worker: index,
+                        detail: format!(
+                            "unexpected response during rebalance bootstrap: {other:?}"
+                        ),
+                    })
+                }
             }
         }
         Ok(())
+    }
+
+    /// [`RebalanceStep::CutOver`]: catch the new workers up past the
+    /// pinned sequence and barrier them — then **commit**. Everything
+    /// before the marked line can fail (and rolls back); everything
+    /// after it is plain state swapping.
+    fn rb_cutover(&mut self, st: &mut RebalanceState) -> Result<()> {
+        for (index, range) in st.new_ranges.clone().iter().enumerate() {
+            replay_drained_tail(
+                &self.config,
+                &self.log,
+                self.shard_layer,
+                &mut st.new_workers[index],
+                range,
+                st.pinned_seq,
+            )?;
+            match exchange(
+                &self.config,
+                &mut st.new_workers[index],
+                &Message::Flush,
+                "rebalance flush",
+            )? {
+                Message::FlushAck { .. } => {}
+                other => {
+                    return Err(ClusterError::Protocol {
+                        worker: index,
+                        detail: format!("unexpected response during rebalance flush: {other:?}"),
+                    })
+                }
+            }
+        }
+        // ---- commit point: nothing below returns Err. ----
+        // Invalidate the manifest first (crash-safe ordering: a manifest
+        // must never vouch for files that don't match it), swap the
+        // topology, then write the manifest describing the new files.
+        let manifest_path = self.dir.join("shards.manifest");
+        let _ = std::fs::remove_file(&manifest_path);
+        st.retired = std::mem::replace(&mut self.workers, std::mem::take(&mut st.new_workers));
+        self.ranges = st.new_ranges.clone();
+        self.cuts = self.ranges[1..].iter().map(|r| r.start).collect();
+        // `paths` is *moved* into the snapshot source (not copied) so a
+        // later rollback — teardown mid-Retire — can never mistake the
+        // serving files for staged ones and delete them.
+        self.snapshot = Some(SnapshotSource {
+            paths: std::mem::take(&mut st.paths),
+            seq: st.pinned_seq,
+            epoch: st.epoch,
+        });
+        let _ = std::fs::write(&manifest_path, &st.manifest);
+        // The new snapshot source re-pins recovery at the quiet point;
+        // history before it can never be replayed again.
+        self.log.truncate_history_through(st.pinned_seq);
+        Ok(())
+    }
+
+    /// [`RebalanceStep::Retire`]: shut down the old generation and sweep
+    /// shard files the manifest no longer names. Purely janitorial; the
+    /// new topology has been serving since commit.
+    fn rb_retire(&mut self, st: &mut RebalanceState) -> Result<()> {
+        for worker in &mut st.retired {
+            retire_worker(&self.config, worker);
+        }
+        let keep = self
+            .snapshot
+            .as_ref()
+            .map(|s| s.paths.clone())
+            .unwrap_or_default();
+        gc_stale_shard_files(&self.dir, &keep);
+        Ok(())
+    }
+
+    /// Tears down whatever a failed (or abandoned) rebalance staged: the
+    /// new generation's processes and sockets, plus any shard files
+    /// still listed in `state.paths` — cleared at commit, so everything
+    /// listed is provably not the serving snapshot source. The serving
+    /// topology is untouched.
+    fn rollback_rebalance(&mut self, mut state: RebalanceState) {
+        for worker in state.new_workers.iter_mut().chain(state.retired.iter_mut()) {
+            worker.conn = None;
+            if let Some(mut child) = worker.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            let _ = std::fs::remove_file(&worker.spec.socket);
+        }
+        for path in &state.paths {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     // ------------------------------------------------------- transport
@@ -1183,36 +1973,21 @@ impl Coordinator {
         }
     }
 
-    /// Orderly teardown: ask every worker to shut down, then reap (or
-    /// kill) the processes. Called from `Drop`; safe to call twice.
+    /// Orderly teardown: roll back any in-flight rebalance (its staged
+    /// workers and files must not outlive the coordinator), then ask
+    /// every worker to shut down and reap (or kill) the processes.
+    /// Called from `Drop`; safe to call twice.
     fn teardown(&mut self) {
+        if let Some(state) = self.rebalance.take() {
+            self.rollback_rebalance(state);
+        }
         for index in 0..self.workers.len() {
             if self.workers[index].child.is_none() {
+                // Already reaped (or never owned): just clear the socket.
+                let _ = std::fs::remove_file(&self.workers[index].spec.socket);
                 continue;
             }
-            // Best effort: a dead worker just gets killed below.
-            if let Ok(Message::ShutdownAck) = self.request(index, &Message::Shutdown, "shutdown") {
-                // Acked: give it a moment to exit on its own.
-            }
-            let w = &mut self.workers[index];
-            w.conn = None;
-            if let Some(mut child) = w.child.take() {
-                let deadline = Instant::now() + Duration::from_secs(2);
-                loop {
-                    match child.try_wait() {
-                        Ok(Some(_)) => break,
-                        Ok(None) if Instant::now() < deadline => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        _ => {
-                            let _ = child.kill();
-                            let _ = child.wait();
-                            break;
-                        }
-                    }
-                }
-            }
-            let _ = std::fs::remove_file(&w.spec.socket);
+            retire_worker(&self.config, &mut self.workers[index]);
         }
     }
 }

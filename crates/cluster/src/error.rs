@@ -68,6 +68,23 @@ pub enum ClusterError {
     },
     /// A coordinator-side query step failed (validation, assembly).
     Query(cne::CneError),
+    /// A live rebalance failed at the named step. `rolled_back: true`
+    /// means the coordinator restored the previous topology before
+    /// returning — the old workers are still serving and a retry may
+    /// succeed; `false` means the new topology had already committed and
+    /// whatever is left (a dead incoming worker, unretired old workers)
+    /// is [`Coordinator::supervise`]'s to finish.
+    ///
+    /// [`Coordinator::supervise`]: crate::coordinator::Coordinator::supervise
+    Rebalance {
+        /// Lower-case name of the [`RebalanceStep`](crate::RebalanceStep)
+        /// that failed.
+        step: &'static str,
+        /// Whether the previous topology was restored.
+        rolled_back: bool,
+        /// The failure that aborted the step.
+        source: Box<ClusterError>,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -98,6 +115,19 @@ impl fmt::Display for ClusterError {
                 message,
             } => write!(f, "worker {worker} error (code {code}): {message}"),
             ClusterError::Query(e) => write!(f, "query failed: {e}"),
+            ClusterError::Rebalance {
+                step,
+                rolled_back,
+                source,
+            } => write!(
+                f,
+                "rebalance failed at step `{step}` ({}): {source}",
+                if *rolled_back {
+                    "rolled back to the previous topology"
+                } else {
+                    "already committed; supervision completes it"
+                }
+            ),
         }
     }
 }
@@ -109,6 +139,7 @@ impl std::error::Error for ClusterError {
                 Some(source)
             }
             ClusterError::Query(e) => Some(e),
+            ClusterError::Rebalance { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -94,16 +94,91 @@
 //! snapshot's pinned sequence, and marks
 //! it healthy — the recovered worker serves byte-identical reports
 //! (pinned by the kill-one-worker case in `tests/cluster_swap.rs`).
+//!
+//! # Rebalancing lifecycle
+//!
+//! [`Coordinator::rebalance`] changes the shard partition **live** —
+//! split (2→4), merge (4→2), or shift cuts — without a full respawn and
+//! without a window in which queries fail. It is a seven-step state
+//! machine ([`RebalanceStep`]), driveable one step at a time via
+//! [`Coordinator::begin_rebalance`] + [`Coordinator::rebalance_step`]
+//! with live traffic between any two steps:
+//!
+//! ```text
+//!  begin ─► Quiesce ─► Capture ─► Cut ─► Spawn ─► Bootstrap ─► CutOver ─► Retire ─► done
+//!             │           │        │       │          │         ▲  │
+//!             ╰───────────┴────────┴───────┴──────────┴─────────╯  │ (commit
+//!                  any failure up to the commit point               │  point)
+//!                  rolls back: staged workers killed, staged        ▼
+//!                  files deleted, OLD topology still serving   new topology
+//!                  (error has `rolled_back: true`)              serving
+//! ```
+//!
+//! - **Quiesce** drains the replication log and barriers every worker —
+//!   worker state now equals the coordinator's base graph plus the
+//!   drained tail, with nothing in flight.
+//! - **Capture** folds that tail into the coordinator's own graph
+//!   replica and pins a quiet-point snapshot at the drained sequence.
+//! - **Cut** writes one shard-restricted, generation-named snapshot
+//!   file per *new* range; **Spawn**/**Bootstrap** bring the new
+//!   generation's workers up from those files on fresh sockets while
+//!   the old generation keeps serving.
+//! - **CutOver** replays the drained tail past the pinned sequence to
+//!   the new workers, barriers them, then **commits**: range table,
+//!   cut-point cache, worker table, and snapshot source swap in one
+//!   motion (manifest invalidated first, rewritten after — the same
+//!   crash-safe ordering the spawn path uses), and retained history
+//!   before the new pin is truncated.
+//! - **Retire** shuts the old generation down and sweeps unreferenced
+//!   shard files. Purely janitorial: the new topology has been serving
+//!   since commit.
+//!
+//! **Rollback guarantees.** Every fallible action precedes the commit
+//! point, so a surfaced [`ClusterError::Rebalance`] always carries
+//! `rolled_back: true`: the staged generation is torn down and the old
+//! topology keeps serving with zero divergence — byte-identity holds
+//! across a failed rebalance exactly as across a successful one. A new
+//! worker dying *after* commit is ordinary supervision work
+//! ([`Coordinator::supervise`] rebuilds it from the new generation's
+//! shard files); the coordinator's own death mid-rebalance leaves only
+//! ignorable garbage (generation-named files not referenced by the
+//! manifest, swept at the next spawn or retire).
+//!
+//! # Fault injection
+//!
+//! The chaos legs above are driven by a deterministic, seed-reproducible
+//! fault layer ([`FaultPlan`] / [`FaultInjector`]) threaded through the
+//! coordinator's transport, the shard-file writes, and the rebalance
+//! step machine. A plan is armed via the environment and announced on
+//! stderr so every failure is replayable from its printed seed:
+//!
+//! ```text
+//! CNE_FAULT_PLAN='seed=42;kill=bootstrap:new0;drop=3' cargo test -p cluster
+//! ```
+//!
+//! Directives (each fires **once**, at a deterministic index):
+//! `kill=STEP:oldI|newI` crashes a worker at a rebalance step's entry;
+//! `drop=K` / `corrupt=K` / `delay=K:MS` swallow, byte-flip, or delay
+//! the Kth coordinator request frame; `torn=K` truncates the Kth shard
+//! file written during a rebalance Cut; `stall=K:MS` holds a worker's
+//! Kth response past the coordinator's I/O deadline (the worker side
+//! arms itself from the same inherited environment variable). See
+//! [`FaultPlan`] for the full grammar. Timeouts, deadlines, and the
+//! jitter-free exponential backoff they retry under are unified in
+//! [`RetryPolicy`], env-overridable per process.
 
 #![warn(missing_docs)]
 
 pub mod coordinator;
 pub mod error;
+pub mod fault;
 pub mod wire;
 pub mod worker;
 
 pub use coordinator::{
-    worker_command, ClusterConfig, ClusterStats, Coordinator, WorkerSpec, WorkerStatus,
+    worker_command, ClusterConfig, ClusterStats, Coordinator, RebalanceStatus, RebalanceStep,
+    RetryPolicy, WorkerSpec, WorkerStatus,
 };
 pub use error::{ClusterError, Result};
+pub use fault::{FaultInjector, FaultPlan, FrameFate, KillTarget, FAULT_PLAN_ENV};
 pub use worker::{maybe_run_worker_from_env, WorkerConfig};

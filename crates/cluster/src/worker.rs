@@ -120,9 +120,10 @@ pub fn run(config: &WorkerConfig) -> io::Result<()> {
     let _ = std::fs::remove_file(&config.socket);
     let listener = UnixListener::bind(&config.socket)?;
     let mut serving: Option<ServingEngine> = None;
+    let mut dedup = UpdateDedup::default();
     loop {
         let (stream, _) = listener.accept()?;
-        match serve_connection(stream, &mut serving, config) {
+        match serve_connection(stream, &mut serving, &mut dedup, config) {
             ConnExit::Disconnected => {}
             ConnExit::Shutdown => {
                 let _ = std::fs::remove_file(&config.socket);
@@ -132,10 +133,23 @@ pub fn run(config: &WorkerConfig) -> io::Result<()> {
     }
 }
 
+/// The worker's `Update` idempotency mark, kept across reconnects (that
+/// is the point: a reconnect is exactly when the coordinator re-sends a
+/// frame whose ack it never saw). Reset on (re)bootstrap, when the
+/// coordinator's per-worker counter starts over.
+#[derive(Debug, Default)]
+struct UpdateDedup {
+    /// Highest `batch_seq` already ingested.
+    last_batch: u64,
+    /// The ack that batch got, replayed verbatim for a duplicate.
+    last_appended: u64,
+}
+
 /// Serves one coordinator connection in strict request→response order.
 fn serve_connection(
     mut stream: UnixStream,
     serving: &mut Option<ServingEngine>,
+    dedup: &mut UpdateDedup,
     config: &WorkerConfig,
 ) -> ConnExit {
     loop {
@@ -146,7 +160,11 @@ fn serve_connection(
             Err(_) => return ConnExit::Disconnected,
         };
         let shutdown = matches!(request, Message::Shutdown);
-        let response = handle(request, serving, config);
+        let response = handle(request, serving, dedup, config);
+        // Fault injection: an armed `stall` directive (inherited via
+        // `CNE_FAULT_PLAN`) holds this response past the coordinator's
+        // IO deadline — the stalled-socket chaos leg. Inert otherwise.
+        crate::fault::worker_injector().stall_before_response();
         if stream.write_msg(&response).is_err() {
             return ConnExit::Disconnected;
         }
@@ -175,7 +193,12 @@ fn err(code: u16, message: impl Into<String>) -> Message {
 }
 
 /// Computes the response for one request.
-fn handle(request: Message, serving: &mut Option<ServingEngine>, config: &WorkerConfig) -> Message {
+fn handle(
+    request: Message,
+    serving: &mut Option<ServingEngine>,
+    dedup: &mut UpdateDedup,
+    config: &WorkerConfig,
+) -> Message {
     match request {
         Message::Hello => Message::HelloAck {
             shard_lo: config.shard_lo,
@@ -200,6 +223,7 @@ fn handle(request: Message, serving: &mut Option<ServingEngine>, config: &Worker
                 Err(e) => return err(err_code::PROTOCOL, format!("bad shard graph: {e}")),
             };
             *serving = Some(ServingEngine::with_config(graph, config.serving.clone()));
+            *dedup = UpdateDedup::default();
             Message::BootstrapAck
         }
         Message::BootstrapSnapshot {
@@ -244,11 +268,23 @@ fn handle(request: Message, serving: &mut Option<ServingEngine>, config: &Worker
                 &restricted,
                 config.serving.clone(),
             ));
+            *dedup = UpdateDedup::default();
             Message::BootstrapAck
         }
-        Message::Update { deltas } => match serving {
+        Message::Update { batch_seq, deltas } => match serving {
             Some(engine) => {
+                // A batch at or below the high-water mark is a resend of
+                // a frame whose ack the coordinator never saw (its read
+                // timed out and it reconnected): the deltas are already
+                // in, so applying again would diverge — re-ack instead.
+                if batch_seq != 0 && batch_seq <= dedup.last_batch {
+                    return Message::UpdateAck {
+                        appended: dedup.last_appended,
+                    };
+                }
                 let appended = engine.extend(deltas);
+                dedup.last_batch = batch_seq;
+                dedup.last_appended = appended;
                 Message::UpdateAck { appended }
             }
             None => err(err_code::NOT_BOOTSTRAPPED, "update before bootstrap"),

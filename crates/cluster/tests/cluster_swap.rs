@@ -242,9 +242,12 @@ fn killed_worker_yields_typed_partial_result_within_timeout() {
     let graph = base_graph();
     let dir = socket_dir("kill");
     let config = ClusterConfig {
-        connect_timeout: Duration::from_millis(400),
-        connect_backoff: Duration::from_millis(10),
-        io_timeout: Duration::from_millis(1500),
+        retry: cluster::RetryPolicy {
+            connect_timeout: Duration::from_millis(400),
+            backoff_base: Duration::from_millis(10),
+            io_timeout: Duration::from_millis(1500),
+            ..cluster::RetryPolicy::baseline()
+        },
         ..ClusterConfig::default()
     };
     let mut coordinator =
@@ -441,6 +444,13 @@ fn cluster_restart_reuses_shard_files_behind_the_manifest() {
         shard_mtime(0),
         stamps[0],
         "a different partition must rewrite the shard files"
+    );
+    // The 3-worker layout's third file is now unreferenced by the
+    // manifest; the respawn must have swept it rather than letting
+    // orphans accumulate per layout change.
+    assert!(
+        !dir.join("shard-2.snap").exists(),
+        "a shard file the manifest no longer names must be GC'd"
     );
     let split = repartitioned
         .estimate_batch(Layer::Upper, 0, &candidates, EPSILON, 3)

@@ -888,13 +888,27 @@ impl ServingEngine {
         &self,
         path: &std::path::Path,
     ) -> std::result::Result<u64, bigraph::snapshot::SnapshotError> {
+        let image = self.capture_snapshot();
+        let seq = image.log_seq();
+        image.write_to(path)?;
+        Ok(seq)
+    }
+
+    /// Captures the same quiet-point image as
+    /// [`write_snapshot`](ServingEngine::write_snapshot) but keeps it in
+    /// memory instead of writing a file — for consumers that cut the
+    /// image further before it lands on disk (a sharded coordinator
+    /// restricting it per shard during a rebalance). The pinned log
+    /// sequence is carried in the returned snapshot
+    /// ([`GraphSnapshot::log_seq`](bigraph::snapshot::GraphSnapshot::log_seq)).
+    #[must_use]
+    pub fn capture_snapshot(&self) -> bigraph::snapshot::GraphSnapshot {
         let snap = self.snapshot();
         // Race-free while pinned: the writer stamps a buffer's sequence
         // before publishing it and cannot republish this buffer until the
         // pin drops (its cycle waits on pins first).
         let seq = self.shared.buffer_seq[(snap.epoch() & 1) as usize].load(Ordering::SeqCst);
-        bigraph::snapshot::GraphSnapshot::capture(snap.graph(), seq).write_to(path)?;
-        Ok(seq)
+        bigraph::snapshot::GraphSnapshot::capture(snap.graph(), seq)
     }
 
     /// Drains the log, stops the writer, and returns the final live
